@@ -1,0 +1,53 @@
+// Figure 10: breakdown of EFTA's fault-tolerance overhead into QK^T
+// protection, softmax protection and PV protection, relative to the
+// unprotected end-to-end attention time.
+//
+// Paper shape: per-seq total overheads 44-152% (h16) and 47-93% (h32) for
+// the *unoptimized* EFTA with per-step verification; softmax protection is
+// the largest single component.
+
+#include "bench_util.hpp"
+#include "core/efta.hpp"
+
+namespace fa = ftt::attention;
+namespace fc = ftt::core;
+
+namespace {
+
+void run_config(std::size_t heads, std::size_t dim) {
+  const auto m = bench::machine();
+  fc::EftaOptions opt;
+  opt.unified_verification = false;
+
+  std::printf("\nOverhead Breakdown (head=%zu, dim=%zu)\n", heads, dim);
+  std::printf("%-6s %10s | %9s %9s %9s | %9s\n", "seq", "e2e(ms)", "QK^T",
+              "softmax", "PV", "total");
+  for (const std::size_t seq : bench::kPaperSeqs) {
+    const auto shape = fa::paper_shape(seq, heads, dim);
+    const double base = m.seconds(fa::flash_attention_costs(shape));
+    const auto t = fc::efta_overhead_by_target(shape, opt);
+    // Marginal time of each protection target on top of the base kernel.
+    const auto marginal = [&](const ftt::sim::CostBreakdown& c) {
+      return m.seconds(fa::flash_attention_costs(shape) + c) - base;
+    };
+    const double qkt = marginal(t.qkt);
+    const double sm = marginal(t.softmax);
+    const double pv = marginal(t.pv);
+    const double total =
+        m.seconds(fa::flash_attention_costs(shape) + t.total()) - base;
+    std::printf("%-6s %10.3f | %8.1f%% %8.1f%% %8.1f%% | %8.1f%%\n",
+                bench::seq_label(seq).c_str(), base * 1e3, 100.0 * qkt / base,
+                100.0 * sm / base, 100.0 * pv / base, 100.0 * total / base);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 10 — EFTA fault-tolerance overhead breakdown");
+  bench::note("marginal modeled time per protection target over the");
+  bench::note("unprotected fused kernel (per-step verification EFTA)");
+  run_config(16, 64);
+  run_config(32, 128);
+  return 0;
+}

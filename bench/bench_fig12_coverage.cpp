@@ -1,0 +1,114 @@
+// Figure 12: (left) error coverage of the strided tensor checksum vs the
+// traditional element checksum under a bit-error-rate sweep; (right) fault
+// detection rate and false alarm rate of the strided ABFT vs the relative
+// error threshold.
+//
+// These are *measured* experiments: real fp16 GEMMs, real flips, real
+// checksum verification.  Paper shape: at BER 1e-7 the tensor checksum covers
+// ~92.5% of runs vs ~48% for the element checksum; the detection/false-alarm
+// curves cross at the calibrated threshold (0.48 in the paper's all-fp16
+// pipeline; lower here because our fp32-accumulate pipeline has ~100x smaller
+// intrinsic rounding residual — see EXPERIMENTS.md).
+
+#include <cmath>
+#include <vector>
+
+#include "abft/element_abft.hpp"
+#include "abft/strided_abft.hpp"
+#include "bench_util.hpp"
+#include "fault/fault.hpp"
+#include "sim/mma.hpp"
+
+namespace fb = ftt::abft;
+namespace ff = ftt::fault;
+namespace ft = ftt::tensor;
+
+namespace {
+
+constexpr std::size_t kM = 64, kN = 64, kD = 64;
+constexpr int kTrials = 400;
+
+struct Workload {
+  ft::MatrixH A{kM, kD}, B{kN, kD};
+  ft::MatrixF ref{kM, kN};
+  explicit Workload(std::uint64_t seed) {
+    ft::fill_normal(A, seed, 0.0f, 0.125f);
+    ft::fill_normal(B, seed + 1);
+    ftt::sim::gemm_fp16_nt(A, B, ref);
+  }
+};
+
+/// Coverage: fraction of fault-affected runs whose output ends up correct.
+void coverage_vs_ber() {
+  std::printf("\nABFT's Protection Ability (error coverage vs BER)\n");
+  std::printf("%-8s %10s %10s %18s %18s\n", "BER", "flips/run", "runs",
+              "tensor checksum", "element checksum");
+  // BER is per executed flop; each output element accumulates 2*D flops.
+  for (const double ber : {1e-8, 5e-8, 1e-7}) {
+    const double p_elem = ber * 2.0 * kD * 32.0;  // per-bit exposure
+    int affected = 0, ok_s = 0, ok_e = 0;
+    double flips = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      Workload w(9000 + t);
+      auto inj1 =
+          ff::FaultInjector::bernoulli(p_elem, 100 + t, {ff::Site::kGemm1});
+      ft::MatrixF C1(kM, kN);
+      fb::StridedAbft::gemm_nt(w.A, w.B, C1, 8, 0.02f, &inj1);
+      auto inj2 =
+          ff::FaultInjector::bernoulli(p_elem, 100 + t, {ff::Site::kGemm1});
+      ft::MatrixF C2(kM, kN);
+      fb::ElementAbft::gemm_nt(w.A, w.B, C2, 0.02f, &inj2);
+      if (inj1.injected() == 0) continue;
+      ++affected;
+      flips += static_cast<double>(inj1.injected());
+      if (ft::max_abs_diff(C1, w.ref) < 0.05f) ++ok_s;
+      if (ft::max_abs_diff(C2, w.ref) < 0.05f) ++ok_e;
+    }
+    std::printf("%-8.0e %10.2f %10d %17.1f%% %17.1f%%\n", ber,
+                flips / std::max(affected, 1), affected,
+                100.0 * ok_s / std::max(affected, 1),
+                100.0 * ok_e / std::max(affected, 1));
+  }
+  bench::note("paper at BER 1e-7: tensor 92.5%, element 48%");
+}
+
+/// Detection and false-alarm rates vs threshold for the strided checksum.
+void rates_vs_threshold() {
+  std::printf("\nFault Detection & False Alarm vs relative error threshold\n");
+  std::printf("%-10s %12s %12s\n", "threshold", "detection", "false-alarm");
+  const std::vector<float> thresholds{1e-4f, 5e-4f, 1e-3f, 2e-3f, 5e-3f,
+                                      1e-2f, 2e-2f, 5e-2f, 1e-1f, 2e-1f,
+                                      5e-1f};
+  for (const float thr : thresholds) {
+    int detected = 0, false_alarm = 0;
+    const int n = 200;
+    for (int t = 0; t < n; ++t) {
+      Workload w(12000 + t);
+      // Error-free run: any flag is a false alarm.
+      ft::MatrixF Cc(kM, kN);
+      const auto clean = fb::StridedAbft::gemm_nt(w.A, w.B, Cc, 8, thr, nullptr);
+      if (clean.flagged > 0) ++false_alarm;
+      // Single mid-magnitude flip (random mantissa-high/exponent-low bits).
+      const unsigned bit = 21 + static_cast<unsigned>(t % 8);
+      auto inj = ff::FaultInjector::single(
+          ff::Site::kGemm1, static_cast<std::uint64_t>((t * 131) % (kM * kN)),
+          bit);
+      ft::MatrixF C(kM, kN);
+      const auto rep = fb::StridedAbft::gemm_nt(w.A, w.B, C, 8, thr, &inj);
+      if (rep.flagged > 0) ++detected;
+    }
+    std::printf("%-10.0e %11.1f%% %11.1f%%\n", thr, 100.0 * detected / n,
+                100.0 * false_alarm / n);
+  }
+  bench::note("paper's optimum is 0.48 on an all-fp16 pipeline; this");
+  bench::note("fp32-accumulate pipeline calibrates to ~0.01-0.05");
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 12 — Strided ABFT error coverage & threshold study");
+  coverage_vs_ber();
+  rates_vs_threshold();
+  return 0;
+}

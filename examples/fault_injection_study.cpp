@@ -1,0 +1,74 @@
+// Fault-injection study: where do soft errors land, what catches them?
+//
+// Sweeps every compute site of the attention pipeline (GEMM I MACs, the
+// running max, EXP, the running sum, the rescale, GEMM II MACs, the checksum
+// pipeline itself) and several bit positions, reporting which mechanism of
+// the hybrid scheme absorbed each flip — a miniature of the paper's §3.4
+// case analysis.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/efta.hpp"
+#include "fault/fault.hpp"
+#include "tensor/random.hpp"
+
+using namespace ftt;
+
+namespace {
+
+float worst_rel(const tensor::Tensor4F& a, const tensor::Tensor4F& b) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = std::fabs(a.data()[i] - b.data()[i]);
+    if (std::isnan(d)) return 1e30f;
+    m = std::max(m, d / (std::fabs(b.data()[i]) + 0.1f));
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t seq = 256, dim = 64;
+  tensor::Tensor4H Q(1, 1, seq, dim), K(1, 1, seq, dim), V(1, 1, seq, dim);
+  tensor::fill_normal(Q, 21);
+  tensor::fill_normal(K, 22);
+  tensor::fill_normal(V, 23);
+
+  core::EftaOptions opt;
+  opt.unified_verification = true;
+  tensor::Tensor4F ref(1, 1, seq, dim);
+  core::efta_attention(Q, K, V, ref, opt);
+
+  std::printf("%-12s %5s %10s %10s %10s %8s %12s\n", "site", "bit", "flagged",
+              "corrected", "recomp", "range", "output-dev");
+  const fault::Site sites[] = {
+      fault::Site::kGemm1,     fault::Site::kReduceMax, fault::Site::kExp,
+      fault::Site::kReduceSum, fault::Site::kRescale,   fault::Site::kGemm2,
+      fault::Site::kChecksum};
+  int absorbed = 0, total = 0;
+  for (const auto site : sites) {
+    for (const unsigned bit : {21u, 27u, 30u, 31u}) {
+      auto inj = fault::FaultInjector::single(site, 500, bit);
+      tensor::Tensor4F O(1, 1, seq, dim);
+      const auto rep = core::efta_attention(Q, K, V, O, opt, &inj);
+      const float dev = worst_rel(O, ref);
+      ++total;
+      if (dev < 0.02f) ++absorbed;
+      std::printf("%-12s %5u %10zu %10zu %10zu %8zu %12.2e%s\n",
+                  fault::site_name(site), bit,
+                  rep.gemm1.flagged + rep.exp_check.flagged +
+                      rep.gemm2.flagged,
+                  rep.total_corrected(), rep.exp_check.recomputed,
+                  rep.range_corrections, dev,
+                  rep.faults_injected == 0 ? "  (site idle)" : "");
+    }
+  }
+  std::printf("\n%d/%d single-event upsets left the output within 2%% of the "
+              "fault-free run.\n", absorbed, total);
+  std::printf("Notes: reduce-max flips cancel algebraically (Case 1); small\n"
+              "mantissa flips may pass undetected by design — their impact\n"
+              "is bounded by the detection threshold (see Fig. 12/14).\n");
+  return 0;
+}

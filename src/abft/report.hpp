@@ -1,0 +1,33 @@
+#pragma once
+// Shared outcome record for every fault-tolerance verification pass.
+
+#include <cstddef>
+
+namespace ftt::abft {
+
+struct Report {
+  std::size_t checks = 0;             ///< checksum comparisons performed
+  std::size_t flagged = 0;            ///< comparisons exceeding the threshold
+  std::size_t corrected = 0;          ///< elements repaired via checksums
+  std::size_t recomputed = 0;         ///< repairs that fell back to recompute
+  std::size_t checksum_repairs = 0;   ///< flips located in the checksum path
+  std::size_t uncorrectable = 0;      ///< flagged but could not be located
+  std::size_t range_violations = 0;   ///< NVR range-check failures (Case 3)
+
+  [[nodiscard]] bool clean() const noexcept { return flagged == 0; }
+  [[nodiscard]] bool detected() const noexcept { return flagged > 0; }
+
+  Report& operator+=(const Report& o) noexcept {
+    checks += o.checks;
+    flagged += o.flagged;
+    corrected += o.corrected;
+    recomputed += o.recomputed;
+    checksum_repairs += o.checksum_repairs;
+    uncorrectable += o.uncorrectable;
+    range_violations += o.range_violations;
+    return *this;
+  }
+  friend Report operator+(Report a, const Report& b) noexcept { return a += b; }
+};
+
+}  // namespace ftt::abft

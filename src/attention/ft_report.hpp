@@ -1,0 +1,39 @@
+#pragma once
+// Aggregated fault-tolerance outcome of one protected attention call.
+
+#include <cstddef>
+
+#include "abft/report.hpp"
+
+namespace ftt::attention {
+
+struct FtReport {
+  abft::Report gemm1;         ///< QK^T ABFT verification
+  abft::Report exp_check;     ///< EXP / subtract-max checksum verification
+  abft::Report gemm2;         ///< PV (+rescale +normalize) verification
+  std::size_t dmr_recomputes = 0;    ///< extra softmax replicas (DMR mode)
+  std::size_t range_corrections = 0; ///< SNVR rowsum replacements (Case 3)
+  std::size_t faults_injected = 0;   ///< flips the injector actually placed
+
+  [[nodiscard]] std::size_t total_detected() const noexcept {
+    return gemm1.flagged + exp_check.flagged + gemm2.flagged +
+           range_corrections + dmr_recomputes;
+  }
+  [[nodiscard]] std::size_t total_corrected() const noexcept {
+    return gemm1.corrected + gemm1.checksum_repairs + exp_check.corrected +
+           exp_check.recomputed + exp_check.checksum_repairs +
+           gemm2.corrected + gemm2.checksum_repairs + range_corrections;
+  }
+
+  FtReport& operator+=(const FtReport& o) noexcept {
+    gemm1 += o.gemm1;
+    exp_check += o.exp_check;
+    gemm2 += o.gemm2;
+    dmr_recomputes += o.dmr_recomputes;
+    range_corrections += o.range_corrections;
+    faults_injected += o.faults_injected;
+    return *this;
+  }
+};
+
+}  // namespace ftt::attention

@@ -1,0 +1,176 @@
+#include "core/decode.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "abft/strided_abft.hpp"
+#include "sim/mma.hpp"
+#include "softmax/snvr.hpp"
+
+namespace ftt::core {
+
+using attention::FtReport;
+using numeric::Half;
+using tensor::MatrixF;
+using tensor::MatrixH;
+
+FtReport efta_decode_step(const MatrixH& k_cache, const MatrixH& v_cache,
+                          std::span<const Half> q, std::span<float> out,
+                          const EftaOptions& opt, fault::FaultInjector* inj) {
+  const std::size_t n = k_cache.rows(), d = k_cache.cols();
+  const std::size_t B = 64;
+  const int s = opt.stride;
+  const auto su = static_cast<std::size_t>(s);
+  if (n % B != 0 || q.size() != d || out.size() != d ||
+      v_cache.rows() != n || v_cache.cols() != d ||
+      d % su != 0) {
+    throw std::invalid_argument("efta_decode_step: shape mismatch");
+  }
+  const std::size_t nblk = n / B;
+  FtReport rep;
+
+  // Pre-scaled fp16 query (one MMA operand row).
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  MatrixH qh(1, d);
+  for (std::size_t c = 0; c < d; ++c) {
+    qh(0, c) = Half(q[c].to_float() * scale);
+  }
+
+  float m = -std::numeric_limits<float>::infinity();
+  float l = 0.0f;
+  std::vector<float> oacc(d, 0.0f);
+  MatrixF oc1(1, su, 0.0f), oc2(1, su, 0.0f);
+  std::vector<float> blockmax(nblk);
+
+  MatrixF S(1, B), schk1(1, su), schk2(1, su);
+  for (std::size_t j = 0; j < nblk; ++j) {
+    // Slice the KV tile.
+    MatrixH kj(B, d), vj(B, d);
+    for (std::size_t r = 0; r < B; ++r) {
+      for (std::size_t c = 0; c < d; ++c) {
+        kj(r, c) = k_cache(j * B + r, c);
+        vj(r, c) = v_cache(j * B + r, c);
+      }
+    }
+    const MatrixH kc1 = abft::StridedAbft::encode_rows_strided(kj, s, false, inj);
+    const MatrixH kc2 = abft::StridedAbft::encode_rows_strided(kj, s, true, inj);
+    const MatrixH vc1 = abft::StridedAbft::encode_cols_strided(vj, s, false, inj);
+    const MatrixH vc2 = abft::StridedAbft::encode_cols_strided(vj, s, true, inj);
+
+    sim::gemm_fp16_nt(qh, kj, S);
+    if (inj && inj->armed()) {
+      for (std::size_t c = 0; c < B; ++c) {
+        S(0, c) = inj->corrupt(fault::Site::kGemm1, S(0, c));
+      }
+    }
+    sim::gemm_fp16_nt(qh, kc1, schk1);
+    sim::gemm_fp16_nt(qh, kc2, schk2);
+    rep.gemm1 +=
+        abft::StridedAbft::verify_correct(S, schk1, schk2, s,
+                                          opt.abft_rel_threshold);
+
+    // Streaming softmax update for the single row.
+    float bmax = -std::numeric_limits<float>::infinity();
+    for (std::size_t c = 0; c < B; ++c) bmax = std::max(bmax, S(0, c));
+    bmax = fault::corrupt(inj, fault::Site::kReduceMax, bmax);
+    blockmax[j] = bmax;
+    const float mnew = std::max(m, bmax);
+
+    MatrixF spre = S;
+    float rowsum = 0.0f;
+    for (std::size_t c = 0; c < B; ++c) {
+      S(0, c) = fault::corrupt(inj, fault::Site::kExp,
+                               std::exp(S(0, c) - mnew));
+      rowsum += S(0, c);
+    }
+    // Case-2 product check on the decode row (log domain, double).
+    {
+      const std::size_t L = B / su;
+      for (std::size_t jc = 0; jc < su; ++jc) {
+        ++rep.exp_check.checks;
+        double lhs = 0.0;
+        bool bad = false;
+        for (std::size_t ll = 0; ll < L; ++ll) {
+          const float p = S(0, jc + ll * su);
+          if (!(p > 0.0f) || !std::isfinite(p)) {
+            bad = true;
+            break;
+          }
+          lhs += std::log(static_cast<double>(p));
+        }
+        const double rhs =
+            static_cast<double>(schk1(0, jc)) - static_cast<double>(L) * mnew;
+        if (bad || std::fabs(lhs - rhs) > opt.exp_log_threshold) {
+          ++rep.exp_check.flagged;
+          // Repair the scores via the linear checksum, then re-exponentiate.
+          abft::StridedAbft::verify_correct(spre, schk1, schk2, s,
+                                            opt.abft_rel_threshold);
+          rowsum = 0.0f;
+          for (std::size_t c = 0; c < B; ++c) {
+            S(0, c) = std::exp(spre(0, c) - mnew);
+          }
+          for (std::size_t c = 0; c < B; ++c) rowsum += S(0, c);
+          ++rep.exp_check.recomputed;
+          break;
+        }
+      }
+    }
+    rowsum = fault::corrupt(inj, fault::Site::kReduceSum, rowsum);
+
+    const float f = std::exp(m - mnew);
+    for (std::size_t c = 0; c < d; ++c) {
+      oacc[c] = fault::corrupt(inj, fault::Site::kRescale, f * oacc[c]);
+    }
+    for (std::size_t jc = 0; jc < su; ++jc) {
+      oc1(0, jc) *= f;
+      oc2(0, jc) *= f;
+    }
+    l = f * l + rowsum;
+    m = mnew;
+
+    // GEMM II (1 x B times B x d) + checksums.
+    for (std::size_t c = 0; c < d; ++c) {
+      float acc = 0.0f;
+      for (std::size_t r = 0; r < B; ++r) {
+        acc += numeric::round_to_half(S(0, r)) * vj(r, c).to_float();
+      }
+      oacc[c] = fault::corrupt(inj, fault::Site::kGemm2, oacc[c] + acc);
+    }
+    for (std::size_t jc = 0; jc < su; ++jc) {
+      float a1 = 0.0f, a2 = 0.0f;
+      for (std::size_t r = 0; r < B; ++r) {
+        const float p = numeric::round_to_half(S(0, r));
+        a1 += p * vc1(r, jc).to_float();
+        a2 += p * vc2(r, jc).to_float();
+      }
+      oc1(0, jc) += a1;
+      oc2(0, jc) += a2;
+    }
+  }
+
+  // SNVR range restriction of the single rowsum.
+  const auto res = softmax::snvr_check_rowsum(
+      l, std::span<const float>(blockmax.data(), nblk), m, n, opt.snvr_slack);
+  if (res.violated) {
+    l = res.corrected_value;
+    ++rep.range_corrections;
+  }
+
+  // Normalize + final unified O verification.
+  MatrixF ofin(1, d);
+  const float inv = 1.0f / l;
+  for (std::size_t c = 0; c < d; ++c) ofin(0, c) = oacc[c] * inv;
+  for (std::size_t jc = 0; jc < su; ++jc) {
+    oc1(0, jc) *= inv;
+    oc2(0, jc) *= inv;
+  }
+  rep.gemm2 += abft::StridedAbft::verify_correct(ofin, oc1, oc2, s,
+                                                 opt.abft_rel_threshold);
+  for (std::size_t c = 0; c < d; ++c) out[c] = ofin(0, c);
+  if (inj) rep.faults_injected = inj->injected();
+  return rep;
+}
+
+}  // namespace ftt::core

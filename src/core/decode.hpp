@@ -1,0 +1,30 @@
+#pragma once
+// Protected single-token decode: the autoregressive inference step the
+// paper's introduction motivates ("generating a single token in GPT-4
+// requires 560 GFLOPs and billions of tokens are produced each day").
+//
+// One new query row attends over the cached K/V of the context.  The same
+// hybrid scheme applies, specialized to a 1 x n score row: strided tensor
+// checksums per 64-row KV tile protect q·K^T, the checksum is reused through
+// subtract-max + EXP (log-domain product check), the rowsum is range
+// restricted, and the 1 x d output carries V column checksums through the
+// final normalization.
+
+#include <span>
+
+#include "attention/ft_report.hpp"
+#include "core/efta.hpp"
+
+namespace ftt::core {
+
+/// One protected decode step for a single head.
+/// `k_cache`/`v_cache`: n x d fp16 (n a multiple of 64); `q`: d fp16 values;
+/// `out`: d floats.  Scaling by 1/sqrt(d) is applied internally.
+attention::FtReport efta_decode_step(const tensor::MatrixH& k_cache,
+                                     const tensor::MatrixH& v_cache,
+                                     std::span<const numeric::Half> q,
+                                     std::span<float> out,
+                                     const EftaOptions& opt = {},
+                                     fault::FaultInjector* inj = nullptr);
+
+}  // namespace ftt::core

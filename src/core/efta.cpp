@@ -1,0 +1,637 @@
+#include "core/efta.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include <omp.h>
+
+#include "abft/element_abft.hpp"
+#include "abft/strided_abft.hpp"
+#include "numeric/fp16.hpp"
+#include "sim/mma.hpp"
+#include "softmax/snvr.hpp"
+
+namespace ftt::core {
+
+using attention::AttnShape;
+using attention::FtReport;
+using numeric::Half;
+using tensor::MatrixF;
+using tensor::MatrixH;
+using tensor::Tensor4F;
+using tensor::Tensor4H;
+
+namespace {
+
+constexpr float kRelEps = 1e-6f;
+
+MatrixH load_slice(const Tensor4H& T, std::size_t b, std::size_t h,
+                   float scale = 1.0f) {
+  MatrixH m(T.seq(), T.dim());
+  const auto src = T.slice(b, h);
+  if (scale == 1.0f) {
+    for (std::size_t i = 0; i < src.size(); ++i) m.data()[i] = src[i];
+  } else {
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      m.data()[i] = Half(src[i].to_float() * scale);
+    }
+  }
+  return m;
+}
+
+MatrixH row_block(const MatrixH& X, std::size_t r0, std::size_t rows) {
+  MatrixH out(rows, X.cols());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < X.cols(); ++c) out(r, c) = X(r0 + r, c);
+  }
+  return out;
+}
+
+bool near_integer(double x, double tol = 0.05) {
+  return std::fabs(x - std::round(x)) < tol;
+}
+
+/// Case-2 verification with the unified checksum (Algorithm 1 lines 12-16):
+/// the linear checksum Schk1/Schk2 of GEMM I, transformed by the same
+/// subtract-max, witnesses the EXP output multiplicatively:
+///     prod_l P[r][jc+s*l]  ==  exp(Schk1[r][jc] - L * m_r).
+/// Evaluated in the log domain (double) to avoid fp32 underflow of 8-term
+/// products; the log-residual of the weighted checksum locates the column.
+/// `Spre` is the register-resident pre-EXP score block used for recovery:
+/// checksum-correctable flips repair Spre then re-exponentiate, EXP-unit
+/// flips are recomputed from Spre.
+abft::Report verify_exp_block(MatrixF& P, MatrixF& Spre, const MatrixF& Schk1,
+                              const MatrixF& Schk2,
+                              const std::vector<float>& mnew, int s,
+                              float exp_log_threshold) {
+  abft::Report rep;
+  const std::size_t R = P.rows(), C = P.cols();
+  const std::size_t L = C / static_cast<std::size_t>(s);
+  const double w2sum = static_cast<double>(L) * (L + 1) / 2.0;
+
+  for (std::size_t r = 0; r < R; ++r) {
+    const double m = mnew[r];
+    for (std::size_t jc = 0; jc < static_cast<std::size_t>(s); ++jc) {
+      ++rep.checks;
+      bool bad_value = false;
+      double lhs1 = 0.0, lhs2 = 0.0;
+      for (std::size_t l = 0; l < L; ++l) {
+        const float p = P(r, jc + l * s);
+        if (!(p > 0.0f) || !std::isfinite(p)) {
+          bad_value = true;
+          break;
+        }
+        const double lg = std::log(static_cast<double>(p));
+        lhs1 += lg;
+        lhs2 += static_cast<double>(l + 1) * lg;
+      }
+      if (bad_value) {
+        // exp output must be a positive finite value: a sign/exponent flip
+        // in the EXP unit — or a non-finite score that propagated through.
+        ++rep.flagged;
+        // Repair a non-finite score first (linear reconstruction).
+        std::size_t bad = L, bad_count = 0;
+        float others = 0.0f;
+        for (std::size_t l = 0; l < L; ++l) {
+          const float sv = Spre(r, jc + l * s);
+          if (!std::isfinite(sv)) {
+            bad = l;
+            ++bad_count;
+          } else {
+            others += sv;
+          }
+        }
+        if (bad_count == 1 && std::isfinite(Schk1(r, jc))) {
+          Spre(r, jc + bad * s) = Schk1(r, jc) - others;
+          ++rep.corrected;
+        }
+        for (std::size_t l = 0; l < L; ++l) {
+          P(r, jc + l * s) = std::exp(Spre(r, jc + l * s) - mnew[r]);
+        }
+        ++rep.recomputed;
+        continue;
+      }
+
+      const double rhs1 = static_cast<double>(Schk1(r, jc)) -
+                          static_cast<double>(L) * m;
+      // The log-domain residual equals the score-space perturbation, so an
+      // absolute threshold directly bounds the undetected error magnitude.
+      const double d1 = lhs1 - rhs1;
+      if (std::fabs(d1) <= exp_log_threshold) {
+        continue;
+      }
+      ++rep.flagged;
+
+      const double rhs2 =
+          static_cast<double>(Schk2(r, jc)) - w2sum * m;
+      const double d2 = lhs2 - rhs2;
+      const double ratio = d2 / d1;  // = l* + 1 for one corrupted element
+      const double lstar = ratio - 1.0;
+
+      if (std::isfinite(lstar) && near_integer(lstar, 0.1) && lstar >= -0.5 &&
+          lstar < static_cast<double>(L) - 0.5) {
+        const auto l = static_cast<std::size_t>(std::lround(lstar));
+        const std::size_t col = jc + l * s;
+        // Was the flip in the linear path (GEMM I / subtract) or in EXP?
+        float sum1 = 0.0f;
+        for (std::size_t ll = 0; ll < L; ++ll) sum1 += Spre(r, jc + ll * s);
+        const float dlin = Schk1(r, jc) - sum1;
+        if (std::fabs(dlin) > 0.5f * std::fabs(static_cast<float>(d1))) {
+          // Linear error: reconstruct the score from the checksum (exact
+          // even for huge corruptions), then re-exponentiate.
+          float others = 0.0f;
+          for (std::size_t ll = 0; ll < L; ++ll) {
+            if (ll != l) others += Spre(r, jc + ll * s);
+          }
+          Spre(r, col) = Schk1(r, jc) - others;
+          P(r, col) = std::exp(Spre(r, col) - mnew[r]);
+          ++rep.corrected;
+        } else {
+          // EXP-unit error: recompute from the intact score.
+          P(r, col) = std::exp(Spre(r, col) - mnew[r]);
+          ++rep.recomputed;
+        }
+      } else if (std::isfinite(ratio) && std::fabs(ratio) < 0.5) {
+        // c2 residual ~0, c1 residual large: the c1 checksum itself flipped.
+        ++rep.checksum_repairs;
+      } else {
+        // Cannot locate (multi-error in a residue class or weighted-checksum
+        // flip): recompute the class; if the linear sums still disagree the
+        // scores themselves are unrecoverable.
+        float sum1 = 0.0f;
+        for (std::size_t ll = 0; ll < L; ++ll) sum1 += Spre(r, jc + ll * s);
+        const float dlin = Schk1(r, jc) - sum1;
+        for (std::size_t ll = 0; ll < L; ++ll) {
+          P(r, jc + ll * s) = std::exp(Spre(r, jc + ll * s) - mnew[r]);
+        }
+        if (std::fabs(dlin) > exp_log_threshold) {
+          ++rep.uncorrectable;
+        } else {
+          ++rep.recomputed;
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+/// DMR replication of the EXP stage (Eq. 10): evaluate twice through the
+/// fault hooks, retry until two consecutive evaluations agree.
+std::size_t dmr_exp_block(MatrixF& S, const std::vector<float>& mnew,
+                          float eps, fault::FaultInjector* inj,
+                          std::size_t max_rounds = 4) {
+  const std::size_t R = S.rows(), C = S.cols();
+  auto eval = [&](MatrixF& dst) {
+    for (std::size_t r = 0; r < R; ++r) {
+      for (std::size_t c = 0; c < C; ++c) {
+        dst(r, c) =
+            fault::corrupt(inj, fault::Site::kExp, std::exp(S(r, c) - mnew[r]));
+      }
+    }
+  };
+  MatrixF a(R, C), b(R, C);
+  eval(a);
+  std::size_t recomputes = 0;
+  for (std::size_t round = 1; round < max_rounds; ++round) {
+    eval(b);
+    ++recomputes;
+    float diff = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      diff = std::max(diff, std::fabs(a.data()[i] - b.data()[i]));
+    }
+    if (diff < eps) {
+      S = b;
+      return recomputes - 1;  // agreement on the first re-evaluation is free
+    }
+    std::swap(a, b);
+  }
+  S = a;
+  return recomputes;
+}
+
+FtReport efta_slice(const MatrixH& q, const MatrixH& k, const MatrixH& v,
+                    Tensor4F& O, std::size_t bb, std::size_t hh,
+                    const EftaOptions& opt, fault::FaultInjector* inj) {
+  FtReport rep;
+  const std::size_t seq = q.rows(), dim = q.cols();
+  const std::size_t B = std::min(opt.block, seq);
+  const std::size_t nblk = seq / B;
+  const int s = opt.stride;
+  const bool strided = opt.gemm == GemmProtect::kStrided;
+  const bool element = opt.gemm == GemmProtect::kElement;
+  const bool snvr = opt.softmax == SoftmaxProtect::kSNVR;
+  const auto su = static_cast<std::size_t>(s);
+
+  for (std::size_t i = 0; i < nblk; ++i) {
+    const std::size_t r0 = i * B;
+    const MatrixH qi = row_block(q, r0, B);
+
+    std::vector<float> m(B, -std::numeric_limits<float>::infinity());
+    std::vector<float> mnew(B);
+    std::vector<float> l(B, 0.0f);
+    MatrixF oacc(B, dim, 0.0f);
+    MatrixF oc1(B, su, 0.0f), oc2(B, su, 0.0f);
+    MatrixF blockmax(B, nblk);  // per-row history of block maxima (SNVR)
+
+    std::size_t processed = 0;
+    for (std::size_t j = 0; j < nblk; ++j) {
+      const std::size_t c0 = j * B;
+      if (opt.causal && c0 > r0 + B - 1) break;  // strictly above the diagonal
+      const bool diagonal = opt.causal && j == i;
+      ++processed;
+      const MatrixH kj = row_block(k, c0, B);
+      const MatrixH vj = row_block(v, c0, B);
+
+      // ---- CCG + GEMM I (+ immediate verify in non-unified mode) ----
+      MatrixF S(B, B);
+      MatrixF schk1(B, su), schk2(B, su);
+      MatrixH vc1, vc2;
+      if (strided) {
+        const MatrixH kc1 =
+            abft::StridedAbft::encode_rows_strided(kj, s, false, inj);
+        const MatrixH kc2 =
+            abft::StridedAbft::encode_rows_strided(kj, s, true, inj);
+        vc1 = abft::StridedAbft::encode_cols_strided(vj, s, false, inj);
+        vc2 = abft::StridedAbft::encode_cols_strided(vj, s, true, inj);
+
+        sim::gemm_fp16_nt(qi, kj, S);
+        if (inj && inj->armed()) {
+          for (std::size_t r = 0; r < B; ++r) {
+            for (std::size_t c = 0; c < B; ++c) {
+              S(r, c) = inj->corrupt(fault::Site::kGemm1, S(r, c));
+            }
+          }
+        }
+        sim::gemm_fp16_nt(qi, kc1, schk1);
+        sim::gemm_fp16_nt(qi, kc2, schk2);
+        if (inj && inj->armed()) {
+          for (std::size_t r = 0; r < B; ++r) {
+            for (std::size_t c = 0; c < su; ++c) {
+              schk1(r, c) = inj->corrupt(fault::Site::kChecksum, schk1(r, c));
+              schk2(r, c) = inj->corrupt(fault::Site::kChecksum, schk2(r, c));
+            }
+          }
+        }
+        if (!opt.unified_verification || diagonal) {
+          // The causal mask destroys the checksum relation on the diagonal
+          // block, so that block is always verified pre-mask.
+          rep.gemm1 += abft::StridedAbft::verify_correct(
+              S, schk1, schk2, s, opt.abft_rel_threshold);
+        } else {
+          // NVR on the scores: a non-finite or absurd score would poison the
+          // running max and underflow the whole row before the deferred
+          // EXP check could see it.  Range violations trigger an immediate
+          // checksum repair (scores from post-layernorm fp16 inputs are
+          // bounded far below score_bound).
+          bool out_of_range = false;
+          for (std::size_t r = 0; r < B && !out_of_range; ++r) {
+            for (std::size_t c = 0; c < B; ++c) {
+              const float v = S(r, c);
+              if (!std::isfinite(v) || std::fabs(v) > opt.score_bound) {
+                out_of_range = true;
+                break;
+              }
+            }
+          }
+          if (out_of_range) {
+            rep.gemm1 += abft::StridedAbft::verify_correct(
+                S, schk1, schk2, s, opt.abft_rel_threshold);
+          }
+        }
+      } else if (element) {
+        rep.gemm1 += abft::ElementAbft::gemm_nt(
+            qi, kj, S, opt.abft_rel_threshold, inj, fault::Site::kGemm1);
+      } else {
+        sim::gemm_fp16_nt(qi, kj, S);
+        if (inj && inj->armed()) {
+          for (std::size_t r = 0; r < B; ++r) {
+            for (std::size_t c = 0; c < B; ++c) {
+              S(r, c) = inj->corrupt(fault::Site::kGemm1, S(r, c));
+            }
+          }
+        }
+      }
+
+      if (diagonal) {
+        for (std::size_t r = 0; r < B; ++r) {
+          for (std::size_t c = 0; c < B; ++c) {
+            if (c0 + c > r0 + r) {
+              S(r, c) = -std::numeric_limits<float>::infinity();
+            }
+          }
+        }
+      }
+
+      // ---- reduce-max (Case 1: errors cancel through the rescale) ----
+      for (std::size_t r = 0; r < B; ++r) {
+        float bmax = -std::numeric_limits<float>::infinity();
+        for (std::size_t c = 0; c < B; ++c) bmax = std::max(bmax, S(r, c));
+        bmax = fault::corrupt(inj, fault::Site::kReduceMax, bmax);
+        blockmax(r, j) = bmax;
+        mnew[r] = std::max(m[r], bmax);
+      }
+
+      // ---- EXP (with SNVR checksum reuse or DMR replication) ----
+      MatrixF spre;
+      const bool keep_spre = strided && snvr && !diagonal;
+      if (keep_spre) spre = S;
+
+      if (opt.softmax == SoftmaxProtect::kDMR) {
+        rep.dmr_recomputes += dmr_exp_block(S, mnew, opt.dmr_eps, inj);
+      } else {
+        for (std::size_t r = 0; r < B; ++r) {
+          for (std::size_t c = 0; c < B; ++c) {
+            S(r, c) = fault::corrupt(inj, fault::Site::kExp,
+                                     std::exp(S(r, c) - mnew[r]));
+          }
+        }
+      }
+      if (keep_spre) {
+        rep.exp_check += verify_exp_block(S, spre, schk1, schk2, mnew, s,
+                                          opt.exp_log_threshold);
+      }
+
+      // ---- rescale + reduce-sum ----
+      std::vector<float> f(B);
+      for (std::size_t r = 0; r < B; ++r) {
+        f[r] = std::exp(m[r] - mnew[r]);  // exp(-inf) == 0 on first block
+        for (std::size_t c = 0; c < dim; ++c) {
+          oacc(r, c) = fault::corrupt(inj, fault::Site::kRescale,
+                                      f[r] * oacc(r, c));
+        }
+        if (strided) {
+          for (std::size_t jc = 0; jc < su; ++jc) {
+            oc1(r, jc) = fault::corrupt(inj, fault::Site::kChecksum,
+                                        f[r] * oc1(r, jc));
+            oc2(r, jc) = fault::corrupt(inj, fault::Site::kChecksum,
+                                        f[r] * oc2(r, jc));
+          }
+        }
+        float rowsum = 0.0f;
+        for (std::size_t c = 0; c < B; ++c) rowsum += S(r, c);
+        rowsum = fault::corrupt(inj, fault::Site::kReduceSum, rowsum);
+        l[r] = f[r] * l[r] + rowsum;
+        m[r] = mnew[r];
+      }
+
+      // ---- GEMM II ----
+      if (element) {
+        // Classic checksums cannot ride the per-row rescale, so traditional
+        // ABFT must verify each product P_ij V_j before accumulation.
+        MatrixF t(B, dim);
+        MatrixF p_chk(2, B);
+        for (std::size_t kk = 0; kk < B; ++kk) {
+          float s1 = 0.0f, s2 = 0.0f;
+          for (std::size_t r = 0; r < B; ++r) {
+            const float pv = numeric::round_to_half(S(r, kk));
+            s1 += pv;
+            s2 += static_cast<float>(r + 1) * pv;
+          }
+          p_chk(0, kk) = fault::corrupt(inj, fault::Site::kChecksum, s1);
+          p_chk(1, kk) = fault::corrupt(inj, fault::Site::kChecksum, s2);
+        }
+        sim::gemm_f32h_nn(S, vj, t);
+        if (inj && inj->armed()) {
+          for (std::size_t r = 0; r < B; ++r) {
+            for (std::size_t c = 0; c < dim; ++c) {
+              t(r, c) = inj->corrupt(fault::Site::kGemm2, t(r, c));
+            }
+          }
+        }
+        MatrixF col_chk(2, dim);
+        sim::gemm_f32h_nn(p_chk, vj, col_chk);
+        rep.gemm2 += abft::ElementAbft::verify_correct(t, col_chk,
+                                                       opt.abft_rel_threshold);
+        for (std::size_t r = 0; r < B; ++r) {
+          for (std::size_t c = 0; c < dim; ++c) oacc(r, c) += t(r, c);
+        }
+      } else {
+        sim::gemm_f32h_nn(S, vj, oacc, /*accumulate=*/true);
+        if (inj && inj->armed()) {
+          for (std::size_t r = 0; r < B; ++r) {
+            for (std::size_t c = 0; c < dim; ++c) {
+              oacc(r, c) = inj->corrupt(fault::Site::kGemm2, oacc(r, c));
+            }
+          }
+        }
+        if (strided) {
+          sim::gemm_f32h_nn(S, vc1, oc1, /*accumulate=*/true);
+          sim::gemm_f32h_nn(S, vc2, oc2, /*accumulate=*/true);
+          if (inj && inj->armed()) {
+            for (std::size_t r = 0; r < B; ++r) {
+              for (std::size_t jc = 0; jc < su; ++jc) {
+                oc1(r, jc) = inj->corrupt(fault::Site::kChecksum, oc1(r, jc));
+                oc2(r, jc) = inj->corrupt(fault::Site::kChecksum, oc2(r, jc));
+              }
+            }
+          }
+          if (!opt.unified_verification) {
+            rep.gemm2 += abft::StridedAbft::verify_correct(
+                oacc, oc1, oc2, s, opt.abft_rel_threshold);
+          }
+        }
+      }
+
+      // ---- per-iteration SNVR range check (non-unified mode) ----
+      if (snvr && !opt.unified_verification) {
+        for (std::size_t r = 0; r < B; ++r) {
+          const auto hist = std::span<const float>(&blockmax(r, 0), j + 1);
+          const std::size_t visible =
+              opt.causal ? std::min((j + 1) * B, r0 + r + 1) : (j + 1) * B;
+          const auto res = softmax::snvr_check_rowsum(
+              l[r], hist, m[r], visible, opt.snvr_slack);
+          if (res.violated) {
+            l[r] = res.corrected_value;
+            ++rep.range_corrections;
+          }
+        }
+      }
+    }  // j loop
+
+    // ---- final SNVR range restriction (Algorithm 1 lines 22-24) ----
+    if (snvr && opt.unified_verification) {
+      for (std::size_t r = 0; r < B; ++r) {
+        const auto hist = std::span<const float>(&blockmax(r, 0), processed);
+        const std::size_t visible = opt.causal ? (r0 + r + 1) : seq;
+        const auto res = softmax::snvr_check_rowsum(l[r], hist, m[r], visible,
+                                                    opt.snvr_slack);
+        if (res.violated) {
+          l[r] = res.corrected_value;
+          ++rep.range_corrections;
+        }
+      }
+    }
+
+    // ---- normalization (rides the O checksum) ----
+    for (std::size_t r = 0; r < B; ++r) {
+      const float inv = 1.0f / l[r];
+      for (std::size_t c = 0; c < dim; ++c) {
+        oacc(r, c) =
+            fault::corrupt(inj, fault::Site::kRescale, oacc(r, c) * inv);
+      }
+      if (strided) {
+        for (std::size_t jc = 0; jc < su; ++jc) {
+          oc1(r, jc) *= inv;
+          oc2(r, jc) *= inv;
+        }
+      }
+    }
+
+    // ---- final unified verification of GEMM II + rescale + normalize ----
+    if (strided) {
+      rep.gemm2 += abft::StridedAbft::verify_correct(oacc, oc1, oc2, s,
+                                                     opt.abft_rel_threshold);
+    }
+
+    for (std::size_t r = 0; r < B; ++r) {
+      for (std::size_t c = 0; c < dim; ++c) {
+        O.at(bb, hh, r0 + r, c) = oacc(r, c);
+      }
+    }
+  }  // i loop
+  return rep;
+}
+
+}  // namespace
+
+FtReport efta_attention(const Tensor4H& Q, const Tensor4H& K,
+                        const Tensor4H& V, Tensor4F& O, const EftaOptions& opt,
+                        fault::FaultInjector* inj) {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(Q.dim()));
+  const std::size_t slices = Q.batch() * Q.heads();
+  const std::size_t B = std::min(opt.block, Q.seq());
+  if (Q.seq() % B != 0 || B % static_cast<std::size_t>(opt.stride) != 0 ||
+      Q.dim() % static_cast<std::size_t>(opt.stride) != 0) {
+    throw std::invalid_argument(
+        "efta_attention: seq must be a multiple of block, and block/dim "
+        "multiples of the checksum stride");
+  }
+  FtReport total;
+
+  if (inj && inj->armed()) {
+    for (std::size_t sl = 0; sl < slices; ++sl) {
+      const std::size_t b = sl / Q.heads(), h = sl % Q.heads();
+      total += efta_slice(load_slice(Q, b, h, scale), load_slice(K, b, h),
+                          load_slice(V, b, h), O, b, h, opt, inj);
+    }
+    total.faults_injected = inj->injected();
+    return total;
+  }
+
+#pragma omp parallel
+  {
+    FtReport local;
+#pragma omp for schedule(dynamic) nowait
+    for (std::size_t sl = 0; sl < slices; ++sl) {
+      const std::size_t b = sl / Q.heads(), h = sl % Q.heads();
+      local += efta_slice(load_slice(Q, b, h, scale), load_slice(K, b, h),
+                          load_slice(V, b, h), O, b, h, opt, nullptr);
+    }
+#pragma omp critical
+    total += local;
+  }
+  return total;
+}
+
+EftaOverheadByTarget efta_overhead_by_target(const AttnShape& shape,
+                                             const EftaOptions& opt) {
+  EftaOverheadByTarget t;
+  const double S = static_cast<double>(shape.seq);
+  const double D = static_cast<double>(shape.dim);
+  const double B = static_cast<double>(std::min(opt.block, shape.seq));
+  const double s = opt.stride;
+  const double slices = static_cast<double>(shape.slices());
+  const double nblk = S / B;
+  const double pairs = nblk * nblk;
+
+  if (opt.gemm == GemmProtect::kStrided) {
+    // --- QK^T protection ---
+    // K c1/c2 encode (strided row sums, intra-thread).
+    t.qkt[sim::Phase::kChecksumGen].fp32_flops = slices * pairs * 4.0 * B * D;
+    // S checksum GEMM: two s-wide virtual-row blocks.
+    t.qkt[sim::Phase::kGemm].tc_flops = slices * pairs * 4.0 * B * s * D;
+    if (!opt.unified_verification) {
+      // Per-iteration linear S verification (one sync point per tile pass).
+      t.qkt[sim::Phase::kVerify].fp32_flops =
+          slices * pairs * (2.0 * B * B + B * s);
+      t.qkt[sim::Phase::kVerify].syncs = slices * pairs;
+    }
+
+    // --- PV (+rescale +normalize) protection ---
+    t.pv[sim::Phase::kChecksumGen].fp32_flops = slices * pairs * 4.0 * B * D;
+    t.pv[sim::Phase::kGemm].tc_flops = slices * pairs * 4.0 * B * s * B;
+    t.pv[sim::Phase::kRescale].fp32_flops = slices * pairs * 2.0 * B * s;
+    if (!opt.unified_verification) {
+      t.pv[sim::Phase::kVerify].fp32_flops =
+          slices * pairs * (2.0 * B * D + B * s);
+      t.pv[sim::Phase::kVerify].syncs = slices * pairs;
+    }
+    // Final O verification once per row block (both modes).
+    t.pv[sim::Phase::kVerify].fp32_flops +=
+        slices * nblk * (2.0 * B * D + B * s);
+    t.pv[sim::Phase::kVerify].syncs += slices * nblk;
+  } else if (opt.gemm == GemmProtect::kElement) {
+    // Traditional element checksums: cross-thread sums charged as shuffles.
+    auto& g1 = t.qkt[sim::Phase::kChecksumGen];
+    g1.fp32_flops = slices * pairs * 4.0 * B * D;
+    g1.shuffles = slices * pairs * 2.0 * B * D;
+    t.qkt[sim::Phase::kGemm].tc_flops = slices * pairs * 4.0 * D * B;
+    t.qkt[sim::Phase::kVerify].fp32_flops = slices * pairs * 4.0 * B * B;
+    t.qkt[sim::Phase::kVerify].shuffles = slices * pairs * 2.0 * B * B;
+    t.qkt[sim::Phase::kVerify].syncs = slices * pairs;
+
+    auto& g2 = t.pv[sim::Phase::kChecksumGen];
+    g2.fp32_flops = slices * pairs * 4.0 * B * B;
+    g2.shuffles = slices * pairs * 2.0 * B * B;
+    t.pv[sim::Phase::kGemm].tc_flops = slices * pairs * 4.0 * B * D;
+    t.pv[sim::Phase::kVerify].fp32_flops = slices * pairs * 4.0 * B * D;
+    t.pv[sim::Phase::kVerify].shuffles = slices * pairs * 2.0 * B * D;
+    t.pv[sim::Phase::kVerify].syncs = slices * pairs;
+  }
+
+  // --- softmax protection ---
+  if (opt.softmax == SoftmaxProtect::kDMR) {
+    auto& d = t.softmax[sim::Phase::kDmr];
+    d.sfu_ops = slices * pairs * B * B;           // replica EXP
+    d.fp32_flops = slices * pairs * 4.0 * B * B;  // replica adds + compare
+    d.syncs = slices * pairs;                     // the agreement check
+  } else if (opt.softmax == SoftmaxProtect::kSNVR) {
+    auto& v = t.softmax[sim::Phase::kVerify];
+    if (opt.gemm == GemmProtect::kStrided) {
+      // Case-2 checksum-reuse product check, per iteration in both modes
+      // (P is consumed in place): one multiply per element to form the
+      // residue-class products, one exp per class for the checksum side,
+      // and s compares per row.  This is what makes SNVR far cheaper than
+      // DMR's full EXP replica.  (The host implementation evaluates the
+      // same relation in the log domain for numerical robustness; the op
+      // count modeled here is the paper's product scheme.)
+      v.fp32_flops += slices * pairs * (B * B + 2.0 * B * s);
+      v.sfu_ops += slices * pairs * B * s;
+      v.syncs += slices * pairs;
+    }
+    // Case-3 range restriction.
+    if (!opt.unified_verification) {
+      // "CCV and NVR are performed simultaneously" — the per-iteration range
+      // check shares the product check's sync point, so it adds flops only.
+      v.fp32_flops += slices * pairs * B;
+      v.sfu_ops += slices * pairs * B;  // incremental lower bound
+    }
+    v.sfu_ops += slices * S * nblk;  // final bound: exp over max history
+    v.fp32_flops += slices * 2.0 * S;
+  }
+  return t;
+}
+
+sim::CostBreakdown efta_protection_costs(const AttnShape& shape,
+                                         const EftaOptions& opt) {
+  return efta_overhead_by_target(shape, opt).total();
+}
+
+sim::CostBreakdown efta_costs(const AttnShape& shape, const EftaOptions& opt) {
+  return attention::flash_attention_costs(shape, opt.block) +
+         efta_protection_costs(shape, opt);
+}
+
+}  // namespace ftt::core

@@ -1,0 +1,68 @@
+#pragma once
+// SEU campaign runner: sweep (site, call offset, bit) grids over any
+// fault-injectable computation and aggregate detection/correction/impact
+// statistics.  Used by the coverage benches, the examples and the
+// statistical tests.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/fault.hpp"
+
+namespace ftt::fault {
+
+struct CampaignConfig {
+  std::vector<Site> sites;
+  std::vector<std::uint64_t> call_offsets;
+  std::vector<unsigned> bits;
+  /// Output deviation (caller-defined metric) below which a run counts as
+  /// absorbed.
+  float absorbed_threshold = 0.02f;
+};
+
+struct CampaignStats {
+  std::size_t runs = 0;
+  std::size_t injected = 0;   ///< runs where the flip actually landed
+  std::size_t absorbed = 0;   ///< injected runs within the threshold
+  std::size_t detected = 0;   ///< injected runs where something was flagged
+  float worst_deviation = 0.0f;
+
+  [[nodiscard]] double absorption_rate() const noexcept {
+    return injected ? static_cast<double>(absorbed) / injected : 1.0;
+  }
+  [[nodiscard]] double detection_rate() const noexcept {
+    return injected ? static_cast<double>(detected) / injected : 1.0;
+  }
+};
+
+/// One campaign trial: the runner invokes `run(injector)` for every grid
+/// point; `run` executes the protected computation and returns
+/// {deviation-from-clean, something-was-flagged}.
+struct TrialResult {
+  float deviation = 0.0f;
+  bool flagged = false;
+};
+
+inline CampaignStats run_campaign(
+    const CampaignConfig& cfg,
+    const std::function<TrialResult(FaultInjector&)>& run) {
+  CampaignStats stats;
+  for (const Site site : cfg.sites) {
+    for (const std::uint64_t call : cfg.call_offsets) {
+      for (const unsigned bit : cfg.bits) {
+        FaultInjector inj = FaultInjector::single(site, call, bit);
+        const TrialResult r = run(inj);
+        ++stats.runs;
+        if (inj.injected() == 0) continue;
+        ++stats.injected;
+        if (r.flagged) ++stats.detected;
+        if (r.deviation < cfg.absorbed_threshold) ++stats.absorbed;
+        stats.worst_deviation = std::max(stats.worst_deviation, r.deviation);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace ftt::fault

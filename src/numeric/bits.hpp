@@ -1,0 +1,42 @@
+#pragma once
+// Bit-level fault primitives.
+//
+// Soft errors under the paper's fault model are single-event upsets: one bit
+// of a datum held in a compute unit flips.  These helpers apply such flips to
+// fp32 and fp16 payloads; fault::FaultInjector decides *where* and *when*.
+
+#include <cstdint>
+#include <cstring>
+
+namespace ftt::numeric {
+
+/// Flip bit `bit` (0 = LSB of the mantissa, 31 = sign) of a binary32 value.
+inline float flip_bit_f32(float v, unsigned bit) noexcept {
+  std::uint32_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  u ^= (1u << (bit & 31u));
+  float out;
+  std::memcpy(&out, &u, sizeof(out));
+  return out;
+}
+
+/// Flip bit `bit` (0..15) of a binary16 bit pattern.
+inline std::uint16_t flip_bit_f16(std::uint16_t v, unsigned bit) noexcept {
+  return static_cast<std::uint16_t>(v ^ (1u << (bit & 15u)));
+}
+
+/// Magnitude of the perturbation a flip of `bit` introduces into `v` (fp32).
+inline float flip_delta_f32(float v, unsigned bit) noexcept {
+  return flip_bit_f32(v, bit) - v;
+}
+
+/// Count of set bits differing between two fp32 values (Hamming distance of
+/// the encodings); used by tests to assert exactly-one-bit corruption.
+inline int hamming_f32(float a, float b) noexcept {
+  std::uint32_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return __builtin_popcount(ua ^ ub);
+}
+
+}  // namespace ftt::numeric

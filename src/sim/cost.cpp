@@ -1,0 +1,57 @@
+#include "sim/cost.hpp"
+
+#include <algorithm>
+
+namespace ftt::sim {
+
+std::string_view phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kMemory:
+      return "LD/ST";
+    case Phase::kChecksumGen:
+      return "CCG";
+    case Phase::kGemm:
+      return "GEMM";
+    case Phase::kSoftmax:
+      return "EXP/RSM";
+    case Phase::kRescale:
+      return "RS&RSC";
+    case Phase::kVerify:
+      return "CCV/NVR";
+    case Phase::kDmr:
+      return "DMR";
+    case Phase::kCount:
+      break;
+  }
+  return "?";
+}
+
+double MachineModel::phase_seconds(const Costs& c) const noexcept {
+  const double t_tc = c.tc_flops / (tc_peak * tc_eff);
+  const double t_fp = c.fp32_flops / (fp32_peak * fp32_eff);
+  const double t_sfu = c.sfu_ops / (sfu_peak * sfu_eff);
+  const double t_mem = c.hbm_bytes / (hbm_bw * hbm_eff);
+  const double t_shfl = c.shuffles / (shuffle_rate * shuffle_eff);
+  return std::max({t_tc, t_fp, t_sfu, t_mem, t_shfl});
+}
+
+double MachineModel::seconds(const CostBreakdown& b) const noexcept {
+  const Costs total = b.total();
+  const double t_tc = total.tc_flops / (tc_peak * tc_eff);
+  const double t_fp = total.fp32_flops / (fp32_peak * fp32_eff);
+  const double t_sfu = total.sfu_ops / (sfu_peak * sfu_eff);
+  const double t_mem = total.hbm_bytes / (hbm_bw * hbm_eff);
+  const double t_shfl = total.shuffles / (shuffle_rate * shuffle_eff);
+  const double sum = t_tc + t_fp + t_sfu + t_mem + t_shfl;
+  const double dominant = std::max({t_tc, t_fp, t_sfu, t_mem, t_shfl});
+  return dominant + serialization * (sum - dominant) +
+         total.syncs * sync_latency + total.launches * launch_latency;
+}
+
+Costs gemm_costs(double m, double n, double k) noexcept {
+  Costs c;
+  c.tc_flops = 2.0 * m * n * k;
+  return c;
+}
+
+}  // namespace ftt::sim

@@ -1,0 +1,126 @@
+#include "sim/mma.hpp"
+
+#include <omp.h>
+
+namespace ftt::sim {
+
+// PTX ISA, mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32:
+// lane = groupID * 4 + threadID_in_group, groupID = lane >> 2.
+//
+// A (16x16 fp16, 8 regs a0..a7 per lane):
+//   a0,a1: (groupID,       tid*2 + {0,1})
+//   a2,a3: (groupID + 8,   tid*2 + {0,1})
+//   a4,a5: (groupID,       tid*2 + 8 + {0,1})
+//   a6,a7: (groupID + 8,   tid*2 + 8 + {0,1})
+RegCoord MmaAtom::a_coord(int row, int col) noexcept {
+  const int lane = (row % 8) * 4 + (col % 8) / 2;
+  const int reg = (col & 1) | ((row >= 8) ? 2 : 0) | ((col >= 8) ? 4 : 0);
+  return {lane, reg};
+}
+
+// B (16(K) x 8(N) fp16, 4 regs b0..b3 per lane):
+//   b0,b1: (tid*2 + {0,1},     groupID)
+//   b2,b3: (tid*2 + 8 + {0,1}, groupID)
+RegCoord MmaAtom::b_coord(int k, int col) noexcept {
+  const int lane = col * 4 + (k % 8) / 2;
+  const int reg = (k & 1) | ((k >= 8) ? 2 : 0);
+  return {lane, reg};
+}
+
+// C/D (16x8 fp32, 4 regs c0..c3 per lane):
+//   c0,c1: (groupID,     tid*2 + {0,1})
+//   c2,c3: (groupID + 8, tid*2 + {0,1})
+RegCoord MmaAtom::c_coord(int row, int col) noexcept {
+  const int lane = (row % 8) * 4 + col / 2;
+  const int reg = (col & 1) | ((row >= 8) ? 2 : 0);
+  return {lane, reg};
+}
+
+std::array<int, 2> MmaAtom::c_element(int lane, int reg) noexcept {
+  const int group = lane >> 2;
+  const int tid = lane & 3;
+  const int row = group + ((reg & 2) ? 8 : 0);
+  const int col = tid * 2 + (reg & 1);
+  return {row, col};
+}
+
+void MmaAtom::mma(const numeric::Half* A, std::size_t lda,
+                  const numeric::Half* B, std::size_t ldb, float* C,
+                  std::size_t ldc) noexcept {
+  for (int m = 0; m < kM; ++m) {
+    for (int n = 0; n < kN; ++n) {
+      float acc = C[m * ldc + n];
+      for (int k = 0; k < kK; ++k) {
+        // fp16 x fp16 is exact in fp32; accumulation is fp32 RNE per step.
+        acc += A[m * lda + k].to_float() * B[k * ldb + n].to_float();
+      }
+      C[m * ldc + n] = acc;
+    }
+  }
+}
+
+int TiledMma64x16x16::thread_of_c(std::size_t row, std::size_t col) noexcept {
+  const int tile_row = static_cast<int>(row % kTileM);
+  const int warp = tile_row / MmaAtom::kM;
+  const RegCoord rc =
+      MmaAtom::c_coord(tile_row % MmaAtom::kM, static_cast<int>(col % MmaAtom::kN));
+  return warp * MmaAtom::kWarpSize + rc.lane;
+}
+
+int TiledMma64x16x16::thread_of_a(std::size_t row, std::size_t k) noexcept {
+  const int tile_row = static_cast<int>(row % kTileM);
+  const int warp = tile_row / MmaAtom::kM;
+  const RegCoord rc =
+      MmaAtom::a_coord(tile_row % MmaAtom::kM, static_cast<int>(k % MmaAtom::kK));
+  return warp * MmaAtom::kWarpSize + rc.lane;
+}
+
+int TiledMma64x16x16::thread_of_b(std::size_t k, std::size_t col) noexcept {
+  // B is broadcast to all four warps; report the warp-0 owner.
+  const RegCoord rc = MmaAtom::b_coord(static_cast<int>(k % MmaAtom::kK),
+                                       static_cast<int>(col % MmaAtom::kN));
+  return rc.lane;
+}
+
+void gemm_fp16_nt(const tensor::MatrixH& A, const tensor::MatrixH& B,
+                  tensor::MatrixF& C, bool accumulate) {
+  const std::size_t M = A.rows(), K = A.cols(), N = B.rows();
+  // Widen once: fp16 -> fp32 is exact, so arithmetic below is bit-identical
+  // to fp16-operand / fp32-accumulate MMA with a sequential K loop.
+  std::vector<float> a(M * K), b(N * K);
+  for (std::size_t i = 0; i < M * K; ++i) a[i] = A.data()[i].to_float();
+  for (std::size_t i = 0; i < N * K; ++i) b[i] = B.data()[i].to_float();
+
+  for (std::size_t m = 0; m < M; ++m) {
+    const float* arow = a.data() + m * K;
+    float* crow = &C(m, 0);
+    for (std::size_t n = 0; n < N; ++n) {
+      const float* brow = b.data() + n * K;
+      float acc = accumulate ? crow[n] : 0.0f;
+      for (std::size_t k = 0; k < K; ++k) acc += arow[k] * brow[k];
+      crow[n] = acc;
+    }
+  }
+}
+
+void gemm_f32h_nn(const tensor::MatrixF& A, const tensor::MatrixH& B,
+                  tensor::MatrixF& C, bool accumulate) {
+  const std::size_t M = A.rows(), K = A.cols(), N = B.cols();
+  std::vector<float> b(K * N);
+  for (std::size_t i = 0; i < K * N; ++i) b[i] = B.data()[i].to_float();
+
+  for (std::size_t m = 0; m < M; ++m) {
+    float* crow = &C(m, 0);
+    if (!accumulate) {
+      for (std::size_t n = 0; n < N; ++n) crow[n] = 0.0f;
+    }
+    const float* arow = &A(m, 0);
+    for (std::size_t k = 0; k < K; ++k) {
+      const float av = numeric::round_to_half(arow[k]);
+      const float* brow = b.data() + k * N;
+      for (std::size_t n = 0; n < N; ++n) crow[n] += av * brow[n];
+    }
+  }
+}
+
+}  // namespace ftt::sim

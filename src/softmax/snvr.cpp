@@ -1,0 +1,32 @@
+#include "softmax/snvr.hpp"
+
+#include <cmath>
+
+namespace ftt::softmax {
+
+double snvr_lower_bound(std::span<const float> block_maxes, float global_max) {
+  double s = 0.0;
+  for (const float m : block_maxes) {
+    s += std::exp(static_cast<double>(m) - static_cast<double>(global_max));
+  }
+  return s;
+}
+
+SnvrRangeResult snvr_check_rowsum(float rowsum,
+                                  std::span<const float> block_maxes,
+                                  float global_max, std::size_t seq_len,
+                                  float slack) {
+  const double lower = snvr_lower_bound(block_maxes, global_max);
+  const double upper = static_cast<double>(seq_len) * (1.0 + slack);
+  SnvrRangeResult res;
+  if (!(rowsum >= lower * (1.0 - slack)) || !(rowsum <= upper) ||
+      !std::isfinite(rowsum)) {
+    res.violated = true;
+    res.corrected_value = static_cast<float>(lower);
+  } else {
+    res.corrected_value = rowsum;
+  }
+  return res;
+}
+
+}  // namespace ftt::softmax

@@ -1,0 +1,39 @@
+#pragma once
+// Selective neuron value restriction (SNVR) range bounds, paper §3.4 Case 3.
+//
+// The softmax denominator ℓ (the running rowsum of exp(s - m)) is protected
+// not by a checksum but by its theoretical range:
+//
+//     Σ_k exp(m_ik − m_ij)  ≤  ℓ_ij  ≤  seq_len
+//
+// where m_ik is the block row-max of iteration k and m_ij the global row-max.
+// The lower bound holds because every block contributes at least its own
+// max term; the upper bound because every exp(s − m_global) ≤ 1.  A violated
+// range is corrected by *replacing* ℓ with the lower-bound approximation —
+// the paper's recompute-free correction, valid because attention mass
+// concentrates at the per-block maxima.
+
+#include <cstddef>
+#include <span>
+
+namespace ftt::softmax {
+
+/// Σ_k exp(block_max_k − global_max): the SNVR lower bound / approximate
+/// rowsum for one row, given the per-iteration block maxima.
+double snvr_lower_bound(std::span<const float> block_maxes, float global_max);
+
+struct SnvrRangeResult {
+  bool violated = false;
+  float corrected_value = 0.0f;
+};
+
+/// Check one rowsum against the SNVR range and produce the replacement value
+/// if it is out of range.  `slack` widens the lower bound multiplicatively to
+/// absorb fp16/fp32 rounding (an SEU perturbation is orders of magnitude
+/// larger than rounding noise).
+SnvrRangeResult snvr_check_rowsum(float rowsum,
+                                  std::span<const float> block_maxes,
+                                  float global_max, std::size_t seq_len,
+                                  float slack = 1e-3f);
+
+}  // namespace ftt::softmax

@@ -1,0 +1,98 @@
+#include "softmax/softmax.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace ftt::softmax {
+
+using tensor::MatrixF;
+
+namespace {
+
+/// One softmax evaluation of `src` into `dst` with fault hooks.
+void eval_softmax(const MatrixF& src, MatrixF& dst, fault::FaultInjector* inj) {
+  const std::size_t R = src.rows(), C = src.cols();
+  for (std::size_t r = 0; r < R; ++r) {
+    float m = -std::numeric_limits<float>::infinity();
+    for (std::size_t c = 0; c < C; ++c) m = std::max(m, src(r, c));
+    m = fault::corrupt(inj, fault::Site::kReduceMax, m);
+
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < C; ++c) {
+      const float e =
+          fault::corrupt(inj, fault::Site::kExp, std::exp(src(r, c) - m));
+      dst(r, c) = e;
+      sum += e;
+    }
+    sum = fault::corrupt(inj, fault::Site::kReduceSum, sum);
+    const float inv = 1.0f / sum;
+    for (std::size_t c = 0; c < C; ++c) dst(r, c) *= inv;
+  }
+}
+
+float max_abs(const MatrixF& a, const MatrixF& b) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+bool rowsums_near_one(const MatrixF& p, float eps) {
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    float s = 0.0f;
+    for (std::size_t c = 0; c < p.cols(); ++c) s += p(r, c);
+    if (std::fabs(s - 1.0f) > eps) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void row_softmax(MatrixF& S, fault::FaultInjector* inj) {
+  MatrixF out(S.rows(), S.cols());
+  eval_softmax(S, out, inj);
+  S = out;
+}
+
+DmrResult dmr_row_softmax(MatrixF& S, float eps, fault::FaultInjector* inj,
+                          std::size_t max_rounds) {
+  DmrResult res;
+  MatrixF prev(S.rows(), S.cols());
+  MatrixF cur(S.rows(), S.cols());
+  eval_softmax(S, prev, inj);
+  for (std::size_t round = 1; round < max_rounds; ++round) {
+    eval_softmax(S, cur, inj);
+    res.recomputes = round;  // evaluations beyond the first
+    if (max_abs(cur, prev) < eps && rowsums_near_one(cur, eps)) {
+      res.converged = true;
+      S = cur;
+      return res;
+    }
+    std::swap(cur, prev);
+  }
+  // Never converged within budget: keep the last evaluation.
+  S = prev;
+  return res;
+}
+
+sim::CostBreakdown softmax_costs(double rows, double cols) {
+  sim::CostBreakdown b;
+  auto& sm = b[sim::Phase::kSoftmax];
+  sm.fp32_flops = 3.0 * rows * cols;  // max-compares, subtracts, sum-adds
+  sm.sfu_ops = rows * cols;           // exp
+  b[sim::Phase::kRescale].fp32_flops = rows * cols;  // final 1/sum scaling
+  return b;
+}
+
+sim::CostBreakdown dmr_overhead_costs(double rows, double cols) {
+  sim::CostBreakdown b;
+  // One full replica evaluation...
+  const sim::CostBreakdown replica = softmax_costs(rows, cols);
+  b[sim::Phase::kDmr] = replica.total();
+  // ...plus the elementwise agreement check and the rowsum identity.
+  b[sim::Phase::kDmr].fp32_flops += 2.0 * rows * cols;
+  return b;
+}
+
+}  // namespace ftt::softmax

@@ -1,0 +1,41 @@
+#pragma once
+// Softmax primitives and their operation-level protections.
+//
+// The decoupled baseline protects the row softmax with dual modular
+// redundancy (DMR, Eqs. 10-11): the softmax is recomputed until two
+// consecutive results agree within a tolerance, with the rowsum-of-P == 1
+// identity as an extra invariant.  EFTA replaces this with selective neuron
+// value restriction (SNVR, §3.4), whose range bounds live in `snvr.hpp` and
+// whose checksum-reuse verification is part of the fused kernel in core/.
+
+#include "fault/fault.hpp"
+#include "sim/cost.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ftt::softmax {
+
+/// Numerically stable row softmax of S in place: p_ij = exp(s_ij - max_i) /
+/// sum_k exp(s_ik - max_i).  Fault hooks at reduce-max, EXP and reduce-sum.
+void row_softmax(tensor::MatrixF& S, fault::FaultInjector* inj = nullptr);
+
+struct DmrResult {
+  std::size_t recomputes = 0;  ///< extra full softmax evaluations beyond one
+  bool converged = false;
+};
+
+/// DMR-protected row softmax: evaluate, re-evaluate, accept when two
+/// consecutive evaluations agree elementwise within `eps` *and* each row of
+/// the result sums to 1 within `eps` (Eqs. 10-11).  Keeps retrying up to
+/// `max_rounds` total evaluations.
+DmrResult dmr_row_softmax(tensor::MatrixF& S, float eps,
+                          fault::FaultInjector* inj = nullptr,
+                          std::size_t max_rounds = 4);
+
+/// Operation counts of one unprotected R x C row softmax.
+sim::CostBreakdown softmax_costs(double rows, double cols);
+
+/// Protection overhead of DMR on an R x C softmax: one full replica
+/// (the expected SEU-free case) plus the elementwise comparison.
+sim::CostBreakdown dmr_overhead_costs(double rows, double cols);
+
+}  // namespace ftt::softmax

@@ -1,0 +1,54 @@
+#pragma once
+// Seeded fills for reproducible experiments.  All benchmarks and tests draw
+// Q/K/V from N(0, 1/sqrt(dim)) as typical of post-layernorm activations, so
+// attention scores land in the numerically interesting range the paper's
+// threshold studies (Figs. 12/14) probe.
+
+#include <cstdint>
+#include <random>
+
+#include "tensor/tensor.hpp"
+
+namespace ftt::tensor {
+
+inline void fill_normal(MatrixF& m, std::uint64_t seed, float mean = 0.0f,
+                        float stddev = 1.0f) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(mean, stddev);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = dist(rng);
+}
+
+inline void fill_uniform(MatrixF& m, std::uint64_t seed, float lo = -1.0f,
+                         float hi = 1.0f) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = dist(rng);
+}
+
+/// Fill an fp16 matrix by rounding N(mean, stddev) draws.
+inline void fill_normal(MatrixH& m, std::uint64_t seed, float mean = 0.0f,
+                        float stddev = 1.0f) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(mean, stddev);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = numeric::Half(dist(rng));
+  }
+}
+
+inline void fill_normal(Tensor4H& t, std::uint64_t seed, float mean = 0.0f,
+                        float stddev = 1.0f) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(mean, stddev);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = numeric::Half(dist(rng));
+  }
+}
+
+inline void fill_normal(Tensor4F& t, std::uint64_t seed, float mean = 0.0f,
+                        float stddev = 1.0f) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(mean, stddev);
+  for (std::size_t i = 0; i < t.size(); ++i) t.data()[i] = dist(rng);
+}
+
+}  // namespace ftt::tensor

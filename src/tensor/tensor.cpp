@@ -1,0 +1,51 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ftt::tensor {
+
+void widen(std::span<const numeric::Half> src, MatrixF& dst) {
+  if (src.size() != dst.size()) {
+    throw std::invalid_argument("widen: size mismatch");
+  }
+  float* out = dst.data();
+  for (std::size_t i = 0; i < src.size(); ++i) out[i] = src[i].to_float();
+}
+
+void narrow(const MatrixF& src, std::span<numeric::Half> dst) {
+  if (src.size() != dst.size()) {
+    throw std::invalid_argument("narrow: size mismatch");
+  }
+  const float* in = src.data();
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = numeric::Half(in[i]);
+}
+
+float max_abs_diff(const MatrixF& a, const MatrixF& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  }
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = std::fabs(a.data()[i] - b.data()[i]);
+    if (std::isnan(d)) return std::numeric_limits<float>::infinity();
+    m = std::max(m, d);
+  }
+  return m;
+}
+
+float max_rel_diff(const MatrixF& a, const MatrixF& b, float eps) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("max_rel_diff: shape mismatch");
+  }
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = std::fabs(a.data()[i] - b.data()[i]);
+    if (std::isnan(d)) return std::numeric_limits<float>::infinity();
+    m = std::max(m, d / (std::fabs(b.data()[i]) + eps));
+  }
+  return m;
+}
+
+}  // namespace ftt::tensor

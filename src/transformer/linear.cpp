@@ -1,0 +1,86 @@
+#include "transformer/linear.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "abft/strided_abft.hpp"
+#include "sim/mma.hpp"
+
+namespace ftt::transformer {
+
+using numeric::Half;
+using tensor::MatrixF;
+using tensor::MatrixH;
+
+Linear::Linear(std::size_t in_features, std::size_t out_features,
+               std::uint64_t seed, bool bias)
+    : in_(in_features), out_(out_features), w_(out_features, in_features) {
+  if (out_ % abft::StridedAbft::kTile != 0) {
+    throw std::invalid_argument(
+        "Linear: out_features must be a multiple of the 64-row ABFT tile");
+  }
+  // Scaled-normal init, typical of trained transformer projections.
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(
+      0.0f, 1.0f / std::sqrt(static_cast<float>(in_)));
+  for (std::size_t i = 0; i < w_.size(); ++i) w_.data()[i] = Half(dist(rng));
+  if (bias) {
+    bias_.assign(out_, 0.0f);
+    std::normal_distribution<float> bdist(0.0f, 0.02f);
+    for (auto& b : bias_) b = bdist(rng);
+  }
+}
+
+abft::Report Linear::forward(const MatrixF& x, MatrixF& y,
+                             LinearProtect protect, fault::FaultInjector* inj,
+                             float rel_threshold) const {
+  if (x.cols() != in_) throw std::invalid_argument("Linear: in_features");
+  const std::size_t M = x.rows();
+  if (y.rows() != M || y.cols() != out_) y = MatrixF(M, out_);
+
+  // Round activations to fp16 once (the tensor-core operand).
+  MatrixH xh(M, in_);
+  for (std::size_t i = 0; i < x.size(); ++i) xh.data()[i] = Half(x.data()[i]);
+
+  abft::Report rep;
+  if (protect == LinearProtect::kStridedAbft) {
+    rep = abft::StridedAbft::gemm_nt(xh, w_, y, abft::StridedAbft::kDefaultStride,
+                                     rel_threshold, inj, fault::Site::kLinear);
+  } else {
+    sim::gemm_fp16_nt(xh, w_, y);
+    if (inj && inj->armed()) {
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        y.data()[i] = inj->corrupt(fault::Site::kLinear, y.data()[i]);
+      }
+    }
+  }
+
+  if (!bias_.empty()) {
+    for (std::size_t r = 0; r < M; ++r) {
+      float* row = &y(r, 0);
+      for (std::size_t c = 0; c < out_; ++c) row[c] += bias_[c];
+    }
+  }
+  return rep;
+}
+
+sim::CostBreakdown Linear::costs(double m) const {
+  sim::CostBreakdown b;
+  b[sim::Phase::kGemm].tc_flops =
+      2.0 * m * static_cast<double>(out_) * static_cast<double>(in_);
+  b[sim::Phase::kMemory].hbm_bytes =
+      (m * static_cast<double>(in_) + m * static_cast<double>(out_) +
+       static_cast<double>(in_) * static_cast<double>(out_)) *
+      2.0;
+  b[sim::Phase::kRescale].fp32_flops = m * static_cast<double>(out_);  // bias
+  return b;
+}
+
+sim::CostBreakdown Linear::protection_costs(double m) const {
+  return abft::StridedAbft::costs(m, static_cast<double>(out_),
+                                  static_cast<double>(in_),
+                                  abft::StridedAbft::kDefaultStride);
+}
+
+}  // namespace ftt::transformer

@@ -1,0 +1,50 @@
+#pragma once
+// Linear (projection / feed-forward) layers with strided-ABFT protection.
+//
+// The paper protects every linear module — QKV/output projections and the
+// feed-forward GEMMs — with the same tensor-checksum strided ABFT used inside
+// EFTA (Fig. 1, right panel).  Weights are fp16 (tensor-core operands),
+// activations are fp32 rounded through fp16 at the GEMM boundary, and the
+// checksum tiles follow the 64-row TiledMMA footprint.
+
+#include <cstdint>
+
+#include "abft/report.hpp"
+#include "fault/fault.hpp"
+#include "sim/cost.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ftt::transformer {
+
+enum class LinearProtect { kNone, kStridedAbft };
+
+class Linear {
+ public:
+  /// out_features must be a multiple of 64 (the checksum tile).
+  Linear(std::size_t in_features, std::size_t out_features, std::uint64_t seed,
+         bool bias = true);
+
+  /// y = x W^T + b.  x: M x in, y: M x out.  Returns the ABFT report when
+  /// protection is enabled.
+  abft::Report forward(const tensor::MatrixF& x, tensor::MatrixF& y,
+                       LinearProtect protect = LinearProtect::kNone,
+                       fault::FaultInjector* inj = nullptr,
+                       float rel_threshold = 0.02f) const;
+
+  [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
+  [[nodiscard]] std::size_t out_features() const noexcept { return out_; }
+  [[nodiscard]] const tensor::MatrixH& weight() const noexcept { return w_; }
+  tensor::MatrixH& weight() noexcept { return w_; }
+
+  /// Counts for one forward pass over M rows (unprotected payload).
+  [[nodiscard]] sim::CostBreakdown costs(double m) const;
+  /// Protection overhead for one forward pass.
+  [[nodiscard]] sim::CostBreakdown protection_costs(double m) const;
+
+ private:
+  std::size_t in_, out_;
+  tensor::MatrixH w_;       ///< out x in
+  std::vector<float> bias_;  ///< empty when bias is disabled
+};
+
+}  // namespace ftt::transformer

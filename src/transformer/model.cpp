@@ -1,0 +1,245 @@
+#include "transformer/model.hpp"
+
+#include <stdexcept>
+
+#include "abft/strided_abft.hpp"
+
+#include "attention/attention.hpp"
+#include "attention/decoupled_ft.hpp"
+
+namespace ftt::transformer {
+
+using attention::AttnShape;
+using numeric::Half;
+using tensor::MatrixF;
+using tensor::Tensor4F;
+using tensor::Tensor4H;
+
+ModelConfig ModelConfig::gpt2() {
+  return {"GPT2", 12, 768, 12, 3072, /*causal=*/true};
+}
+ModelConfig ModelConfig::bert_base() {
+  return {"BERT-Base", 12, 768, 12, 3072};
+}
+ModelConfig ModelConfig::bert_large() {
+  return {"BERT-Large", 24, 1024, 16, 4096};
+}
+ModelConfig ModelConfig::t5_small() {
+  return {"T5-Small", 6, 512, 8, 2048, /*causal=*/true};
+}
+ModelConfig ModelConfig::tiny() {
+  return {"Tiny", 2, 128, 2, 256};
+}
+
+Block::Block(const ModelConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      ln1_(cfg.hidden),
+      ln2_(cfg.hidden),
+      wq_(cfg.hidden, cfg.hidden, seed + 1),
+      wk_(cfg.hidden, cfg.hidden, seed + 2),
+      wv_(cfg.hidden, cfg.hidden, seed + 3),
+      wo_(cfg.hidden, cfg.hidden, seed + 4),
+      ffn_(cfg.hidden, cfg.ffn_inner, seed + 5) {}
+
+namespace {
+
+/// seq x hidden activation -> 1 x heads x seq x dim fp16 tensor.
+Tensor4H split_heads(const MatrixF& x, std::size_t heads, std::size_t dim) {
+  Tensor4H t(1, heads, x.rows(), dim);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t h = 0; h < heads; ++h) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        t.at(0, h, r, d) = Half(x(r, h * dim + d));
+      }
+    }
+  }
+  return t;
+}
+
+void merge_heads(const Tensor4F& t, MatrixF& x) {
+  for (std::size_t r = 0; r < t.seq(); ++r) {
+    for (std::size_t h = 0; h < t.heads(); ++h) {
+      for (std::size_t d = 0; d < t.dim(); ++d) {
+        x(r, h * t.dim() + d) = t.at(0, h, r, d);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Block::Result Block::forward(MatrixF& x, AttentionKind kind,
+                             bool protect_linear,
+                             fault::FaultInjector* inj) const {
+  Result res;
+  const std::size_t seq = x.rows();
+  const auto mode =
+      protect_linear ? LinearProtect::kStridedAbft : LinearProtect::kNone;
+
+  // --- attention sub-block ---
+  MatrixF h = x;
+  ln1_.forward(h);
+  MatrixF q(seq, cfg_.hidden), k(seq, cfg_.hidden), v(seq, cfg_.hidden);
+  res.projections += wq_.forward(h, q, mode, inj);
+  res.projections += wk_.forward(h, k, mode, inj);
+  res.projections += wv_.forward(h, v, mode, inj);
+
+  const std::size_t dim = cfg_.head_dim();
+  const Tensor4H Q = split_heads(q, cfg_.heads, dim);
+  const Tensor4H K = split_heads(k, cfg_.heads, dim);
+  const Tensor4H V = split_heads(v, cfg_.heads, dim);
+  Tensor4F O(1, cfg_.heads, seq, dim);
+
+  switch (kind) {
+    case AttentionKind::kStandard:
+      attention::standard_attention(Q, K, V, O, cfg_.causal);
+      break;
+    case AttentionKind::kFlash:
+      attention::flash_attention(Q, K, V, O, 64, cfg_.causal);
+      break;
+    case AttentionKind::kDecoupledFt:
+      // The decoupled baseline only implements bidirectional attention.
+      res.attention += attention::decoupled_ft_attention(Q, K, V, O, {}, inj);
+      break;
+    case AttentionKind::kEfta: {
+      core::EftaOptions opt;
+      opt.unified_verification = false;
+      opt.causal = cfg_.causal;
+      res.attention += core::efta_attention(Q, K, V, O, opt, inj);
+      break;
+    }
+    case AttentionKind::kEftaOptimized: {
+      core::EftaOptions opt;
+      opt.unified_verification = true;
+      opt.causal = cfg_.causal;
+      res.attention += core::efta_attention(Q, K, V, O, opt, inj);
+      break;
+    }
+  }
+
+  MatrixF attn_out(seq, cfg_.hidden);
+  merge_heads(O, attn_out);
+  MatrixF proj(seq, cfg_.hidden);
+  res.projections += wo_.forward(attn_out, proj, mode, inj);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] += proj.data()[i];
+
+  // --- feed-forward sub-block ---
+  MatrixF h2 = x;
+  ln2_.forward(h2);
+  MatrixF ffn_out(seq, cfg_.hidden);
+  res.ffn = ffn_.forward(h2, ffn_out, protect_linear, inj);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] += ffn_out.data()[i];
+  return res;
+}
+
+Model::Model(ModelConfig cfg, std::uint64_t seed)
+    : cfg_(std::move(cfg)), final_ln_(cfg_.hidden) {
+  if (cfg_.hidden % cfg_.heads != 0) {
+    throw std::invalid_argument("Model: hidden % heads != 0");
+  }
+  blocks_.reserve(cfg_.layers);
+  for (std::size_t i = 0; i < cfg_.layers; ++i) {
+    blocks_.emplace_back(cfg_, seed + 1000 * (i + 1));
+  }
+}
+
+Model::Result Model::forward(MatrixF& x, AttentionKind kind,
+                             bool protect_linear,
+                             fault::FaultInjector* inj) const {
+  Model::Result res;
+  for (const Block& b : blocks_) {
+    Block::Result br = b.forward(x, kind, protect_linear, inj);
+    res.attention += br.attention;
+    res.projections += br.projections;
+    res.ffn_abft += br.ffn.abft;
+    res.activations_clipped += br.ffn.activations_clipped;
+  }
+  final_ln_.forward(x);
+  return res;
+}
+
+sim::CostBreakdown Model::costs(std::size_t seq, AttentionKind kind) const {
+  sim::CostBreakdown b;
+  const AttnShape shape{1, cfg_.heads, seq, cfg_.head_dim()};
+  const double m = static_cast<double>(seq);
+
+  sim::CostBreakdown attn;
+  switch (kind) {
+    case AttentionKind::kStandard:
+    case AttentionKind::kDecoupledFt:
+      attn = attention::decoupled_attention_costs(shape);
+      break;
+    default:
+      attn = attention::flash_attention_costs(shape);
+      break;
+  }
+  if (kind == AttentionKind::kDecoupledFt) {
+    attn = attention::decoupled_ft_costs(shape);
+  } else if (kind == AttentionKind::kEfta) {
+    core::EftaOptions opt;
+    opt.unified_verification = false;
+    attn += core::efta_protection_costs(shape, opt);
+  } else if (kind == AttentionKind::kEftaOptimized) {
+    core::EftaOptions opt;
+    opt.unified_verification = true;
+    attn += core::efta_protection_costs(shape, opt);
+  }
+
+  sim::CostBreakdown per_layer = attn;
+  // Four hidden x hidden projections + the two FFN GEMMs, costed analytically.
+  sim::CostBreakdown lin;
+  lin[sim::Phase::kGemm].tc_flops =
+      4.0 * 2.0 * m * cfg_.hidden * cfg_.hidden +
+      2.0 * 2.0 * m * cfg_.hidden * cfg_.ffn_inner;
+  lin[sim::Phase::kMemory].hbm_bytes =
+      (6.0 * m * cfg_.hidden + 2.0 * m * cfg_.ffn_inner) * 2.0 +
+      (4.0 * cfg_.hidden * cfg_.hidden + 2.0 * cfg_.hidden * cfg_.ffn_inner) *
+          2.0;
+  lin[sim::Phase::kSoftmax].sfu_ops = m * cfg_.ffn_inner;  // GELU
+  lin[sim::Phase::kRescale].fp32_flops = 4.0 * m * cfg_.hidden;  // LN + bias
+  per_layer += lin;
+
+  for (std::size_t i = 0; i < cfg_.layers; ++i) b += per_layer;
+  return b;
+}
+
+sim::CostBreakdown Model::detection_overhead_costs(std::size_t seq) const {
+  const AttnShape shape{1, cfg_.heads, seq, cfg_.head_dim()};
+  core::EftaOptions opt;
+  opt.unified_verification = true;
+  const double m = static_cast<double>(seq);
+
+  sim::CostBreakdown per_layer = core::efta_protection_costs(shape, opt);
+  // Linear ABFT on the four projections + two FFN GEMMs.
+  per_layer += abft::StridedAbft::costs(m, cfg_.hidden, cfg_.hidden, 8);
+  per_layer += abft::StridedAbft::costs(m, cfg_.hidden, cfg_.hidden, 8);
+  per_layer += abft::StridedAbft::costs(m, cfg_.hidden, cfg_.hidden, 8);
+  per_layer += abft::StridedAbft::costs(m, cfg_.hidden, cfg_.hidden, 8);
+  per_layer += abft::StridedAbft::costs(m, cfg_.ffn_inner, cfg_.hidden, 8);
+  per_layer += abft::StridedAbft::costs(m, cfg_.hidden, cfg_.ffn_inner, 8);
+  // Activation range restriction.
+  per_layer[sim::Phase::kVerify].fp32_flops += m * cfg_.ffn_inner;
+
+  sim::CostBreakdown b;
+  for (std::size_t i = 0; i < cfg_.layers; ++i) b += per_layer;
+  return b;
+}
+
+sim::CostBreakdown Model::correction_overhead_costs(std::size_t seq) const {
+  sim::CostBreakdown b = detection_overhead_costs(seq);
+  // One flip per attention call (per layer): locating the residue class,
+  // repairing the element, re-exponentiating and re-verifying the affected
+  // block.  The flop cost is tiny; what the paper's correction experiment
+  // measures is the *serialization* of the repair path — one thread walks
+  // the residue class while its warp (and the CTA's MMA pipeline) stalls,
+  // then the block's verification replays.  Charged as sync events.
+  const double B = 64.0, s = 8.0;
+  sim::CostBreakdown per_fix;
+  per_fix[sim::Phase::kVerify].sfu_ops = B * B + B;  // re-EXP of the block
+  per_fix[sim::Phase::kVerify].fp32_flops = 6.0 * B * B + 4.0 * B * s;
+  per_fix[sim::Phase::kVerify].syncs = 4000;  // ~2.4 us repair-path stall
+  for (std::size_t i = 0; i < cfg_.layers; ++i) b += per_fix;
+  return b;
+}
+
+}  // namespace ftt::transformer

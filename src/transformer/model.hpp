@@ -1,0 +1,115 @@
+#pragma once
+// Full transformer encoder stack with pluggable attention fault tolerance:
+// the substrate for the Fig. 15 experiments (GPT2 / BERT-Base / BERT-Large /
+// T5-Small under optimized EFTA).
+//
+// The stack operates on hidden states (seq x hidden): pre-LN blocks of
+// multi-head attention and feed-forward with residual connections.  Token
+// embedding/unembedding are outside the paper's protected region (memory,
+// assumed ECC-protected) and are not modeled; "generating one token" is one
+// forward pass over the context, which is what the paper profiles.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attention/ft_report.hpp"
+#include "core/efta.hpp"
+#include "transformer/layers.hpp"
+#include "transformer/linear.hpp"
+
+namespace ftt::transformer {
+
+enum class AttentionKind {
+  kStandard,       ///< reference O(n^2), unprotected
+  kFlash,          ///< fused streaming, unprotected
+  kDecoupledFt,    ///< 3-kernel baseline protection
+  kEfta,           ///< per-iteration-verify EFTA
+  kEftaOptimized,  ///< Algorithm 1 unified verification
+};
+
+struct ModelConfig {
+  std::string name;
+  std::size_t layers = 2;
+  std::size_t hidden = 128;
+  std::size_t heads = 2;
+  std::size_t ffn_inner = 512;
+  /// Decoder (causal) attention, as in GPT2/T5; encoders (BERT) are
+  /// bidirectional.  The decoupled baseline ignores this flag (it only
+  /// implements bidirectional attention).
+  bool causal = false;
+
+  [[nodiscard]] std::size_t head_dim() const noexcept {
+    return hidden / heads;
+  }
+
+  // The paper's four evaluation models (Fig. 15), seq fixed at 512.
+  static ModelConfig gpt2();        // 12 x 768, 12 heads, FFN 3072
+  static ModelConfig bert_base();   // 12 x 768, 12 heads, FFN 3072
+  static ModelConfig bert_large();  // 24 x 1024, 16 heads, FFN 4096
+  static ModelConfig t5_small();    // 6 x 512, 8 heads, FFN 2048
+  /// A small config for CPU-affordable end-to-end runs and tests.
+  static ModelConfig tiny();        // 2 x 128, 2 heads, FFN 256
+};
+
+/// One pre-LN transformer block: x += MHA(LN(x)); x += FFN(LN(x)).
+class Block {
+ public:
+  Block(const ModelConfig& cfg, std::uint64_t seed);
+
+  struct Result {
+    attention::FtReport attention;
+    abft::Report projections;  ///< QKV/output projection ABFT
+    FeedForward::Result ffn;
+  };
+
+  Result forward(tensor::MatrixF& x, AttentionKind kind, bool protect_linear,
+                 fault::FaultInjector* inj = nullptr) const;
+
+  [[nodiscard]] const ModelConfig& config() const noexcept { return cfg_; }
+
+ private:
+  ModelConfig cfg_;
+  LayerNorm ln1_, ln2_;
+  Linear wq_, wk_, wv_, wo_;
+  FeedForward ffn_;
+};
+
+class Model {
+ public:
+  Model(ModelConfig cfg, std::uint64_t seed = 0x5eed);
+
+  struct Result {
+    attention::FtReport attention;
+    abft::Report projections;
+    abft::Report ffn_abft;
+    std::size_t activations_clipped = 0;
+  };
+
+  /// Forward over hidden states in place.
+  Result forward(tensor::MatrixF& x, AttentionKind kind,
+                 bool protect_linear = false,
+                 fault::FaultInjector* inj = nullptr) const;
+
+  [[nodiscard]] const ModelConfig& config() const noexcept { return cfg_; }
+
+  /// Modeled per-token (one forward at `seq`) cost of the unprotected stack.
+  [[nodiscard]] sim::CostBreakdown costs(std::size_t seq,
+                                         AttentionKind kind) const;
+  /// Modeled protection overhead (EFTA-optimized attention + linear ABFT +
+  /// activation restriction) for error *detection* (fault-free path).
+  [[nodiscard]] sim::CostBreakdown detection_overhead_costs(
+      std::size_t seq) const;
+  /// Additional modeled cost of *correcting* one flip per attention call
+  /// (Fig. 15's correction experiment): locate + repair + recompute of the
+  /// affected residue class, once per layer.
+  [[nodiscard]] sim::CostBreakdown correction_overhead_costs(
+      std::size_t seq) const;
+
+ private:
+  ModelConfig cfg_;
+  std::vector<Block> blocks_;
+  LayerNorm final_ln_;
+};
+
+}  // namespace ftt::transformer

@@ -1,0 +1,146 @@
+// Analytic A100 cost model: roofline behaviour, phase accounting, and the
+// shape facts the paper's figures depend on (launch overhead, O(n^2) traffic,
+// OOM crossover).
+#include <gtest/gtest.h>
+
+#include "attention/attention.hpp"
+#include "attention/decoupled_ft.hpp"
+#include "core/efta.hpp"
+#include "sim/cost.hpp"
+
+namespace fs = ftt::sim;
+namespace fa = ftt::attention;
+
+TEST(Costs, Accumulate) {
+  fs::Costs a{1, 2, 3, 4, 5, 6, 1};
+  fs::Costs b{10, 20, 30, 40, 50, 60, 2};
+  const fs::Costs c = a + b;
+  EXPECT_DOUBLE_EQ(c.tc_flops, 11);
+  EXPECT_DOUBLE_EQ(c.fp32_flops, 22);
+  EXPECT_DOUBLE_EQ(c.sfu_ops, 33);
+  EXPECT_DOUBLE_EQ(c.hbm_bytes, 44);
+  EXPECT_DOUBLE_EQ(c.shuffles, 55);
+  EXPECT_DOUBLE_EQ(c.syncs, 66);
+  EXPECT_DOUBLE_EQ(c.launches, 3);
+}
+
+TEST(Costs, Scale) {
+  fs::Costs a{2, 4, 6, 8, 10, 12, 2};
+  a.scale(0.5);
+  EXPECT_DOUBLE_EQ(a.tc_flops, 1);
+  EXPECT_DOUBLE_EQ(a.syncs, 6);
+  EXPECT_DOUBLE_EQ(a.launches, 1);
+}
+
+TEST(CostBreakdown, TotalSumsPhases) {
+  fs::CostBreakdown b;
+  b[fs::Phase::kGemm].tc_flops = 100;
+  b[fs::Phase::kVerify].fp32_flops = 50;
+  const fs::Costs t = b.total();
+  EXPECT_DOUBLE_EQ(t.tc_flops, 100);
+  EXPECT_DOUBLE_EQ(t.fp32_flops, 50);
+}
+
+TEST(MachineModel, RooflinePicksSlowestResource) {
+  fs::MachineModel m;
+  fs::Costs mem_bound;
+  mem_bound.hbm_bytes = 1e9;
+  fs::Costs compute_bound;
+  compute_bound.tc_flops = 1e15;
+  EXPECT_GT(m.phase_seconds(compute_bound), m.phase_seconds(mem_bound));
+
+  // A phase with both is dominated by the max, not the sum.
+  fs::Costs both = mem_bound;
+  both.tc_flops = 1e9;  // negligible
+  EXPECT_DOUBLE_EQ(m.phase_seconds(both), m.phase_seconds(mem_bound));
+}
+
+TEST(MachineModel, LaunchLatencyAdds) {
+  fs::MachineModel m;
+  fs::CostBreakdown one, three;
+  one[fs::Phase::kMemory].launches = 1;
+  three[fs::Phase::kMemory].launches = 3;
+  EXPECT_NEAR(m.seconds(three) - m.seconds(one), 2.0 * m.launch_latency,
+              1e-12);
+}
+
+TEST(MachineModel, GemmCostsFormula) {
+  const fs::Costs g = fs::gemm_costs(64, 64, 64);
+  EXPECT_DOUBLE_EQ(g.tc_flops, 2.0 * 64 * 64 * 64);
+}
+
+TEST(PaperShape, TokenBudgetFixed) {
+  for (std::size_t seq : {512u, 1024u, 2048u, 4096u, 8192u, 16384u}) {
+    const auto s = fa::paper_shape(seq, 16, 64);
+    EXPECT_EQ(s.batch * s.seq, 16384u) << seq;
+  }
+}
+
+TEST(AttentionCosts, DecoupledTrafficQuadratic) {
+  const auto small = fa::decoupled_attention_costs(fa::paper_shape(512, 16, 64));
+  const auto big = fa::decoupled_attention_costs(fa::paper_shape(4096, 16, 64));
+  // Same token budget, same total GEMM flops per token... but S/P traffic
+  // scales with seq: batch*seq^2 = tokens*seq.
+  const double ratio = big[fs::Phase::kMemory].hbm_bytes /
+                       small[fs::Phase::kMemory].hbm_bytes;
+  EXPECT_NEAR(ratio, 8.0, 0.5);  // 4096/512
+}
+
+TEST(AttentionCosts, FlashTrafficLinearInBlocks) {
+  const auto c = fa::flash_attention_costs(fa::paper_shape(1024, 16, 64));
+  const auto d = fa::decoupled_attention_costs(fa::paper_shape(1024, 16, 64));
+  EXPECT_LT(c[fs::Phase::kMemory].hbm_bytes,
+            d[fs::Phase::kMemory].hbm_bytes);
+  EXPECT_EQ(c[fs::Phase::kMemory].launches, 1);
+  EXPECT_EQ(d[fs::Phase::kMemory].launches, 3);
+}
+
+TEST(AttentionCosts, GemmFlopsMatchFormula) {
+  const fa::AttnShape s{2, 4, 256, 64};
+  const auto c = fa::flash_attention_costs(s);
+  EXPECT_DOUBLE_EQ(c[fs::Phase::kGemm].tc_flops,
+                   2.0 * 4 * 4.0 * 256.0 * 256.0 * 64.0);
+}
+
+TEST(Oom, DecoupledExceeds40GBAtPaperScale) {
+  fs::MachineModel m;
+  // h=32, d=128, seq=16k, 16K tokens: the OOM case in Fig. 9 (bottom).
+  const auto oom = fa::paper_shape(16384, 32, 128);
+  EXPECT_FALSE(m.fits(fa::decoupled_workspace_bytes(oom)));
+  // h=16, d=64 at 16k stays (barely) within 40 GB in the paper's top plot.
+  const auto ok = fa::paper_shape(16384, 16, 64);
+  EXPECT_TRUE(m.fits(fa::decoupled_workspace_bytes(ok)));
+  // EFTA never materializes S/P, so even the big case fits.
+  const double efta_bytes = 4.0 * 16384.0 * 32 * 128 * 2.0;
+  EXPECT_TRUE(m.fits(efta_bytes));
+}
+
+TEST(Oom, CrossoverBetween8kAnd16k) {
+  fs::MachineModel m;
+  EXPECT_TRUE(
+      m.fits(fa::decoupled_workspace_bytes(fa::paper_shape(8192, 32, 128))));
+  EXPECT_FALSE(
+      m.fits(fa::decoupled_workspace_bytes(fa::paper_shape(16384, 32, 128))));
+}
+
+TEST(SpeedupShape, EftaBeatsDecoupledAcrossSweep) {
+  // The headline claim of Fig. 9: protected EFTA is multiple times faster
+  // than the protected decoupled pipeline at every length.
+  fs::MachineModel m;
+  ftt::core::EftaOptions opt;
+  opt.unified_verification = true;
+  for (std::size_t seq : {512u, 1024u, 2048u, 4096u, 8192u}) {
+    const auto shape = fa::paper_shape(seq, 16, 64);
+    const double t_dec = m.seconds(fa::decoupled_ft_costs(shape));
+    const double t_efta = m.seconds(ftt::core::efta_costs(shape, opt));
+    EXPECT_GT(t_dec / t_efta, 2.0) << "seq=" << seq;
+  }
+}
+
+TEST(PhaseNames, AllDistinct) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < fs::kPhaseCount; ++i) {
+    names.insert(fs::phase_name(static_cast<fs::Phase>(i)));
+  }
+  EXPECT_EQ(names.size(), fs::kPhaseCount);
+}

@@ -1,0 +1,138 @@
+// Protected single-token decode (KV-cache inference step).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/attention.hpp"
+#include "core/decode.hpp"
+#include "tensor/random.hpp"
+
+namespace fa = ftt::attention;
+namespace fc = ftt::core;
+namespace ff = ftt::fault;
+namespace ft = ftt::tensor;
+using ftt::numeric::Half;
+
+namespace {
+
+struct DecodeEnv {
+  static constexpr std::size_t kN = 256, kD = 64;
+  ft::MatrixH K{kN, kD}, V{kN, kD};
+  std::vector<Half> q;
+  std::vector<float> ref;
+  DecodeEnv() : q(kD), ref(kD) {
+    ft::fill_normal(K, 61);
+    ft::fill_normal(V, 62);
+    std::mt19937_64 rng(63);
+    std::normal_distribution<float> dist(0.0f, 1.0f);
+    for (auto& v : q) v = Half(dist(rng));
+    // Reference: standard attention with the decode row as the last query.
+    ft::Tensor4H Qt(1, 1, kN, kD), Kt(1, 1, kN, kD), Vt(1, 1, kN, kD);
+    for (std::size_t r = 0; r < kN; ++r) {
+      for (std::size_t c = 0; c < kD; ++c) {
+        Qt.at(0, 0, r, c) = q[c];  // same query in every row; row 0 suffices
+        Kt.at(0, 0, r, c) = K(r, c);
+        Vt.at(0, 0, r, c) = V(r, c);
+      }
+    }
+    ft::Tensor4F O(1, 1, kN, kD);
+    fa::standard_attention(Qt, Kt, Vt, O);
+    for (std::size_t c = 0; c < kD; ++c) ref[c] = O.at(0, 0, 0, c);
+  }
+};
+
+}  // namespace
+
+TEST(Decode, CleanMatchesStandardAttention) {
+  DecodeEnv env;
+  std::vector<float> out(DecodeEnv::kD);
+  const auto rep = fc::efta_decode_step(env.K, env.V, env.q, out);
+  EXPECT_EQ(rep.gemm1.flagged, 0u);
+  EXPECT_EQ(rep.exp_check.flagged, 0u);
+  EXPECT_EQ(rep.range_corrections, 0u);
+  for (std::size_t c = 0; c < DecodeEnv::kD; ++c) {
+    EXPECT_NEAR(out[c], env.ref[c], 2e-3f) << c;
+  }
+}
+
+TEST(Decode, RejectsBadShapes) {
+  ft::MatrixH K(100, 64), V(100, 64);  // 100 % 64 != 0
+  std::vector<Half> q(64);
+  std::vector<float> out(64);
+  EXPECT_THROW(fc::efta_decode_step(K, V, q, out), std::invalid_argument);
+}
+
+TEST(Decode, CorrectsGemm1Fault) {
+  DecodeEnv env;
+  std::vector<float> out(DecodeEnv::kD);
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm1, 100, 30);
+  const auto rep = fc::efta_decode_step(env.K, env.V, env.q, out, {}, &inj);
+  EXPECT_EQ(rep.faults_injected, 1u);
+  EXPECT_GE(rep.gemm1.corrected, 1u);
+  for (std::size_t c = 0; c < DecodeEnv::kD; ++c) {
+    EXPECT_NEAR(out[c], env.ref[c], 1e-2f) << c;
+  }
+}
+
+TEST(Decode, RecoversFromExpFault) {
+  DecodeEnv env;
+  std::vector<float> out(DecodeEnv::kD);
+  auto inj = ff::FaultInjector::single(ff::Site::kExp, 77, 30);
+  const auto rep = fc::efta_decode_step(env.K, env.V, env.q, out, {}, &inj);
+  EXPECT_EQ(rep.faults_injected, 1u);
+  EXPECT_GE(rep.exp_check.flagged, 1u);
+  for (std::size_t c = 0; c < DecodeEnv::kD; ++c) {
+    EXPECT_NEAR(out[c], env.ref[c], 1e-2f) << c;
+  }
+}
+
+TEST(Decode, CorrectsGemm2Fault) {
+  DecodeEnv env;
+  std::vector<float> out(DecodeEnv::kD);
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm2, 50, 30);
+  const auto rep = fc::efta_decode_step(env.K, env.V, env.q, out, {}, &inj);
+  EXPECT_EQ(rep.faults_injected, 1u);
+  EXPECT_GE(rep.gemm2.corrected + rep.gemm2.checksum_repairs, 1u);
+  for (std::size_t c = 0; c < DecodeEnv::kD; ++c) {
+    EXPECT_NEAR(out[c], env.ref[c], 1e-2f) << c;
+  }
+}
+
+TEST(Decode, RangeRestrictsRowsumFault) {
+  DecodeEnv env;
+  std::vector<float> out(DecodeEnv::kD);
+  auto inj = ff::FaultInjector::single(ff::Site::kReduceSum, 1, 29);
+  const auto rep = fc::efta_decode_step(env.K, env.V, env.q, out, {}, &inj);
+  EXPECT_EQ(rep.faults_injected, 1u);
+  for (std::size_t c = 0; c < DecodeEnv::kD; ++c) {
+    EXPECT_TRUE(std::isfinite(out[c]));
+  }
+}
+
+TEST(Decode, GrowingCacheStaysConsistent) {
+  // The decode step over a prefix of the cache equals standard attention
+  // over that prefix — the invariant autoregressive generation relies on.
+  DecodeEnv env;
+  for (const std::size_t n : {64u, 128u, 192u, 256u}) {
+    ft::MatrixH K(n, DecodeEnv::kD), V(n, DecodeEnv::kD);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < DecodeEnv::kD; ++c) {
+        K(r, c) = env.K(r, c);
+        V(r, c) = env.V(r, c);
+      }
+    }
+    std::vector<float> out(DecodeEnv::kD);
+    const auto rep = fc::efta_decode_step(K, V, env.q, out);
+    EXPECT_EQ(rep.gemm1.flagged, 0u) << n;
+    // Weights must be a convex combination of the prefix's V rows.
+    for (std::size_t c = 0; c < DecodeEnv::kD; ++c) {
+      float lo = 1e30f, hi = -1e30f;
+      for (std::size_t r = 0; r < n; ++r) {
+        lo = std::min(lo, V(r, c).to_float());
+        hi = std::max(hi, V(r, c).to_float());
+      }
+      EXPECT_GE(out[c], lo - 1e-3f);
+      EXPECT_LE(out[c], hi + 1e-3f);
+    }
+  }
+}

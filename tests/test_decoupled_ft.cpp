@@ -1,0 +1,112 @@
+// Decoupled (operation-level) FT attention: correctness, fault recovery per
+// kernel, and cost-model facts (3 launches, quadratic traffic).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/decoupled_ft.hpp"
+#include "tensor/random.hpp"
+
+namespace fa = ftt::attention;
+namespace ft = ftt::tensor;
+namespace ff = ftt::fault;
+
+namespace {
+
+float max_diff(const ft::Tensor4F& a, const ft::Tensor4F& b) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = std::fabs(a.data()[i] - b.data()[i]);
+    if (std::isnan(d)) return std::numeric_limits<float>::infinity();
+    m = std::max(m, d);
+  }
+  return m;
+}
+
+struct Made {
+  ft::Tensor4H Q, K, V;
+};
+Made make(std::size_t batch, std::size_t heads, std::size_t seq,
+          std::size_t dim, std::uint64_t seed) {
+  Made m{ft::Tensor4H(batch, heads, seq, dim),
+         ft::Tensor4H(batch, heads, seq, dim),
+         ft::Tensor4H(batch, heads, seq, dim)};
+  ft::fill_normal(m.Q, seed);
+  ft::fill_normal(m.K, seed + 1);
+  ft::fill_normal(m.V, seed + 2);
+  return m;
+}
+
+}  // namespace
+
+TEST(DecoupledFt, CleanMatchesStandard) {
+  auto [Q, K, V] = make(1, 2, 128, 64, 1);
+  ft::Tensor4F Os(1, 2, 128, 64), Od(1, 2, 128, 64);
+  fa::standard_attention(Q, K, V, Os);
+  const auto rep = fa::decoupled_ft_attention(Q, K, V, Od);
+  EXPECT_LT(max_diff(Os, Od), 2e-3f);
+  EXPECT_EQ(rep.gemm1.flagged, 0u);
+  EXPECT_EQ(rep.gemm2.flagged, 0u);
+  // DMR's first replica evaluation always runs.
+  EXPECT_GE(rep.dmr_recomputes, 1u);
+}
+
+TEST(DecoupledFt, RecoversFromGemm1Fault) {
+  auto [Q, K, V] = make(1, 1, 64, 64, 2);
+  ft::Tensor4F ref(1, 1, 64, 64), out(1, 1, 64, 64);
+  fa::decoupled_ft_attention(Q, K, V, ref);
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm1, 1234, 30);
+  const auto rep = fa::decoupled_ft_attention(Q, K, V, out, {}, &inj);
+  EXPECT_EQ(rep.faults_injected, 1u);
+  EXPECT_EQ(rep.gemm1.corrected, 1u);
+  EXPECT_LT(max_diff(ref, out), 2e-2f);
+}
+
+TEST(DecoupledFt, RecoversFromExpFaultViaDmr) {
+  auto [Q, K, V] = make(1, 1, 64, 64, 3);
+  ft::Tensor4F ref(1, 1, 64, 64), out(1, 1, 64, 64);
+  fa::decoupled_ft_attention(Q, K, V, ref);
+  auto inj = ff::FaultInjector::single(ff::Site::kExp, 500, 30);
+  const auto rep = fa::decoupled_ft_attention(Q, K, V, out, {}, &inj);
+  EXPECT_EQ(rep.faults_injected, 1u);
+  EXPECT_GE(rep.dmr_recomputes, 2u);
+  EXPECT_LT(max_diff(ref, out), 2e-2f);
+}
+
+TEST(DecoupledFt, RecoversFromGemm2Fault) {
+  auto [Q, K, V] = make(1, 1, 64, 64, 4);
+  ft::Tensor4F ref(1, 1, 64, 64), out(1, 1, 64, 64);
+  fa::decoupled_ft_attention(Q, K, V, ref);
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm2, 777, 30);
+  const auto rep = fa::decoupled_ft_attention(Q, K, V, out, {}, &inj);
+  EXPECT_EQ(rep.faults_injected, 1u);
+  EXPECT_EQ(rep.gemm2.corrected, 1u);
+  EXPECT_LT(max_diff(ref, out), 2e-2f);
+}
+
+TEST(DecoupledFt, MultiSliceWithInjection) {
+  // Injection forces the serial path; results must still match the parallel
+  // clean run where no flip landed.
+  auto [Q, K, V] = make(2, 2, 64, 64, 5);
+  ft::Tensor4F ref(2, 2, 64, 64), out(2, 2, 64, 64);
+  fa::decoupled_ft_attention(Q, K, V, ref);
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm1, 64 * 64 + 5, 30);
+  fa::decoupled_ft_attention(Q, K, V, out, {}, &inj);
+  EXPECT_EQ(inj.injected(), 1u);
+  EXPECT_LT(max_diff(ref, out), 2e-2f);
+}
+
+TEST(DecoupledFtCosts, ThreeLaunchesAndQuadraticTraffic) {
+  const auto c = fa::decoupled_ft_costs(fa::paper_shape(1024, 16, 64));
+  EXPECT_EQ(c[ftt::sim::Phase::kMemory].launches, 3);
+  // Traffic dominated by fp32 S and P round trips:
+  const double expected =
+      16.0 * 16384.0 / 1024.0 * 2.0 * 1024.0 * 1024.0 * 4.0 * 2.0;
+  EXPECT_GT(c[ftt::sim::Phase::kMemory].hbm_bytes, expected * 0.9);
+}
+
+TEST(DecoupledFtCosts, DmrAndShuffleOverheadsPresent) {
+  const auto c = fa::decoupled_ft_costs(fa::paper_shape(512, 16, 64));
+  EXPECT_GT(c[ftt::sim::Phase::kDmr].sfu_ops, 0.0);
+  EXPECT_GT(c[ftt::sim::Phase::kChecksumGen].shuffles, 0.0);
+}

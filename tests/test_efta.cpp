@@ -1,0 +1,223 @@
+// EFTA clean-path correctness: the protected fused kernel must reproduce
+// standard attention exactly (up to fp16 noise) in every protection mode,
+// with zero false corrections at the calibrated thresholds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/attention.hpp"
+#include "core/efta.hpp"
+#include "tensor/random.hpp"
+
+namespace fa = ftt::attention;
+namespace fc = ftt::core;
+namespace ft = ftt::tensor;
+
+namespace {
+
+float max_diff(const ft::Tensor4F& a, const ft::Tensor4F& b) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = std::fabs(a.data()[i] - b.data()[i]);
+    if (std::isnan(d)) return std::numeric_limits<float>::infinity();
+    m = std::max(m, d);
+  }
+  return m;
+}
+
+struct Made {
+  ft::Tensor4H Q, K, V;
+};
+Made make(std::size_t batch, std::size_t heads, std::size_t seq,
+          std::size_t dim, std::uint64_t seed) {
+  Made m{ft::Tensor4H(batch, heads, seq, dim),
+         ft::Tensor4H(batch, heads, seq, dim),
+         ft::Tensor4H(batch, heads, seq, dim)};
+  ft::fill_normal(m.Q, seed);
+  ft::fill_normal(m.K, seed + 1);
+  ft::fill_normal(m.V, seed + 2);
+  return m;
+}
+
+}  // namespace
+
+TEST(Efta, UnprotectedMatchesStandard) {
+  auto [Q, K, V] = make(1, 2, 128, 64, 1);
+  ft::Tensor4F Os(1, 2, 128, 64), Oe(1, 2, 128, 64);
+  fa::standard_attention(Q, K, V, Os);
+  fc::EftaOptions opt;
+  opt.gemm = fc::GemmProtect::kNone;
+  opt.softmax = fc::SoftmaxProtect::kNone;
+  fc::efta_attention(Q, K, V, Oe, opt);
+  EXPECT_LT(max_diff(Os, Oe), 2e-3f);
+}
+
+TEST(Efta, ProtectedMatchesStandard) {
+  auto [Q, K, V] = make(1, 2, 128, 64, 2);
+  ft::Tensor4F Os(1, 2, 128, 64), Oe(1, 2, 128, 64);
+  fa::standard_attention(Q, K, V, Os);
+  const auto rep = fc::efta_attention(Q, K, V, Oe, {});
+  EXPECT_LT(max_diff(Os, Oe), 2e-3f);
+  EXPECT_EQ(rep.gemm1.flagged, 0u);
+  EXPECT_EQ(rep.gemm2.flagged, 0u);
+  EXPECT_EQ(rep.range_corrections, 0u);
+}
+
+TEST(Efta, OptimizedMatchesStandard) {
+  auto [Q, K, V] = make(2, 2, 192, 64, 3);
+  ft::Tensor4F Os(2, 2, 192, 64), Oe(2, 2, 192, 64);
+  fa::standard_attention(Q, K, V, Os);
+  fc::EftaOptions opt;
+  opt.unified_verification = true;
+  const auto rep = fc::efta_attention(Q, K, V, Oe, opt);
+  EXPECT_LT(max_diff(Os, Oe), 2e-3f);
+  EXPECT_EQ(rep.gemm2.flagged, 0u);
+}
+
+TEST(Efta, CleanExpCheckNoFalseAlarms) {
+  auto [Q, K, V] = make(1, 4, 256, 64, 4);
+  ft::Tensor4F O(1, 4, 256, 64);
+  fc::EftaOptions opt;
+  opt.unified_verification = true;
+  const auto rep = fc::efta_attention(Q, K, V, O, opt);
+  EXPECT_GT(rep.exp_check.checks, 0u);
+  EXPECT_EQ(rep.exp_check.flagged, 0u);
+}
+
+TEST(Efta, ElementModeMatchesStandard) {
+  auto [Q, K, V] = make(1, 1, 128, 64, 5);
+  ft::Tensor4F Os(1, 1, 128, 64), Oe(1, 1, 128, 64);
+  fa::standard_attention(Q, K, V, Os);
+  fc::EftaOptions opt;
+  opt.gemm = fc::GemmProtect::kElement;
+  const auto rep = fc::efta_attention(Q, K, V, Oe, opt);
+  EXPECT_LT(max_diff(Os, Oe), 2e-3f);
+  EXPECT_EQ(rep.gemm1.corrected, 0u);
+}
+
+TEST(Efta, DmrModeMatchesStandard) {
+  auto [Q, K, V] = make(1, 1, 128, 64, 6);
+  ft::Tensor4F Os(1, 1, 128, 64), Oe(1, 1, 128, 64);
+  fa::standard_attention(Q, K, V, Os);
+  fc::EftaOptions opt;
+  opt.softmax = fc::SoftmaxProtect::kDMR;
+  fc::efta_attention(Q, K, V, Oe, opt);
+  EXPECT_LT(max_diff(Os, Oe), 2e-3f);
+}
+
+TEST(Efta, UnifiedAndPerStepAgree) {
+  auto [Q, K, V] = make(1, 2, 256, 64, 7);
+  ft::Tensor4F Oa(1, 2, 256, 64), Ob(1, 2, 256, 64);
+  fc::EftaOptions a, b;
+  a.unified_verification = false;
+  b.unified_verification = true;
+  fc::efta_attention(Q, K, V, Oa, a);
+  fc::efta_attention(Q, K, V, Ob, b);
+  // Fault-free, both orderings compute the same arithmetic.
+  EXPECT_LT(max_diff(Oa, Ob), 1e-6f);
+}
+
+TEST(Efta, Dim128Config) {
+  // The paper's large-model setting: head dim 128.
+  auto [Q, K, V] = make(1, 2, 128, 128, 8);
+  ft::Tensor4F Os(1, 2, 128, 128), Oe(1, 2, 128, 128);
+  fa::standard_attention(Q, K, V, Os);
+  fc::EftaOptions opt;
+  opt.unified_verification = true;
+  const auto rep = fc::efta_attention(Q, K, V, Oe, opt);
+  EXPECT_LT(max_diff(Os, Oe), 2e-3f);
+  EXPECT_EQ(rep.gemm2.flagged, 0u);
+}
+
+TEST(Efta, RejectsMisalignedShapes) {
+  auto [Q, K, V] = make(1, 1, 96, 64, 9);  // 96 % 64 != 0
+  ft::Tensor4F O(1, 1, 96, 64);
+  EXPECT_THROW(fc::efta_attention(Q, K, V, O, {}), std::invalid_argument);
+}
+
+TEST(Efta, SmallSeqEqualsBlock) {
+  auto [Q, K, V] = make(1, 1, 64, 64, 10);
+  ft::Tensor4F Os(1, 1, 64, 64), Oe(1, 1, 64, 64);
+  fa::standard_attention(Q, K, V, Os);
+  fc::efta_attention(Q, K, V, Oe, {});
+  EXPECT_LT(max_diff(Os, Oe), 2e-3f);
+}
+
+TEST(EftaCosts, ProtectionIsSmallFractionOfTotal) {
+  // The paper's headline: average FT overhead under ~25% in the optimized
+  // configuration at paper scale.
+  ftt::sim::MachineModel m;
+  fc::EftaOptions opt;
+  opt.unified_verification = true;
+  double total_ratio = 0.0;
+  int n = 0;
+  for (std::size_t seq : {512u, 1024u, 2048u, 4096u, 8192u, 16384u}) {
+    const auto shape = fa::paper_shape(seq, 16, 64);
+    const double base = m.seconds(fa::flash_attention_costs(shape));
+    const double total = m.seconds(fc::efta_costs(shape, opt));
+    total_ratio += (total - base) / base;
+    ++n;
+  }
+  EXPECT_LT(total_ratio / n, 0.60);
+  EXPECT_GT(total_ratio / n, 0.02);
+}
+
+TEST(EftaCosts, UnifiedCheaperThanPerStep) {
+  fc::EftaOptions per_step, unified;
+  per_step.unified_verification = false;
+  unified.unified_verification = true;
+  ftt::sim::MachineModel m;
+  for (std::size_t seq : {512u, 2048u, 8192u}) {
+    const auto shape = fa::paper_shape(seq, 16, 64);
+    EXPECT_LT(m.seconds(fc::efta_costs(shape, unified)),
+              m.seconds(fc::efta_costs(shape, per_step)))
+        << seq;
+  }
+}
+
+TEST(EftaCosts, StridedCheaperThanElementOnModel) {
+  fc::EftaOptions strided, element;
+  element.gemm = fc::GemmProtect::kElement;
+  // Isolate the ABFT comparison (Fig. 11): same (no) softmax protection.
+  strided.softmax = fc::SoftmaxProtect::kNone;
+  element.softmax = fc::SoftmaxProtect::kNone;
+  ftt::sim::MachineModel m;
+  const auto shape = fa::paper_shape(2048, 16, 64);
+  EXPECT_LT(m.seconds(fc::efta_costs(shape, strided)),
+            m.seconds(fc::efta_costs(shape, element)));
+}
+
+TEST(EftaCosts, SnvrCheaperThanDmrOnModel) {
+  fc::EftaOptions snvr, dmr;
+  dmr.softmax = fc::SoftmaxProtect::kDMR;
+  dmr.gemm = fc::GemmProtect::kNone;
+  snvr.gemm = fc::GemmProtect::kNone;
+  ftt::sim::MachineModel m;
+  const auto shape = fa::paper_shape(2048, 16, 64);
+  EXPECT_LT(m.seconds(fc::efta_costs(shape, snvr)),
+            m.seconds(fc::efta_costs(shape, dmr)));
+}
+
+TEST(EftaCausal, MatchesCausalStandard) {
+  auto [Q, K, V] = make(1, 2, 192, 64, 30);
+  ft::Tensor4F Os(1, 2, 192, 64), Oe(1, 2, 192, 64);
+  fa::standard_attention(Q, K, V, Os, /*causal=*/true);
+  fc::EftaOptions opt;
+  opt.causal = true;
+  opt.unified_verification = true;
+  const auto rep = fc::efta_attention(Q, K, V, Oe, opt);
+  EXPECT_LT(max_diff(Os, Oe), 2e-3f);
+  EXPECT_EQ(rep.gemm2.flagged, 0u);
+  EXPECT_EQ(rep.range_corrections, 0u);
+}
+
+TEST(EftaCausal, PerStepAlsoMatches) {
+  auto [Q, K, V] = make(1, 1, 256, 64, 31);
+  ft::Tensor4F Os(1, 1, 256, 64), Oe(1, 1, 256, 64);
+  fa::standard_attention(Q, K, V, Os, true);
+  fc::EftaOptions opt;
+  opt.causal = true;
+  opt.unified_verification = false;
+  fc::efta_attention(Q, K, V, Oe, opt);
+  EXPECT_LT(max_diff(Os, Oe), 2e-3f);
+}

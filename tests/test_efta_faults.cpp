@@ -1,0 +1,297 @@
+// EFTA under injected faults: every site of the paper's case analysis, in
+// both per-step and unified verification modes, parameterized over bit
+// positions and call offsets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/attention.hpp"
+#include "core/efta.hpp"
+#include "tensor/random.hpp"
+
+namespace fa = ftt::attention;
+namespace fc = ftt::core;
+namespace ff = ftt::fault;
+namespace ft = ftt::tensor;
+
+namespace {
+
+float max_diff(const ft::Tensor4F& a, const ft::Tensor4F& b) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = std::fabs(a.data()[i] - b.data()[i]);
+    if (std::isnan(d)) return std::numeric_limits<float>::infinity();
+    m = std::max(m, d);
+  }
+  return m;
+}
+
+float max_rel(const ft::Tensor4F& a, const ft::Tensor4F& b) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = std::fabs(a.data()[i] - b.data()[i]);
+    if (std::isnan(d)) return std::numeric_limits<float>::infinity();
+    m = std::max(m, d / (std::fabs(b.data()[i]) + 0.1f));
+  }
+  return m;
+}
+
+struct Env {
+  ft::Tensor4H Q{1, 1, 128, 64}, K{1, 1, 128, 64}, V{1, 1, 128, 64};
+  ft::Tensor4F ref{1, 1, 128, 64};
+  Env() {
+    ft::fill_normal(Q, 11);
+    ft::fill_normal(K, 12);
+    ft::fill_normal(V, 13);
+    fa::standard_attention(Q, K, V, ref);
+  }
+  ft::Tensor4F run(const fc::EftaOptions& opt, ff::FaultInjector* inj,
+                   fa::FtReport* out_rep = nullptr) const {
+    ft::Tensor4F O(1, 1, 128, 64);
+    const auto rep = fc::efta_attention(Q, K, V, O, opt, inj);
+    if (out_rep) *out_rep = rep;
+    return O;
+  }
+};
+
+fc::EftaOptions mode(bool unified) {
+  fc::EftaOptions o;
+  o.unified_verification = unified;
+  return o;
+}
+
+}  // namespace
+
+class EftaFaultModes : public ::testing::TestWithParam<bool> {};
+
+TEST_P(EftaFaultModes, Gemm1HighBitCorrected) {
+  Env env;
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm1, 2077, 30);
+  fa::FtReport rep;
+  const auto O = env.run(mode(GetParam()), &inj, &rep);
+  EXPECT_EQ(rep.faults_injected, 1u);
+  EXPECT_GE(rep.gemm1.corrected + rep.exp_check.corrected, 1u);
+  EXPECT_LT(max_diff(O, env.ref), 1e-2f);
+}
+
+TEST_P(EftaFaultModes, ExpFaultRecomputed) {
+  Env env;
+  auto inj = ff::FaultInjector::single(ff::Site::kExp, 911, 29);
+  fa::FtReport rep;
+  const auto O = env.run(mode(GetParam()), &inj, &rep);
+  EXPECT_EQ(rep.faults_injected, 1u);
+  EXPECT_GE(rep.exp_check.flagged, 1u);
+  EXPECT_LT(max_diff(O, env.ref), 1e-2f);
+}
+
+TEST_P(EftaFaultModes, ExpSignFlipRecovered) {
+  // Negative exp output: impossible value, caught by the positivity guard.
+  Env env;
+  auto inj = ff::FaultInjector::single(ff::Site::kExp, 911, 31);
+  fa::FtReport rep;
+  const auto O = env.run(mode(GetParam()), &inj, &rep);
+  EXPECT_GE(rep.exp_check.flagged, 1u);
+  EXPECT_LT(max_diff(O, env.ref), 1e-2f);
+}
+
+TEST_P(EftaFaultModes, Gemm2Corrected) {
+  Env env;
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm2, 3333, 30);
+  fa::FtReport rep;
+  const auto O = env.run(mode(GetParam()), &inj, &rep);
+  EXPECT_EQ(rep.faults_injected, 1u);
+  EXPECT_GE(rep.gemm2.corrected, 1u);
+  EXPECT_LT(max_diff(O, env.ref), 1e-2f);
+}
+
+TEST_P(EftaFaultModes, RescaleCorrected) {
+  Env env;
+  auto inj = ff::FaultInjector::single(ff::Site::kRescale, 4000, 30);
+  fa::FtReport rep;
+  const auto O = env.run(mode(GetParam()), &inj, &rep);
+  EXPECT_EQ(rep.faults_injected, 1u);
+  EXPECT_LT(max_diff(O, env.ref), 1e-2f);
+}
+
+TEST_P(EftaFaultModes, ReduceSumRangeRestricted) {
+  // Case 3: a big flip in the running rowsum pushes l outside
+  // [sum exp(m_blk - m_glob), seq]; SNVR replaces it with the approximation.
+  // The result is approximate, not exact — check it stays usable.
+  Env env;
+  auto inj = ff::FaultInjector::single(ff::Site::kReduceSum, 77, 29);
+  fa::FtReport rep;
+  const auto O = env.run(mode(GetParam()), &inj, &rep);
+  EXPECT_EQ(rep.faults_injected, 1u);
+  EXPECT_GE(rep.range_corrections, 1u);
+  for (std::size_t i = 0; i < O.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(O.data()[i]));
+  }
+}
+
+TEST_P(EftaFaultModes, ReduceMaxUpwardCancels) {
+  // Case 1: an upward-flipped running max cancels exactly through the
+  // rescale chain (the stabilizer need not be the true max).
+  Env env;
+  // Bit 23 flips low exponent bits: moderate perturbation of the max.
+  auto inj = ff::FaultInjector::single(ff::Site::kReduceMax, 50, 23);
+  fa::FtReport rep;
+  const auto O = env.run(mode(GetParam()), &inj, &rep);
+  EXPECT_EQ(rep.faults_injected, 1u);
+  EXPECT_LT(max_rel(O, env.ref), 0.05f);
+}
+
+TEST_P(EftaFaultModes, ChecksumPipelineFlipHarmless) {
+  // A flip confined to the checksum pipeline must never corrupt the payload.
+  Env env;
+  for (std::uint64_t call : {10u, 600u, 1500u}) {
+    auto inj = ff::FaultInjector::single(ff::Site::kChecksum, call, 28);
+    fa::FtReport rep;
+    const auto O = env.run(mode(GetParam()), &inj, &rep);
+    EXPECT_LT(max_diff(O, env.ref), 1e-2f) << call;
+  }
+}
+
+TEST_P(EftaFaultModes, LowBitFlipsStayNegligible) {
+  // Low-mantissa flips may escape detection but by construction cannot move
+  // the output materially.
+  Env env;
+  for (ff::Site site : {ff::Site::kGemm1, ff::Site::kExp, ff::Site::kGemm2}) {
+    auto inj = ff::FaultInjector::single(site, 123, 2);
+    const auto O = env.run(mode(GetParam()), &inj, nullptr);
+    EXPECT_LT(max_rel(O, env.ref), 0.02f) << ff::site_name(site);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, EftaFaultModes, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "Unified" : "PerStep";
+                         });
+
+// --- bit-position sweep (property-style): high bits always recovered ---
+
+class EftaBitSweep : public ::testing::TestWithParam<unsigned> {};
+
+namespace {
+// Exponent-field flips (>= bit 29) must be detected and repaired exactly;
+// mantissa-field flips may legitimately sit below the detection threshold,
+// but then their impact is bounded by construction.
+float bit_tolerance(unsigned bit) { return bit >= 30 ? 0.05f : 0.30f; }
+}  // namespace
+
+TEST_P(EftaBitSweep, Gemm1FlipRecovered) {
+  Env env;
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm1, 999, GetParam());
+  fc::EftaOptions opt = mode(true);
+  const auto O = env.run(opt, &inj, nullptr);
+  EXPECT_LT(max_rel(O, env.ref), bit_tolerance(GetParam()))
+      << "bit " << GetParam();
+}
+
+TEST_P(EftaBitSweep, Gemm2FlipRecovered) {
+  Env env;
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm2, 4242, GetParam());
+  fc::EftaOptions opt = mode(true);
+  const auto O = env.run(opt, &inj, nullptr);
+  EXPECT_LT(max_rel(O, env.ref), bit_tolerance(GetParam()))
+      << "bit " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, EftaBitSweep,
+                         ::testing::Values(20u, 23u, 26u, 28u, 30u, 31u));
+
+// --- DMR softmax mode under EXP faults ---
+
+TEST(EftaDmr, ExpFaultCaughtByReplication) {
+  Env env;
+  fc::EftaOptions opt;
+  opt.softmax = fc::SoftmaxProtect::kDMR;
+  auto inj = ff::FaultInjector::single(ff::Site::kExp, 500, 30);
+  fa::FtReport rep;
+  ft::Tensor4F O(1, 1, 128, 64);
+  rep = fc::efta_attention(env.Q, env.K, env.V, O, opt, &inj);
+  EXPECT_EQ(rep.faults_injected, 1u);
+  EXPECT_GE(rep.dmr_recomputes, 1u);
+  EXPECT_LT(max_diff(O, env.ref), 1e-2f);
+}
+
+// --- element (traditional) ABFT inside EFTA ---
+
+TEST(EftaElement, Gemm1FlipCorrected) {
+  Env env;
+  fc::EftaOptions opt;
+  opt.gemm = fc::GemmProtect::kElement;
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm1, 321, 30);
+  fa::FtReport rep;
+  ft::Tensor4F O(1, 1, 128, 64);
+  rep = fc::efta_attention(env.Q, env.K, env.V, O, opt, &inj);
+  EXPECT_EQ(rep.faults_injected, 1u);
+  EXPECT_GE(rep.gemm1.corrected, 1u);
+  EXPECT_LT(max_diff(O, env.ref), 1e-2f);
+}
+
+TEST(EftaElement, Gemm2FlipCorrected) {
+  Env env;
+  fc::EftaOptions opt;
+  opt.gemm = fc::GemmProtect::kElement;
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm2, 2222, 30);
+  fa::FtReport rep;
+  ft::Tensor4F O(1, 1, 128, 64);
+  rep = fc::efta_attention(env.Q, env.K, env.V, O, opt, &inj);
+  EXPECT_GE(rep.gemm2.corrected, 1u);
+  EXPECT_LT(max_diff(O, env.ref), 1e-2f);
+}
+
+// --- multi-error within one kernel call (beyond-SEU stress) ---
+
+TEST(EftaMultiError, TwoFlipsDistinctResidues) {
+  // Two MAC flips landing in different residue classes: both corrected by
+  // the 8-wide tensor checksum (the paper's coverage advantage).
+  Env env;
+  auto inj =
+      ff::FaultInjector::bernoulli(2.0 / (128.0 * 128.0), 99, {ff::Site::kGemm1});
+  fa::FtReport rep;
+  const auto O = env.run(mode(true), &inj, &rep);
+  // Whatever landed, output must remain close to the reference.
+  EXPECT_LT(max_rel(O, env.ref), 0.05f);
+}
+
+// --- causal (decoder) attention under faults ---
+
+TEST(EftaCausalFaults, OffDiagonalGemm1Corrected) {
+  ft::Tensor4H Q(1, 1, 128, 64), K(1, 1, 128, 64), V(1, 1, 128, 64);
+  ft::fill_normal(Q, 41);
+  ft::fill_normal(K, 42);
+  ft::fill_normal(V, 43);
+  fc::EftaOptions opt;
+  opt.causal = true;
+  opt.unified_verification = true;
+  ft::Tensor4F ref(1, 1, 128, 64);
+  fc::efta_attention(Q, K, V, ref, opt);
+  // Calls 0..4095 are the diagonal block of row-block 0; 4096.. belong to
+  // the second row block's off-diagonal pass.
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm1, 5000, 30);
+  ft::Tensor4F O(1, 1, 128, 64);
+  const auto rep = fc::efta_attention(Q, K, V, O, opt, &inj);
+  EXPECT_EQ(rep.faults_injected, 1u);
+  EXPECT_LT(max_diff(O, ref), 1e-2f);
+}
+
+TEST(EftaCausalFaults, DiagonalBlockVerifiedPreMask) {
+  ft::Tensor4H Q(1, 1, 128, 64), K(1, 1, 128, 64), V(1, 1, 128, 64);
+  ft::fill_normal(Q, 44);
+  ft::fill_normal(K, 45);
+  ft::fill_normal(V, 46);
+  fc::EftaOptions opt;
+  opt.causal = true;
+  opt.unified_verification = true;
+  ft::Tensor4F ref(1, 1, 128, 64);
+  fc::efta_attention(Q, K, V, ref, opt);
+  // Call 100 lands in the first (diagonal) block: the pre-mask linear
+  // verification must repair it even though the EXP check is skipped there.
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm1, 100, 30);
+  ft::Tensor4F O(1, 1, 128, 64);
+  const auto rep = fc::efta_attention(Q, K, V, O, opt, &inj);
+  EXPECT_EQ(rep.faults_injected, 1u);
+  EXPECT_GE(rep.gemm1.corrected, 1u);
+  EXPECT_LT(max_diff(O, ref), 1e-2f);
+}

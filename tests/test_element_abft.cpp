@@ -1,0 +1,157 @@
+// Classic element-checksum ABFT (Eqs. 8-9): encoding identities, single-error
+// detect/locate/correct, multi-error limits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abft/element_abft.hpp"
+#include "tensor/random.hpp"
+
+namespace fb = ftt::abft;
+namespace ft = ftt::tensor;
+namespace ff = ftt::fault;
+
+namespace {
+constexpr float kThr = 0.02f;
+
+ft::MatrixF reference_nt(const ft::MatrixH& A, const ft::MatrixH& B) {
+  ft::MatrixF C(A.rows(), B.rows());
+  for (std::size_t m = 0; m < A.rows(); ++m) {
+    for (std::size_t n = 0; n < B.rows(); ++n) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < A.cols(); ++k) {
+        acc += A(m, k).to_float() * B(n, k).to_float();
+      }
+      C(m, n) = acc;
+    }
+  }
+  return C;
+}
+}  // namespace
+
+TEST(ElementEncode, RowChecksumIdentity) {
+  ft::MatrixF A(6, 5);
+  ft::fill_normal(A, 1);
+  const ft::MatrixF Ac = fb::ElementAbft::encode_rows(A);
+  ASSERT_EQ(Ac.rows(), 8u);
+  for (std::size_t k = 0; k < 5; ++k) {
+    float s1 = 0.0f, s2 = 0.0f;
+    for (std::size_t i = 0; i < 6; ++i) {
+      s1 += A(i, k);
+      s2 += static_cast<float>(i + 1) * A(i, k);
+    }
+    EXPECT_FLOAT_EQ(Ac(6, k), s1);
+    EXPECT_FLOAT_EQ(Ac(7, k), s2);
+  }
+}
+
+TEST(ElementEncode, ColChecksumIdentity) {
+  ft::MatrixF B(4, 7);
+  ft::fill_normal(B, 2);
+  const ft::MatrixF Br = fb::ElementAbft::encode_cols(B);
+  ASSERT_EQ(Br.cols(), 9u);
+  for (std::size_t k = 0; k < 4; ++k) {
+    float s1 = 0.0f, s2 = 0.0f;
+    for (std::size_t j = 0; j < 7; ++j) {
+      s1 += B(k, j);
+      s2 += static_cast<float>(j + 1) * B(k, j);
+    }
+    EXPECT_FLOAT_EQ(Br(k, 7), s1);
+    EXPECT_FLOAT_EQ(Br(k, 8), s2);
+  }
+}
+
+TEST(ElementAbft, CleanRunNoFlags) {
+  ft::MatrixH A(32, 64), B(32, 64);
+  ft::fill_normal(A, 3, 0.0f, 0.125f);
+  ft::fill_normal(B, 4);
+  ft::MatrixF C(32, 32);
+  const auto rep = fb::ElementAbft::gemm_nt(A, B, C, kThr, nullptr);
+  EXPECT_EQ(rep.flagged, 0u);
+  EXPECT_EQ(rep.corrected, 0u);
+  // Payload matches the reference GEMM.
+  const ft::MatrixF ref = reference_nt(A, B);
+  EXPECT_LT(ft::max_abs_diff(C, ref), 1e-4f);
+}
+
+TEST(ElementAbft, CorrectsSingleLargeFlip) {
+  ft::MatrixH A(32, 64), B(32, 64);
+  ft::fill_normal(A, 5, 0.0f, 0.125f);
+  ft::fill_normal(B, 6);
+  const ft::MatrixF ref = reference_nt(A, B);
+
+  // Flip a high exponent bit of one payload output (call 100 = element
+  // (3, 4) of the 32x32 payload).
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm1, 100, 30);
+  ft::MatrixF C(32, 32);
+  const auto rep = fb::ElementAbft::gemm_nt(A, B, C, kThr, &inj);
+  EXPECT_EQ(inj.injected(), 1u);
+  EXPECT_GE(rep.flagged, 1u);
+  EXPECT_EQ(rep.corrected, 1u);
+  EXPECT_LT(ft::max_abs_diff(C, ref), 2e-2f);
+}
+
+TEST(ElementAbft, CorrectsFlipsAcrossManyPositions) {
+  ft::MatrixH A(64, 64), B(64, 64);
+  ft::fill_normal(A, 7, 0.0f, 0.125f);
+  ft::fill_normal(B, 8);
+  const ft::MatrixF ref = reference_nt(A, B);
+  for (std::uint64_t call : {0u, 63u, 64u, 2047u, 4095u}) {
+    auto inj = ff::FaultInjector::single(ff::Site::kGemm1, call, 30);
+    ft::MatrixF C(64, 64);
+    const auto rep = fb::ElementAbft::gemm_nt(A, B, C, kThr, &inj);
+    EXPECT_EQ(rep.corrected, 1u) << call;
+    EXPECT_LT(ft::max_abs_diff(C, ref), 2e-2f) << call;
+  }
+}
+
+TEST(ElementAbft, TwoErrorsSameColumnNotLocatable) {
+  // Two corrupted elements in one column: d2/d1 is not an integer row index,
+  // so the single element checksum detects but cannot correct — the paper's
+  // motivation for the 8-wide tensor checksum.
+  ft::MatrixF C(16, 16, 1.0f);
+  ft::MatrixF chk(2, 16);
+  for (std::size_t j = 0; j < 16; ++j) {
+    chk(0, j) = 16.0f;  // sum of ones
+    chk(1, j) = 136.0f;  // sum of 1..16
+  }
+  C(2, 5) += 100.0f;
+  C(9, 5) += 77.0f;
+  const auto rep = fb::ElementAbft::verify_correct(C, chk, kThr);
+  EXPECT_GE(rep.flagged, 1u);
+  EXPECT_EQ(rep.corrected, 0u);
+  EXPECT_GE(rep.uncorrectable, 1u);
+}
+
+TEST(ElementAbft, ChecksumFlipDoesNotCorruptPayload) {
+  ft::MatrixH A(32, 64), B(32, 64);
+  ft::fill_normal(A, 9, 0.0f, 0.125f);
+  ft::fill_normal(B, 10);
+  const ft::MatrixF ref = reference_nt(A, B);
+  // Flip inside the checksum pipeline instead of the payload.
+  auto inj = ff::FaultInjector::single(ff::Site::kChecksum, 40, 29);
+  ft::MatrixF C(32, 32);
+  fb::ElementAbft::gemm_nt(A, B, C, kThr, &inj);
+  EXPECT_EQ(inj.injected(), 1u);
+  EXPECT_LT(ft::max_abs_diff(C, ref), 1e-3f);
+}
+
+TEST(ElementAbft, SmallFlipBelowThresholdEscapes) {
+  // A flip in the lowest mantissa bit is under the relative threshold: it is
+  // not detected — by design, detection trades off against false alarms.
+  ft::MatrixH A(32, 64), B(32, 64);
+  ft::fill_normal(A, 11, 0.0f, 0.125f);
+  ft::fill_normal(B, 12);
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm1, 50, 0);
+  ft::MatrixF C(32, 32);
+  const auto rep = fb::ElementAbft::gemm_nt(A, B, C, kThr, &inj);
+  EXPECT_EQ(inj.injected(), 1u);
+  EXPECT_EQ(rep.corrected, 0u);
+}
+
+TEST(ElementAbftCosts, HasShuffleTerm) {
+  const auto c = fb::ElementAbft::costs(64, 64, 64);
+  EXPECT_GT(c[ftt::sim::Phase::kChecksumGen].shuffles, 0.0);
+  EXPECT_GT(c[ftt::sim::Phase::kVerify].shuffles, 0.0);
+  EXPECT_GT(c[ftt::sim::Phase::kGemm].tc_flops, 0.0);
+}

@@ -1,0 +1,171 @@
+// Fault injector: deterministic single-flip targeting, Bernoulli campaigns,
+// per-site isolation, reset semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/fault.hpp"
+
+namespace ff = ftt::fault;
+
+TEST(FaultInjector, NullAndDisarmedPassThrough) {
+  ff::FaultInjector none;
+  EXPECT_FALSE(none.armed());
+  EXPECT_EQ(none.corrupt(ff::Site::kGemm1, 2.5f), 2.5f);
+  EXPECT_EQ(ff::corrupt(nullptr, ff::Site::kGemm1, 2.5f), 2.5f);
+}
+
+TEST(FaultInjector, SingleFlipsExactlyTheTargetCall) {
+  auto inj = ff::FaultInjector::single(ff::Site::kExp, 3, 31);  // sign bit
+  for (int i = 0; i < 10; ++i) {
+    const float out = inj.corrupt(ff::Site::kExp, 1.0f);
+    if (i == 3) {
+      EXPECT_EQ(out, -1.0f) << i;
+    } else {
+      EXPECT_EQ(out, 1.0f) << i;
+    }
+  }
+  EXPECT_EQ(inj.injected(), 1u);
+  ASSERT_EQ(inj.events().size(), 1u);
+  EXPECT_EQ(inj.events()[0].call_index, 3u);
+  EXPECT_EQ(inj.events()[0].bit, 31u);
+  EXPECT_EQ(inj.events()[0].site, ff::Site::kExp);
+}
+
+TEST(FaultInjector, SingleIgnoresOtherSites) {
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm1, 0, 20);
+  EXPECT_EQ(inj.corrupt(ff::Site::kExp, 1.0f), 1.0f);
+  EXPECT_EQ(inj.corrupt(ff::Site::kReduceSum, 1.0f), 1.0f);
+  EXPECT_EQ(inj.injected(), 0u);
+  EXPECT_NE(inj.corrupt(ff::Site::kGemm1, 1.0f), 1.0f);
+  EXPECT_EQ(inj.injected(), 1u);
+}
+
+TEST(FaultInjector, SingleFiresOnlyOnce) {
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm1, 0, 20);
+  inj.corrupt(ff::Site::kGemm1, 1.0f);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(inj.corrupt(ff::Site::kGemm1, 1.0f), 1.0f);
+  }
+  EXPECT_EQ(inj.injected(), 1u);
+}
+
+TEST(FaultInjector, CallCountersTrackEverything) {
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm1, 1000000, 0);
+  for (int i = 0; i < 7; ++i) inj.corrupt(ff::Site::kGemm1, 0.0f);
+  for (int i = 0; i < 3; ++i) inj.corrupt(ff::Site::kExp, 0.0f);
+  EXPECT_EQ(inj.calls(ff::Site::kGemm1), 7u);
+  EXPECT_EQ(inj.calls(ff::Site::kExp), 3u);
+}
+
+TEST(FaultInjector, ResetRearms) {
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm1, 2, 31);
+  for (int i = 0; i < 5; ++i) inj.corrupt(ff::Site::kGemm1, 1.0f);
+  EXPECT_EQ(inj.injected(), 1u);
+  inj.reset();
+  EXPECT_EQ(inj.injected(), 0u);
+  EXPECT_EQ(inj.calls(ff::Site::kGemm1), 0u);
+  float flipped = 0.0f;
+  for (int i = 0; i < 5; ++i) {
+    const float out = inj.corrupt(ff::Site::kGemm1, 1.0f);
+    if (out != 1.0f) flipped = out;
+  }
+  EXPECT_EQ(flipped, -1.0f);
+}
+
+TEST(FaultInjector, BernoulliRateRoughlyMatches) {
+  auto inj = ff::FaultInjector::bernoulli(0.01, 42);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) inj.corrupt(ff::Site::kGemm1, 1.0f);
+  const double rate = static_cast<double>(inj.injected()) / n;
+  EXPECT_NEAR(rate, 0.01, 0.002);
+}
+
+TEST(FaultInjector, BernoulliZeroProbNeverFires) {
+  auto inj = ff::FaultInjector::bernoulli(0.0, 7);
+  for (int i = 0; i < 100000; ++i) inj.corrupt(ff::Site::kGemm1, 1.0f);
+  EXPECT_EQ(inj.injected(), 0u);
+}
+
+TEST(FaultInjector, BernoulliSiteFilter) {
+  auto inj = ff::FaultInjector::bernoulli(0.5, 9, {ff::Site::kExp});
+  for (int i = 0; i < 1000; ++i) {
+    inj.corrupt(ff::Site::kGemm1, 1.0f);
+    inj.corrupt(ff::Site::kExp, 1.0f);
+  }
+  EXPECT_GT(inj.injected(), 100u);
+  for (const auto& e : inj.events()) EXPECT_EQ(e.site, ff::Site::kExp);
+}
+
+TEST(FaultInjector, BernoulliDeterministicAcrossReset) {
+  auto inj = ff::FaultInjector::bernoulli(0.05, 123);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 1000; ++i) inj.corrupt(ff::Site::kGemm1, 1.0f);
+  for (const auto& e : inj.events()) first.push_back(e.call_index);
+  inj.reset();
+  for (int i = 0; i < 1000; ++i) inj.corrupt(ff::Site::kGemm1, 1.0f);
+  std::vector<std::uint64_t> second;
+  for (const auto& e : inj.events()) second.push_back(e.call_index);
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultInjector, EventRecordsBeforeAfter) {
+  auto inj = ff::FaultInjector::single(ff::Site::kLinear, 0, 10);
+  const float v = 123.456f;
+  const float out = inj.corrupt(ff::Site::kLinear, v);
+  ASSERT_EQ(inj.events().size(), 1u);
+  EXPECT_EQ(inj.events()[0].before, v);
+  EXPECT_EQ(inj.events()[0].after, out);
+  EXPECT_EQ(ftt::numeric::hamming_f32(v, out), 1);
+}
+
+TEST(FaultInjector, SiteNamesDistinct) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < ff::kSiteCount; ++i) {
+    names.insert(ff::site_name(static_cast<ff::Site>(i)));
+  }
+  EXPECT_EQ(names.size(), ff::kSiteCount);
+}
+
+#include "fault/campaign.hpp"
+
+TEST(Campaign, AggregatesGrid) {
+  ff::CampaignConfig cfg;
+  cfg.sites = {ff::Site::kGemm1, ff::Site::kExp};
+  cfg.call_offsets = {0, 5};
+  cfg.bits = {30, 31};
+  cfg.absorbed_threshold = 0.5f;
+  int calls_seen = 0;
+  const auto stats = ff::run_campaign(cfg, [&](ff::FaultInjector& inj) {
+    ++calls_seen;
+    // Pretend computation: 10 values per site, flip shows up as deviation.
+    float dev = 0.0f;
+    for (int i = 0; i < 10; ++i) {
+      const float v = inj.corrupt(ff::Site::kGemm1, 1.0f);
+      dev = std::max(dev, std::fabs(v - 1.0f));
+      const float e = inj.corrupt(ff::Site::kExp, 0.5f);
+      dev = std::max(dev, std::fabs(e - 0.5f));
+    }
+    return ff::TrialResult{dev, dev > 0.0f};
+  });
+  EXPECT_EQ(calls_seen, 8);
+  EXPECT_EQ(stats.runs, 8u);
+  EXPECT_EQ(stats.injected, 8u);   // all offsets < 10 calls
+  EXPECT_EQ(stats.detected, 8u);   // every flip moved the value
+  EXPECT_DOUBLE_EQ(stats.detection_rate(), 1.0);
+  EXPECT_GT(stats.worst_deviation, 0.4f);
+}
+
+TEST(Campaign, CountsMissedInjections) {
+  ff::CampaignConfig cfg;
+  cfg.sites = {ff::Site::kLinear};
+  cfg.call_offsets = {1000};  // beyond the 3 calls the trial makes
+  cfg.bits = {30};
+  const auto stats = ff::run_campaign(cfg, [&](ff::FaultInjector& inj) {
+    for (int i = 0; i < 3; ++i) inj.corrupt(ff::Site::kLinear, 1.0f);
+    return ff::TrialResult{0.0f, false};
+  });
+  EXPECT_EQ(stats.runs, 1u);
+  EXPECT_EQ(stats.injected, 0u);
+  EXPECT_DOUBLE_EQ(stats.absorption_rate(), 1.0);
+}

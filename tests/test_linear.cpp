@@ -1,0 +1,103 @@
+// Protected linear layers (feed-forward substrate).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/random.hpp"
+#include "transformer/linear.hpp"
+
+namespace ftx = ftt::transformer;
+namespace ft = ftt::tensor;
+namespace ff = ftt::fault;
+
+TEST(Linear, ShapeAndDeterminism) {
+  ftx::Linear l(128, 256, 42);
+  EXPECT_EQ(l.in_features(), 128u);
+  EXPECT_EQ(l.out_features(), 256u);
+  ftx::Linear l2(128, 256, 42);
+  for (std::size_t i = 0; i < l.weight().size(); ++i) {
+    EXPECT_EQ(l.weight().data()[i].bits(), l2.weight().data()[i].bits());
+  }
+}
+
+TEST(Linear, RejectsMisalignedOut) {
+  EXPECT_THROW(ftx::Linear(128, 100, 1), std::invalid_argument);
+}
+
+TEST(Linear, MatchesReference) {
+  ftx::Linear l(64, 64, 7);
+  ft::MatrixF x(8, 64);
+  ft::fill_normal(x, 8);
+  ft::MatrixF y(8, 64);
+  l.forward(x, y);
+  // Reference: fp16-rounded x times fp16 weights, fp32 accumulate, + bias.
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 64; ++c) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < 64; ++k) {
+        acc += ftt::numeric::round_to_half(x(r, k)) *
+               l.weight()(c, k).to_float();
+      }
+      EXPECT_NEAR(y(r, c), acc, 0.1f) << r << "," << c;  // reference omits the bias
+    }
+  }
+}
+
+TEST(Linear, ProtectedEqualsUnprotectedCleanRun) {
+  ftx::Linear l(128, 128, 9);
+  ft::MatrixF x(16, 128);
+  ft::fill_normal(x, 10);
+  ft::MatrixF y0(16, 128), y1(16, 128);
+  l.forward(x, y0, ftx::LinearProtect::kNone);
+  const auto rep = l.forward(x, y1, ftx::LinearProtect::kStridedAbft);
+  EXPECT_EQ(rep.flagged, 0u);
+  EXPECT_LT(ft::max_abs_diff(y0, y1), 1e-6f);
+}
+
+TEST(Linear, CorrectsInjectedFault) {
+  ftx::Linear l(128, 128, 11);
+  ft::MatrixF x(16, 128);
+  ft::fill_normal(x, 12);
+  ft::MatrixF ref(16, 128), y(16, 128);
+  l.forward(x, ref);
+  auto inj = ff::FaultInjector::single(ff::Site::kLinear, 1000, 28);
+  const auto rep = l.forward(x, y, ftx::LinearProtect::kStridedAbft, &inj);
+  EXPECT_EQ(inj.injected(), 1u);
+  EXPECT_EQ(rep.corrected, 1u);
+  EXPECT_LT(ft::max_abs_diff(ref, y), 1e-2f);
+}
+
+TEST(Linear, UnprotectedFaultPropagates) {
+  // Negative control: without ABFT the same flip visibly corrupts output.
+  ftx::Linear l(128, 128, 13);
+  ft::MatrixF x(16, 128);
+  ft::fill_normal(x, 14);
+  ft::MatrixF ref(16, 128), y(16, 128);
+  l.forward(x, ref);
+  auto inj = ff::FaultInjector::single(ff::Site::kLinear, 1000, 30);
+  l.forward(x, y, ftx::LinearProtect::kNone, &inj);
+  EXPECT_GT(ft::max_abs_diff(ref, y), 1.0f);
+}
+
+TEST(Linear, WideLayerProtection) {
+  // FFN-shaped layer (wide output, multi-tile checksums).
+  ftx::Linear l(64, 256, 15);
+  ft::MatrixF x(8, 64);
+  ft::fill_normal(x, 16);
+  ft::MatrixF ref(8, 256), y(8, 256);
+  l.forward(x, ref);
+  auto inj = ff::FaultInjector::single(ff::Site::kLinear, 1777, 27);
+  const auto rep = l.forward(x, y, ftx::LinearProtect::kStridedAbft, &inj);
+  EXPECT_EQ(rep.corrected, 1u);
+  EXPECT_LT(ft::max_abs_diff(ref, y), 1e-2f);
+}
+
+TEST(LinearCosts, ScaleWithShape) {
+  ftx::Linear small(64, 64, 17), big(256, 256, 18);
+  EXPECT_LT(small.costs(8).total().tc_flops, big.costs(8).total().tc_flops);
+  EXPECT_LT(small.protection_costs(8).total().tc_flops,
+            big.protection_costs(8).total().tc_flops);
+  // Protection is a small fraction of the payload.
+  EXPECT_LT(big.protection_costs(128).total().tc_flops,
+            big.costs(128).total().tc_flops);
+}

@@ -1,0 +1,152 @@
+// Transformer stack: attention-kind equivalence, protected inference under
+// faults, config presets, model-level cost accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/random.hpp"
+#include "transformer/model.hpp"
+
+namespace ftx = ftt::transformer;
+namespace ft = ftt::tensor;
+namespace ff = ftt::fault;
+
+namespace {
+
+ft::MatrixF make_input(std::size_t seq, std::size_t hidden,
+                       std::uint64_t seed) {
+  ft::MatrixF x(seq, hidden);
+  ft::fill_normal(x, seed);
+  return x;
+}
+
+float max_rel(const ft::MatrixF& a, const ft::MatrixF& b) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = std::fabs(a.data()[i] - b.data()[i]);
+    if (std::isnan(d)) return std::numeric_limits<float>::infinity();
+    m = std::max(m, d / (std::fabs(b.data()[i]) + 1e-2f));
+  }
+  return m;
+}
+
+}  // namespace
+
+TEST(ModelConfig, Presets) {
+  EXPECT_EQ(ftx::ModelConfig::gpt2().layers, 12u);
+  EXPECT_EQ(ftx::ModelConfig::gpt2().head_dim(), 64u);
+  EXPECT_EQ(ftx::ModelConfig::bert_large().layers, 24u);
+  EXPECT_EQ(ftx::ModelConfig::bert_large().head_dim(), 64u);
+  EXPECT_EQ(ftx::ModelConfig::t5_small().hidden, 512u);
+  EXPECT_EQ(ftx::ModelConfig::t5_small().head_dim(), 64u);
+}
+
+TEST(Model, AttentionKindsAgreeOnCleanRun) {
+  const ftx::Model model(ftx::ModelConfig::tiny());
+  const auto base = make_input(64, 128, 1);
+
+  ft::MatrixF x_std = base, x_flash = base, x_efta = base, x_eftao = base,
+              x_dec = base;
+  model.forward(x_std, ftx::AttentionKind::kStandard);
+  model.forward(x_flash, ftx::AttentionKind::kFlash);
+  model.forward(x_efta, ftx::AttentionKind::kEfta);
+  model.forward(x_eftao, ftx::AttentionKind::kEftaOptimized);
+  model.forward(x_dec, ftx::AttentionKind::kDecoupledFt);
+
+  // fp16 rounding differences compound across two blocks of projections,
+  // attention and FFN; agreement is to ~7% relative on near-zero entries.
+  EXPECT_LT(max_rel(x_flash, x_std), 0.1f);
+  EXPECT_LT(max_rel(x_efta, x_std), 0.1f);
+  EXPECT_LT(max_rel(x_eftao, x_std), 0.1f);
+  EXPECT_LT(max_rel(x_dec, x_std), 0.1f);
+}
+
+TEST(Model, ProtectedLinearCleanRunNoFlags) {
+  const ftx::Model model(ftx::ModelConfig::tiny());
+  auto x = make_input(64, 128, 2);
+  const auto res =
+      model.forward(x, ftx::AttentionKind::kEftaOptimized, true);
+  EXPECT_EQ(res.projections.flagged, 0u);
+  EXPECT_EQ(res.ffn_abft.flagged, 0u);
+  EXPECT_EQ(res.activations_clipped, 0u);
+}
+
+TEST(Model, ProtectedRecoversFromAttentionFault) {
+  const ftx::Model model(ftx::ModelConfig::tiny());
+  auto ref = make_input(64, 128, 3);
+  auto x = ref;
+  model.forward(ref, ftx::AttentionKind::kEftaOptimized, true);
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm2, 123, 30);
+  const auto res =
+      model.forward(x, ftx::AttentionKind::kEftaOptimized, true, &inj);
+  EXPECT_GE(res.attention.gemm2.corrected +
+                res.attention.gemm2.checksum_repairs,
+            1u);
+  EXPECT_LT(max_rel(x, ref), 0.05f);
+}
+
+TEST(Model, ProtectedRecoversFromProjectionFault) {
+  const ftx::Model model(ftx::ModelConfig::tiny());
+  auto ref = make_input(64, 128, 4);
+  auto x = ref;
+  model.forward(ref, ftx::AttentionKind::kEftaOptimized, true);
+  auto inj = ff::FaultInjector::single(ff::Site::kLinear, 2048, 29);
+  const auto res =
+      model.forward(x, ftx::AttentionKind::kEftaOptimized, true, &inj);
+  EXPECT_GE(res.projections.corrected + res.ffn_abft.corrected +
+                res.activations_clipped,
+            1u);
+  EXPECT_LT(max_rel(x, ref), 0.1f);
+}
+
+TEST(Model, UnprotectedFaultCorruptsOutput) {
+  // Negative control at model level: the same flip without protection makes
+  // a visible difference.
+  const ftx::Model model(ftx::ModelConfig::tiny());
+  auto ref = make_input(64, 128, 5);
+  auto x = ref;
+  model.forward(ref, ftx::AttentionKind::kFlash, false);
+  auto inj = ff::FaultInjector::single(ff::Site::kLinear, 2048, 30);
+  model.forward(x, ftx::AttentionKind::kFlash, false, &inj);
+  EXPECT_GT(max_rel(x, ref), 0.05f);
+}
+
+TEST(ModelCosts, ScaleWithLayersAndHidden) {
+  const ftx::Model tiny(ftx::ModelConfig::tiny());
+  const ftx::Model gpt2(ftx::ModelConfig::gpt2());
+  ftt::sim::MachineModel m;
+  const double t_tiny =
+      m.seconds(tiny.costs(512, ftx::AttentionKind::kEftaOptimized));
+  const double t_gpt2 =
+      m.seconds(gpt2.costs(512, ftx::AttentionKind::kEftaOptimized));
+  EXPECT_GT(t_gpt2, 10.0 * t_tiny);
+}
+
+TEST(ModelCosts, DetectionOverheadSmall) {
+  // Fig. 15: detection overhead across the four models averages ~5%.
+  ftt::sim::MachineModel m;
+  for (const auto& cfg :
+       {ftx::ModelConfig::gpt2(), ftx::ModelConfig::bert_base(),
+        ftx::ModelConfig::bert_large(), ftx::ModelConfig::t5_small()}) {
+    const ftx::Model model(cfg);
+    const double base = m.seconds(model.costs(512, ftx::AttentionKind::kFlash));
+    const double det = m.seconds(model.detection_overhead_costs(512));
+    EXPECT_LT(det / base, 0.25) << cfg.name;
+    EXPECT_GT(det / base, 0.005) << cfg.name;
+  }
+}
+
+TEST(ModelCosts, CorrectionCostsMoreThanDetection) {
+  ftt::sim::MachineModel m;
+  const ftx::Model model(ftx::ModelConfig::gpt2());
+  EXPECT_GT(m.seconds(model.correction_overhead_costs(512)),
+            m.seconds(model.detection_overhead_costs(512)));
+}
+
+TEST(Model, RejectsBadHeadSplit) {
+  ftx::ModelConfig bad;
+  bad.hidden = 130;
+  bad.heads = 4;
+  bad.ffn_inner = 256;
+  EXPECT_THROW(ftx::Model{bad}, std::invalid_argument);
+}

@@ -1,0 +1,110 @@
+// Selective neuron value restriction: range bounds (Case 3) and the case
+// analysis of §3.4.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "softmax/snvr.hpp"
+
+namespace fm = ftt::softmax;
+
+TEST(SnvrLowerBound, SumOfBlockMaxTerms) {
+  const std::vector<float> maxes{1.0f, 3.0f, 2.0f};
+  const double lb = fm::snvr_lower_bound(maxes, 3.0f);
+  EXPECT_NEAR(lb, std::exp(-2.0) + 1.0 + std::exp(-1.0), 1e-5);
+}
+
+TEST(SnvrLowerBound, GlobalMaxContributesOne) {
+  // The block holding the global max contributes exactly exp(0) = 1, so the
+  // bound is always >= 1.
+  const std::vector<float> maxes{-5.0f, 0.0f, -3.0f};
+  EXPECT_GE(fm::snvr_lower_bound(maxes, 0.0f), 1.0);
+}
+
+TEST(SnvrRange, AcceptsTrueRowsum) {
+  // A genuine rowsum: sum over all entries of exp(s - max), always within
+  // [lower bound, seq_len].
+  const std::vector<float> maxes{0.5f, 1.5f};
+  const float global = 1.5f;
+  // Simulate 2 blocks of 4 entries each.
+  double rowsum = 0.0;
+  const float entries[2][4] = {{0.5f, 0.1f, -1.0f, 0.3f},
+                               {1.5f, 0.2f, 1.0f, -0.5f}};
+  for (const auto& blk : entries) {
+    for (float e : blk) rowsum += std::exp(e - global);
+  }
+  const auto res = fm::snvr_check_rowsum(static_cast<float>(rowsum), maxes,
+                                         global, 8);
+  EXPECT_FALSE(res.violated);
+  EXPECT_FLOAT_EQ(res.corrected_value, static_cast<float>(rowsum));
+}
+
+TEST(SnvrRange, RejectsTooSmall) {
+  const std::vector<float> maxes{0.0f, 0.0f};
+  // Lower bound is 2.0; a rowsum of 0.5 is impossible.
+  const auto res = fm::snvr_check_rowsum(0.5f, maxes, 0.0f, 128);
+  EXPECT_TRUE(res.violated);
+  EXPECT_NEAR(res.corrected_value, 2.0f, 1e-5f);
+}
+
+TEST(SnvrRange, RejectsAboveSeqLen) {
+  const std::vector<float> maxes{0.0f};
+  // Every exp(s - max) <= 1, so rowsum <= seq_len = 64.
+  const auto res = fm::snvr_check_rowsum(100.0f, maxes, 0.0f, 64);
+  EXPECT_TRUE(res.violated);
+}
+
+TEST(SnvrRange, RejectsNonFinite) {
+  const std::vector<float> maxes{0.0f};
+  EXPECT_TRUE(fm::snvr_check_rowsum(std::numeric_limits<float>::infinity(),
+                                    maxes, 0.0f, 64)
+                  .violated);
+  EXPECT_TRUE(fm::snvr_check_rowsum(std::numeric_limits<float>::quiet_NaN(),
+                                    maxes, 0.0f, 64)
+                  .violated);
+}
+
+TEST(SnvrRange, SlackAbsorbsRounding) {
+  const std::vector<float> maxes{0.0f, 0.0f};
+  // Just under the lower bound by less than the slack: accepted.
+  const auto res = fm::snvr_check_rowsum(2.0f * (1.0f - 5e-4f), maxes, 0.0f,
+                                         128, /*slack=*/1e-3f);
+  EXPECT_FALSE(res.violated);
+  // Beyond the slack: rejected.
+  const auto res2 = fm::snvr_check_rowsum(2.0f * (1.0f - 5e-3f), maxes, 0.0f,
+                                          128, /*slack=*/1e-3f);
+  EXPECT_TRUE(res2.violated);
+}
+
+TEST(SnvrRange, CorrectionIsTheLowerBound) {
+  // Paper §3.4: the replacement value is Σ_k exp(m_ik − m_ij) — attention
+  // mass concentrates at per-block maxima, so this approximation keeps the
+  // relative ordering of the output.
+  const std::vector<float> maxes{2.0f, 4.0f, 3.0f};
+  const auto res = fm::snvr_check_rowsum(1e30f, maxes, 4.0f, 1024);
+  EXPECT_TRUE(res.violated);
+  const double expect = std::exp(-2.0) + 1.0 + std::exp(-1.0);
+  EXPECT_NEAR(res.corrected_value, expect, 1e-5);
+}
+
+TEST(SnvrCase1, MaxErrorsCancelInStreamingSoftmax) {
+  // Case 1 (§3.4): a corrupted running max changes P and l consistently, so
+  // the normalized output is unchanged.  Emulate one row, two blocks.
+  const float s[8] = {0.1f, -0.4f, 0.7f, 0.2f, -0.1f, 0.9f, 0.3f, -0.6f};
+  auto run = [&](float forced_max) {
+    // Streaming evaluation with (possibly wrong) stabilizer m.
+    double l = 0.0, o = 0.0;  // o: weighted sum with weights = index
+    for (int i = 0; i < 8; ++i) {
+      const double p = std::exp(s[i] - forced_max);
+      l += p;
+      o += p * static_cast<double>(i);
+    }
+    return o / l;
+  };
+  const double correct = run(0.9f);
+  const double corrupted_high = run(5.0f);   // max flipped upward
+  const double corrupted_low = run(-2.0f);   // max flipped downward
+  EXPECT_NEAR(correct, corrupted_high, 1e-5);
+  EXPECT_NEAR(correct, corrupted_low, 1e-5);
+}

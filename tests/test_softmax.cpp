@@ -1,0 +1,124 @@
+// Row softmax + DMR protection (Eqs. 10-11).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "softmax/softmax.hpp"
+#include "tensor/random.hpp"
+
+namespace fm = ftt::softmax;
+namespace ft = ftt::tensor;
+namespace ff = ftt::fault;
+
+TEST(RowSoftmax, RowsSumToOne) {
+  ft::MatrixF S(8, 32);
+  ft::fill_normal(S, 1);
+  fm::row_softmax(S);
+  for (std::size_t r = 0; r < 8; ++r) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < 32; ++c) {
+      EXPECT_GE(S(r, c), 0.0f);
+      sum += S(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(RowSoftmax, StableUnderLargeValues) {
+  // The stabilized form must not overflow for large scores.
+  ft::MatrixF S(1, 4);
+  S(0, 0) = 500.0f;
+  S(0, 1) = 499.0f;
+  S(0, 2) = -500.0f;
+  S(0, 3) = 0.0f;
+  fm::row_softmax(S);
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_TRUE(std::isfinite(S(0, c)));
+  EXPECT_GT(S(0, 0), S(0, 1));
+  EXPECT_NEAR(S(0, 0) / S(0, 1), std::exp(1.0f), 1e-3f);
+}
+
+TEST(RowSoftmax, PreservesArgmax) {
+  ft::MatrixF S(4, 16);
+  ft::fill_normal(S, 2);
+  ft::MatrixF orig = S;
+  fm::row_softmax(S);
+  for (std::size_t r = 0; r < 4; ++r) {
+    std::size_t amax_in = 0, amax_out = 0;
+    for (std::size_t c = 1; c < 16; ++c) {
+      if (orig(r, c) > orig(r, amax_in)) amax_in = c;
+      if (S(r, c) > S(r, amax_out)) amax_out = c;
+    }
+    EXPECT_EQ(amax_in, amax_out);
+  }
+}
+
+TEST(RowSoftmax, MatchesDirectFormula) {
+  ft::MatrixF S(1, 8);
+  for (std::size_t c = 0; c < 8; ++c) S(0, c) = static_cast<float>(c) * 0.3f;
+  ft::MatrixF in = S;
+  fm::row_softmax(S);
+  double denom = 0.0;
+  for (std::size_t c = 0; c < 8; ++c) denom += std::exp(in(0, c));
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_NEAR(S(0, c), std::exp(in(0, c)) / denom, 1e-5);
+  }
+}
+
+TEST(DmrSoftmax, CleanRunConvergesImmediately) {
+  ft::MatrixF S(8, 32);
+  ft::fill_normal(S, 3);
+  const auto res = fm::dmr_row_softmax(S, 1e-3f);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.recomputes, 1u);  // one replica evaluation, no retries
+}
+
+TEST(DmrSoftmax, DetectsAndRetriesOnFault) {
+  ft::MatrixF S(8, 32);
+  ft::fill_normal(S, 4);
+  ft::MatrixF clean = S;
+  fm::row_softmax(clean);
+
+  // One big flip in the first evaluation's EXP: first comparison disagrees,
+  // a third evaluation must agree with the second.
+  auto inj = ff::FaultInjector::single(ff::Site::kExp, 17, 30);
+  ft::MatrixF S2(8, 32);
+  ft::fill_normal(S2, 4);
+  const auto res = fm::dmr_row_softmax(S2, 1e-3f, &inj);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GE(res.recomputes, 2u);
+  EXPECT_LT(ft::max_abs_diff(S2, clean), 1e-4f);
+}
+
+TEST(DmrSoftmax, RowsumIdentityCatchesReduceSumFault) {
+  // A corrupted reduce-sum breaks rowsum(P) == 1 even if both replicas agree
+  // on the exp values; Eq. (11) forces a retry.
+  ft::MatrixF S(4, 16);
+  ft::fill_normal(S, 5);
+  ft::MatrixF clean = S;
+  fm::row_softmax(clean);
+  auto inj = ff::FaultInjector::single(ff::Site::kReduceSum, 2, 29);
+  ft::MatrixF S2 = S;
+  const auto res = fm::dmr_row_softmax(S2, 1e-3f, &inj);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(ft::max_abs_diff(S2, clean), 1e-4f);
+}
+
+TEST(DmrSoftmax, GivesUpAfterMaxRounds) {
+  ft::MatrixF S(2, 8);
+  ft::fill_normal(S, 6);
+  // Flip something on every evaluation: never converges within 3 rounds.
+  auto inj = ff::FaultInjector::bernoulli(0.2, 11, {ff::Site::kExp});
+  const auto res = fm::dmr_row_softmax(S, 1e-6f, &inj, 3);
+  // Either it got lucky with two agreeing evaluations or it gave up; both
+  // must leave finite output.
+  for (std::size_t i = 0; i < S.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(S.data()[i]));
+  }
+}
+
+TEST(SoftmaxCosts, DmrOverheadAtLeastOneReplica) {
+  const auto base = fm::softmax_costs(64, 64).total();
+  const auto dmr = fm::dmr_overhead_costs(64, 64).total();
+  EXPECT_GE(dmr.sfu_ops, base.sfu_ops);
+  EXPECT_GT(dmr.fp32_flops, base.fp32_flops);
+}

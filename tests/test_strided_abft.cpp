@@ -1,0 +1,217 @@
+// Strided tensor-checksum ABFT (Eqs. 12-15): encoding identities, locate via
+// the c2/c1 ratio, multi-error correction across residue classes, and the
+// intra-thread property.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abft/element_abft.hpp"
+#include "abft/strided_abft.hpp"
+#include "sim/mma.hpp"
+#include "tensor/random.hpp"
+
+namespace fb = ftt::abft;
+namespace ft = ftt::tensor;
+namespace ff = ftt::fault;
+namespace fs = ftt::sim;
+
+namespace {
+constexpr float kThr = 0.02f;
+constexpr int kS = 8;
+}  // namespace
+
+TEST(StridedEncode, RowIdentity) {
+  ft::MatrixH X(64, 16);
+  ft::fill_normal(X, 1);
+  const ft::MatrixH c1 = fb::StridedAbft::encode_rows_strided(X, kS, false, nullptr);
+  const ft::MatrixH c2 = fb::StridedAbft::encode_rows_strided(X, kS, true, nullptr);
+  ASSERT_EQ(c1.rows(), 8u);
+  ASSERT_EQ(c1.cols(), 16u);
+  for (std::size_t jc = 0; jc < 8; ++jc) {
+    for (std::size_t c = 0; c < 16; ++c) {
+      float s1 = 0.0f, s2 = 0.0f;
+      for (std::size_t l = 0; l < 8; ++l) {
+        s1 += X(jc + l * 8, c).to_float();
+        s2 += static_cast<float>(l + 1) * X(jc + l * 8, c).to_float();
+      }
+      EXPECT_NEAR(c1(jc, c).to_float(), s1, 0.02f);
+      EXPECT_NEAR(c2(jc, c).to_float(), s2, 0.1f);
+    }
+  }
+}
+
+TEST(StridedEncode, ColIdentity) {
+  ft::MatrixH X(16, 64);
+  ft::fill_normal(X, 2);
+  const ft::MatrixH c1 = fb::StridedAbft::encode_cols_strided(X, kS, false, nullptr);
+  ASSERT_EQ(c1.rows(), 16u);
+  ASSERT_EQ(c1.cols(), 8u);
+  for (std::size_t r = 0; r < 16; ++r) {
+    for (std::size_t jc = 0; jc < 8; ++jc) {
+      float s1 = 0.0f;
+      for (std::size_t l = 0; l < 8; ++l) s1 += X(r, jc + l * 8).to_float();
+      EXPECT_NEAR(c1(r, jc).to_float(), s1, 0.02f);
+    }
+  }
+}
+
+TEST(StridedEncode, RejectsBadStride) {
+  ft::MatrixH X(60, 16);
+  EXPECT_THROW(fb::StridedAbft::encode_rows_strided(X, 8, false, nullptr),
+               std::invalid_argument);
+  ft::MatrixH Y(16, 60);
+  EXPECT_THROW(fb::StridedAbft::encode_cols_strided(Y, 8, false, nullptr),
+               std::invalid_argument);
+}
+
+TEST(StridedVerify, CleanRunNoFlags) {
+  ft::MatrixH A(64, 64), B(64, 64);
+  ft::fill_normal(A, 3, 0.0f, 0.125f);
+  ft::fill_normal(B, 4);
+  ft::MatrixF C(64, 64);
+  const auto rep = fb::StridedAbft::gemm_nt(A, B, C, kS, kThr, nullptr);
+  EXPECT_EQ(rep.flagged, 0u);
+  EXPECT_EQ(rep.checks, 64u * 8u);
+}
+
+TEST(StridedVerify, LocatesAndCorrectsSingleError) {
+  // Direct synthetic check of the locate arithmetic: build S and exact
+  // checksums, corrupt one element, confirm the exact column comes back.
+  ft::MatrixF S(4, 64);
+  ft::fill_normal(S, 5);
+  ft::MatrixF chk1(4, 8, 0.0f), chk2(4, 8, 0.0f);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t jc = 0; jc < 8; ++jc) {
+      for (std::size_t l = 0; l < 8; ++l) {
+        chk1(r, jc) += S(r, jc + l * 8);
+        chk2(r, jc) += static_cast<float>(l + 1) * S(r, jc + l * 8);
+      }
+    }
+  }
+  const ft::MatrixF ref = S;
+  S(2, 5 + 8 * 3) += 50.0f;  // residue class 5, loop index 3
+  const auto rep = fb::StridedAbft::verify_correct(S, chk1, chk2, kS, kThr);
+  EXPECT_EQ(rep.flagged, 1u);
+  EXPECT_EQ(rep.corrected, 1u);
+  EXPECT_LT(ft::max_abs_diff(S, ref), 1e-4f);
+}
+
+TEST(StridedVerify, CorrectsUpToEightErrorsPerRow) {
+  // One error in each residue class of the same row: all correctable — the
+  // "factor of 8 over traditional ABFT" property (§3.3).
+  ft::MatrixF S(2, 64);
+  ft::fill_normal(S, 6);
+  ft::MatrixF chk1(2, 8, 0.0f), chk2(2, 8, 0.0f);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t jc = 0; jc < 8; ++jc) {
+      for (std::size_t l = 0; l < 8; ++l) {
+        chk1(r, jc) += S(r, jc + l * 8);
+        chk2(r, jc) += static_cast<float>(l + 1) * S(r, jc + l * 8);
+      }
+    }
+  }
+  const ft::MatrixF ref = S;
+  for (std::size_t jc = 0; jc < 8; ++jc) {
+    S(1, jc + 8 * (jc % 8)) += 20.0f + static_cast<float>(jc);
+  }
+  const auto rep = fb::StridedAbft::verify_correct(S, chk1, chk2, kS, kThr);
+  EXPECT_EQ(rep.corrected, 8u);
+  EXPECT_LT(ft::max_abs_diff(S, ref), 1e-4f);
+}
+
+TEST(StridedVerify, TwoErrorsSameResidueClassUncorrectable) {
+  // Errors spaced a multiple of 8 apart share a residue class and cannot be
+  // located — exactly the paper's stated limit.
+  ft::MatrixF S(1, 64);
+  ft::fill_normal(S, 7);
+  ft::MatrixF chk1(1, 8, 0.0f), chk2(1, 8, 0.0f);
+  for (std::size_t jc = 0; jc < 8; ++jc) {
+    for (std::size_t l = 0; l < 8; ++l) {
+      chk1(0, jc) += S(0, jc + l * 8);
+      chk2(0, jc) += static_cast<float>(l + 1) * S(0, jc + l * 8);
+    }
+  }
+  S(0, 3) += 40.0f;
+  S(0, 3 + 16) += 25.0f;
+  const auto rep = fb::StridedAbft::verify_correct(S, chk1, chk2, kS, kThr);
+  EXPECT_EQ(rep.flagged, 1u);
+  EXPECT_EQ(rep.corrected, 0u);
+  EXPECT_EQ(rep.uncorrectable, 1u);
+}
+
+TEST(StridedAbftGemm, CorrectsInjectedMacFault) {
+  ft::MatrixH A(64, 64), B(64, 64);
+  ft::fill_normal(A, 8, 0.0f, 0.125f);
+  ft::fill_normal(B, 9);
+  ft::MatrixF ref(64, 64);
+  fs::gemm_fp16_nt(A, B, ref);
+
+  for (std::uint64_t call : {0u, 17u, 1000u, 4095u}) {
+    auto inj = ff::FaultInjector::single(ff::Site::kGemm1, call, 30);
+    ft::MatrixF C(64, 64);
+    const auto rep = fb::StridedAbft::gemm_nt(A, B, C, kS, kThr, &inj);
+    EXPECT_EQ(inj.injected(), 1u) << call;
+    EXPECT_EQ(rep.corrected, 1u) << call;
+    EXPECT_LT(ft::max_abs_diff(C, ref), 1e-2f) << call;
+  }
+}
+
+TEST(StridedAbftGemm, ChecksumPipelineFlipClassified) {
+  ft::MatrixH A(64, 64), B(64, 64);
+  ft::fill_normal(A, 10, 0.0f, 0.125f);
+  ft::fill_normal(B, 11);
+  ft::MatrixF ref(64, 64);
+  fs::gemm_fp16_nt(A, B, ref);
+  // Hit the c1 checksum GEMM output (first checksum the pipeline computes
+  // after encoding: calls 0..1023 are the K encodes, then the chk GEMMs).
+  auto inj = ff::FaultInjector::single(ff::Site::kChecksum, 1100, 29);
+  ft::MatrixF C(64, 64);
+  fb::StridedAbft::gemm_nt(A, B, C, kS, kThr, &inj);
+  EXPECT_EQ(inj.injected(), 1u);
+  // Payload must be untouched regardless of how the flip was classified.
+  EXPECT_LT(ft::max_abs_diff(C, ref), 1e-3f);
+}
+
+TEST(StridedAbftGemm, MultiTileProtection) {
+  // N = 128 -> two 64-row tiles, each independently verified.
+  ft::MatrixH A(32, 64), B(128, 64);
+  ft::fill_normal(A, 12, 0.0f, 0.125f);
+  ft::fill_normal(B, 13);
+  ft::MatrixF ref(32, 128);
+  fs::gemm_fp16_nt(A, B, ref);
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm1, 3000, 30);
+  ft::MatrixF C(32, 128);
+  const auto rep = fb::StridedAbft::gemm_nt(A, B, C, kS, kThr, &inj);
+  EXPECT_EQ(rep.corrected, 1u);
+  EXPECT_LT(ft::max_abs_diff(C, ref), 1e-2f);
+}
+
+TEST(StridedAbft, IntraThreadProperty) {
+  // The checksum adds elements at stride 8 along a row / 64 along a column:
+  // verify every pair it combines lives in the same simulated thread.
+  for (std::size_t row = 0; row < 64; ++row) {
+    for (std::size_t jc = 0; jc < 8; ++jc) {
+      const int owner = fs::TiledMma64x16x16::thread_of_c(row, jc);
+      for (std::size_t l = 1; l < 8; ++l) {
+        EXPECT_EQ(owner, fs::TiledMma64x16x16::thread_of_c(row, jc + l * 8));
+      }
+    }
+  }
+}
+
+TEST(StridedAbftCosts, NoShuffles) {
+  const auto c = fb::StridedAbft::costs(64, 64, 64, 8);
+  const auto t = c.total();
+  EXPECT_EQ(t.shuffles, 0.0);
+  EXPECT_GT(t.tc_flops, 0.0);
+  // Checksum-GEMM overhead is 2s/B of the payload per operand pair.
+  const auto e = fb::ElementAbft::costs(64, 64, 64);
+  EXPECT_GT(e.total().shuffles, 0.0);
+}
+
+TEST(StridedAbft, NarrowerStrideCheaperButWeaker) {
+  // Width ablation hook: s=4 costs less checksum GEMM than s=8.
+  const auto c4 = fb::StridedAbft::costs(64, 64, 64, 4);
+  const auto c8 = fb::StridedAbft::costs(64, 64, 64, 8);
+  EXPECT_LT(c4[fs::Phase::kGemm].tc_flops, c8[fs::Phase::kGemm].tc_flops);
+}

@@ -1,0 +1,122 @@
+// Tensor containers: indexing, views, widen/narrow, comparisons.
+#include <gtest/gtest.h>
+
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ft = ftt::tensor;
+using ftt::numeric::Half;
+
+TEST(Matrix, RowMajorIndexing) {
+  ft::MatrixF m(3, 4);
+  float v = 0.0f;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) m(r, c) = v++;
+  }
+  EXPECT_EQ(m.data()[0], 0.0f);
+  EXPECT_EQ(m.data()[5], m(1, 1));
+  EXPECT_EQ(m.data()[11], m(2, 3));
+}
+
+TEST(Matrix, RowSpan) {
+  ft::MatrixF m(2, 3, 7.0f);
+  auto row = m.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  row[2] = 9.0f;
+  EXPECT_EQ(m(1, 2), 9.0f);
+}
+
+TEST(Matrix, FillAndEquality) {
+  ft::MatrixF a(2, 2, 1.0f), b(2, 2, 1.0f);
+  EXPECT_EQ(a, b);
+  b(1, 1) = 2.0f;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BlockView, WindowsIntoBase) {
+  ft::MatrixF m(8, 8, 0.0f);
+  ft::BlockView<float> blk(m, 2, 4, 3, 2);
+  blk(0, 0) = 5.0f;
+  blk(2, 1) = 6.0f;
+  EXPECT_EQ(m(2, 4), 5.0f);
+  EXPECT_EQ(m(4, 5), 6.0f);
+  EXPECT_EQ(blk.rows(), 3u);
+  EXPECT_EQ(blk.cols(), 2u);
+}
+
+TEST(Tensor4D, SliceLayout) {
+  ft::Tensor4F t(2, 3, 4, 5);
+  t.at(1, 2, 3, 4) = 42.0f;
+  auto s = t.slice(1, 2);
+  EXPECT_EQ(s[3 * 5 + 4], 42.0f);
+  EXPECT_EQ(t.size(), 2u * 3 * 4 * 5);
+}
+
+TEST(Tensor4D, SlicesAreDisjoint) {
+  ft::Tensor4F t(2, 2, 2, 2, 0.0f);
+  auto s00 = t.slice(0, 0);
+  auto s11 = t.slice(1, 1);
+  s00[0] = 1.0f;
+  s11[0] = 2.0f;
+  EXPECT_EQ(t.at(0, 0, 0, 0), 1.0f);
+  EXPECT_EQ(t.at(1, 1, 0, 0), 2.0f);
+}
+
+TEST(WidenNarrow, RoundTrip) {
+  ft::MatrixH h(2, 3);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    h.data()[i] = Half(static_cast<float>(i) * 0.25f);
+  }
+  ft::MatrixF f(2, 3);
+  ft::widen({h.data(), h.size()}, f);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_EQ(f.data()[i], static_cast<float>(i) * 0.25f);
+  }
+  ft::MatrixH h2(2, 3);
+  ft::narrow(f, {h2.data(), h2.size()});
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_EQ(h.data()[i].bits(), h2.data()[i].bits());
+  }
+}
+
+TEST(WidenNarrow, SizeMismatchThrows) {
+  ft::MatrixH h(2, 3);
+  ft::MatrixF f(3, 3);
+  EXPECT_THROW(ft::widen({h.data(), h.size()}, f), std::invalid_argument);
+}
+
+TEST(Diff, MaxAbsAndRel) {
+  ft::MatrixF a(1, 3), b(1, 3);
+  a(0, 0) = 1.0f;
+  b(0, 0) = 1.5f;
+  a(0, 1) = 10.0f;
+  b(0, 1) = 10.0f;
+  a(0, 2) = -2.0f;
+  b(0, 2) = -1.0f;
+  EXPECT_FLOAT_EQ(ft::max_abs_diff(a, b), 1.0f);
+  EXPECT_NEAR(ft::max_rel_diff(a, b), 1.0f, 1e-5f);
+}
+
+TEST(Random, Deterministic) {
+  ft::MatrixF a(4, 4), b(4, 4);
+  ft::fill_normal(a, 123);
+  ft::fill_normal(b, 123);
+  EXPECT_EQ(a, b);
+  ft::MatrixF c(4, 4);
+  ft::fill_normal(c, 124);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Random, MomentsRoughlyCorrect) {
+  ft::MatrixF m(100, 100);
+  ft::fill_normal(m, 7, 0.0f, 2.0f);
+  double sum = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    sum += m.data()[i];
+    sq += m.data()[i] * m.data()[i];
+  }
+  const double mean = sum / m.size();
+  const double var = sq / m.size() - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
