@@ -1,0 +1,128 @@
+// Batched protected-decode throughput: the serving-engine hot path.
+//
+// One token of one request is `heads` independent protected decode slices;
+// a batch of R requests is R x heads slices that efta_decode_batch runs
+// OpenMP-parallel.  This bench measures tokens/s of the serial per-request
+// loop vs the batched path at growing batch sizes, checks the two produce
+// bit-identical outputs, and counts false corrections (must be zero at
+// default thresholds).  Speedup tracks the available cores: at >= 4 threads
+// the batch-8 path is expected >= 3x the single-request loop.
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include <omp.h>
+
+#include "bench_util.hpp"
+#include "core/decode.hpp"
+#include "serve/kv_cache.hpp"
+
+namespace fa = ftt::attention;
+namespace fc = ftt::core;
+namespace fs = ftt::serve;
+using ftt::numeric::Half;
+
+namespace {
+
+constexpr std::size_t kHeads = 8, kDim = 64;
+// Heterogeneous, deliberately ragged context lengths (not multiples of 64).
+constexpr std::size_t kContexts[] = {480, 500, 512, 390, 460, 512, 350, 420};
+
+struct Fleet {
+  std::vector<fs::KvCache> caches;
+  std::vector<std::vector<Half>> queries;     // per request: heads*dim
+  std::vector<std::vector<float>> out;        // per request: heads*dim
+
+  explicit Fleet(std::size_t requests) {
+    std::mt19937_64 rng(42);
+    std::normal_distribution<float> dist(0.0f, 1.0f);
+    for (std::size_t r = 0; r < requests; ++r) {
+      caches.emplace_back(kHeads, kDim);
+      const std::size_t n = kContexts[r % std::size(kContexts)];
+      std::vector<Half> k(kHeads * kDim), v(kHeads * kDim);
+      for (std::size_t t = 0; t < n; ++t) {
+        for (auto& x : k) x = Half(dist(rng));
+        for (auto& x : v) x = Half(dist(rng));
+        caches[r].append(k, v);
+      }
+      queries.emplace_back(kHeads * kDim);
+      for (auto& x : queries.back()) x = Half(dist(rng));
+      out.emplace_back(kHeads * kDim, 0.0f);
+    }
+  }
+
+  [[nodiscard]] std::vector<fc::DecodeWorkItem> items() {
+    std::vector<fc::DecodeWorkItem> v;
+    for (std::size_t r = 0; r < caches.size(); ++r) {
+      for (std::size_t h = 0; h < kHeads; ++h) {
+        v.push_back(fc::DecodeWorkItem{
+            caches[r].slice(h),
+            std::span<const Half>(queries[r]).subspan(h * kDim, kDim),
+            std::span<float>(out[r]).subspan(h * kDim, kDim)});
+      }
+    }
+    return v;
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Batched fault-tolerant decode throughput (serving hot path)");
+  std::printf("  heads=%zu dim=%zu contexts=%zu..%zu (ragged)  threads=%d\n",
+              kHeads, kDim, std::size_t(350), std::size_t(512),
+              omp_get_max_threads());
+
+  // Single-request baseline: one request's heads decoded back to back.
+  Fleet solo(1);
+  const auto solo_items = solo.items();
+  const double t1 = bench::time_best([&] {
+    for (const auto& it : solo_items) {
+      fc::efta_decode_step(it.kv, it.q, it.out);
+    }
+  });
+  const double tok1 = 1.0 / t1;
+  std::printf("\n  %-22s %10s %12s %10s %8s\n", "mode", "tokens/s", "slices",
+              "time/tok", "speedup");
+  std::printf("  %-22s %10.1f %12zu %9.2f ms %8s\n", "single-request loop",
+              tok1, solo_items.size(), t1 * 1e3, "1.00x");
+
+  std::size_t false_corrections = 0;
+  bool any_mismatch = false;
+  for (const std::size_t batch : {1u, 2u, 4u, 8u, 16u}) {
+    Fleet fleet(batch);
+    auto items = fleet.items();
+    fa::FtReport rep;
+    const double t = bench::time_best(
+        [&] { rep = fc::efta_decode_batch(items); });
+    false_corrections += rep.total_detected() + rep.total_corrected();
+
+    // Cross-check: the batch must be bit-identical to the serial loop.
+    Fleet ref(batch);
+    auto ref_items = ref.items();
+    for (const auto& it : ref_items) fc::efta_decode_step(it.kv, it.q, it.out);
+    bool identical = true;
+    for (std::size_t r = 0; r < batch && identical; ++r) {
+      for (std::size_t c = 0; c < kHeads * kDim; ++c) {
+        if (fleet.out[r][c] != ref.out[r][c]) {
+          identical = false;
+          break;
+        }
+      }
+    }
+
+    any_mismatch |= !identical;
+    const double toks = static_cast<double>(batch) / t;
+    std::printf("  batch %-16zu %10.1f %12zu %9.2f ms %7.2fx%s\n", batch,
+                toks, items.size(), t / batch * 1e3, toks / tok1,
+                identical ? "" : "  MISMATCH vs serial!");
+  }
+
+  std::printf("\n  false corrections across all clean runs: %zu%s\n",
+              false_corrections,
+              false_corrections == 0 ? " (expected 0)" : "  UNEXPECTED");
+  bench::note("per-(request,head) slices parallelize across cores; single-");
+  bench::note("thread runs show ~1x (the batch saves dispatch, not FLOPs).");
+  return (false_corrections == 0 && !any_mismatch) ? 0 : 1;
+}

@@ -73,7 +73,7 @@ Report ElementAbft::gemm_nt(const MatrixH& A, const MatrixH& B, MatrixF& C,
 
   // Payload GEMM with per-output fault hooks.
   sim::gemm_fp16_nt(A, B, C, /*accumulate=*/false);
-  if (inj && inj->armed()) {
+  if (inj) {
     for (std::size_t i = 0; i < M; ++i) {
       for (std::size_t j = 0; j < N; ++j) {
         C(i, j) = inj->corrupt(gemm_site, C(i, j));
@@ -84,7 +84,7 @@ Report ElementAbft::gemm_nt(const MatrixH& A, const MatrixH& B, MatrixF& C,
   // Checksum GEMM: 2 x N column checksums of C.
   MatrixF col_chk(2, N);
   sim::gemm_fp16_nt(a_chk, B, col_chk, /*accumulate=*/false);
-  if (inj && inj->armed()) {
+  if (inj) {
     for (std::size_t r = 0; r < 2; ++r) {
       for (std::size_t j = 0; j < N; ++j) {
         col_chk(r, j) = inj->corrupt(fault::Site::kChecksum, col_chk(r, j));

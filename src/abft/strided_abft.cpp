@@ -196,7 +196,7 @@ Report StridedAbft::gemm_nt(const MatrixH& A, const MatrixH& B, MatrixF& C,
 
   // Payload GEMM with per-output fault hooks.
   sim::gemm_fp16_nt(A, B, C, /*accumulate=*/false);
-  if (inj && inj->armed()) {
+  if (inj) {
     for (std::size_t i = 0; i < M; ++i) {
       for (std::size_t j = 0; j < N; ++j) {
         C(i, j) = inj->corrupt(gemm_site, C(i, j));
@@ -219,7 +219,7 @@ Report StridedAbft::gemm_nt(const MatrixH& A, const MatrixH& B, MatrixF& C,
         chk2(M, static_cast<std::size_t>(s));
     sim::gemm_fp16_nt(A, bc1, chk1, /*accumulate=*/false);
     sim::gemm_fp16_nt(A, bc2, chk2, /*accumulate=*/false);
-    if (inj && inj->armed()) {
+    if (inj) {
       for (std::size_t i = 0; i < M; ++i) {
         for (std::size_t j = 0; j < static_cast<std::size_t>(s); ++j) {
           chk1(i, j) = inj->corrupt(fault::Site::kChecksum, chk1(i, j));

@@ -53,7 +53,7 @@ abft::Report element_abft_gemm_f32h(const MatrixF& P, const MatrixH& V,
   }
 
   sim::gemm_f32h_nn(P, V, O);
-  if (inj && inj->armed()) {
+  if (inj) {
     for (std::size_t i = 0; i < M; ++i) {
       for (std::size_t j = 0; j < N; ++j) {
         O(i, j) = inj->corrupt(fault::Site::kGemm2, O(i, j));
@@ -63,7 +63,7 @@ abft::Report element_abft_gemm_f32h(const MatrixF& P, const MatrixH& V,
 
   MatrixF col_chk(2, N);
   sim::gemm_f32h_nn(p_chk, V, col_chk);
-  if (inj && inj->armed()) {
+  if (inj) {
     for (std::size_t r = 0; r < 2; ++r) {
       for (std::size_t j = 0; j < N; ++j) {
         col_chk(r, j) = inj->corrupt(fault::Site::kChecksum, col_chk(r, j));
@@ -109,13 +109,16 @@ FtReport decoupled_ft_attention(const Tensor4H& Q, const Tensor4H& K,
   const std::size_t slices = Q.batch() * Q.heads();
   FtReport total;
 
-  if (inj && inj->armed()) {
+  if (inj) {
+    // Per-call delta, matching efta_attention / efta_decode_step: merged
+    // reports sharing one injector must not double count flips.
+    const std::size_t before = inj->injected();
     for (std::size_t sl = 0; sl < slices; ++sl) {
       const std::size_t b = sl / Q.heads(), h = sl % Q.heads();
       total += run_slice(load_slice(Q, b, h, scale), load_slice(K, b, h),
                          load_slice(V, b, h), O, b, h, opt, inj);
     }
-    total.faults_injected = inj->injected();
+    total.faults_injected = inj->injected() - before;
     return total;
   }
 

@@ -25,6 +25,8 @@ struct FtReport {
            gemm2.corrected + gemm2.checksum_repairs + range_corrections;
   }
 
+  /// Merge the outcome of another slice: batched decode aggregates per-
+  /// (request, head) reports without dropping any fault statistics.
   FtReport& operator+=(const FtReport& o) noexcept {
     gemm1 += o.gemm1;
     exp_check += o.exp_check;
@@ -33,6 +35,9 @@ struct FtReport {
     range_corrections += o.range_corrections;
     faults_injected += o.faults_injected;
     return *this;
+  }
+  friend FtReport operator+(FtReport a, const FtReport& b) noexcept {
+    return a += b;
   }
 };
 

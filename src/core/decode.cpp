@@ -1,8 +1,11 @@
 #include "core/decode.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "abft/strided_abft.hpp"
@@ -16,19 +19,37 @@ using numeric::Half;
 using tensor::MatrixF;
 using tensor::MatrixH;
 
-FtReport efta_decode_step(const MatrixH& k_cache, const MatrixH& v_cache,
-                          std::span<const Half> q, std::span<float> out,
-                          const EftaOptions& opt, fault::FaultInjector* inj) {
-  const std::size_t n = k_cache.rows(), d = k_cache.cols();
-  const std::size_t B = 64;
+namespace {
+
+void validate_slice(const KvSlice& kv, std::span<const Half> q,
+                    std::span<float> out, const EftaOptions& opt) {
+  if (kv.k_tiles == nullptr || kv.v_tiles == nullptr) {
+    throw std::invalid_argument("efta decode: null KV tile pointers");
+  }
+  if (kv.n == 0) {
+    throw std::invalid_argument("efta decode: empty context (n == 0)");
+  }
+  if (q.size() != kv.d || out.size() != kv.d) {
+    throw std::invalid_argument(
+        "efta decode: q/out spans must hold d values");
+  }
+  if (opt.stride <= 0 || kv.d % static_cast<std::size_t>(opt.stride) != 0) {
+    throw std::invalid_argument(
+        "efta decode: d must be a multiple of the checksum stride");
+  }
+}
+
+/// Core protected decode over one tiled KV slice.  Inputs must have been
+/// checked with validate_slice.  Does not stamp `faults_injected` — the
+/// public entry points account per call / per slice.
+FtReport decode_slice(const KvSlice& kv, std::span<const Half> q,
+                      std::span<float> out, const EftaOptions& opt,
+                      fault::FaultInjector* inj) {
+  const std::size_t n = kv.n, d = kv.d;
+  const std::size_t B = KvSlice::kTileRows;
   const int s = opt.stride;
   const auto su = static_cast<std::size_t>(s);
-  if (n % B != 0 || q.size() != d || out.size() != d ||
-      v_cache.rows() != n || v_cache.cols() != d ||
-      d % su != 0) {
-    throw std::invalid_argument("efta_decode_step: shape mismatch");
-  }
-  const std::size_t nblk = n / B;
+  const std::size_t nblk = kv.tiles();
   FtReport rep;
 
   // Pre-scaled fp16 query (one MMA operand row).
@@ -45,14 +66,19 @@ FtReport efta_decode_step(const MatrixH& k_cache, const MatrixH& v_cache,
   std::vector<float> blockmax(nblk);
 
   MatrixF S(1, B), schk1(1, su), schk2(1, su);
+  MatrixH kj(B, d), vj(B, d);
   for (std::size_t j = 0; j < nblk; ++j) {
-    // Slice the KV tile.
-    MatrixH kj(B, d), vj(B, d);
-    for (std::size_t r = 0; r < B; ++r) {
-      for (std::size_t c = 0; c < d; ++c) {
-        kj(r, c) = k_cache(j * B + r, c);
-        vj(r, c) = v_cache(j * B + r, c);
-      }
+    // Rows of this tile that hold real context; the remainder is zero
+    // padding whose scores are exactly zero and consistent with the
+    // checksums (fp16 MACs over zero operands are exact).
+    const std::size_t rows = std::min(B, n - j * B);
+    // Tiles are contiguous 64 x d row-major Half arrays — bulk-copy the
+    // valid rows and zero the padding (Half() is all-zero bits).
+    std::memcpy(kj.data(), kv.k_tiles[j], rows * d * sizeof(Half));
+    std::memcpy(vj.data(), kv.v_tiles[j], rows * d * sizeof(Half));
+    if (rows < B) {
+      std::memset(kj.data() + rows * d, 0, (B - rows) * d * sizeof(Half));
+      std::memset(vj.data() + rows * d, 0, (B - rows) * d * sizeof(Half));
     }
     const MatrixH kc1 = abft::StridedAbft::encode_rows_strided(kj, s, false, inj);
     const MatrixH kc2 = abft::StridedAbft::encode_rows_strided(kj, s, true, inj);
@@ -60,8 +86,10 @@ FtReport efta_decode_step(const MatrixH& k_cache, const MatrixH& v_cache,
     const MatrixH vc2 = abft::StridedAbft::encode_cols_strided(vj, s, true, inj);
 
     sim::gemm_fp16_nt(qh, kj, S);
-    if (inj && inj->armed()) {
-      for (std::size_t c = 0; c < B; ++c) {
+    if (inj) {
+      // Any non-null injector — armed or an unarmed calls()-counting probe
+      // — sees every hook, so campaign sizing observes true call counts.
+      for (std::size_t c = 0; c < rows; ++c) {
         S(0, c) = inj->corrupt(fault::Site::kGemm1, S(0, c));
       }
     }
@@ -71,21 +99,28 @@ FtReport efta_decode_step(const MatrixH& k_cache, const MatrixH& v_cache,
         abft::StridedAbft::verify_correct(S, schk1, schk2, s,
                                           opt.abft_rel_threshold);
 
-    // Streaming softmax update for the single row.
+    // Streaming softmax update for the single row; the running max only
+    // sees real context lanes (a padded lane's zero score could otherwise
+    // dominate an all-negative tile).
     float bmax = -std::numeric_limits<float>::infinity();
-    for (std::size_t c = 0; c < B; ++c) bmax = std::max(bmax, S(0, c));
+    for (std::size_t c = 0; c < rows; ++c) bmax = std::max(bmax, S(0, c));
     bmax = fault::corrupt(inj, fault::Site::kReduceMax, bmax);
     blockmax[j] = bmax;
     const float mnew = std::max(m, bmax);
 
     MatrixF spre = S;
-    float rowsum = 0.0f;
-    for (std::size_t c = 0; c < B; ++c) {
+    for (std::size_t c = 0; c < rows; ++c) {
       S(0, c) = fault::corrupt(inj, fault::Site::kExp,
                                std::exp(S(0, c) - mnew));
-      rowsum += S(0, c);
     }
-    // Case-2 product check on the decode row (log domain, double).
+    // Padded lanes carry zero softmax weight: no rowsum contribution, no
+    // GEMM II contribution (their V rows are zero anyway).
+    for (std::size_t c = rows; c < B; ++c) S(0, c) = 0.0f;
+    // Case-2 product check on the decode row (log domain, double).  Padded
+    // lanes participate in score space — their pre-EXP score is exactly
+    // zero, which the checksum side already accounts for — rather than as
+    // exp(0 - m), which would overflow for strongly negative tiles and
+    // flag a clean run.
     {
       const std::size_t L = B / su;
       for (std::size_t jc = 0; jc < su; ++jc) {
@@ -93,7 +128,12 @@ FtReport efta_decode_step(const MatrixH& k_cache, const MatrixH& v_cache,
         double lhs = 0.0;
         bool bad = false;
         for (std::size_t ll = 0; ll < L; ++ll) {
-          const float p = S(0, jc + ll * su);
+          const std::size_t col = jc + ll * su;
+          if (col >= rows) {
+            lhs += static_cast<double>(spre(0, col)) - mnew;
+            continue;
+          }
+          const float p = S(0, col);
           if (!(p > 0.0f) || !std::isfinite(p)) {
             bad = true;
             break;
@@ -107,16 +147,16 @@ FtReport efta_decode_step(const MatrixH& k_cache, const MatrixH& v_cache,
           // Repair the scores via the linear checksum, then re-exponentiate.
           abft::StridedAbft::verify_correct(spre, schk1, schk2, s,
                                             opt.abft_rel_threshold);
-          rowsum = 0.0f;
-          for (std::size_t c = 0; c < B; ++c) {
+          for (std::size_t c = 0; c < rows; ++c) {
             S(0, c) = std::exp(spre(0, c) - mnew);
           }
-          for (std::size_t c = 0; c < B; ++c) rowsum += S(0, c);
           ++rep.exp_check.recomputed;
           break;
         }
       }
     }
+    float rowsum = 0.0f;
+    for (std::size_t c = 0; c < B; ++c) rowsum += S(0, c);
     rowsum = fault::corrupt(inj, fault::Site::kReduceSum, rowsum);
 
     const float f = std::exp(m - mnew);
@@ -169,8 +209,89 @@ FtReport efta_decode_step(const MatrixH& k_cache, const MatrixH& v_cache,
   rep.gemm2 += abft::StridedAbft::verify_correct(ofin, oc1, oc2, s,
                                                  opt.abft_rel_threshold);
   for (std::size_t c = 0; c < d; ++c) out[c] = ofin(0, c);
-  if (inj) rep.faults_injected = inj->injected();
   return rep;
+}
+
+}  // namespace
+
+FtReport efta_decode_step(const KvSlice& kv, std::span<const Half> q,
+                          std::span<float> out, const EftaOptions& opt,
+                          fault::FaultInjector* inj) {
+  validate_slice(kv, q, out, opt);
+  const std::size_t before = inj ? inj->injected() : 0;
+  FtReport rep = decode_slice(kv, q, out, opt, inj);
+  if (inj) rep.faults_injected = inj->injected() - before;
+  return rep;
+}
+
+FtReport efta_decode_step(const MatrixH& k_cache, const MatrixH& v_cache,
+                          std::span<const Half> q, std::span<float> out,
+                          const EftaOptions& opt, fault::FaultInjector* inj) {
+  const std::size_t n = k_cache.rows(), d = k_cache.cols();
+  if (v_cache.rows() != n || v_cache.cols() != d) {
+    throw std::invalid_argument("efta_decode_step: shape mismatch");
+  }
+  // A contiguous n x d cache is a degenerate tiled view: tile t starts at
+  // row 64t, and decode_slice never reads past the valid rows of the ragged
+  // final tile.
+  const std::size_t B = KvSlice::kTileRows;
+  const std::size_t nblk = (n + B - 1) / B;
+  std::vector<const Half*> kt(nblk), vt(nblk);
+  for (std::size_t j = 0; j < nblk; ++j) {
+    kt[j] = k_cache.data() + j * B * d;
+    vt[j] = v_cache.data() + j * B * d;
+  }
+  const KvSlice kv{kt.data(), vt.data(), n, d};
+  return efta_decode_step(kv, q, out, opt, inj);
+}
+
+FtReport efta_decode_batch(std::span<const DecodeWorkItem> items,
+                           const EftaOptions& opt, fault::FaultInjector* inj,
+                           std::span<FtReport> per_item) {
+  if (!per_item.empty() && per_item.size() != items.size()) {
+    throw std::invalid_argument(
+        "efta_decode_batch: per_item size must match items");
+  }
+  // Validate every item up front: an exception must not be raised inside
+  // the OpenMP worksharing region (that would terminate the process).
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    try {
+      validate_slice(items[i].kv, items[i].q, items[i].out, opt);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("efta_decode_batch: item " +
+                                  std::to_string(i) + ": " + e.what());
+    }
+  }
+  FtReport total;
+
+  // Any non-null injector — armed or a calls()-counting probe — is
+  // deterministic, stateful, and not thread-safe, so it forces the serial
+  // path, exactly like efta_decode_step threading the same injector.
+  if (inj) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const std::size_t before = inj->injected();
+      FtReport r = decode_slice(items[i].kv, items[i].q, items[i].out, opt, inj);
+      r.faults_injected = inj->injected() - before;
+      if (!per_item.empty()) per_item[i] = r;
+      total += r;
+    }
+    return total;
+  }
+
+#pragma omp parallel
+  {
+    FtReport local;
+#pragma omp for schedule(dynamic) nowait
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      FtReport r =
+          decode_slice(items[i].kv, items[i].q, items[i].out, opt, nullptr);
+      if (!per_item.empty()) per_item[i] = r;
+      local += r;
+    }
+#pragma omp critical
+    total += local;
+  }
+  return total;
 }
 
 }  // namespace ftt::core

@@ -9,6 +9,17 @@
 // subtract-max + EXP (log-domain product check), the rowsum is range
 // restricted, and the 1 x d output carries V column checksums through the
 // final normalization.
+//
+// Context lengths are arbitrary: a ragged final tile (n % 64 != 0) is
+// zero-padded to the full 64-row checksum footprint.  Padded K rows produce
+// exactly-zero scores (fp16 MACs against zero operands), so the strided
+// checksum relation and the EXP product check hold over the padded lanes,
+// which are then excluded from the softmax reduction and carry zero weight
+// into GEMM II.
+//
+// The batch entry point runs many independent (request, head) slices through
+// the same kernel, OpenMP-parallel with per-slice FtReport aggregation —
+// the unit of work a batched serving engine schedules.
 
 #include <span>
 
@@ -17,14 +28,63 @@
 
 namespace ftt::core {
 
-/// One protected decode step for a single head.
-/// `k_cache`/`v_cache`: n x d fp16 (n a multiple of 64); `q`: d fp16 values;
-/// `out`: d floats.  Scaling by 1/sqrt(d) is applied internally.
+/// Read-only tiled view of one (request, head) KV slice.  Tile t holds rows
+/// [64t, min(64(t+1), n)) of the logical n x d cache, row-major, in storage
+/// of 64 x d halves; rows past the valid count must not be read (the kernel
+/// zero-pads its working tile instead).  This is the natural shape of a
+/// growable KV cache that appends in 64-row tiles without relocating old
+/// rows.
+struct KvSlice {
+  static constexpr std::size_t kTileRows = 64;
+
+  const numeric::Half* const* k_tiles = nullptr;
+  const numeric::Half* const* v_tiles = nullptr;
+  std::size_t n = 0;  ///< valid context rows
+  std::size_t d = 0;  ///< head dimension
+
+  [[nodiscard]] std::size_t tiles() const noexcept {
+    return (n + kTileRows - 1) / kTileRows;
+  }
+};
+
+/// One (request, head) decode slice of a batched step: attend `q` (d halves)
+/// over `kv`, writing the normalized d-float output to `out`.
+struct DecodeWorkItem {
+  KvSlice kv;
+  std::span<const numeric::Half> q;
+  std::span<float> out;
+};
+
+/// One protected decode step for a single head over a tiled KV view.
+/// Scaling by 1/sqrt(d) is applied internally.  The report's
+/// `faults_injected` counts only the flips placed during this call (delta,
+/// not the injector's lifetime total), matching efta_decode_batch's
+/// per-slice accounting.
+attention::FtReport efta_decode_step(const KvSlice& kv,
+                                     std::span<const numeric::Half> q,
+                                     std::span<float> out,
+                                     const EftaOptions& opt = {},
+                                     fault::FaultInjector* inj = nullptr);
+
+/// Convenience overload over contiguous n x d caches (any n >= 1).
 attention::FtReport efta_decode_step(const tensor::MatrixH& k_cache,
                                      const tensor::MatrixH& v_cache,
                                      std::span<const numeric::Half> q,
                                      std::span<float> out,
                                      const EftaOptions& opt = {},
                                      fault::FaultInjector* inj = nullptr);
+
+/// Protected decode for a whole batch of independent (request, head) slices
+/// with heterogeneous context lengths.  Slices are OpenMP-parallel when
+/// `inj` is null; any injector — armed, or an unarmed probe counting
+/// per-site calls() — is stateful and forces the serial path, matching
+/// `efta_decode_step`.  Per-slice reports are
+/// written to `per_item` when provided (size must match) and merged into the
+/// returned aggregate; each slice's `faults_injected` counts only the flips
+/// placed while that slice ran.
+attention::FtReport efta_decode_batch(
+    std::span<const DecodeWorkItem> items, const EftaOptions& opt = {},
+    fault::FaultInjector* inj = nullptr,
+    std::span<attention::FtReport> per_item = {});
 
 }  // namespace ftt::core

@@ -257,7 +257,7 @@ FtReport efta_slice(const MatrixH& q, const MatrixH& k, const MatrixH& v,
         vc2 = abft::StridedAbft::encode_cols_strided(vj, s, true, inj);
 
         sim::gemm_fp16_nt(qi, kj, S);
-        if (inj && inj->armed()) {
+        if (inj) {
           for (std::size_t r = 0; r < B; ++r) {
             for (std::size_t c = 0; c < B; ++c) {
               S(r, c) = inj->corrupt(fault::Site::kGemm1, S(r, c));
@@ -266,7 +266,7 @@ FtReport efta_slice(const MatrixH& q, const MatrixH& k, const MatrixH& v,
         }
         sim::gemm_fp16_nt(qi, kc1, schk1);
         sim::gemm_fp16_nt(qi, kc2, schk2);
-        if (inj && inj->armed()) {
+        if (inj) {
           for (std::size_t r = 0; r < B; ++r) {
             for (std::size_t c = 0; c < su; ++c) {
               schk1(r, c) = inj->corrupt(fault::Site::kChecksum, schk1(r, c));
@@ -305,7 +305,7 @@ FtReport efta_slice(const MatrixH& q, const MatrixH& k, const MatrixH& v,
             qi, kj, S, opt.abft_rel_threshold, inj, fault::Site::kGemm1);
       } else {
         sim::gemm_fp16_nt(qi, kj, S);
-        if (inj && inj->armed()) {
+        if (inj) {
           for (std::size_t r = 0; r < B; ++r) {
             for (std::size_t c = 0; c < B; ++c) {
               S(r, c) = inj->corrupt(fault::Site::kGemm1, S(r, c));
@@ -393,7 +393,7 @@ FtReport efta_slice(const MatrixH& q, const MatrixH& k, const MatrixH& v,
           p_chk(1, kk) = fault::corrupt(inj, fault::Site::kChecksum, s2);
         }
         sim::gemm_f32h_nn(S, vj, t);
-        if (inj && inj->armed()) {
+        if (inj) {
           for (std::size_t r = 0; r < B; ++r) {
             for (std::size_t c = 0; c < dim; ++c) {
               t(r, c) = inj->corrupt(fault::Site::kGemm2, t(r, c));
@@ -409,7 +409,7 @@ FtReport efta_slice(const MatrixH& q, const MatrixH& k, const MatrixH& v,
         }
       } else {
         sim::gemm_f32h_nn(S, vj, oacc, /*accumulate=*/true);
-        if (inj && inj->armed()) {
+        if (inj) {
           for (std::size_t r = 0; r < B; ++r) {
             for (std::size_t c = 0; c < dim; ++c) {
               oacc(r, c) = inj->corrupt(fault::Site::kGemm2, oacc(r, c));
@@ -419,7 +419,7 @@ FtReport efta_slice(const MatrixH& q, const MatrixH& k, const MatrixH& v,
         if (strided) {
           sim::gemm_f32h_nn(S, vc1, oc1, /*accumulate=*/true);
           sim::gemm_f32h_nn(S, vc2, oc2, /*accumulate=*/true);
-          if (inj && inj->armed()) {
+          if (inj) {
             for (std::size_t r = 0; r < B; ++r) {
               for (std::size_t jc = 0; jc < su; ++jc) {
                 oc1(r, jc) = inj->corrupt(fault::Site::kChecksum, oc1(r, jc));
@@ -510,13 +510,17 @@ FtReport efta_attention(const Tensor4H& Q, const Tensor4H& K,
   }
   FtReport total;
 
-  if (inj && inj->armed()) {
+  if (inj) {
+    // Per-call delta, not the injector's lifetime total: reports from
+    // consecutive calls sharing one injector (e.g. Model::forward summing
+    // per-block reports) must merge without double counting.
+    const std::size_t before = inj->injected();
     for (std::size_t sl = 0; sl < slices; ++sl) {
       const std::size_t b = sl / Q.heads(), h = sl % Q.heads();
       total += efta_slice(load_slice(Q, b, h, scale), load_slice(K, b, h),
                           load_slice(V, b, h), O, b, h, opt, inj);
     }
-    total.faults_injected = inj->injected();
+    total.faults_injected = inj->injected() - before;
     return total;
   }
 

@@ -1,0 +1,248 @@
+#include "serve/engine.hpp"
+
+#include <stdexcept>
+
+namespace ftt::serve {
+
+using attention::FtReport;
+using numeric::Half;
+using tensor::MatrixF;
+using tensor::MatrixH;
+using transformer::Block;
+using transformer::LinearProtect;
+
+DecodeEngine::DecodeEngine(const transformer::Model& model, EngineOptions opt)
+    : model_(&model), opt_(opt) {
+  // Fail fast on a stride the decode kernel would reject per slice.
+  const auto stride = static_cast<std::size_t>(opt_.efta.stride);
+  if (stride == 0 || model.config().head_dim() % stride != 0) {
+    throw std::invalid_argument(
+        "DecodeEngine: head_dim must be a multiple of the checksum stride");
+  }
+  // The decode kernel is fixed to 64-row strided-ABFT tiles + SNVR; reject
+  // knob values it would silently ignore.
+  if (opt_.efta.gemm != core::GemmProtect::kStrided ||
+      opt_.efta.softmax != core::SoftmaxProtect::kSNVR ||
+      opt_.efta.block != core::KvSlice::kTileRows) {
+    throw std::invalid_argument(
+        "DecodeEngine: decode supports only strided ABFT + SNVR with the "
+        "64-row tile");
+  }
+}
+
+DecodeEngine::RequestId DecodeEngine::submit(const MatrixF& prompt_hidden,
+                                             fault::FaultInjector* inj) {
+  const auto& cfg = model_->config();
+  if (prompt_hidden.rows() == 0 || prompt_hidden.cols() != cfg.hidden) {
+    throw std::invalid_argument(
+        "DecodeEngine::submit: prompt must be seq x hidden with seq >= 1");
+  }
+  if (prompt_hidden.rows() > opt_.max_context) {
+    throw std::invalid_argument("DecodeEngine::submit: prompt exceeds "
+                                "max_context");
+  }
+  const RequestId id = requests_.size();
+  Request req;
+  req.layers.reserve(cfg.layers);
+  for (std::size_t b = 0; b < cfg.layers; ++b) {
+    req.layers.emplace_back(cfg.heads, cfg.head_dim());
+  }
+  req.active = true;
+  requests_.push_back(std::move(req));
+
+  // Protected prefill: feed the prompt one token at a time through the same
+  // cache-backed path decode uses.  Each token's attention sees exactly its
+  // causal prefix (itself included), so no separate prefill kernel — and no
+  // seq-length alignment constraint — is needed.  (Batching prefill across
+  // the prompt is the ROADMAP's async-prefill open item.)
+  const std::vector<RequestId> ids{id};
+  try {
+    for (std::size_t t = 0; t < prompt_hidden.rows(); ++t) {
+      MatrixF x(1, cfg.hidden);
+      for (std::size_t c = 0; c < cfg.hidden; ++c) {
+        x(0, c) = prompt_hidden(t, c);
+      }
+      advance(ids, x, inj);
+    }
+  } catch (...) {
+    // Transactional admit: never leave a half-prefilled request active.
+    requests_.pop_back();
+    throw;
+  }
+  return id;
+}
+
+DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
+  const auto& cfg = model_->config();
+  std::vector<RequestId> ids;
+  for (RequestId id = 0; id < requests_.size(); ++id) {
+    Request& req = requests_[id];
+    if (!req.active) continue;
+    if (req.tokens + 1 > opt_.max_context) {
+      retire(req);  // capped sequence leaves; the batch keeps stepping
+      continue;
+    }
+    ids.push_back(id);
+  }
+  if (ids.empty()) return {};
+  MatrixF X(ids.size(), cfg.hidden);
+  for (std::size_t r = 0; r < ids.size(); ++r) {
+    const Request& req = requests_[ids[r]];
+    for (std::size_t c = 0; c < cfg.hidden; ++c) X(r, c) = req.next_in[c];
+  }
+  return advance(ids, X, inj);
+}
+
+DecodeEngine::StepStats DecodeEngine::drain(std::size_t steps,
+                                            fault::FaultInjector* inj) {
+  StepStats total;
+  for (std::size_t i = 0; i < steps; ++i) total += step(inj);
+  return total;
+}
+
+DecodeEngine::StepStats DecodeEngine::advance(const std::vector<RequestId>& ids,
+                                              MatrixF& X,
+                                              fault::FaultInjector* inj) {
+  const auto& cfg = model_->config();
+  const std::size_t R = ids.size();
+  const std::size_t hidden = cfg.hidden;
+  const std::size_t heads = cfg.heads;
+  const std::size_t dim = cfg.head_dim();
+  const auto mode =
+      opt_.protect_linear ? LinearProtect::kStridedAbft : LinearProtect::kNone;
+
+  StepStats stats;
+  stats.active = R;
+  for (std::size_t r = 0; r < R; ++r) {
+    Request& req = requests_[ids[r]];
+    ++req.tokens;
+    if (opt_.record_inputs) {
+      req.inputs.emplace_back(X.row(r).begin(), X.row(r).end());
+    }
+  }
+
+  // This mirrors Block::forward's sub-block pipeline (ln1 -> QKV ->
+  // attention -> wo residual; ln2 -> FFN residual) with the attention
+  // swapped for cache-backed batched decode; Engine.CacheBackedGeneration-
+  // MatchesFullRecompute pins the two paths against each other.
+  std::vector<FtReport> per_slice(R * heads);
+  const auto& blocks = model_->blocks();
+  for (std::size_t layer = 0; layer < blocks.size(); ++layer) {
+    const Block& blk = blocks[layer];
+    // --- attention sub-block: project, append K/V, batched decode ---
+    MatrixF h = X;
+    blk.ln1().forward(h);
+    MatrixF qm(R, hidden), km(R, hidden), vm(R, hidden);
+    stats.linear += blk.wq().forward(h, qm, mode, inj);
+    stats.linear += blk.wk().forward(h, km, mode, inj);
+    stats.linear += blk.wv().forward(h, vm, mode, inj);
+
+    // Round to the fp16 tensor-core operands once; rows are head-major, so
+    // a head's dim-wide segment is contiguous for both the cache append and
+    // the decode work item.
+    MatrixH qh(R, hidden), kh(R, hidden), vh(R, hidden);
+    tensor::narrow(qm, {qh.data(), qh.size()});
+    tensor::narrow(km, {kh.data(), kh.size()});
+    tensor::narrow(vm, {vh.data(), vh.size()});
+
+    MatrixF attn(R, hidden);
+    std::vector<core::DecodeWorkItem> items;
+    items.reserve(R * heads);
+    for (std::size_t r = 0; r < R; ++r) {
+      KvCache& cache = requests_[ids[r]].layers[layer];
+      cache.append(kh.row(r), vh.row(r));
+      for (std::size_t hd = 0; hd < heads; ++hd) {
+        items.push_back(core::DecodeWorkItem{
+            cache.slice(hd),
+            qh.row(r).subspan(hd * dim, dim),
+            attn.row(r).subspan(hd * dim, dim)});
+      }
+    }
+    stats.attention +=
+        core::efta_decode_batch(items, opt_.efta, inj, per_slice);
+    for (std::size_t r = 0; r < R; ++r) {
+      for (std::size_t hd = 0; hd < heads; ++hd) {
+        requests_[ids[r]].attention += per_slice[r * heads + hd];
+      }
+    }
+
+    MatrixF proj(R, hidden);
+    stats.linear += blk.wo().forward(attn, proj, mode, inj);
+    for (std::size_t i = 0; i < X.size(); ++i) X.data()[i] += proj.data()[i];
+
+    // --- feed-forward sub-block ---
+    MatrixF h2 = X;
+    blk.ln2().forward(h2);
+    MatrixF ffn_out(R, hidden);
+    const auto fr = blk.ffn().forward(h2, ffn_out, opt_.protect_linear, inj);
+    stats.linear += fr.abft;
+    stats.activations_clipped += fr.activations_clipped;
+    for (std::size_t i = 0; i < X.size(); ++i) X.data()[i] += ffn_out.data()[i];
+  }
+
+  MatrixF y = X;
+  model_->final_ln().forward(y);
+  for (std::size_t r = 0; r < R; ++r) {
+    Request& req = requests_[ids[r]];
+    req.last_hidden.assign(y.row(r).begin(), y.row(r).end());
+    req.next_in = req.last_hidden;
+  }
+  lifetime_ += stats;
+  return stats;
+}
+
+void DecodeEngine::retire(Request& req) {
+  req.active = false;
+  req.layers.clear();
+  req.layers.shrink_to_fit();
+  req.inputs.clear();
+  req.inputs.shrink_to_fit();
+}
+
+void DecodeEngine::finish(RequestId id) {
+  if (id >= requests_.size()) {
+    throw std::out_of_range("DecodeEngine: unknown request id");
+  }
+  retire(requests_[id]);
+}
+
+std::size_t DecodeEngine::active() const noexcept {
+  std::size_t n = 0;
+  for (const Request& r : requests_) n += r.active ? 1 : 0;
+  return n;
+}
+
+bool DecodeEngine::is_active(RequestId id) const {
+  return id < requests_.size() && requests_[id].active;
+}
+
+const DecodeEngine::Request& DecodeEngine::checked(RequestId id) const {
+  if (id >= requests_.size()) {
+    throw std::out_of_range("DecodeEngine: unknown request id");
+  }
+  return requests_[id];
+}
+
+std::size_t DecodeEngine::context_length(RequestId id) const {
+  return checked(id).tokens;
+}
+
+std::span<const float> DecodeEngine::hidden(RequestId id) const {
+  return checked(id).last_hidden;
+}
+
+const FtReport& DecodeEngine::report(RequestId id) const {
+  return checked(id).attention;
+}
+
+MatrixF DecodeEngine::fed_inputs(RequestId id) const {
+  const Request& req = checked(id);
+  const std::size_t hidden = model_->config().hidden;
+  MatrixF m(req.inputs.size(), hidden);
+  for (std::size_t r = 0; r < req.inputs.size(); ++r) {
+    for (std::size_t c = 0; c < hidden; ++c) m(r, c) = req.inputs[r][c];
+  }
+  return m;
+}
+
+}  // namespace ftt::serve

@@ -1,0 +1,142 @@
+#pragma once
+// Batched fault-tolerant serving engine: submit / step / drain.
+//
+// The engine drives autoregressive generation for many concurrent sequences
+// through a transformer::Model without ever recomputing a prefix.  Each
+// request owns one KvCache per layer; admitting a prompt runs a protected
+// prefill that fills the caches token by token, and every step() advances
+// all active sequences by one token:
+//
+//   * the active tokens' hidden rows are stacked, so layer norms, the
+//     QKV/output projections and the feed-forward run once per layer over
+//     the whole batch (strided-ABFT-protected when protect_linear is set);
+//   * attention runs through efta_decode_batch — one protected decode slice
+//     per (request, head), OpenMP-parallel, with per-slice FtReport
+//     aggregation rolled up into both per-request lifetime reports and the
+//     step's stats.
+//
+// Token embedding/unembedding are outside the paper's protected region
+// (memory, assumed ECC-protected) and are not modeled; "generation" feeds
+// each token's final-layernormed hidden state back as the next token's
+// input, which exercises exactly the per-token compute the paper profiles.
+//
+// Row-stacked linears and per-slice decode are both row-deterministic, so a
+// batched step is bit-identical to stepping each request in its own engine —
+// the property tests/test_serve.cpp pins down.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "attention/ft_report.hpp"
+#include "core/decode.hpp"
+#include "serve/kv_cache.hpp"
+#include "transformer/model.hpp"
+
+namespace ftt::serve {
+
+struct EngineOptions {
+  /// Attention protection knobs the decode kernel reads: stride,
+  /// abft_rel_threshold, exp_log_threshold, snvr_slack.  The decode path is
+  /// fixed to 64-row strided-ABFT tiles with SNVR softmax protection, so
+  /// the constructor rejects other gemm/softmax/block settings; causal and
+  /// unified_verification are meaningless for single-row decode and
+  /// ignored.
+  core::EftaOptions efta;
+  bool protect_linear = true;  ///< strided ABFT on projections + FFN
+  /// Context cap: submit() beyond it throws; a request *reaching* it during
+  /// generation is retired automatically (caches released, hidden state and
+  /// reports stay readable) so the rest of the batch keeps stepping.
+  std::size_t max_context = 65536;
+  /// Record every fed input row so fed_inputs() can replay the request
+  /// through a from-scratch forward (tests / offline verification).  Costs
+  /// hidden * 4 bytes per token while the request lives, which is why the
+  /// serving default is off.
+  bool record_inputs = false;
+};
+
+class DecodeEngine {
+ public:
+  using RequestId = std::size_t;
+
+  struct StepStats {
+    /// Sequences advanced (for drain(): token-steps executed in total).
+    std::size_t active = 0;
+    attention::FtReport attention;  ///< merged over all decode slices
+    abft::Report linear;            ///< projections + FFN ABFT
+    std::size_t activations_clipped = 0;
+
+    StepStats& operator+=(const StepStats& o) noexcept {
+      active += o.active;
+      attention += o.attention;
+      linear += o.linear;
+      activations_clipped += o.activations_clipped;
+      return *this;
+    }
+  };
+
+  explicit DecodeEngine(const transformer::Model& model,
+                        EngineOptions opt = {});
+
+  /// Admit a sequence: protected prefill of `prompt_hidden` (seq x hidden,
+  /// any seq >= 1) through the per-layer caches.  Returns the request id.
+  RequestId submit(const tensor::MatrixF& prompt_hidden,
+                   fault::FaultInjector* inj = nullptr);
+
+  /// One batched decode step advancing every active sequence by one token.
+  StepStats step(fault::FaultInjector* inj = nullptr);
+
+  /// Run `steps` batched decode steps; merged stats (active = token-steps).
+  StepStats drain(std::size_t steps, fault::FaultInjector* inj = nullptr);
+
+  /// Retire a request: release its caches and recorded history.  Its last
+  /// hidden state, lifetime report and token count stay readable.
+  void finish(RequestId id);
+
+  /// Merged stats over everything this engine ever ran — including the
+  /// prefill passes submit() performs, whose per-call stats have no other
+  /// outlet.  `active` counts token-steps executed.
+  [[nodiscard]] const StepStats& lifetime() const noexcept {
+    return lifetime_;
+  }
+
+  [[nodiscard]] std::size_t active() const noexcept;
+  [[nodiscard]] bool is_active(RequestId id) const;
+  /// Tokens in the request's context (prompt + generated).
+  [[nodiscard]] std::size_t context_length(RequestId id) const;
+  /// Final-layernormed hidden state of the request's latest token.
+  [[nodiscard]] std::span<const float> hidden(RequestId id) const;
+  /// Lifetime attention fault-tolerance report of one request.
+  [[nodiscard]] const attention::FtReport& report(RequestId id) const;
+  /// Every input row fed so far (prompt rows, then the fed-back generated
+  /// rows): the matrix a from-scratch forward() would consume.  For tests
+  /// and offline verification of cache-backed generation.  Empty when
+  /// record_inputs is off or the request has been retired.
+  [[nodiscard]] tensor::MatrixF fed_inputs(RequestId id) const;
+
+ private:
+  struct Request {
+    std::vector<KvCache> layers;           // one cache per block
+    std::vector<float> next_in;            // next token's input row
+    std::vector<float> last_hidden;        // final-LN output of last token
+    std::vector<std::vector<float>> inputs;  // fed rows (record_inputs)
+    attention::FtReport attention;         // lifetime decode report
+    std::size_t tokens = 0;                // context length ever reached
+    bool active = false;
+  };
+
+  void retire(Request& req);
+
+  /// Advance one token for `ids` with stacked input rows X (|ids| x hidden).
+  StepStats advance(const std::vector<RequestId>& ids, tensor::MatrixF& X,
+                    fault::FaultInjector* inj);
+
+  [[nodiscard]] const Request& checked(RequestId id) const;
+
+  const transformer::Model* model_;
+  EngineOptions opt_;
+  std::vector<Request> requests_;
+  StepStats lifetime_;
+};
+
+}  // namespace ftt::serve

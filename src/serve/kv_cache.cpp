@@ -1,0 +1,83 @@
+#include "serve/kv_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace ftt::serve {
+
+using numeric::Half;
+
+KvCache::KvCache(std::size_t heads, std::size_t dim)
+    : heads_(heads), dim_(dim), store_(heads) {
+  if (heads == 0 || dim == 0) {
+    throw std::invalid_argument("KvCache: heads and dim must be positive");
+  }
+}
+
+std::size_t KvCache::tiles() const noexcept {
+  return (len_ + kTileRows - 1) / kTileRows;
+}
+
+std::size_t KvCache::bytes() const noexcept {
+  return tiles() * kTileRows * dim_ * heads_ * 2 * sizeof(Half);
+}
+
+void KvCache::append(std::span<const Half> k, std::span<const Half> v) {
+  if (k.size() != heads_ * dim_ || v.size() != heads_ * dim_) {
+    throw std::invalid_argument("KvCache::append: expected heads*dim values");
+  }
+  const std::size_t row = len_ % kTileRows;
+  if (row == 0) {
+    // Two-phase tile open so a mid-loop allocation failure cannot leave
+    // heads with mismatched tile counts: allocate and reserve first (which
+    // may throw but mutates nothing logical), then commit with noexcept
+    // moves only.
+    std::vector<std::unique_ptr<Half[]>> fresh_k(heads_), fresh_v(heads_);
+    for (std::size_t h = 0; h < heads_; ++h) {
+      // make_unique value-initializes: fresh tiles are all-zero halves, the
+      // padding the decode kernel's ragged-tail checksums assume.
+      fresh_k[h] = std::make_unique<Half[]>(kTileRows * dim_);
+      fresh_v[h] = std::make_unique<Half[]>(kTileRows * dim_);
+    }
+    // Geometric reservation (reserve(n+1) would pin capacity to exact fit
+    // and reallocate on every tile open); push_back below cannot throw once
+    // capacity is in place.
+    const auto grow = [](auto& vec) {
+      if (vec.size() == vec.capacity()) {
+        vec.reserve(std::max<std::size_t>(4, vec.capacity() * 2));
+      }
+    };
+    for (HeadStore& hs : store_) {
+      grow(hs.k_tiles);
+      grow(hs.v_tiles);
+      grow(hs.k_ptrs);
+      grow(hs.v_ptrs);
+    }
+    for (std::size_t h = 0; h < heads_; ++h) {
+      HeadStore& hs = store_[h];
+      hs.k_tiles.push_back(std::move(fresh_k[h]));
+      hs.v_tiles.push_back(std::move(fresh_v[h]));
+      hs.k_ptrs.push_back(hs.k_tiles.back().get());
+      hs.v_ptrs.push_back(hs.v_tiles.back().get());
+    }
+  }
+  for (std::size_t h = 0; h < heads_; ++h) {
+    HeadStore& hs = store_[h];
+    std::memcpy(hs.k_tiles.back().get() + row * dim_, k.data() + h * dim_,
+                dim_ * sizeof(Half));
+    std::memcpy(hs.v_tiles.back().get() + row * dim_, v.data() + h * dim_,
+                dim_ * sizeof(Half));
+  }
+  ++len_;
+}
+
+core::KvSlice KvCache::slice(std::size_t head) const {
+  if (head >= heads_) {
+    throw std::out_of_range("KvCache::slice: head out of range");
+  }
+  const HeadStore& hs = store_[head];
+  return core::KvSlice{hs.k_ptrs.data(), hs.v_ptrs.data(), len_, dim_};
+}
+
+}  // namespace ftt::serve

@@ -1,0 +1,60 @@
+#pragma once
+// Per-request growable K/V storage for batched fault-tolerant decode.
+//
+// Storage is allocated in 64-row tiles per head (the strided-ABFT checksum
+// footprint, abft::StridedAbft::kTile): appending a token never relocates
+// previously written rows, so tile pointers handed to in-flight decode
+// slices stay valid across appends, and every tile is already aligned to
+// the checksum tile the decode kernel verifies.  Fresh tiles are
+// zero-initialized, matching the kernel's zero-padding convention for the
+// ragged tail.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/decode.hpp"
+#include "numeric/fp16.hpp"
+
+namespace ftt::serve {
+
+class KvCache {
+ public:
+  static constexpr std::size_t kTileRows = core::KvSlice::kTileRows;
+
+  KvCache(std::size_t heads, std::size_t dim);
+
+  [[nodiscard]] std::size_t heads() const noexcept { return heads_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  /// Context length in tokens.
+  [[nodiscard]] std::size_t length() const noexcept { return len_; }
+  /// Allocated tiles per head.
+  [[nodiscard]] std::size_t tiles() const noexcept;
+  /// Allocated K+V bytes across all heads.
+  [[nodiscard]] std::size_t bytes() const noexcept;
+
+  /// Append one token's keys and values; `k`/`v` hold heads*dim halves,
+  /// head-major (the split-heads layout of a projected 1 x hidden row).
+  void append(std::span<const numeric::Half> k,
+              std::span<const numeric::Half> v);
+
+  /// Tiled read view of one head's K/V over the current context.  Tile
+  /// storage is never relocated, but the view's tile-pointer array can move
+  /// when an append() opens a new tile — re-take the slice after appending.
+  [[nodiscard]] core::KvSlice slice(std::size_t head) const;
+
+ private:
+  struct HeadStore {
+    // Owning tile storage (each kTileRows x dim, zero-initialized) plus raw
+    // mirrors in the exact shape core::KvSlice consumes.
+    std::vector<std::unique_ptr<numeric::Half[]>> k_tiles, v_tiles;
+    std::vector<const numeric::Half*> k_ptrs, v_ptrs;
+  };
+
+  std::size_t heads_, dim_;
+  std::size_t len_ = 0;
+  std::vector<HeadStore> store_;
+};
+
+}  // namespace ftt::serve

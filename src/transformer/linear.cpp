@@ -49,7 +49,7 @@ abft::Report Linear::forward(const MatrixF& x, MatrixF& y,
                                      rel_threshold, inj, fault::Site::kLinear);
   } else {
     sim::gemm_fp16_nt(xh, w_, y);
-    if (inj && inj->armed()) {
+    if (inj) {
       for (std::size_t i = 0; i < y.size(); ++i) {
         y.data()[i] = inj->corrupt(fault::Site::kLinear, y.data()[i]);
       }

@@ -68,6 +68,18 @@ class Block {
 
   [[nodiscard]] const ModelConfig& config() const noexcept { return cfg_; }
 
+  // Sub-module access for cache-backed generation: a serving engine drives
+  // the per-token forward itself (project the new token, append its K/V to
+  // the request's cache, run protected decode over the cached context)
+  // instead of recomputing the whole prefix through forward().
+  [[nodiscard]] const LayerNorm& ln1() const noexcept { return ln1_; }
+  [[nodiscard]] const LayerNorm& ln2() const noexcept { return ln2_; }
+  [[nodiscard]] const Linear& wq() const noexcept { return wq_; }
+  [[nodiscard]] const Linear& wk() const noexcept { return wk_; }
+  [[nodiscard]] const Linear& wv() const noexcept { return wv_; }
+  [[nodiscard]] const Linear& wo() const noexcept { return wo_; }
+  [[nodiscard]] const FeedForward& ffn() const noexcept { return ffn_; }
+
  private:
   ModelConfig cfg_;
   LayerNorm ln1_, ln2_;
@@ -105,6 +117,11 @@ class Model {
   /// affected residue class, once per layer.
   [[nodiscard]] sim::CostBreakdown correction_overhead_costs(
       std::size_t seq) const;
+
+  [[nodiscard]] const std::vector<Block>& blocks() const noexcept {
+    return blocks_;
+  }
+  [[nodiscard]] const LayerNorm& final_ln() const noexcept { return final_ln_; }
 
  private:
   ModelConfig cfg_;

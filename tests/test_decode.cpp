@@ -56,10 +56,101 @@ TEST(Decode, CleanMatchesStandardAttention) {
 }
 
 TEST(Decode, RejectsBadShapes) {
-  ft::MatrixH K(100, 64), V(100, 64);  // 100 % 64 != 0
+  ft::MatrixH K(128, 64), V(128, 64);
   std::vector<Half> q(64);
   std::vector<float> out(64);
-  EXPECT_THROW(fc::efta_decode_step(K, V, q, out), std::invalid_argument);
+  {
+    std::vector<Half> q_short(32);  // q must have d entries
+    EXPECT_THROW(fc::efta_decode_step(K, V, q_short, out),
+                 std::invalid_argument);
+  }
+  {
+    ft::MatrixH V_bad(64, 64);  // V must match K's shape
+    EXPECT_THROW(fc::efta_decode_step(K, V_bad, q, out),
+                 std::invalid_argument);
+  }
+  {
+    ft::MatrixH K0(0, 64), V0(0, 64);  // empty context
+    EXPECT_THROW(fc::efta_decode_step(K0, V0, q, out), std::invalid_argument);
+  }
+  {
+    ft::MatrixH K3(64, 3), V3(64, 3);  // d % stride != 0
+    std::vector<Half> q3(3);
+    std::vector<float> out3(3);
+    EXPECT_THROW(fc::efta_decode_step(K3, V3, q3, out3),
+                 std::invalid_argument);
+  }
+}
+
+TEST(Decode, RaggedContextMatchesStandardAttention) {
+  // Context lengths that are not multiples of the 64-row checksum tile must
+  // work: the ragged tail is zero-padded into a full checksum footprint.
+  constexpr std::size_t kD = 64;
+  for (const std::size_t n : {1u, 2u, 7u, 63u, 65u, 100u, 127u, 129u}) {
+    ft::MatrixH K(n, kD), V(n, kD);
+    ft::fill_normal(K, 400 + n);
+    ft::fill_normal(V, 500 + n);
+    std::vector<Half> q(kD);
+    std::mt19937_64 rng(600 + n);
+    std::normal_distribution<float> dist(0.0f, 1.0f);
+    for (auto& v : q) v = Half(dist(rng));
+
+    ft::Tensor4H Qt(1, 1, n, kD), Kt(1, 1, n, kD), Vt(1, 1, n, kD);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < kD; ++c) {
+        Qt.at(0, 0, r, c) = q[c];
+        Kt.at(0, 0, r, c) = K(r, c);
+        Vt.at(0, 0, r, c) = V(r, c);
+      }
+    }
+    ft::Tensor4F O(1, 1, n, kD);
+    fa::standard_attention(Qt, Kt, Vt, O);
+
+    std::vector<float> out(kD);
+    const auto rep = fc::efta_decode_step(K, V, q, out);
+    EXPECT_EQ(rep.gemm1.flagged, 0u) << n;
+    EXPECT_EQ(rep.exp_check.flagged, 0u) << n;
+    EXPECT_EQ(rep.gemm2.flagged, 0u) << n;
+    EXPECT_EQ(rep.range_corrections, 0u) << n;
+    for (std::size_t c = 0; c < kD; ++c) {
+      EXPECT_NEAR(out[c], O.at(0, 0, 0, c), 2e-3f) << "n=" << n << " c=" << c;
+    }
+  }
+}
+
+TEST(Decode, ReusedInjectorReportsPerCallDelta) {
+  // faults_injected counts the flips placed during *this* call, so reports
+  // from consecutive calls sharing one injector can be merged without
+  // double counting (the batched path relies on the same accounting).
+  DecodeEnv env;
+  std::vector<float> out(DecodeEnv::kD);
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm1, 100, 30);
+  const auto first = fc::efta_decode_step(env.K, env.V, env.q, out, {}, &inj);
+  EXPECT_EQ(first.faults_injected, 1u);
+  const auto second = fc::efta_decode_step(env.K, env.V, env.q, out, {}, &inj);
+  EXPECT_EQ(second.faults_injected, 0u);  // the single flip already fired
+  EXPECT_EQ((first + second).faults_injected, 1u);
+}
+
+TEST(Decode, RaggedContextCorrectsGemm1Fault) {
+  constexpr std::size_t kD = 64, kN = 100;
+  ft::MatrixH K(kN, kD), V(kN, kD);
+  ft::fill_normal(K, 71);
+  ft::fill_normal(V, 72);
+  std::vector<Half> q(kD);
+  std::mt19937_64 rng(73);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  for (auto& v : q) v = Half(dist(rng));
+
+  std::vector<float> ref(kD), out(kD);
+  fc::efta_decode_step(K, V, q, ref);
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm1, 80, 30);
+  const auto rep = fc::efta_decode_step(K, V, q, out, {}, &inj);
+  EXPECT_EQ(rep.faults_injected, 1u);
+  EXPECT_GE(rep.gemm1.corrected + rep.gemm1.checksum_repairs, 1u);
+  for (std::size_t c = 0; c < kD; ++c) {
+    EXPECT_NEAR(out[c], ref[c], 1e-2f) << c;
+  }
 }
 
 TEST(Decode, CorrectsGemm1Fault) {

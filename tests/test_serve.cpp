@@ -1,0 +1,397 @@
+// Batched fault-tolerant serving: KvCache tiling, efta_decode_batch
+// batch-vs-serial bit-identity, fault campaigns through the batched path,
+// and the DecodeEngine submit/step/drain front-end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/decode.hpp"
+#include "fault/campaign.hpp"
+#include "serve/engine.hpp"
+#include "serve/kv_cache.hpp"
+#include "tensor/random.hpp"
+#include "transformer/model.hpp"
+
+namespace fa = ftt::attention;
+namespace fc = ftt::core;
+namespace ff = ftt::fault;
+namespace fs = ftt::serve;
+namespace ft = ftt::tensor;
+namespace fx = ftt::transformer;
+using ftt::numeric::Half;
+
+namespace {
+
+/// Fill a cache with `tokens` seeded-random tokens; returns nothing, the
+/// cache owns the data.
+void fill_cache(fs::KvCache& cache, std::size_t tokens, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  const std::size_t w = cache.heads() * cache.dim();
+  std::vector<Half> k(w), v(w);
+  for (std::size_t t = 0; t < tokens; ++t) {
+    for (std::size_t i = 0; i < w; ++i) {
+      k[i] = Half(dist(rng));
+      v[i] = Half(dist(rng));
+    }
+    cache.append(k, v);
+  }
+}
+
+std::vector<Half> random_query(std::size_t d, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<Half> q(d);
+  for (auto& x : q) x = Half(dist(rng));
+  return q;
+}
+
+}  // namespace
+
+TEST(FtReport, MergeAccumulatesAllCounters) {
+  fa::FtReport a, b;
+  a.gemm1.checks = 3;
+  a.gemm1.corrected = 1;
+  a.exp_check.recomputed = 2;
+  a.dmr_recomputes = 5;
+  a.faults_injected = 1;
+  b.gemm1.checks = 4;
+  b.gemm1.checksum_repairs = 2;
+  b.gemm2.flagged = 1;
+  b.range_corrections = 3;
+  b.faults_injected = 2;
+
+  fa::FtReport sum = a + b;
+  EXPECT_EQ(sum.gemm1.checks, 7u);
+  EXPECT_EQ(sum.gemm1.corrected, 1u);
+  EXPECT_EQ(sum.gemm1.checksum_repairs, 2u);
+  EXPECT_EQ(sum.exp_check.recomputed, 2u);
+  EXPECT_EQ(sum.gemm2.flagged, 1u);
+  EXPECT_EQ(sum.dmr_recomputes, 5u);
+  EXPECT_EQ(sum.range_corrections, 3u);
+  EXPECT_EQ(sum.faults_injected, 3u);
+
+  a += b;
+  EXPECT_EQ(a.gemm1.checks, sum.gemm1.checks);
+  EXPECT_EQ(a.total_corrected(), sum.total_corrected());
+  EXPECT_EQ(a.total_detected(), sum.total_detected());
+}
+
+TEST(KvCache, GrowsInAlignedTilesWithStableStorage) {
+  fs::KvCache cache(2, 32);
+  EXPECT_EQ(cache.length(), 0u);
+  EXPECT_EQ(cache.tiles(), 0u);
+
+  fill_cache(cache, 1, 1);
+  EXPECT_EQ(cache.length(), 1u);
+  EXPECT_EQ(cache.tiles(), 1u);
+  const fc::KvSlice first = cache.slice(0);
+  const Half* tile0_k = first.k_tiles[0];
+  const float k000 = tile0_k[0].to_float();
+
+  // Appending across a tile boundary must not relocate tile 0's rows.
+  fill_cache(cache, 130, 2);
+  EXPECT_EQ(cache.length(), 131u);
+  EXPECT_EQ(cache.tiles(), 3u);
+  const fc::KvSlice after = cache.slice(0);
+  EXPECT_EQ(after.k_tiles[0], tile0_k);
+  EXPECT_EQ(tile0_k[0].to_float(), k000);
+  EXPECT_EQ(after.n, 131u);
+  EXPECT_EQ(after.tiles(), 3u);
+
+  // Rows past the valid count of the tail tile are zero-initialized — the
+  // padding convention the ragged-tail checksums assume.
+  const std::size_t tail_rows = 131u - 2u * 64u;
+  const Half* tail = after.k_tiles[2];
+  for (std::size_t r = tail_rows; r < fs::KvCache::kTileRows; ++r) {
+    for (std::size_t c = 0; c < 32; ++c) {
+      EXPECT_EQ(tail[r * 32 + c].bits(), 0u);
+    }
+  }
+}
+
+TEST(Serve, BatchedDecodeBitIdenticalToSerialLoop) {
+  // Heterogeneous context lengths, including ragged tails.
+  const std::size_t lengths[] = {33, 64, 100, 127, 1};
+  constexpr std::size_t kHeads = 2, kDim = 32;
+  std::vector<fs::KvCache> caches;
+  for (std::size_t i = 0; i < std::size(lengths); ++i) {
+    caches.emplace_back(kHeads, kDim);
+    fill_cache(caches.back(), lengths[i], 1000 + i);
+  }
+
+  const std::size_t items_n = caches.size() * kHeads;
+  std::vector<std::vector<Half>> queries;
+  std::vector<std::vector<float>> batch_out(items_n,
+                                            std::vector<float>(kDim));
+  std::vector<fc::DecodeWorkItem> items;
+  for (std::size_t r = 0; r < caches.size(); ++r) {
+    for (std::size_t h = 0; h < kHeads; ++h) {
+      queries.push_back(random_query(kDim, 2000 + r * kHeads + h));
+    }
+  }
+  for (std::size_t r = 0; r < caches.size(); ++r) {
+    for (std::size_t h = 0; h < kHeads; ++h) {
+      const std::size_t i = r * kHeads + h;
+      items.push_back(
+          fc::DecodeWorkItem{caches[r].slice(h), queries[i], batch_out[i]});
+    }
+  }
+
+  std::vector<fa::FtReport> per_item(items_n);
+  const fa::FtReport agg = fc::efta_decode_batch(items, {}, nullptr, per_item);
+
+  // Clean batch: every checksum comparison must pass (no false corrections).
+  EXPECT_GT(agg.gemm1.checks, 0u);
+  EXPECT_EQ(agg.total_detected(), 0u);
+  EXPECT_EQ(agg.total_corrected(), 0u);
+
+  fa::FtReport merged;
+  for (std::size_t i = 0; i < items_n; ++i) {
+    std::vector<float> serial_out(kDim);
+    const std::size_t r = i / kHeads, h = i % kHeads;
+    const fa::FtReport rep = fc::efta_decode_step(caches[r].slice(h),
+                                                  queries[i], serial_out);
+    for (std::size_t c = 0; c < kDim; ++c) {
+      EXPECT_EQ(batch_out[i][c], serial_out[c]) << "item " << i << " c " << c;
+    }
+    EXPECT_EQ(per_item[i].gemm1.checks, rep.gemm1.checks);
+    EXPECT_EQ(per_item[i].exp_check.checks, rep.exp_check.checks);
+    merged += per_item[i];
+  }
+  EXPECT_EQ(agg.gemm1.checks, merged.gemm1.checks);
+  EXPECT_EQ(agg.exp_check.checks, merged.exp_check.checks);
+  EXPECT_EQ(agg.gemm2.checks, merged.gemm2.checks);
+}
+
+TEST(Serve, UnarmedProbeCountsCallsThroughBatch) {
+  // Campaign sizing: a null-op injector threaded through the batch path
+  // must still observe the per-site call counts.
+  fs::KvCache cache(1, 64);
+  fill_cache(cache, 100, 9);
+  const auto q = random_query(64, 10);
+  std::vector<float> out(64);
+  std::vector<fc::DecodeWorkItem> items{
+      fc::DecodeWorkItem{cache.slice(0), q, out}};
+  ff::FaultInjector probe;
+  fc::efta_decode_batch(items, {}, &probe);
+  EXPECT_EQ(probe.calls(ff::Site::kGemm1), 100u);  // one hook per valid lane
+  EXPECT_GT(probe.calls(ff::Site::kExp), 0u);
+  EXPECT_EQ(probe.injected(), 0u);
+}
+
+TEST(Serve, BatchFaultCampaignStillCorrects) {
+  const std::size_t lengths[] = {100, 65};
+  constexpr std::size_t kHeads = 1, kDim = 64;
+  std::vector<fs::KvCache> caches;
+  std::vector<std::vector<Half>> queries;
+  for (std::size_t i = 0; i < std::size(lengths); ++i) {
+    caches.emplace_back(kHeads, kDim);
+    fill_cache(caches.back(), lengths[i], 3000 + i);
+    queries.push_back(random_query(kDim, 3100 + i));
+  }
+
+  auto run_batch = [&](std::vector<std::vector<float>>& out,
+                       ff::FaultInjector* inj) {
+    std::vector<fc::DecodeWorkItem> items;
+    for (std::size_t r = 0; r < caches.size(); ++r) {
+      items.push_back(
+          fc::DecodeWorkItem{caches[r].slice(0), queries[r], out[r]});
+    }
+    return fc::efta_decode_batch(items, {}, inj);
+  };
+
+  std::vector<std::vector<float>> clean(caches.size(),
+                                        std::vector<float>(kDim));
+  run_batch(clean, nullptr);
+
+  auto trial = [&](ff::FaultInjector& inj) -> ff::TrialResult {
+    std::vector<std::vector<float>> out(caches.size(),
+                                        std::vector<float>(kDim));
+    const fa::FtReport rep = run_batch(out, &inj);
+    float dev = 0.0f;
+    for (std::size_t r = 0; r < caches.size(); ++r) {
+      for (std::size_t c = 0; c < kDim; ++c) {
+        const float d = std::fabs(out[r][c] - clean[r][c]);
+        dev = std::isfinite(d) ? std::max(dev, d) : 1e30f;
+      }
+    }
+    return {dev, rep.total_detected() > 0};
+  };
+
+  // Checksum-protected sites have exact correction paths: every injected
+  // flip must be repaired (or be numerically negligible).
+  ff::CampaignConfig cfg;
+  cfg.sites = {ff::Site::kGemm1, ff::Site::kExp, ff::Site::kGemm2};
+  cfg.call_offsets = {0, 40, 90, 130};
+  cfg.bits = {30, 24, 20};
+  const ff::CampaignStats stats = ff::run_campaign(cfg, trial);
+  EXPECT_GT(stats.injected, 0u);
+  EXPECT_GT(stats.detected, 0u);
+  EXPECT_GE(stats.absorption_rate(), 0.95);
+  EXPECT_LT(stats.worst_deviation, 5e-2f);
+
+  // The rowsum is range-restricted, not checksummed (paper Case 3): the
+  // SNVR replacement value is an approximation, so the guarantee is a
+  // finite, bounded output — and detection whenever the flip leaves the
+  // theoretical range — not bit recovery.
+  ff::CampaignConfig rs;
+  rs.sites = {ff::Site::kReduceSum};
+  rs.call_offsets = {0, 1, 2};
+  rs.bits = {30, 24, 20};
+  const ff::CampaignStats rstats = ff::run_campaign(rs, trial);
+  EXPECT_GT(rstats.injected, 0u);
+  EXPECT_LT(rstats.worst_deviation, 1e2f);  // never NaN/Inf/unbounded
+}
+
+namespace {
+
+fx::ModelConfig serving_config() {
+  fx::ModelConfig cfg = fx::ModelConfig::tiny();
+  cfg.causal = true;  // decode == causal attention over the prefix
+  return cfg;
+}
+
+ft::MatrixF random_prompt(std::size_t seq, std::size_t hidden,
+                          std::uint64_t seed) {
+  ft::MatrixF m(seq, hidden);
+  ft::fill_normal(m, seed);
+  return m;
+}
+
+}  // namespace
+
+TEST(Engine, BatchedStepBitIdenticalToSingleRequestEngines) {
+  const fx::Model model(serving_config(), 0xabc);
+  const std::size_t hidden = model.config().hidden;
+  const std::size_t prompt_lens[] = {5, 12, 33};
+
+  fs::DecodeEngine batched(model);
+  std::vector<fs::DecodeEngine::RequestId> ids;
+  std::vector<ft::MatrixF> prompts;
+  for (std::size_t i = 0; i < std::size(prompt_lens); ++i) {
+    prompts.push_back(random_prompt(prompt_lens[i], hidden, 7000 + i));
+    ids.push_back(batched.submit(prompts.back()));
+  }
+  EXPECT_EQ(batched.active(), 3u);
+  // Prefill work is observable: its ABFT stats land in lifetime().
+  EXPECT_EQ(batched.lifetime().active, 5u + 12u + 33u);
+  EXPECT_GT(batched.lifetime().linear.checks, 0u);
+  const auto stats = batched.drain(4);
+  EXPECT_EQ(stats.active, 12u);  // 3 sequences x 4 token-steps
+  EXPECT_GT(stats.attention.gemm1.checks, 0u);
+  EXPECT_GT(stats.linear.checks, 0u);
+  EXPECT_EQ(stats.attention.total_detected(), 0u);
+
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    fs::DecodeEngine solo(model);
+    const auto id = solo.submit(prompts[i]);
+    solo.drain(4);
+    EXPECT_EQ(batched.context_length(ids[i]), prompt_lens[i] + 4);
+    const auto hb = batched.hidden(ids[i]);
+    const auto hs = solo.hidden(id);
+    ASSERT_EQ(hb.size(), hs.size());
+    for (std::size_t c = 0; c < hb.size(); ++c) {
+      EXPECT_EQ(hb[c], hs[c]) << "request " << i << " c " << c;
+    }
+  }
+}
+
+TEST(Engine, CacheBackedGenerationMatchesFullRecompute) {
+  const fx::Model model(serving_config(), 0xdef);
+  const std::size_t hidden = model.config().hidden;
+
+  fs::EngineOptions opt;
+  opt.record_inputs = true;  // keep the replay history this test compares
+  fs::DecodeEngine engine(model, opt);
+  const auto id = engine.submit(random_prompt(40, hidden, 0xfeed));
+  engine.drain(24);  // total context 64: a full efta_attention block
+  ASSERT_EQ(engine.context_length(id), 64u);
+
+  // A from-scratch protected forward over exactly the rows the engine fed
+  // must land on the same final hidden state (the KV cache only avoids
+  // recomputation, never changes the math beyond summation order).
+  ft::MatrixF x = engine.fed_inputs(id);
+  ASSERT_EQ(x.rows(), 64u);
+  model.forward(x, fx::AttentionKind::kEfta, /*protect_linear=*/true);
+  const auto h = engine.hidden(id);
+  for (std::size_t c = 0; c < hidden; ++c) {
+    EXPECT_NEAR(h[c], x(x.rows() - 1, c), 5e-3f) << c;
+  }
+}
+
+TEST(Engine, CorrectsInjectedFaultDuringDecode) {
+  const fx::Model model(serving_config(), 0x123);
+  const std::size_t hidden = model.config().hidden;
+  const ft::MatrixF prompt = random_prompt(20, hidden, 0xbeef);
+
+  fs::DecodeEngine clean_engine(model);
+  const auto cid = clean_engine.submit(prompt);
+  clean_engine.drain(3);
+
+  fs::DecodeEngine faulty_engine(model);
+  const auto fid = faulty_engine.submit(prompt);
+  faulty_engine.drain(2);
+  auto inj = ff::FaultInjector::single(ff::Site::kGemm1, 7, 30);
+  const auto stats = faulty_engine.step(&inj);
+  EXPECT_EQ(stats.attention.faults_injected, 1u);
+  EXPECT_GE(stats.attention.total_detected(), 1u);
+  EXPECT_GE(faulty_engine.report(fid).total_detected(), 1u);
+
+  const auto hc = clean_engine.hidden(cid);
+  const auto hf = faulty_engine.hidden(fid);
+  for (std::size_t c = 0; c < hidden; ++c) {
+    EXPECT_NEAR(hf[c], hc[c], 1e-2f) << c;
+  }
+}
+
+TEST(Engine, FinishReleasesRequest) {
+  const fx::Model model(serving_config(), 0x321);
+  fs::DecodeEngine engine(model);
+  const auto a = engine.submit(random_prompt(8, model.config().hidden, 1));
+  const auto b = engine.submit(random_prompt(16, model.config().hidden, 2));
+  EXPECT_EQ(engine.active(), 2u);
+
+  engine.finish(a);
+  EXPECT_FALSE(engine.is_active(a));
+  EXPECT_EQ(engine.active(), 1u);
+  EXPECT_EQ(engine.context_length(a), 8u);  // history survives retirement
+
+  const auto stats = engine.step();
+  EXPECT_EQ(stats.active, 1u);  // only b advanced
+  EXPECT_EQ(engine.context_length(b), 17u);
+  EXPECT_EQ(engine.fed_inputs(a).rows(), 0u);  // history freed on retirement
+  EXPECT_FALSE(engine.hidden(a).empty());      // last hidden stays readable
+  EXPECT_THROW((void)engine.hidden(99), std::out_of_range);
+}
+
+TEST(Engine, RejectsMisalignedStrideAtConstruction) {
+  const fx::Model model(serving_config(), 0x55);
+  fs::EngineOptions opt;
+  opt.efta.stride = 3;  // head_dim 64 is not a multiple of 3
+  EXPECT_THROW(fs::DecodeEngine(model, opt), std::invalid_argument);
+}
+
+TEST(Engine, RetiresCappedRequestWithoutStallingTheBatch) {
+  const fx::Model model(serving_config(), 0x77);
+  fs::EngineOptions opt;
+  opt.max_context = 12;
+  fs::DecodeEngine engine(model, opt);
+  const auto a = engine.submit(random_prompt(10, model.config().hidden, 4));
+  const auto b = engine.submit(random_prompt(4, model.config().hidden, 5));
+
+  // a caps out after 2 generated tokens; b keeps going.
+  const auto stats = engine.drain(5);
+  EXPECT_EQ(stats.active, 2u + 5u);
+  EXPECT_FALSE(engine.is_active(a));
+  EXPECT_TRUE(engine.is_active(b));
+  EXPECT_EQ(engine.context_length(a), 12u);
+  EXPECT_EQ(engine.context_length(b), 9u);
+  EXPECT_FALSE(engine.hidden(a).empty());
+
+  // Prompts beyond the cap are rejected outright.
+  EXPECT_THROW(engine.submit(random_prompt(13, model.config().hidden, 6)),
+               std::invalid_argument);
+}
