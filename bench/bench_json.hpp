@@ -1,0 +1,112 @@
+#pragma once
+// Minimal JSON emitter for machine-readable bench output (BENCH_serve.json).
+//
+// The serving benches print human tables to stdout and, when run with
+// `--json <path>`, also dump a JSON document the CI perf job merges and
+// gates on (scripts/check_bench_regression.py).  The emitter is a tiny
+// push-down writer — no dependency, no escaping needs beyond plain ASCII
+// keys, numbers and booleans, which is all the benches emit.
+
+#include <cstdio>
+#include <string>
+
+namespace bench {
+
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(const std::string& name) {
+    comma();
+    out_ += '"';
+    out_ += name;
+    out_ += "\":";
+    just_keyed_ = true;
+  }
+
+  void value(double v) {
+    comma();
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out_ += buf;
+  }
+  void value(std::size_t v) {
+    comma();
+    out_ += std::to_string(v);
+  }
+  void value(int v) {
+    comma();
+    out_ += std::to_string(v);
+  }
+  void value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+  }
+  void value(const std::string& v) {
+    comma();
+    out_ += '"';
+    out_ += v;
+    out_ += '"';
+  }
+
+  template <typename T>
+  void kv(const std::string& name, T v) {
+    key(name);
+    value(v);
+  }
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+  /// Write the document to `path`; returns false (and prints to stderr) on
+  /// I/O failure so benches can propagate a nonzero exit.
+  [[nodiscard]] bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot open %s for writing\n",
+                   path.c_str());
+      return false;
+    }
+    const std::size_t n = std::fwrite(out_.data(), 1, out_.size(), f);
+    const bool wrote = n == out_.size() && std::fputc('\n', f) != EOF;
+    const bool ok = std::fclose(f) == 0 && wrote;  // always close the handle
+    if (!ok) std::fprintf(stderr, "bench: short write to %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  void open(char c) {
+    comma();
+    out_ += c;
+    fresh_ = true;
+  }
+  void close(char c) {
+    out_ += c;
+    fresh_ = false;
+    just_keyed_ = false;
+  }
+  void comma() {
+    if (just_keyed_) {
+      just_keyed_ = false;
+      return;
+    }
+    if (!fresh_ && !out_.empty()) out_ += ',';
+    fresh_ = false;
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+  bool just_keyed_ = false;
+};
+
+/// `--json <path>` argument, or empty when absent.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return {};
+}
+
+}  // namespace bench

@@ -1,0 +1,194 @@
+// Continuous-batching scheduler under mixed prefill/decode traffic.
+//
+// A fleet of requests with ragged prompt lengths and per-request generation
+// budgets streams through one DecodeEngine: long prompts prefill in 64-row
+// causal chunks while earlier requests decode in the same ticks, and retired
+// requests free their KV tiles for the admission queue.  The bench measures
+//
+//   * end-to-end makespan and total tokens/s of the mixed workload,
+//   * average prefill-chunk latency at growing context (the cost step (b)
+//     adds to a tick), measured on a standalone long prompt,
+//   * the chunked-prefill speedup over serial token-by-token prefill
+//     (prefill_chunk_rows = 1), a machine-robust ratio: both runs do the
+//     same attention FLOPs, chunking amortizes tile loads and checksum
+//     encodes and batches rows through the shared linears,
+//   * average batch occupancy per tick (how full the scheduler keeps the
+//     engine).
+//
+// With --json <path> it also emits the machine-readable section the CI perf
+// job merges into BENCH_serve.json and gates on.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <omp.h>
+
+#include "bench_json.hpp"
+#include "bench_util.hpp"
+#include "core/efta.hpp"
+#include "serve/engine.hpp"
+#include "tensor/random.hpp"
+#include "transformer/model.hpp"
+
+namespace fs = ftt::serve;
+namespace fx = ftt::transformer;
+using ftt::tensor::MatrixF;
+
+namespace {
+
+// Ragged prompts and budgets, deliberately mixing one-chunk and multi-chunk
+// prefills with short interactive requests.
+constexpr std::size_t kPrompts[] = {256, 33, 128, 64, 200, 17, 96, 150};
+constexpr std::size_t kBudgets[] = {16, 24, 8, 32, 12, 40, 16, 8};
+constexpr std::size_t kRequests = 16;
+
+fx::Model make_model() {
+  fx::ModelConfig cfg = fx::ModelConfig::tiny();
+  cfg.causal = true;
+  return fx::Model(cfg, 0x5eed);
+}
+
+struct MixedRun {
+  double seconds = 0.0;
+  std::size_t ticks = 0;
+  fs::DecodeEngine::StepStats stats;
+  double occupancy = 0.0;  // mean admitted requests per non-idle tick
+};
+
+MixedRun run_mixed(const fx::Model& model, std::size_t chunk_rows,
+                   std::size_t max_batch) {
+  fs::EngineOptions opt;
+  opt.prefill_chunk_rows = chunk_rows;
+  opt.scheduler.max_batch_size = max_batch;
+  fs::DecodeEngine engine(model, opt);
+  const std::size_t hidden = model.config().hidden;
+
+  std::vector<MatrixF> prompts;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    prompts.emplace_back(kPrompts[i % std::size(kPrompts)], hidden);
+    ftt::tensor::fill_normal(prompts.back(), 0xbead + i);
+  }
+
+  MixedRun run;
+  std::size_t occupied_ticks = 0, occupancy_sum = 0;
+  run.seconds = bench::time_once([&] {
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      engine.submit(prompts[i], kBudgets[i % std::size(kBudgets)]);
+    }
+    while (engine.queued() != 0 || engine.active() != 0) {
+      run.stats += engine.step();
+      ++run.ticks;
+      if (engine.active() != 0) {
+        ++occupied_ticks;
+        occupancy_sum += engine.active();
+      }
+    }
+  });
+  run.occupancy = occupied_ticks == 0
+                      ? 0.0
+                      : static_cast<double>(occupancy_sum) /
+                            static_cast<double>(occupied_ticks);
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  bench::header("Continuous-batching scheduler (mixed prefill/decode)");
+  const fx::Model model = make_model();
+  std::printf("  model=%s  requests=%zu  threads=%d\n",
+              model.config().name.c_str(), kRequests, omp_get_max_threads());
+
+  // --- standalone prefill-chunk latency at growing context ---------------
+  const std::size_t kLongPrompt = 256;
+  fs::DecodeEngine pre(model);
+  MatrixF long_prompt(kLongPrompt, model.config().hidden);
+  ftt::tensor::fill_normal(long_prompt, 0xfeed);
+  pre.submit(long_prompt, 1);
+  std::vector<double> chunk_ms;
+  std::printf("\n  %-28s %12s %12s\n", "prefill chunk", "latency",
+              "modeled flops");
+  while (pre.active() != 0 || pre.queued() != 0) {
+    fs::DecodeEngine::StepStats st;
+    const double t = bench::time_once([&] { st = pre.step(); });
+    if (st.prefill_chunks == 0) break;  // prompt absorbed; decode from here
+    chunk_ms.push_back(t * 1e3);
+    const auto costs = ftt::core::efta_prefill_chunk_costs(
+        st.prefill_rows + (chunk_ms.size() - 1) * 64, st.prefill_rows,
+        model.config().head_dim(), fs::EngineOptions{}.efta);
+    std::printf("  rows %3zu @ context %4zu      %9.2f ms %12.0f\n",
+                st.prefill_rows, chunk_ms.size() * 64,
+                chunk_ms.back(), costs.total().tc_flops);
+  }
+  double chunk_ms_avg = 0.0;
+  for (const double v : chunk_ms) chunk_ms_avg += v;
+  chunk_ms_avg /= chunk_ms.empty() ? 1.0 : static_cast<double>(chunk_ms.size());
+
+  // --- mixed traffic: chunked vs token-by-token prefill ------------------
+  const MixedRun chunked = run_mixed(model, 64, 8);
+  const MixedRun serial = run_mixed(model, 1, 8);
+  const auto tok = [](const MixedRun& r) {
+    return static_cast<double>(r.stats.active) / r.seconds;
+  };
+  const double speedup = chunked.seconds > 0.0 ? serial.seconds / chunked.seconds
+                                               : 0.0;
+  std::printf("\n  %-26s %10s %8s %12s %10s\n", "mode", "tokens/s", "ticks",
+              "makespan", "occupancy");
+  std::printf("  %-26s %10.1f %8zu %9.2f ms %10.2f\n",
+              "chunked prefill (64-row)", tok(chunked), chunked.ticks,
+              chunked.seconds * 1e3, chunked.occupancy);
+  std::printf("  %-26s %10.1f %8zu %9.2f ms %10.2f\n",
+              "token-by-token prefill", tok(serial), serial.ticks,
+              serial.seconds * 1e3, serial.occupancy);
+  std::printf("  chunked-prefill speedup: %.2fx  (avg chunk latency %.2f ms)\n",
+              speedup, chunk_ms_avg);
+
+  // Sanity: identical traffic totals regardless of chunking, and a clean
+  // production (chunked) run.  The token-by-token comparison run performs
+  // ~5x more verifications at tiny per-token norms, where the relative
+  // threshold occasionally trips on rounding noise; such marginal flags are
+  // self-healing (checksum reconstruction or revert) and are reported, not
+  // failed on.
+  bool ok = chunked.stats.prefill_rows == serial.stats.prefill_rows &&
+            chunked.stats.decoded == serial.stats.decoded &&
+            chunked.stats.attention.total_detected() == 0 &&
+            chunked.stats.retired == kRequests;
+  if (!ok) std::printf("  UNEXPECTED: traffic totals diverged or dirty run\n");
+  if (serial.stats.attention.total_detected() != 0) {
+    std::printf("  note: %zu marginal flag(s) in the token-by-token run "
+                "(threshold noise at per-token norms)\n",
+                serial.stats.attention.total_detected());
+  }
+
+  if (!json_path.empty()) {
+    bench::JsonWriter w;
+    w.begin_object();
+    w.key("scheduler");
+    w.begin_object();
+    w.kv("threads", omp_get_max_threads());
+    w.kv("requests", kRequests);
+    w.kv("max_batch_size", std::size_t{8});
+    w.kv("prefill_chunk_ms_avg", chunk_ms_avg);
+    w.kv("mixed_tokens_per_s", tok(chunked));
+    w.kv("mixed_makespan_ms", chunked.seconds * 1e3);
+    w.kv("ticks", chunked.ticks);
+    w.kv("batch_occupancy", chunked.occupancy);
+    w.kv("chunked_prefill_speedup", speedup);
+    w.kv("prefill_rows", chunked.stats.prefill_rows);
+    w.kv("decoded_tokens", chunked.stats.decoded);
+    w.kv("clean", ok);
+    w.end_object();
+    w.key("gauges");
+    w.begin_object();
+    w.kv("scheduler_tokens_per_s", tok(chunked));
+    w.kv("scheduler_chunked_prefill_speedup", speedup);
+    w.end_object();
+    w.end_object();
+    ok = w.write_file(json_path) && ok;
+  }
+  bench::note("chunked prefill amortizes per-tile checksum encodes across");
+  bench::note("the chunk and batches prompt rows through the shared linears.");
+  return ok ? 0 : 1;
+}

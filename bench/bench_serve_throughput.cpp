@@ -14,6 +14,7 @@
 
 #include <omp.h>
 
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "core/decode.hpp"
 #include "serve/kv_cache.hpp"
@@ -68,7 +69,8 @@ struct Fleet {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
   bench::header("Batched fault-tolerant decode throughput (serving hot path)");
   std::printf("  heads=%zu dim=%zu contexts=%zu..%zu (ragged)  threads=%d\n",
               kHeads, kDim, std::size_t(350), std::size_t(512),
@@ -90,6 +92,8 @@ int main() {
 
   std::size_t false_corrections = 0;
   bool any_mismatch = false;
+  std::vector<std::size_t> batches;
+  std::vector<double> batch_tokens_per_s;
   for (const std::size_t batch : {1u, 2u, 4u, 8u, 16u}) {
     Fleet fleet(batch);
     auto items = fleet.items();
@@ -114,6 +118,8 @@ int main() {
 
     any_mismatch |= !identical;
     const double toks = static_cast<double>(batch) / t;
+    batches.push_back(batch);
+    batch_tokens_per_s.push_back(toks);
     std::printf("  batch %-16zu %10.1f %12zu %9.2f ms %7.2fx%s\n", batch,
                 toks, items.size(), t / batch * 1e3, toks / tok1,
                 identical ? "" : "  MISMATCH vs serial!");
@@ -124,5 +130,48 @@ int main() {
               false_corrections == 0 ? " (expected 0)" : "  UNEXPECTED");
   bench::note("per-(request,head) slices parallelize across cores; single-");
   bench::note("thread runs show ~1x (the batch saves dispatch, not FLOPs).");
-  return (false_corrections == 0 && !any_mismatch) ? 0 : 1;
+
+  bool json_ok = true;
+  if (!json_path.empty()) {
+    // Machine-readable mirror of the table above plus the flat gauges the
+    // CI regression gate reads (see scripts/check_bench_regression.py).
+    bench::JsonWriter w;
+    w.begin_object();
+    w.key("decode");
+    w.begin_object();
+    w.kv("threads", omp_get_max_threads());
+    w.kv("heads", kHeads);
+    w.kv("dim", kDim);
+    w.kv("single_request_tokens_per_s", tok1);
+    w.kv("false_corrections", false_corrections);
+    w.kv("bit_identical_to_serial", !any_mismatch);
+    w.key("batches");
+    w.begin_array();
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      w.begin_object();
+      w.kv("batch", batches[i]);
+      w.kv("tokens_per_s", batch_tokens_per_s[i]);
+      w.kv("speedup_vs_single", batch_tokens_per_s[i] / tok1);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    // Gauges are looked up by batch size, not position, so the batch list
+    // above can change without silently re-aiming the CI regression gate.
+    const auto at_batch = [&](std::size_t b) {
+      for (std::size_t i = 0; i < batches.size(); ++i) {
+        if (batches[i] == b) return batch_tokens_per_s[i];
+      }
+      return 0.0;  // a missing gauge fails the gate loudly
+    };
+    w.key("gauges");
+    w.begin_object();
+    w.kv("decode_tokens_per_s_batch8", at_batch(8));
+    w.kv("decode_tokens_per_s_batch16", at_batch(16));
+    w.kv("decode_speedup_batch8", at_batch(8) / tok1);
+    w.end_object();
+    w.end_object();
+    json_ok = w.write_file(json_path);
+  }
+  return (false_corrections == 0 && !any_mismatch && json_ok) ? 0 : 1;
 }

@@ -1,14 +1,15 @@
-// Serving demo: batched multi-request fault-tolerant generation.
+// Serving demo: continuous-batching multi-request fault-tolerant generation.
 //
 //   ./serving
 //
 // Three "users" submit prompts of different lengths to one DecodeEngine
-// backed by a tiny causal transformer.  The engine prefills each prompt
-// into per-layer KV caches, then every step() advances all sequences by one
-// token in a single batched pass: layer norms / projections / FFN run over
-// the stacked rows, attention runs as one protected decode slice per
-// (request, head).  A soft error is injected mid-generation and corrected
-// in flight; the final hidden states match a fault-free run.
+// backed by a tiny causal transformer.  submit() only enqueues; every
+// step() is one scheduler tick that admits queued requests under the
+// batch/KV budgets, streams admitted prompts into their per-layer KV caches
+// one 64-row causal prefill chunk at a time, advances every decoding
+// request by one token in the same batched pass, and retires requests that
+// hit their generation budget.  A soft error is injected mid-generation and
+// corrected in flight; the final hidden states match a fault-free run.
 
 #include <algorithm>
 #include <cmath>
@@ -39,38 +40,50 @@ int main() {
   std::printf("model: %s  layers=%zu hidden=%zu heads=%zu\n",
               cfg.name.c_str(), cfg.layers, cfg.hidden, cfg.heads);
 
-  // 1. Admit three requests with ragged prompt lengths (no 64-alignment).
+  // 1. Enqueue three requests with ragged prompt lengths (no 64-alignment).
+  //    The 97-row prompt needs two prefill chunks (64 + 33), so it keeps
+  //    prefilling while the short requests already decode — the chunked
+  //    interleave that stops long prompts from stalling the batch.
   serve::DecodeEngine engine(model);
   const auto a = engine.submit(prompt(13, cfg.hidden, 1));
   const auto b = engine.submit(prompt(50, cfg.hidden, 2));
   const auto c = engine.submit(prompt(97, cfg.hidden, 3));
-  std::printf("submitted %zu requests, contexts %zu/%zu/%zu tokens\n",
-              engine.active(), engine.context_length(a),
-              engine.context_length(b), engine.context_length(c));
+  std::printf("enqueued %zu requests (no compute yet: admission happens on "
+              "the next tick)\n", engine.queued());
 
-  // 2. Generate 6 tokens for everyone in batched steps.
+  // 2. First tick: admit everyone, absorb the first chunk of each prompt.
+  const auto tick1 = engine.step();
+  std::printf("tick 1: admitted=%zu prefill_chunks=%zu prefill_rows=%zu "
+              "decoded=%zu\n",
+              tick1.admitted, tick1.prefill_chunks, tick1.prefill_rows,
+              tick1.decoded);
+
+  // 3. Drain 6 more ticks: c finishes prefilling while a and b decode.
   const auto stats = engine.drain(6);
-  std::printf("drained %zu token-steps: %zu attention checks, %zu linear "
-              "checks, 0 faults -> %zu detected\n",
-              stats.active,
+  std::printf("6 ticks: %zu prefill rows + %zu decode steps, %zu attention "
+              "checks, %zu linear checks, 0 faults -> %zu detected\n",
+              stats.prefill_rows, stats.decoded,
               stats.attention.gemm1.checks + stats.attention.exp_check.checks +
                   stats.attention.gemm2.checks,
               stats.linear.checks, stats.attention.total_detected());
+  std::printf("contexts now %zu/%zu/%zu tokens, %zu KV tiles in use\n",
+              engine.context_length(a), engine.context_length(b),
+              engine.context_length(c), engine.kv_tiles_in_use());
 
-  // 3. One more step with a single-event upset in the QK^T pipeline.
+  // 4. One more tick with a single-event upset in the QK^T pipeline.
   auto inj = fault::FaultInjector::single(fault::Site::kGemm1, 300, 30);
   const auto faulty = engine.step(&inj);
-  std::printf("SEU step: %zu flip(s) injected, %zu detected, %zu corrected\n",
+  std::printf("SEU tick: %zu flip(s) injected, %zu detected, %zu corrected\n",
               faulty.attention.faults_injected,
               faulty.attention.total_detected(),
               faulty.attention.total_corrected());
 
-  // 4. Compare against a fault-free replica engine driven identically.
+  // 5. Compare against a fault-free replica engine driven identically.
   serve::DecodeEngine clean(model);
   const auto ca = clean.submit(prompt(13, cfg.hidden, 1));
   clean.submit(prompt(50, cfg.hidden, 2));
   clean.submit(prompt(97, cfg.hidden, 3));
-  clean.drain(7);
+  clean.drain(8);
 
   float worst = 0.0f;
   const auto hf = engine.hidden(a);

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Merge serving-bench JSON fragments and gate on throughput regressions.
+
+Usage:
+  check_bench_regression.py --baseline bench/BENCH_baseline.json \
+      --out BENCH_serve.json fragment1.json [fragment2.json ...]
+
+Each fragment is the --json output of one bench binary
+(bench_serve_throughput, bench_scheduler).  Fragments are merged into one
+BENCH_serve.json: structured sections are unioned, and every fragment's flat
+"gauges" object is folded into a single top-level "gauges" dict — the only
+part the gate reads.
+
+The baseline file declares conservative higher-is-better floors:
+
+  {
+    "threshold": 0.25,
+    "gauges": { "<gauge name>": <baseline value>, ... },
+    "comment": "..."
+  }
+
+A gauge regresses when measured < baseline * (1 - threshold).  Absolute
+tokens/s baselines are deliberately set well below a healthy run (CI runners
+vary); the dimensionless speedup gauges are the tighter tripwires.  Exit
+code 1 on any regression or missing gauge, so the CI perf job fails loudly.
+
+Stdlib only — no pip installs.
+"""
+
+import argparse
+import json
+import sys
+
+
+def merge(fragments):
+    merged, gauges = {}, {}
+    for path in fragments:
+        with open(path) as f:
+            doc = json.load(f)
+        for key, val in doc.items():
+            if key == "gauges":
+                overlap = set(val) & set(gauges)
+                if overlap:
+                    sys.exit(f"error: duplicate gauges across fragments: "
+                             f"{sorted(overlap)}")
+                gauges.update(val)
+            else:
+                if key in merged:
+                    sys.exit(f"error: duplicate section '{key}' in {path}")
+                merged[key] = val
+    merged["gauges"] = gauges
+    return merged
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--out", required=True)
+    ap.add_argument("--threshold", type=float, default=None,
+                    help="override the baseline file's threshold")
+    ap.add_argument("fragments", nargs="+")
+    args = ap.parse_args()
+
+    merged = merge(args.fragments)
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out} with {len(merged['gauges'])} gauges")
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    threshold = args.threshold if args.threshold is not None \
+        else float(baseline.get("threshold", 0.25))
+
+    failures = []
+    for name, floor in sorted(baseline.get("gauges", {}).items()):
+        measured = merged["gauges"].get(name)
+        if measured is None:
+            failures.append(f"{name}: missing from bench output")
+            continue
+        limit = floor * (1.0 - threshold)
+        verdict = "OK" if measured >= limit else "REGRESSION"
+        print(f"  {verdict:10s} {name}: measured {measured:.3f} vs "
+              f"baseline {floor:.3f} (floor {limit:.3f})")
+        if measured < limit:
+            failures.append(
+                f"{name}: {measured:.3f} < {limit:.3f} "
+                f"(baseline {floor:.3f}, threshold {threshold:.0%})")
+
+    if failures:
+        print("\nthroughput regression gate FAILED:", file=sys.stderr)
+        for msg in failures:
+            print(f"  - {msg}", file=sys.stderr)
+        return 1
+    print("throughput regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 verification, exactly as the CI tier1 job runs it — one script so
+# local runs and CI cannot drift: configure (warnings-as-errors), build,
+# ctest, then smoke-run the serving demo and the decode-throughput bench.
+#
+# Knobs (all optional, same names CI uses):
+#   BUILD_DIR   - build tree (default: build-tier1)
+#   BUILD_TYPE  - CMake build type (default: Release)
+#   CC/CXX      - compiler (default: toolchain default)
+#   CMAKE_CXX_COMPILER_LAUNCHER - e.g. ccache (forwarded when set)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-tier1}
+BUILD_TYPE=${BUILD_TYPE:-Release}
+
+CONFIGURE_ARGS=(-B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE"
+                -DFTT_WERROR=ON)
+if command -v ninja > /dev/null 2>&1; then
+  CONFIGURE_ARGS+=(-G Ninja)
+fi
+if [[ -n "${CMAKE_CXX_COMPILER_LAUNCHER:-}" ]]; then
+  CONFIGURE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER="$CMAKE_CXX_COMPILER_LAUNCHER")
+fi
+
+echo "== configure ($BUILD_TYPE, -Wall -Wextra -Werror) =="
+cmake "${CONFIGURE_ARGS[@]}"
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== smoke: serving demo + decode throughput bench =="
+"$BUILD_DIR"/serving
+"$BUILD_DIR"/bench_serve_throughput
+
+echo "tier1 OK"

@@ -39,180 +39,318 @@ void validate_slice(const KvSlice& kv, std::span<const Half> q,
   }
 }
 
-/// Core protected decode over one tiled KV slice.  Inputs must have been
-/// checked with validate_slice.  Does not stamp `faults_injected` — the
-/// public entry points account per call / per slice.
-FtReport decode_slice(const KvSlice& kv, std::span<const Half> q,
-                      std::span<float> out, const EftaOptions& opt,
-                      fault::FaultInjector* inj) {
-  const std::size_t n = kv.n, d = kv.d;
+void validate_prefill(const PrefillWorkItem& it, const EftaOptions& opt) {
+  if (it.kv.k_tiles == nullptr || it.kv.v_tiles == nullptr) {
+    throw std::invalid_argument("efta prefill: null KV tile pointers");
+  }
+  if (it.q == nullptr || it.out == nullptr) {
+    throw std::invalid_argument("efta prefill: null q/out pointers");
+  }
+  if (it.rows == 0 || it.rows > KvSlice::kTileRows) {
+    throw std::invalid_argument(
+        "efta prefill: chunk must hold 1..64 query rows");
+  }
+  if (it.kv.n != it.base + it.rows) {
+    throw std::invalid_argument(
+        "efta prefill: cache must end exactly at the chunk (n == base+rows)");
+  }
+  if (opt.stride <= 0 ||
+      it.kv.d % static_cast<std::size_t>(opt.stride) != 0) {
+    throw std::invalid_argument(
+        "efta prefill: d must be a multiple of the checksum stride");
+  }
+  const std::size_t d = it.kv.d;
+  if ((it.q_stride != 0 && it.q_stride < d) ||
+      (it.out_stride != 0 && it.out_stride < d)) {
+    throw std::invalid_argument("efta prefill: row stride below d");
+  }
+}
+
+/// Core causal prefill chunk over one tiled KV slice.  Query row r (global
+/// position p = base + r) attends rows [0, p] of the cache.  The loop
+/// structure deliberately mirrors decode_slice per row — same GEMM routine,
+/// same valid-lane masking, same scalar GEMM II accumulation order, same
+/// fault hooks on the visible lanes — so each output row is bit-identical to
+/// efta_decode_step over a context of p+1 tokens.  The chunk's win is
+/// amortization: K/V tiles are loaded and checksum-encoded once per chunk
+/// instead of once per token, and the score GEMM covers all rows at once.
+FtReport prefill_slice(const PrefillWorkItem& it, const EftaOptions& opt,
+                       fault::FaultInjector* inj) {
+  const std::size_t n = it.kv.n, d = it.kv.d, R = it.rows, base = it.base;
   const std::size_t B = KvSlice::kTileRows;
   const int s = opt.stride;
   const auto su = static_cast<std::size_t>(s);
-  const std::size_t nblk = kv.tiles();
+  const std::size_t L = B / su;
+  const std::size_t nblk = it.kv.tiles();
+  const std::size_t qs = it.q_stride == 0 ? d : it.q_stride;
+  const std::size_t os = it.out_stride == 0 ? d : it.out_stride;
   FtReport rep;
 
-  // Pre-scaled fp16 query (one MMA operand row).
+  // Pre-scaled fp16 queries (the MMA operand rows), exactly as decode does
+  // per token.
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
-  MatrixH qh(1, d);
-  for (std::size_t c = 0; c < d; ++c) {
-    qh(0, c) = Half(q[c].to_float() * scale);
+  MatrixH qh(R, d);
+  for (std::size_t r = 0; r < R; ++r) {
+    const Half* src = it.q + r * qs;
+    for (std::size_t c = 0; c < d; ++c) {
+      qh(r, c) = Half(src[c].to_float() * scale);
+    }
   }
 
-  float m = -std::numeric_limits<float>::infinity();
-  float l = 0.0f;
-  std::vector<float> oacc(d, 0.0f);
-  MatrixF oc1(1, su, 0.0f), oc2(1, su, 0.0f);
-  std::vector<float> blockmax(nblk);
+  std::vector<float> m(R, -std::numeric_limits<float>::infinity());
+  std::vector<float> l(R, 0.0f);
+  MatrixF oacc(R, d, 0.0f);
+  MatrixF oc1(R, su, 0.0f), oc2(R, su, 0.0f);
+  MatrixF blockmax(R, nblk);
 
-  MatrixF S(1, B), schk1(1, su), schk2(1, su);
+  MatrixF S(R, B), spre(R, B), schk1(R, su), schk2(R, su);
   MatrixH kj(B, d), vj(B, d);
   for (std::size_t j = 0; j < nblk; ++j) {
-    // Rows of this tile that hold real context; the remainder is zero
-    // padding whose scores are exactly zero and consistent with the
-    // checksums (fp16 MACs over zero operands are exact).
-    const std::size_t rows = std::min(B, n - j * B);
-    // Tiles are contiguous 64 x d row-major Half arrays — bulk-copy the
-    // valid rows and zero the padding (Half() is all-zero bits).
-    std::memcpy(kj.data(), kv.k_tiles[j], rows * d * sizeof(Half));
-    std::memcpy(vj.data(), kv.v_tiles[j], rows * d * sizeof(Half));
-    if (rows < B) {
-      std::memset(kj.data() + rows * d, 0, (B - rows) * d * sizeof(Half));
-      std::memset(vj.data() + rows * d, 0, (B - rows) * d * sizeof(Half));
+    // Rows of this tile holding real context; the remainder is zero padding,
+    // exactly the view decode_slice reconstructs per token.
+    const std::size_t tile_valid = std::min(B, n - j * B);
+    std::memcpy(kj.data(), it.kv.k_tiles[j], tile_valid * d * sizeof(Half));
+    std::memcpy(vj.data(), it.kv.v_tiles[j], tile_valid * d * sizeof(Half));
+    if (tile_valid < B) {
+      std::fill(kj.data() + tile_valid * d, kj.data() + B * d, Half());
+      std::fill(vj.data() + tile_valid * d, vj.data() + B * d, Half());
     }
+    // Tiles are encoded once per chunk (decode re-encodes them per token —
+    // the O(context) work this kernel amortizes away).
     const MatrixH kc1 = abft::StridedAbft::encode_rows_strided(kj, s, false, inj);
     const MatrixH kc2 = abft::StridedAbft::encode_rows_strided(kj, s, true, inj);
     const MatrixH vc1 = abft::StridedAbft::encode_cols_strided(vj, s, false, inj);
     const MatrixH vc2 = abft::StridedAbft::encode_cols_strided(vj, s, true, inj);
 
     sim::gemm_fp16_nt(qh, kj, S);
-    if (inj) {
-      // Any non-null injector — armed or an unarmed calls()-counting probe
-      // — sees every hook, so campaign sizing observes true call counts.
-      for (std::size_t c = 0; c < rows; ++c) {
-        S(0, c) = inj->corrupt(fault::Site::kGemm1, S(0, c));
-      }
-    }
     sim::gemm_fp16_nt(qh, kc1, schk1);
     sim::gemm_fp16_nt(qh, kc2, schk2);
-    rep.gemm1 +=
-        abft::StridedAbft::verify_correct(S, schk1, schk2, s,
-                                          opt.abft_rel_threshold);
-
-    // Streaming softmax update for the single row; the running max only
-    // sees real context lanes (a padded lane's zero score could otherwise
-    // dominate an all-negative tile).
-    float bmax = -std::numeric_limits<float>::infinity();
-    for (std::size_t c = 0; c < rows; ++c) bmax = std::max(bmax, S(0, c));
-    bmax = fault::corrupt(inj, fault::Site::kReduceMax, bmax);
-    blockmax[j] = bmax;
-    const float mnew = std::max(m, bmax);
-
-    MatrixF spre = S;
-    for (std::size_t c = 0; c < rows; ++c) {
-      S(0, c) = fault::corrupt(inj, fault::Site::kExp,
-                               std::exp(S(0, c) - mnew));
+    for (std::size_t r = 0; r < R; ++r) {
+      // Visible lanes of row r in this tile: its causal prefix, clipped to
+      // the tile.  A chunk never starts past the cache end, so visibility is
+      // a per-row prefix of lanes and a per-row prefix of tiles.
+      const std::size_t p = base + r;
+      if (p < j * B) continue;  // row's causal prefix ends before this tile
+      const std::size_t vis = std::min(B, p + 1 - j * B);
+      if (inj) {
+        for (std::size_t c = 0; c < vis; ++c) {
+          S(r, c) = inj->corrupt(fault::Site::kGemm1, S(r, c));
+        }
+      }
     }
-    // Padded lanes carry zero softmax weight: no rowsum contribution, no
-    // GEMM II contribution (their V rows are zero anyway).
-    for (std::size_t c = rows; c < B; ++c) S(0, c) = 0.0f;
-    // Case-2 product check on the decode row (log domain, double).  Padded
-    // lanes participate in score space — their pre-EXP score is exactly
-    // zero, which the checksum side already accounts for — rather than as
-    // exp(0 - m), which would overflow for strongly negative tiles and
-    // flag a clean run.
-    {
-      const std::size_t L = B / su;
+    // Linear verification runs pre-mask over the whole block: every lane —
+    // visible, causally masked, or padding — satisfies the checksum relation
+    // against this tile, so one block verify witnesses all rows at once.
+    rep.gemm1 += abft::StridedAbft::verify_correct(S, schk1, schk2, s,
+                                                   opt.abft_rel_threshold);
+
+    for (std::size_t r = 0; r < R; ++r) {
+      const std::size_t p = base + r;
+      if (p < j * B) continue;
+      const std::size_t vis = std::min(B, p + 1 - j * B);
+
+      // Streaming softmax update, decode_slice's single-row loop verbatim:
+      // the running max sees only the row's visible lanes.
+      float bmax = -std::numeric_limits<float>::infinity();
+      for (std::size_t c = 0; c < vis; ++c) bmax = std::max(bmax, S(r, c));
+      bmax = fault::corrupt(inj, fault::Site::kReduceMax, bmax);
+      blockmax(r, j) = bmax;
+      const float mnew = std::max(m[r], bmax);
+
+      for (std::size_t c = 0; c < B; ++c) spre(r, c) = S(r, c);
+      for (std::size_t c = 0; c < vis; ++c) {
+        S(r, c) = fault::corrupt(inj, fault::Site::kExp,
+                                 std::exp(S(r, c) - mnew));
+      }
+      // Lanes past the causal horizon carry zero softmax weight, exactly
+      // like decode's padded lanes.
+      for (std::size_t c = vis; c < B; ++c) S(r, c) = 0.0f;
+
+      // Case-2 product check on the row (log domain, double).  Masked and
+      // padded lanes participate in score space — decode's convention for
+      // lanes that were never exponentiated.
       for (std::size_t jc = 0; jc < su; ++jc) {
         ++rep.exp_check.checks;
         double lhs = 0.0;
         bool bad = false;
         for (std::size_t ll = 0; ll < L; ++ll) {
           const std::size_t col = jc + ll * su;
-          if (col >= rows) {
-            lhs += static_cast<double>(spre(0, col)) - mnew;
+          if (col >= vis) {
+            lhs += static_cast<double>(spre(r, col)) - mnew;
             continue;
           }
-          const float p = S(0, col);
-          if (!(p > 0.0f) || !std::isfinite(p)) {
+          const float pv = S(r, col);
+          if (!(pv > 0.0f) || !std::isfinite(pv)) {
             bad = true;
             break;
           }
-          lhs += std::log(static_cast<double>(p));
+          lhs += std::log(static_cast<double>(pv));
         }
         const double rhs =
-            static_cast<double>(schk1(0, jc)) - static_cast<double>(L) * mnew;
+            static_cast<double>(schk1(r, jc)) - static_cast<double>(L) * mnew;
         if (bad || std::fabs(lhs - rhs) > opt.exp_log_threshold) {
           ++rep.exp_check.flagged;
-          // Repair the scores via the linear checksum, then re-exponentiate.
-          abft::StridedAbft::verify_correct(spre, schk1, schk2, s,
+          // Repair the scores via the linear checksum, then re-exponentiate
+          // the visible lanes (per-row temporaries: this path only runs
+          // under a fault).
+          MatrixF srow(1, B), c1row(1, su), c2row(1, su);
+          for (std::size_t c = 0; c < B; ++c) srow(0, c) = spre(r, c);
+          for (std::size_t c = 0; c < su; ++c) {
+            c1row(0, c) = schk1(r, c);
+            c2row(0, c) = schk2(r, c);
+          }
+          abft::StridedAbft::verify_correct(srow, c1row, c2row, s,
                                             opt.abft_rel_threshold);
-          for (std::size_t c = 0; c < rows; ++c) {
-            S(0, c) = std::exp(spre(0, c) - mnew);
+          for (std::size_t c = 0; c < vis; ++c) {
+            S(r, c) = std::exp(srow(0, c) - mnew);
           }
           ++rep.exp_check.recomputed;
           break;
         }
       }
-    }
-    float rowsum = 0.0f;
-    for (std::size_t c = 0; c < B; ++c) rowsum += S(0, c);
-    rowsum = fault::corrupt(inj, fault::Site::kReduceSum, rowsum);
 
-    const float f = std::exp(m - mnew);
-    for (std::size_t c = 0; c < d; ++c) {
-      oacc[c] = fault::corrupt(inj, fault::Site::kRescale, f * oacc[c]);
-    }
-    for (std::size_t jc = 0; jc < su; ++jc) {
-      oc1(0, jc) *= f;
-      oc2(0, jc) *= f;
-    }
-    l = f * l + rowsum;
-    m = mnew;
+      float rowsum = 0.0f;
+      for (std::size_t c = 0; c < B; ++c) rowsum += S(r, c);
+      rowsum = fault::corrupt(inj, fault::Site::kReduceSum, rowsum);
 
-    // GEMM II (1 x B times B x d) + checksums.
-    for (std::size_t c = 0; c < d; ++c) {
-      float acc = 0.0f;
-      for (std::size_t r = 0; r < B; ++r) {
-        acc += numeric::round_to_half(S(0, r)) * vj(r, c).to_float();
+      const float f = std::exp(m[r] - mnew);
+      for (std::size_t c = 0; c < d; ++c) {
+        oacc(r, c) = fault::corrupt(inj, fault::Site::kRescale,
+                                    f * oacc(r, c));
       }
-      oacc[c] = fault::corrupt(inj, fault::Site::kGemm2, oacc[c] + acc);
-    }
-    for (std::size_t jc = 0; jc < su; ++jc) {
-      float a1 = 0.0f, a2 = 0.0f;
-      for (std::size_t r = 0; r < B; ++r) {
-        const float p = numeric::round_to_half(S(0, r));
-        a1 += p * vc1(r, jc).to_float();
-        a2 += p * vc2(r, jc).to_float();
+      for (std::size_t jc = 0; jc < su; ++jc) {
+        oc1(r, jc) *= f;
+        oc2(r, jc) *= f;
       }
-      oc1(0, jc) += a1;
-      oc2(0, jc) += a2;
+      l[r] = f * l[r] + rowsum;
+      m[r] = mnew;
+
+      // GEMM II (1 x B times B x d) + checksums, decode's scalar
+      // accumulation order.  Masked lanes contribute exact zeros: P is
+      // exactly 0.0f there, and 0 * v adds a signed zero that cannot change
+      // the accumulator.
+      for (std::size_t c = 0; c < d; ++c) {
+        float acc = 0.0f;
+        for (std::size_t r2 = 0; r2 < B; ++r2) {
+          acc += numeric::round_to_half(S(r, r2)) * vj(r2, c).to_float();
+        }
+        oacc(r, c) = fault::corrupt(inj, fault::Site::kGemm2, oacc(r, c) + acc);
+      }
+      for (std::size_t jc = 0; jc < su; ++jc) {
+        float a1 = 0.0f, a2 = 0.0f;
+        for (std::size_t r2 = 0; r2 < B; ++r2) {
+          const float pv = numeric::round_to_half(S(r, r2));
+          a1 += pv * vc1(r2, jc).to_float();
+          a2 += pv * vc2(r2, jc).to_float();
+        }
+        oc1(r, jc) += a1;
+        oc2(r, jc) += a2;
+      }
     }
   }
 
-  // SNVR range restriction of the single rowsum.
-  const auto res = softmax::snvr_check_rowsum(
-      l, std::span<const float>(blockmax.data(), nblk), m, n, opt.snvr_slack);
-  if (res.violated) {
-    l = res.corrected_value;
-    ++rep.range_corrections;
+  // SNVR range restriction per row over its own tile-max history.
+  for (std::size_t r = 0; r < R; ++r) {
+    const std::size_t p = base + r;
+    const std::size_t row_tiles = p / B + 1;
+    const auto res = softmax::snvr_check_rowsum(
+        l[r], std::span<const float>(&blockmax(r, 0), row_tiles), m[r], p + 1,
+        opt.snvr_slack);
+    if (res.violated) {
+      l[r] = res.corrected_value;
+      ++rep.range_corrections;
+    }
   }
 
-  // Normalize + final unified O verification.
-  MatrixF ofin(1, d);
-  const float inv = 1.0f / l;
-  for (std::size_t c = 0; c < d; ++c) ofin(0, c) = oacc[c] * inv;
-  for (std::size_t jc = 0; jc < su; ++jc) {
-    oc1(0, jc) *= inv;
-    oc2(0, jc) *= inv;
+  // Normalize + final unified O verification over the whole chunk.
+  MatrixF ofin(R, d);
+  for (std::size_t r = 0; r < R; ++r) {
+    const float inv = 1.0f / l[r];
+    for (std::size_t c = 0; c < d; ++c) {
+      ofin(r, c) = oacc(r, c) * inv;
+    }
+    for (std::size_t jc = 0; jc < su; ++jc) {
+      oc1(r, jc) *= inv;
+      oc2(r, jc) *= inv;
+    }
   }
   rep.gemm2 += abft::StridedAbft::verify_correct(ofin, oc1, oc2, s,
                                                  opt.abft_rel_threshold);
-  for (std::size_t c = 0; c < d; ++c) out[c] = ofin(0, c);
+  for (std::size_t r = 0; r < R; ++r) {
+    float* dst = it.out + r * os;
+    for (std::size_t c = 0; c < d; ++c) dst[c] = ofin(r, c);
+  }
   return rep;
 }
 
+/// A decode step is exactly a one-row prefill chunk: the new token (global
+/// position n-1) attends over the cache that already holds its own K/V.
+/// One kernel serves both paths, so the bit-identity the serving engine
+/// relies on cannot drift between them.  Inputs must have been checked with
+/// validate_slice; does not stamp `faults_injected` (the public entry
+/// points account per call / per slice).
+FtReport decode_slice(const KvSlice& kv, std::span<const Half> q,
+                      std::span<float> out, const EftaOptions& opt,
+                      fault::FaultInjector* inj) {
+  return prefill_slice(
+      PrefillWorkItem{kv, kv.n - 1, q.data(), out.data(), 1, 0, 0}, opt, inj);
+}
+
 }  // namespace
+
+FtReport efta_prefill_chunk(const PrefillWorkItem& item,
+                            const EftaOptions& opt,
+                            fault::FaultInjector* inj) {
+  validate_prefill(item, opt);
+  const std::size_t before = inj ? inj->injected() : 0;
+  FtReport rep = prefill_slice(item, opt, inj);
+  if (inj) rep.faults_injected = inj->injected() - before;
+  return rep;
+}
+
+FtReport efta_prefill_batch(std::span<const PrefillWorkItem> items,
+                            const EftaOptions& opt, fault::FaultInjector* inj,
+                            std::span<FtReport> per_item) {
+  if (!per_item.empty() && per_item.size() != items.size()) {
+    throw std::invalid_argument(
+        "efta_prefill_batch: per_item size must match items");
+  }
+  FtReport total;
+  if (items.empty()) return total;  // idle ticks never touch OpenMP
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    try {
+      validate_prefill(items[i], opt);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("efta_prefill_batch: item " +
+                                  std::to_string(i) + ": " + e.what());
+    }
+  }
+
+  if (inj) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const std::size_t before = inj->injected();
+      FtReport r = prefill_slice(items[i], opt, inj);
+      r.faults_injected = inj->injected() - before;
+      if (!per_item.empty()) per_item[i] = r;
+      total += r;
+    }
+    return total;
+  }
+
+#pragma omp parallel
+  {
+    FtReport local;
+#pragma omp for schedule(dynamic) nowait
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      FtReport r = prefill_slice(items[i], opt, nullptr);
+      if (!per_item.empty()) per_item[i] = r;
+      local += r;
+    }
+#pragma omp critical
+    total += local;
+  }
+  return total;
+}
 
 FtReport efta_decode_step(const KvSlice& kv, std::span<const Half> q,
                           std::span<float> out, const EftaOptions& opt,
@@ -252,6 +390,10 @@ FtReport efta_decode_batch(std::span<const DecodeWorkItem> items,
     throw std::invalid_argument(
         "efta_decode_batch: per_item size must match items");
   }
+  // An idle tick must be free: spinning up an OpenMP team for zero items
+  // costs a barrier per call, which a scheduler polling an empty queue pays
+  // on every tick.
+  if (items.empty()) return {};
   // Validate every item up front: an exception must not be raised inside
   // the OpenMP worksharing region (that would terminate the process).
   for (std::size_t i = 0; i < items.size(); ++i) {

@@ -17,9 +17,13 @@
 // which are then excluded from the softmax reduction and carry zero weight
 // into GEMM II.
 //
-// The batch entry point runs many independent (request, head) slices through
+// The batch entry points run many independent (request, head) slices through
 // the same kernel, OpenMP-parallel with per-slice FtReport aggregation —
-// the unit of work a batched serving engine schedules.
+// the unit of work a batched serving engine schedules.  Prefill uses the
+// same machinery at chunk granularity: efta_prefill_chunk attends up to 64
+// prompt rows at once over their causal prefixes, bit-identical per row to
+// the token-by-token decode path but amortizing the per-tile loads and
+// checksum encodes across the whole chunk.
 
 #include <span>
 
@@ -54,6 +58,45 @@ struct DecodeWorkItem {
   std::span<const numeric::Half> q;
   std::span<float> out;
 };
+
+/// One (request, head) causal prefill chunk: query rows [base, base+rows) of
+/// a prompt attend over the cache, which must already hold the chunk's own
+/// K/V rows (kv.n == base + rows).  Row r sees exactly rows [0, base+r] of
+/// the cache — its causal prefix, itself included — so the result is
+/// bit-identical to feeding the chunk token by token through
+/// efta_decode_step (the property tests/test_serve.cpp pins down).
+///
+/// q/out address rows x d values laid out with a row stride (in elements) of
+/// q_stride/out_stride; 0 means densely packed (stride == d).  Strided rows
+/// let a serving engine hand head-segments of a stacked hidden matrix to the
+/// kernel without gather/scatter copies.
+struct PrefillWorkItem {
+  KvSlice kv;
+  std::size_t base = 0;
+  const numeric::Half* q = nullptr;
+  float* out = nullptr;
+  std::size_t rows = 0;
+  std::size_t q_stride = 0;
+  std::size_t out_stride = 0;
+};
+
+/// One protected causal prefill chunk for a single head.  Scaling by
+/// 1/sqrt(d) is applied internally.  `faults_injected` counts only the flips
+/// placed during this call, matching efta_decode_step.
+attention::FtReport efta_prefill_chunk(const PrefillWorkItem& item,
+                                       const EftaOptions& opt = {},
+                                       fault::FaultInjector* inj = nullptr);
+
+/// Protected causal prefill for a batch of independent (request, head)
+/// chunks, OpenMP-parallel when `inj` is null (any injector forces the
+/// serial path, like efta_decode_batch).  Per-chunk reports are written to
+/// `per_item` when provided (size must match) and merged into the returned
+/// aggregate.  An empty batch returns a zeroed report without entering an
+/// OpenMP region.
+attention::FtReport efta_prefill_batch(
+    std::span<const PrefillWorkItem> items, const EftaOptions& opt = {},
+    fault::FaultInjector* inj = nullptr,
+    std::span<attention::FtReport> per_item = {});
 
 /// One protected decode step for a single head over a tiled KV view.
 /// Scaling by 1/sqrt(d) is applied internally.  The report's

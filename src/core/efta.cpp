@@ -638,4 +638,39 @@ sim::CostBreakdown efta_costs(const AttnShape& shape, const EftaOptions& opt) {
          efta_protection_costs(shape, opt);
 }
 
+sim::CostBreakdown efta_prefill_chunk_costs(std::size_t context,
+                                            std::size_t rows, std::size_t dim,
+                                            const EftaOptions& opt) {
+  sim::CostBreakdown b;
+  constexpr double B = 64.0;  // KvSlice::kTileRows
+  const double n = static_cast<double>(context);
+  const double R = static_cast<double>(rows);
+  const double D = static_cast<double>(dim);
+  const double s = opt.stride;
+  const double nblk = std::ceil(n / B);
+
+  // Payload: per tile, the R x B score GEMM and the R x D PV GEMM; loads of
+  // the K/V tiles and the chunk's q rows; EXP over the visible lanes
+  // (bounded above by R*B per tile).
+  b[sim::Phase::kMemory].hbm_bytes = nblk * 2.0 * B * D * 2.0 + R * D * 2.0;
+  b[sim::Phase::kGemm].tc_flops = nblk * (2.0 * R * B * D + 2.0 * R * B * D);
+  b[sim::Phase::kSoftmax].sfu_ops = nblk * R * B;
+  b[sim::Phase::kRescale].fp32_flops = nblk * R * (D + 2.0 * B + 2.0);
+
+  // Protection: K row / V column checksum encodes once per tile per chunk
+  // (the amortization over decode, which pays them once per *token*), the
+  // s-wide checksum GEMMs riding both payload GEMMs, the per-tile linear S
+  // verify, the per-row EXP product check, and the final O verify.
+  b[sim::Phase::kChecksumGen].fp32_flops = nblk * 8.0 * B * D;
+  b[sim::Phase::kGemm].tc_flops += nblk * (4.0 * R * s * D + 4.0 * R * s * B);
+  b[sim::Phase::kVerify].fp32_flops =
+      nblk * R * (2.0 * B + s) +         // linear S verify per tile
+      nblk * R * (B + 2.0 * s) +         // EXP product check per row
+      R * (2.0 * D + s) +                // final unified O verify
+      2.0 * R;                           // SNVR rowsum bound compare
+  b[sim::Phase::kVerify].sfu_ops = R * nblk;  // SNVR bound: exp over maxima
+  b[sim::Phase::kVerify].syncs = nblk + 1.0;
+  return b;
+}
+
 }  // namespace ftt::core

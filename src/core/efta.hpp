@@ -100,4 +100,14 @@ sim::CostBreakdown efta_protection_costs(const attention::AttnShape& s,
 sim::CostBreakdown efta_costs(const attention::AttnShape& s,
                               const EftaOptions& opt);
 
+/// Modeled cost of one protected causal prefill chunk (efta_prefill_chunk):
+/// `rows` query rows at positions [context - rows, context) streaming over
+/// ceil(context/64) KV tiles, including the per-chunk checksum encodes, the
+/// per-row EXP product check, and the final unified O verification.  The
+/// serving benches compare this against measured chunk latency; dividing by
+/// the token-by-token sum shows the amortization win of chunking.
+sim::CostBreakdown efta_prefill_chunk_costs(std::size_t context,
+                                            std::size_t rows, std::size_t dim,
+                                            const EftaOptions& opt);
+
 }  // namespace ftt::core

@@ -1,5 +1,6 @@
 #include "serve/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ftt::serve {
@@ -12,26 +13,34 @@ using transformer::Block;
 using transformer::LinearProtect;
 
 DecodeEngine::DecodeEngine(const transformer::Model& model, EngineOptions opt)
-    : model_(&model), opt_(opt) {
-  // Fail fast on a stride the decode kernel would reject per slice.
+    : model_(&model), opt_(opt), scheduler_(opt.scheduler) {
+  // Fail fast on a stride the kernels would reject per slice.
   const auto stride = static_cast<std::size_t>(opt_.efta.stride);
   if (stride == 0 || model.config().head_dim() % stride != 0) {
     throw std::invalid_argument(
         "DecodeEngine: head_dim must be a multiple of the checksum stride");
   }
-  // The decode kernel is fixed to 64-row strided-ABFT tiles + SNVR; reject
-  // knob values it would silently ignore.
+  // The cache-backed kernels are fixed to 64-row strided-ABFT tiles + SNVR;
+  // reject knob values they would silently ignore.
   if (opt_.efta.gemm != core::GemmProtect::kStrided ||
       opt_.efta.softmax != core::SoftmaxProtect::kSNVR ||
       opt_.efta.block != core::KvSlice::kTileRows) {
     throw std::invalid_argument(
-        "DecodeEngine: decode supports only strided ABFT + SNVR with the "
+        "DecodeEngine: serving supports only strided ABFT + SNVR with the "
         "64-row tile");
+  }
+  if (opt_.prefill_chunk_rows == 0 ||
+      opt_.prefill_chunk_rows > core::KvSlice::kTileRows) {
+    throw std::invalid_argument(
+        "DecodeEngine: prefill_chunk_rows must be in [1, 64]");
+  }
+  if (opt_.max_context == 0) {
+    throw std::invalid_argument("DecodeEngine: max_context must be >= 1");
   }
 }
 
 DecodeEngine::RequestId DecodeEngine::submit(const MatrixF& prompt_hidden,
-                                             fault::FaultInjector* inj) {
+                                             std::size_t max_new_tokens) {
   const auto& cfg = model_->config();
   if (prompt_hidden.rows() == 0 || prompt_hidden.cols() != cfg.hidden) {
     throw std::invalid_argument(
@@ -41,31 +50,26 @@ DecodeEngine::RequestId DecodeEngine::submit(const MatrixF& prompt_hidden,
     throw std::invalid_argument("DecodeEngine::submit: prompt exceeds "
                                 "max_context");
   }
-  const RequestId id = requests_.size();
+  const std::size_t budget =
+      max_new_tokens != 0 ? max_new_tokens : opt_.default_max_new_tokens;
   Request req;
-  req.layers.reserve(cfg.layers);
-  for (std::size_t b = 0; b < cfg.layers; ++b) {
-    req.layers.emplace_back(cfg.heads, cfg.head_dim());
-  }
-  req.active = true;
-  requests_.push_back(std::move(req));
+  req.prompt = prompt_hidden;
+  req.prompt_rows = prompt_hidden.rows();
+  // Clamp overflow-safely: a huge budget (SIZE_MAX as an "unlimited"
+  // sentinel) must saturate at max_context, not wrap below the prompt and
+  // under-reserve KV tiles.
+  const std::size_t headroom = opt_.max_context - req.prompt_rows;
+  req.max_tokens = (budget == 0 || budget >= headroom)
+                       ? opt_.max_context
+                       : req.prompt_rows + budget;
 
-  // Protected prefill: feed the prompt one token at a time through the same
-  // cache-backed path decode uses.  Each token's attention sees exactly its
-  // causal prefix (itself included), so no separate prefill kernel — and no
-  // seq-length alignment constraint — is needed.  (Batching prefill across
-  // the prompt is the ROADMAP's async-prefill open item.)
-  const std::vector<RequestId> ids{id};
+  const RequestId id = requests_.size();
+  // Transactional admit to the queue: enqueue can throw (a reservation that
+  // could never fit), and neither side may keep a phantom entry.
+  requests_.push_back(std::move(req));
   try {
-    for (std::size_t t = 0; t < prompt_hidden.rows(); ++t) {
-      MatrixF x(1, cfg.hidden);
-      for (std::size_t c = 0; c < cfg.hidden; ++c) {
-        x(0, c) = prompt_hidden(t, c);
-      }
-      advance(ids, x, inj);
-    }
+    scheduler_.enqueue(id, requests_.back().max_tokens);
   } catch (...) {
-    // Transactional admit: never leave a half-prefilled request active.
     requests_.pop_back();
     throw;
   }
@@ -74,23 +78,90 @@ DecodeEngine::RequestId DecodeEngine::submit(const MatrixF& prompt_hidden,
 
 DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
   const auto& cfg = model_->config();
-  std::vector<RequestId> ids;
-  for (RequestId id = 0; id < requests_.size(); ++id) {
-    Request& req = requests_[id];
-    if (!req.active) continue;
-    if (req.tokens + 1 > opt_.max_context) {
-      retire(req);  // capped sequence leaves; the batch keeps stepping
-      continue;
+  StepStats stats;
+
+  // (d) retire requests that reached their budget or the context cap.  Done
+  // at tick start so the final token's hidden state was readable for one
+  // tick, matching the pre-scheduler engine's behavior at max_context.
+  for (std::size_t i = 0; i < live_.size();) {
+    const RequestId id = live_[i];
+    if (scheduler_.state(id) == RequestState::kDecoding &&
+        requests_[id].tokens >= requests_[id].max_tokens) {
+      retire(id);  // erases live_[i]; the next candidate slides into i
+      ++stats.retired;
+    } else {
+      ++i;
     }
-    ids.push_back(id);
   }
-  if (ids.empty()) return {};
-  MatrixF X(ids.size(), cfg.hidden);
-  for (std::size_t r = 0; r < ids.size(); ++r) {
-    const Request& req = requests_[ids[r]];
-    for (std::size_t c = 0; c < cfg.hidden; ++c) X(r, c) = req.next_in[c];
+
+  // (a) admit queued requests whose KV reservation fits.  FCFS over
+  // monotonically assigned ids keeps live_ sorted, which keeps the tick's
+  // row-stack in request-id order (the order the bit-identity tests pin).
+  for (const RequestId id : scheduler_.admit()) {
+    Request& req = requests_[id];
+    req.layers.reserve(cfg.layers);
+    for (std::size_t b = 0; b < cfg.layers; ++b) {
+      req.layers.emplace_back(cfg.heads, cfg.head_dim());
+    }
+    live_.push_back(id);
+    ++stats.admitted;
   }
-  return advance(ids, X, inj);
+
+  // (b)+(c) gather this tick's row-stack: one prefill chunk per prefilling
+  // request, one decode row per decoding request, in request-id order.
+  std::vector<TickEntry> entries;
+  std::size_t total_rows = 0;
+  for (const RequestId id : live_) {
+    Request& req = requests_[id];
+    if (scheduler_.state(id) == RequestState::kPrefilling) {
+      const std::size_t rows = std::min(opt_.prefill_chunk_rows,
+                                        req.prompt_rows - req.prefilled);
+      entries.push_back(TickEntry{id, total_rows, rows, true, req.prefilled});
+      total_rows += rows;
+    } else {
+      entries.push_back(TickEntry{id, total_rows, 1, false, 0});
+      total_rows += 1;
+    }
+  }
+  // An idle tick is free: no allocation, no OpenMP region.
+  if (entries.empty()) {
+    lifetime_ += stats;
+    return stats;
+  }
+
+  MatrixF X(total_rows, cfg.hidden);
+  for (const TickEntry& e : entries) {
+    const Request& req = requests_[e.id];
+    if (e.prefill) {
+      for (std::size_t r = 0; r < e.rows; ++r) {
+        for (std::size_t c = 0; c < cfg.hidden; ++c) {
+          X(e.row0 + r, c) = req.prompt(e.base + r, c);
+        }
+      }
+    } else {
+      for (std::size_t c = 0; c < cfg.hidden; ++c) {
+        X(e.row0, c) = req.next_in[c];
+      }
+    }
+  }
+
+  advance(entries, X, inj, stats);
+
+  // State transitions after the compute.
+  for (const TickEntry& e : entries) {
+    Request& req = requests_[e.id];
+    req.tokens += e.rows;
+    if (e.prefill) {
+      req.prefilled += e.rows;
+      if (req.prefilled == req.prompt_rows) {
+        scheduler_.on_prefill_done(e.id);
+        req.prompt = MatrixF();  // pending prompt rows are no longer needed
+      }
+    }
+  }
+
+  lifetime_ += stats;
+  return stats;
 }
 
 DecodeEngine::StepStats DecodeEngine::drain(std::size_t steps,
@@ -100,80 +171,116 @@ DecodeEngine::StepStats DecodeEngine::drain(std::size_t steps,
   return total;
 }
 
-DecodeEngine::StepStats DecodeEngine::advance(const std::vector<RequestId>& ids,
-                                              MatrixF& X,
-                                              fault::FaultInjector* inj) {
+DecodeEngine::StepStats DecodeEngine::run_until_idle(fault::FaultInjector* inj,
+                                                     std::size_t max_ticks) {
+  StepStats total;
+  for (std::size_t i = 0; i < max_ticks; ++i) {
+    if (scheduler_.queued() == 0 && active() == 0) break;
+    total += step(inj);
+  }
+  return total;
+}
+
+void DecodeEngine::advance(const std::vector<TickEntry>& entries, MatrixF& X,
+                           fault::FaultInjector* inj, StepStats& stats) {
   const auto& cfg = model_->config();
-  const std::size_t R = ids.size();
+  const std::size_t T = X.rows();
   const std::size_t hidden = cfg.hidden;
   const std::size_t heads = cfg.heads;
   const std::size_t dim = cfg.head_dim();
   const auto mode =
       opt_.protect_linear ? LinearProtect::kStridedAbft : LinearProtect::kNone;
 
-  StepStats stats;
-  stats.active = R;
-  for (std::size_t r = 0; r < R; ++r) {
-    Request& req = requests_[ids[r]];
-    ++req.tokens;
+  stats.active += T;
+  for (const TickEntry& e : entries) {
+    if (e.prefill) {
+      ++stats.prefill_chunks;
+      stats.prefill_rows += e.rows;
+    } else {
+      ++stats.decoded;
+    }
     if (opt_.record_inputs) {
-      req.inputs.emplace_back(X.row(r).begin(), X.row(r).end());
+      Request& req = requests_[e.id];
+      for (std::size_t r = 0; r < e.rows; ++r) {
+        req.inputs.emplace_back(X.row(e.row0 + r).begin(),
+                                X.row(e.row0 + r).end());
+      }
     }
   }
 
   // This mirrors Block::forward's sub-block pipeline (ln1 -> QKV ->
   // attention -> wo residual; ln2 -> FFN residual) with the attention
-  // swapped for cache-backed batched decode; Engine.CacheBackedGeneration-
-  // MatchesFullRecompute pins the two paths against each other.
-  std::vector<FtReport> per_slice(R * heads);
+  // swapped for the cache-backed kernels: decode rows become one
+  // DecodeWorkItem per head, prefill chunks one PrefillWorkItem per head
+  // reading/writing the stacked matrices with a row stride of `hidden`.
+  std::vector<FtReport> per_decode, per_prefill;
+  std::vector<core::DecodeWorkItem> ditems;
+  std::vector<core::PrefillWorkItem> pitems;
   const auto& blocks = model_->blocks();
   for (std::size_t layer = 0; layer < blocks.size(); ++layer) {
     const Block& blk = blocks[layer];
-    // --- attention sub-block: project, append K/V, batched decode ---
+    // --- attention sub-block: project, append K/V, batched attention ---
     MatrixF h = X;
     blk.ln1().forward(h);
-    MatrixF qm(R, hidden), km(R, hidden), vm(R, hidden);
+    MatrixF qm(T, hidden), km(T, hidden), vm(T, hidden);
     stats.linear += blk.wq().forward(h, qm, mode, inj);
     stats.linear += blk.wk().forward(h, km, mode, inj);
     stats.linear += blk.wv().forward(h, vm, mode, inj);
 
     // Round to the fp16 tensor-core operands once; rows are head-major, so
-    // a head's dim-wide segment is contiguous for both the cache append and
-    // the decode work item.
-    MatrixH qh(R, hidden), kh(R, hidden), vh(R, hidden);
+    // a head's dim-wide segment is contiguous for the cache append and
+    // hidden-strided across rows for the chunk work items.
+    MatrixH qh(T, hidden), kh(T, hidden), vh(T, hidden);
     tensor::narrow(qm, {qh.data(), qh.size()});
     tensor::narrow(km, {kh.data(), kh.size()});
     tensor::narrow(vm, {vh.data(), vh.size()});
 
-    MatrixF attn(R, hidden);
-    std::vector<core::DecodeWorkItem> items;
-    items.reserve(R * heads);
-    for (std::size_t r = 0; r < R; ++r) {
-      KvCache& cache = requests_[ids[r]].layers[layer];
-      cache.append(kh.row(r), vh.row(r));
-      for (std::size_t hd = 0; hd < heads; ++hd) {
-        items.push_back(core::DecodeWorkItem{
-            cache.slice(hd),
-            qh.row(r).subspan(hd * dim, dim),
-            attn.row(r).subspan(hd * dim, dim)});
+    MatrixF attn(T, hidden);
+    ditems.clear();
+    pitems.clear();
+    for (const TickEntry& e : entries) {
+      KvCache& cache = requests_[e.id].layers[layer];
+      if (e.prefill) {
+        cache.append_chunk({&kh(e.row0, 0), e.rows * hidden},
+                           {&vh(e.row0, 0), e.rows * hidden}, e.rows);
+        for (std::size_t hd = 0; hd < heads; ++hd) {
+          pitems.push_back(core::PrefillWorkItem{
+              cache.slice(hd), e.base, &qh(e.row0, hd * dim),
+              &attn(e.row0, hd * dim), e.rows, hidden, hidden});
+        }
+      } else {
+        cache.append(kh.row(e.row0), vh.row(e.row0));
+        for (std::size_t hd = 0; hd < heads; ++hd) {
+          ditems.push_back(core::DecodeWorkItem{
+              cache.slice(hd), qh.row(e.row0).subspan(hd * dim, dim),
+              attn.row(e.row0).subspan(hd * dim, dim)});
+        }
       }
     }
+    per_decode.assign(ditems.size(), FtReport{});
+    per_prefill.assign(pitems.size(), FtReport{});
     stats.attention +=
-        core::efta_decode_batch(items, opt_.efta, inj, per_slice);
-    for (std::size_t r = 0; r < R; ++r) {
-      for (std::size_t hd = 0; hd < heads; ++hd) {
-        requests_[ids[r]].attention += per_slice[r * heads + hd];
-      }
+        core::efta_decode_batch(ditems, opt_.efta, inj, per_decode);
+    stats.attention +=
+        core::efta_prefill_batch(pitems, opt_.efta, inj, per_prefill);
+    // Roll the per-slice reports up into per-request lifetime reports,
+    // walking the work lists in the same entry order they were built.
+    std::size_t di = 0, pi = 0;
+    for (const TickEntry& e : entries) {
+      Request& req = requests_[e.id];
+      auto& src = e.prefill ? per_prefill : per_decode;
+      auto& idx = e.prefill ? pi : di;
+      for (std::size_t hd = 0; hd < heads; ++hd) req.attention += src[idx++];
     }
 
-    MatrixF proj(R, hidden);
+    MatrixF proj(T, hidden);
     stats.linear += blk.wo().forward(attn, proj, mode, inj);
     for (std::size_t i = 0; i < X.size(); ++i) X.data()[i] += proj.data()[i];
 
     // --- feed-forward sub-block ---
     MatrixF h2 = X;
     blk.ln2().forward(h2);
-    MatrixF ffn_out(R, hidden);
+    MatrixF ffn_out(T, hidden);
     const auto fr = blk.ffn().forward(h2, ffn_out, opt_.protect_linear, inj);
     stats.linear += fr.abft;
     stats.activations_clipped += fr.activations_clipped;
@@ -182,38 +289,50 @@ DecodeEngine::StepStats DecodeEngine::advance(const std::vector<RequestId>& ids,
 
   MatrixF y = X;
   model_->final_ln().forward(y);
-  for (std::size_t r = 0; r < R; ++r) {
-    Request& req = requests_[ids[r]];
-    req.last_hidden.assign(y.row(r).begin(), y.row(r).end());
+  for (const TickEntry& e : entries) {
+    Request& req = requests_[e.id];
+    const std::size_t last = e.row0 + e.rows - 1;
+    req.last_hidden.assign(y.row(last).begin(), y.row(last).end());
+    // For a prefill chunk that completes the prompt this seeds generation;
+    // mid-prompt it is overwritten by the next chunk's last row.
     req.next_in = req.last_hidden;
   }
-  lifetime_ += stats;
-  return stats;
 }
 
-void DecodeEngine::retire(Request& req) {
-  req.active = false;
+void DecodeEngine::retire(RequestId id) {
+  Request& req = requests_[id];
+  scheduler_.release(id);
+  const auto it = std::find(live_.begin(), live_.end(), id);
+  if (it != live_.end()) live_.erase(it);
   req.layers.clear();
   req.layers.shrink_to_fit();
   req.inputs.clear();
   req.inputs.shrink_to_fit();
+  req.prompt = MatrixF();
 }
 
 void DecodeEngine::finish(RequestId id) {
   if (id >= requests_.size()) {
     throw std::out_of_range("DecodeEngine: unknown request id");
   }
-  retire(requests_[id]);
+  retire(id);
 }
 
 std::size_t DecodeEngine::active() const noexcept {
-  std::size_t n = 0;
-  for (const Request& r : requests_) n += r.active ? 1 : 0;
-  return n;
+  return scheduler_.admitted();
+}
+
+RequestState DecodeEngine::state(RequestId id) const {
+  if (id >= requests_.size()) {
+    throw std::out_of_range("DecodeEngine: unknown request id");
+  }
+  return scheduler_.state(id);
 }
 
 bool DecodeEngine::is_active(RequestId id) const {
-  return id < requests_.size() && requests_[id].active;
+  if (id >= requests_.size()) return false;
+  const RequestState s = scheduler_.state(id);
+  return s == RequestState::kPrefilling || s == RequestState::kDecoding;
 }
 
 const DecodeEngine::Request& DecodeEngine::checked(RequestId id) const {
@@ -243,6 +362,23 @@ MatrixF DecodeEngine::fed_inputs(RequestId id) const {
     for (std::size_t c = 0; c < hidden; ++c) m(r, c) = req.inputs[r][c];
   }
   return m;
+}
+
+std::size_t DecodeEngine::kv_tiles_in_use() const noexcept {
+  std::size_t n = 0;
+  for (const RequestId id : live_) {
+    const Request& r = requests_[id];
+    if (!r.layers.empty()) n += r.layers.front().tiles();
+  }
+  return n;
+}
+
+std::size_t DecodeEngine::kv_bytes() const noexcept {
+  std::size_t n = 0;
+  for (const RequestId id : live_) {
+    for (const KvCache& c : requests_[id].layers) n += c.bytes();
+  }
+  return n;
 }
 
 }  // namespace ftt::serve

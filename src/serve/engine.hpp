@@ -1,28 +1,37 @@
 #pragma once
-// Batched fault-tolerant serving engine: submit / step / drain.
+// Continuous-batching fault-tolerant serving engine.
 //
 // The engine drives autoregressive generation for many concurrent sequences
-// through a transformer::Model without ever recomputing a prefix.  Each
-// request owns one KvCache per layer; admitting a prompt runs a protected
-// prefill that fills the caches token by token, and every step() advances
-// all active sequences by one token:
+// through a transformer::Model without ever recomputing a prefix.  submit()
+// only enqueues: all compute happens in step(), one scheduler tick that
 //
-//   * the active tokens' hidden rows are stacked, so layer norms, the
-//     QKV/output projections and the feed-forward run once per layer over
-//     the whole batch (strided-ABFT-protected when protect_linear is set);
-//   * attention runs through efta_decode_batch — one protected decode slice
-//     per (request, head), OpenMP-parallel, with per-slice FtReport
-//     aggregation rolled up into both per-request lifetime reports and the
-//     step's stats.
+//   (a) admits queued requests whose KV reservation fits the batch-size and
+//       tile budgets (serve::Scheduler, strict FCFS — no overtaking);
+//   (b) runs at most one causal prefill chunk (up to 64 prompt rows) per
+//       prefilling request through efta_prefill_batch, so a long prompt
+//       streams into its caches across ticks instead of stalling the batch;
+//   (c) advances every decoding request by one token through
+//       efta_decode_batch;
+//   (d) retires requests that reached their generation budget or context
+//       cap, freeing their KV tiles for the queue.
+//
+// Prefill chunks and decode rows share one row-stack per tick: layer norms,
+// the QKV/output projections and the feed-forward run once per layer over
+// all rows of all requests (strided-ABFT-protected when protect_linear is
+// set), then attention splits into per-(request, head) protected work items,
+// OpenMP-parallel, with per-slice FtReport aggregation rolled up into both
+// per-request lifetime reports and the tick's stats.
+//
+// Every per-row operation in the stack is row-deterministic, and the chunked
+// prefill kernel is bit-identical per row to the token-by-token decode path,
+// so a batched tick is bit-identical to running each request in its own
+// engine — regardless of what else shares the batch, and regardless of the
+// chunk size.  tests/test_serve.cpp pins both properties down.
 //
 // Token embedding/unembedding are outside the paper's protected region
 // (memory, assumed ECC-protected) and are not modeled; "generation" feeds
 // each token's final-layernormed hidden state back as the next token's
 // input, which exercises exactly the per-token compute the paper profiles.
-//
-// Row-stacked linears and per-slice decode are both row-deterministic, so a
-// batched step is bit-identical to stepping each request in its own engine —
-// the property tests/test_serve.cpp pins down.
 
 #include <cstddef>
 #include <span>
@@ -31,28 +40,40 @@
 #include "attention/ft_report.hpp"
 #include "core/decode.hpp"
 #include "serve/kv_cache.hpp"
+#include "serve/scheduler.hpp"
 #include "transformer/model.hpp"
 
 namespace ftt::serve {
 
 struct EngineOptions {
-  /// Attention protection knobs the decode kernel reads: stride,
-  /// abft_rel_threshold, exp_log_threshold, snvr_slack.  The decode path is
+  /// Attention protection knobs the decode/prefill kernels read: stride,
+  /// abft_rel_threshold, exp_log_threshold, snvr_slack.  Both kernels are
   /// fixed to 64-row strided-ABFT tiles with SNVR softmax protection, so
   /// the constructor rejects other gemm/softmax/block settings; causal and
-  /// unified_verification are meaningless for single-row decode and
+  /// unified_verification are implied by the cache-backed paths and
   /// ignored.
   core::EftaOptions efta;
   bool protect_linear = true;  ///< strided ABFT on projections + FFN
-  /// Context cap: submit() beyond it throws; a request *reaching* it during
-  /// generation is retired automatically (caches released, hidden state and
-  /// reports stay readable) so the rest of the batch keeps stepping.
+  /// Context cap: submit() rejects prompts beyond it, and a request
+  /// *reaching* it during generation is retired automatically (caches
+  /// released, hidden state and reports stay readable) so the rest of the
+  /// batch keeps stepping.
   std::size_t max_context = 65536;
   /// Record every fed input row so fed_inputs() can replay the request
   /// through a from-scratch forward (tests / offline verification).  Costs
   /// hidden * 4 bytes per token while the request lives, which is why the
   /// serving default is off.
   bool record_inputs = false;
+  /// Prompt rows per prefill chunk per tick, 1..64.  64 — the checksum tile
+  /// — is the production setting: K/V tiles are loaded and encoded once per
+  /// chunk instead of once per token.  1 reproduces serial token-by-token
+  /// prefill; the bit-identity tests compare the two.
+  std::size_t prefill_chunk_rows = 64;
+  /// Generation budget for submit() calls that don't pass one explicitly.
+  /// 0 = unbudgeted: the request decodes until finish() or max_context.
+  std::size_t default_max_new_tokens = 0;
+  /// Admission policy: batch-size cap and KV tile back-pressure.
+  SchedulerOptions scheduler;
 };
 
 class DecodeEngine {
@@ -60,14 +81,25 @@ class DecodeEngine {
   using RequestId = std::size_t;
 
   struct StepStats {
-    /// Sequences advanced (for drain(): token-steps executed in total).
+    /// Token rows advanced this tick: prefill rows + decode steps.  Summed
+    /// over a request's lifetime this is its context length.
     std::size_t active = 0;
-    attention::FtReport attention;  ///< merged over all decode slices
-    abft::Report linear;            ///< projections + FFN ABFT
+    std::size_t admitted = 0;        ///< requests admitted from the queue
+    std::size_t prefill_chunks = 0;  ///< causal prefill chunks run
+    std::size_t prefill_rows = 0;    ///< prompt rows absorbed
+    std::size_t decoded = 0;         ///< decode token-steps
+    std::size_t retired = 0;         ///< requests retired (budget/cap)
+    attention::FtReport attention;   ///< merged over all attention slices
+    abft::Report linear;             ///< projections + FFN ABFT
     std::size_t activations_clipped = 0;
 
     StepStats& operator+=(const StepStats& o) noexcept {
       active += o.active;
+      admitted += o.admitted;
+      prefill_chunks += o.prefill_chunks;
+      prefill_rows += o.prefill_rows;
+      decoded += o.decoded;
+      retired += o.retired;
       attention += o.attention;
       linear += o.linear;
       activations_clipped += o.activations_clipped;
@@ -78,33 +110,52 @@ class DecodeEngine {
   explicit DecodeEngine(const transformer::Model& model,
                         EngineOptions opt = {});
 
-  /// Admit a sequence: protected prefill of `prompt_hidden` (seq x hidden,
-  /// any seq >= 1) through the per-layer caches.  Returns the request id.
+  /// Enqueue a sequence: `prompt_hidden` is seq x hidden, any seq >= 1.
+  /// No compute happens here — the scheduler admits the request on a later
+  /// step() and its prompt streams in as causal prefill chunks.
+  /// `max_new_tokens` caps generation (0 = EngineOptions default); once the
+  /// cap or max_context is reached the request retires on its own.
   RequestId submit(const tensor::MatrixF& prompt_hidden,
-                   fault::FaultInjector* inj = nullptr);
+                   std::size_t max_new_tokens = 0);
 
-  /// One batched decode step advancing every active sequence by one token.
+  /// One scheduler tick: admit, prefill one chunk per prefilling request,
+  /// advance every decoding request by one token, retire capped requests.
+  /// A tick with nothing to run returns zeroed stats without touching
+  /// OpenMP — an idle engine is free to poll.
   StepStats step(fault::FaultInjector* inj = nullptr);
 
-  /// Run `steps` batched decode steps; merged stats (active = token-steps).
+  /// Run `steps` ticks; merged stats.
   StepStats drain(std::size_t steps, fault::FaultInjector* inj = nullptr);
 
-  /// Retire a request: release its caches and recorded history.  Its last
+  /// Tick until no request is queued or admitted (requires every live
+  /// request to have a generation budget), or until `max_ticks` elapse.
+  StepStats run_until_idle(fault::FaultInjector* inj = nullptr,
+                           std::size_t max_ticks = SIZE_MAX);
+
+  /// Retire a request in any live state: release its caches, pending prompt
+  /// and recorded history, and free its scheduler reservation.  Its last
   /// hidden state, lifetime report and token count stay readable.
   void finish(RequestId id);
 
-  /// Merged stats over everything this engine ever ran — including the
-  /// prefill passes submit() performs, whose per-call stats have no other
-  /// outlet.  `active` counts token-steps executed.
+  /// Merged stats over everything this engine ever ran; `active` counts
+  /// token rows (prefill + decode).  Equal to the sum of every step()
+  /// return — all compute happens inside ticks.
   [[nodiscard]] const StepStats& lifetime() const noexcept {
     return lifetime_;
   }
 
+  [[nodiscard]] RequestState state(RequestId id) const;
+  /// Requests admitted and not yet retired (prefilling + decoding).
   [[nodiscard]] std::size_t active() const noexcept;
+  /// Requests waiting for admission.
+  [[nodiscard]] std::size_t queued() const noexcept {
+    return scheduler_.queued();
+  }
   [[nodiscard]] bool is_active(RequestId id) const;
-  /// Tokens in the request's context (prompt + generated).
+  /// Tokens in the request's context (prefilled prompt rows + generated).
   [[nodiscard]] std::size_t context_length(RequestId id) const;
-  /// Final-layernormed hidden state of the request's latest token.
+  /// Final-layernormed hidden state of the request's latest token (empty
+  /// while the request is still queued).
   [[nodiscard]] std::span<const float> hidden(RequestId id) const;
   /// Lifetime attention fault-tolerance report of one request.
   [[nodiscard]] const attention::FtReport& report(RequestId id) const;
@@ -114,28 +165,59 @@ class DecodeEngine {
   /// record_inputs is off or the request has been retired.
   [[nodiscard]] tensor::MatrixF fed_inputs(RequestId id) const;
 
+  /// Context tiles currently allocated across live requests (the unit the
+  /// scheduler budgets): one context tile covers 64 tokens of KV across
+  /// every layer and head.  Drops when requests retire — the reclamation
+  /// the scheduler stress test asserts.
+  [[nodiscard]] std::size_t kv_tiles_in_use() const noexcept;
+  /// Allocated KV bytes across all live requests, layers and heads.
+  [[nodiscard]] std::size_t kv_bytes() const noexcept;
+  /// Tiles the scheduler has reserved for admitted requests.
+  [[nodiscard]] std::size_t kv_tiles_reserved() const noexcept {
+    return scheduler_.tiles_reserved();
+  }
+
  private:
   struct Request {
     std::vector<KvCache> layers;           // one cache per block
+    tensor::MatrixF prompt;                // pending rows (freed after prefill)
+    std::size_t prompt_rows = 0;           // original prompt length
+    std::size_t prefilled = 0;             // prompt rows absorbed so far
+    std::size_t max_tokens = 0;            // context cap: prompt + budget
     std::vector<float> next_in;            // next token's input row
-    std::vector<float> last_hidden;        // final-LN output of last token
+    std::vector<float> last_hidden;        // final-LN output of last row
     std::vector<std::vector<float>> inputs;  // fed rows (record_inputs)
-    attention::FtReport attention;         // lifetime decode report
+    attention::FtReport attention;         // lifetime attention report
     std::size_t tokens = 0;                // context length ever reached
-    bool active = false;
   };
 
-  void retire(Request& req);
+  /// One request's share of a tick's row-stack.
+  struct TickEntry {
+    RequestId id;
+    std::size_t row0;  ///< first row in the stacked X
+    std::size_t rows;  ///< 1 for decode, chunk size for prefill
+    bool prefill;
+    std::size_t base;  ///< prefill: global position of the chunk's first row
+  };
 
-  /// Advance one token for `ids` with stacked input rows X (|ids| x hidden).
-  StepStats advance(const std::vector<RequestId>& ids, tensor::MatrixF& X,
-                    fault::FaultInjector* inj);
+  void retire(RequestId id);
+
+  /// Run the stacked rows X through the model: shared linears/FFN, per-
+  /// (request, head) attention work items (prefill chunks + decode slices).
+  void advance(const std::vector<TickEntry>& entries, tensor::MatrixF& X,
+               fault::FaultInjector* inj, StepStats& stats);
 
   [[nodiscard]] const Request& checked(RequestId id) const;
 
   const transformer::Model* model_;
   EngineOptions opt_;
+  Scheduler scheduler_;
   std::vector<Request> requests_;
+  /// Admitted, not-yet-retired ids, ascending (admissions are FCFS over
+  /// monotone ids).  Ticks sweep this instead of every request ever
+  /// submitted, so a long-running engine's tick cost tracks the batch, not
+  /// the lifetime request count.
+  std::vector<RequestId> live_;
   StepStats lifetime_;
 };
 

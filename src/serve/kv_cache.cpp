@@ -23,53 +23,77 @@ std::size_t KvCache::bytes() const noexcept {
   return tiles() * kTileRows * dim_ * heads_ * 2 * sizeof(Half);
 }
 
-void KvCache::append(std::span<const Half> k, std::span<const Half> v) {
-  if (k.size() != heads_ * dim_ || v.size() != heads_ * dim_) {
-    throw std::invalid_argument("KvCache::append: expected heads*dim values");
+void KvCache::open_tiles(std::size_t count) {
+  if (count == 0) return;
+  // Two-phase tile open so a mid-loop allocation failure cannot leave
+  // heads with mismatched tile counts: allocate and reserve first (which
+  // may throw but mutates nothing logical), then commit with noexcept
+  // moves only.
+  std::vector<std::unique_ptr<Half[]>> fresh_k(heads_ * count),
+      fresh_v(heads_ * count);
+  for (std::size_t i = 0; i < heads_ * count; ++i) {
+    // make_unique value-initializes: fresh tiles are all-zero halves, the
+    // padding the decode kernel's ragged-tail checksums assume.
+    fresh_k[i] = std::make_unique<Half[]>(kTileRows * dim_);
+    fresh_v[i] = std::make_unique<Half[]>(kTileRows * dim_);
   }
-  const std::size_t row = len_ % kTileRows;
-  if (row == 0) {
-    // Two-phase tile open so a mid-loop allocation failure cannot leave
-    // heads with mismatched tile counts: allocate and reserve first (which
-    // may throw but mutates nothing logical), then commit with noexcept
-    // moves only.
-    std::vector<std::unique_ptr<Half[]>> fresh_k(heads_), fresh_v(heads_);
-    for (std::size_t h = 0; h < heads_; ++h) {
-      // make_unique value-initializes: fresh tiles are all-zero halves, the
-      // padding the decode kernel's ragged-tail checksums assume.
-      fresh_k[h] = std::make_unique<Half[]>(kTileRows * dim_);
-      fresh_v[h] = std::make_unique<Half[]>(kTileRows * dim_);
+  // Geometric reservation (reserve(n+count) would pin capacity to exact fit
+  // and reallocate on every tile open); push_back below cannot throw once
+  // capacity is in place.
+  const auto grow = [count](auto& vec) {
+    if (vec.size() + count > vec.capacity()) {
+      vec.reserve(std::max<std::size_t>({4, vec.capacity() * 2,
+                                         vec.size() + count}));
     }
-    // Geometric reservation (reserve(n+1) would pin capacity to exact fit
-    // and reallocate on every tile open); push_back below cannot throw once
-    // capacity is in place.
-    const auto grow = [](auto& vec) {
-      if (vec.size() == vec.capacity()) {
-        vec.reserve(std::max<std::size_t>(4, vec.capacity() * 2));
-      }
-    };
-    for (HeadStore& hs : store_) {
-      grow(hs.k_tiles);
-      grow(hs.v_tiles);
-      grow(hs.k_ptrs);
-      grow(hs.v_ptrs);
-    }
+  };
+  for (HeadStore& hs : store_) {
+    grow(hs.k_tiles);
+    grow(hs.v_tiles);
+    grow(hs.k_ptrs);
+    grow(hs.v_ptrs);
+  }
+  for (std::size_t t = 0; t < count; ++t) {
     for (std::size_t h = 0; h < heads_; ++h) {
       HeadStore& hs = store_[h];
-      hs.k_tiles.push_back(std::move(fresh_k[h]));
-      hs.v_tiles.push_back(std::move(fresh_v[h]));
+      hs.k_tiles.push_back(std::move(fresh_k[t * heads_ + h]));
+      hs.v_tiles.push_back(std::move(fresh_v[t * heads_ + h]));
       hs.k_ptrs.push_back(hs.k_tiles.back().get());
       hs.v_ptrs.push_back(hs.v_tiles.back().get());
     }
   }
-  for (std::size_t h = 0; h < heads_; ++h) {
-    HeadStore& hs = store_[h];
-    std::memcpy(hs.k_tiles.back().get() + row * dim_, k.data() + h * dim_,
-                dim_ * sizeof(Half));
-    std::memcpy(hs.v_tiles.back().get() + row * dim_, v.data() + h * dim_,
-                dim_ * sizeof(Half));
+}
+
+void KvCache::append(std::span<const Half> k, std::span<const Half> v) {
+  append_chunk(k, v, 1);
+}
+
+void KvCache::append_chunk(std::span<const Half> k, std::span<const Half> v,
+                           std::size_t rows) {
+  if (rows == 0) {
+    throw std::invalid_argument("KvCache::append_chunk: rows must be >= 1");
   }
-  ++len_;
+  if (k.size() != rows * heads_ * dim_ || v.size() != rows * heads_ * dim_) {
+    throw std::invalid_argument(
+        "KvCache::append_chunk: expected rows*heads*dim values");
+  }
+  // Batch all tile opens up front: one allocation round per chunk, and the
+  // copy loop below cannot throw.
+  const std::size_t have = tiles() * kTileRows - len_;
+  if (rows > have) {
+    open_tiles((rows - have + kTileRows - 1) / kTileRows);
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t tile = (len_ + r) / kTileRows;
+    const std::size_t row = (len_ + r) % kTileRows;
+    for (std::size_t h = 0; h < heads_; ++h) {
+      HeadStore& hs = store_[h];
+      std::memcpy(hs.k_tiles[tile].get() + row * dim_,
+                  k.data() + (r * heads_ + h) * dim_, dim_ * sizeof(Half));
+      std::memcpy(hs.v_tiles[tile].get() + row * dim_,
+                  v.data() + (r * heads_ + h) * dim_, dim_ * sizeof(Half));
+    }
+  }
+  len_ += rows;
 }
 
 core::KvSlice KvCache::slice(std::size_t head) const {

@@ -39,6 +39,15 @@ class KvCache {
   void append(std::span<const numeric::Half> k,
               std::span<const numeric::Half> v);
 
+  /// Bulk append of a prefill chunk: `rows` tokens whose keys/values are
+  /// stacked head-major rows of heads*dim halves each (the split-heads
+  /// layout of a projected rows x hidden block).  Equivalent to `rows`
+  /// append() calls with the tile opens batched into one allocation round.
+  /// Like append(), an open can relocate the tile-pointer arrays — re-take
+  /// slice() views after the call.
+  void append_chunk(std::span<const numeric::Half> k,
+                    std::span<const numeric::Half> v, std::size_t rows);
+
   /// Tiled read view of one head's K/V over the current context.  Tile
   /// storage is never relocated, but the view's tile-pointer array can move
   /// when an append() opens a new tile — re-take the slice after appending.
@@ -51,6 +60,11 @@ class KvCache {
     std::vector<std::unique_ptr<numeric::Half[]>> k_tiles, v_tiles;
     std::vector<const numeric::Half*> k_ptrs, v_ptrs;
   };
+
+  /// Open `count` fresh zero-initialized tiles per head, strongly exception
+  /// safe: allocations and reservations happen before any head's tile list
+  /// is mutated.
+  void open_tiles(std::size_t count);
 
   std::size_t heads_, dim_;
   std::size_t len_ = 0;

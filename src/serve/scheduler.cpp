@@ -1,0 +1,98 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ftt::serve {
+
+Scheduler::Scheduler(SchedulerOptions opt) : opt_(opt) {
+  if (opt_.max_batch_size == 0) {
+    throw std::invalid_argument("Scheduler: max_batch_size must be >= 1");
+  }
+}
+
+void Scheduler::enqueue(RequestId id, std::size_t max_tokens) {
+  if (max_tokens == 0) {
+    throw std::invalid_argument("Scheduler: max_tokens must be >= 1");
+  }
+  // Overflow-safe ceil: max_tokens can legitimately be SIZE_MAX (an
+  // uncapped engine), where (max_tokens + 63) would wrap to a 0-tile
+  // reservation and silently bypass the KV back-pressure budget.
+  const std::size_t tiles =
+      max_tokens / kTileRows + (max_tokens % kTileRows != 0 ? 1 : 0);
+  if (opt_.max_kv_tiles != 0 && tiles > opt_.max_kv_tiles) {
+    throw std::invalid_argument(
+        "Scheduler: request reservation exceeds max_kv_tiles — it could "
+        "never be admitted");
+  }
+  if (id >= slots_.size()) slots_.resize(id + 1);
+  slots_[id] = Slot{RequestState::kQueued, tiles};
+  queue_.push_back(id);
+}
+
+std::vector<Scheduler::RequestId> Scheduler::admit() {
+  std::vector<RequestId> out;
+  while (!queue_.empty()) {
+    const RequestId id = queue_.front();
+    const std::size_t tiles = slots_[id].tiles;
+    if (admitted_ >= opt_.max_batch_size) break;
+    if (opt_.max_kv_tiles != 0 &&
+        tiles_reserved_ + tiles > opt_.max_kv_tiles) {
+      break;  // strict FCFS: never admit past a blocked head
+    }
+    queue_.pop_front();
+    slots_[id].state = RequestState::kPrefilling;
+    ++admitted_;
+    tiles_reserved_ += tiles;
+    out.push_back(id);
+  }
+  return out;
+}
+
+void Scheduler::on_prefill_done(RequestId id) {
+  Slot& slot = checked(id);
+  if (slot.state != RequestState::kPrefilling) {
+    throw std::logic_error("Scheduler: on_prefill_done on a non-prefilling "
+                           "request");
+  }
+  slot.state = RequestState::kDecoding;
+}
+
+void Scheduler::release(RequestId id) {
+  Slot& slot = checked(id);
+  switch (slot.state) {
+    case RequestState::kQueued: {
+      const auto it = std::find(queue_.begin(), queue_.end(), id);
+      if (it != queue_.end()) queue_.erase(it);
+      break;
+    }
+    case RequestState::kPrefilling:
+    case RequestState::kDecoding:
+      --admitted_;
+      tiles_reserved_ -= slot.tiles;
+      break;
+    case RequestState::kRetired:
+      return;  // idempotent
+  }
+  slot.state = RequestState::kRetired;
+}
+
+RequestState Scheduler::state(RequestId id) const {
+  return checked(id).state;
+}
+
+Scheduler::Slot& Scheduler::checked(RequestId id) {
+  if (id >= slots_.size()) {
+    throw std::out_of_range("Scheduler: unknown request id");
+  }
+  return slots_[id];
+}
+
+const Scheduler::Slot& Scheduler::checked(RequestId id) const {
+  if (id >= slots_.size()) {
+    throw std::out_of_range("Scheduler: unknown request id");
+  }
+  return slots_[id];
+}
+
+}  // namespace ftt::serve

@@ -1,0 +1,100 @@
+#pragma once
+// Continuous-batching admission control: the policy half of the serving
+// engine.
+//
+// The scheduler owns the FCFS queue and the two back-pressure knobs that
+// bound what one DecodeEngine tick may run: a batch-size cap on concurrently
+// admitted requests and a KV tile budget.  Admission reserves the tiles a
+// request could ever need (ceil(max_tokens / 64) context tiles), so an
+// admitted request is guaranteed to run to its cap without mid-flight
+// eviction — the engine never has to preempt to make memory progress.
+//
+// The policy is strict FCFS: the sweep admits from the head of the queue and
+// stops at the first request that does not fit.  No request ever overtakes
+// an earlier one, which is the starvation bound the scheduler stress test
+// pins down — the head of the queue is always the next admission once tiles
+// drain, so every request is admitted after finitely many retirements.
+//
+// The scheduler is deliberately engine-agnostic bookkeeping (ids in, ids
+// out, no tensors) so the policy is unit-testable without a model.
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace ftt::serve {
+
+/// Lifecycle of a request inside the serving engine:
+/// queued -> prefilling -> decoding -> retired.
+enum class RequestState {
+  kQueued,      ///< submitted, waiting for admission
+  kPrefilling,  ///< admitted; prompt chunks still streaming into the cache
+  kDecoding,    ///< prompt absorbed; advancing one token per tick
+  kRetired,     ///< finished, capped, or finish()ed; caches released
+};
+
+struct SchedulerOptions {
+  /// Concurrently admitted requests (prefilling + decoding).  Bounds the
+  /// row-stack one tick runs through the shared linears.
+  std::size_t max_batch_size = 8;
+  /// KV back-pressure: total *context tiles* reserved across admitted
+  /// requests (one context tile = 64 tokens of KV across every layer and
+  /// head).  A request reserves ceil(max_tokens / 64) at admission and
+  /// frees them at retirement.  0 = unlimited.
+  std::size_t max_kv_tiles = 0;
+};
+
+class Scheduler {
+ public:
+  using RequestId = std::size_t;
+
+  /// Context tile granularity (tokens per reserved tile).
+  static constexpr std::size_t kTileRows = 64;
+
+  explicit Scheduler(SchedulerOptions opt = {});
+
+  /// Register a request at the tail of the queue.  `max_tokens` is its
+  /// context ceiling (prompt + generation budget); the reservation is
+  /// ceil(max_tokens / 64) tiles.  Throws if the reservation alone exceeds
+  /// max_kv_tiles — such a request could never be admitted.
+  void enqueue(RequestId id, std::size_t max_tokens);
+
+  /// One FCFS admission sweep: admits from the head while both budgets
+  /// hold, stops at the first request that does not fit (no overtaking).
+  /// Returns the ids admitted, in queue order.
+  std::vector<RequestId> admit();
+
+  /// kPrefilling -> kDecoding (the engine finished the last prompt chunk).
+  void on_prefill_done(RequestId id);
+
+  /// Retire a request from any live state: frees its reservation, or
+  /// removes it from the queue if it was never admitted.
+  void release(RequestId id);
+
+  [[nodiscard]] RequestState state(RequestId id) const;
+  [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t admitted() const noexcept { return admitted_; }
+  [[nodiscard]] std::size_t tiles_reserved() const noexcept {
+    return tiles_reserved_;
+  }
+  [[nodiscard]] const SchedulerOptions& options() const noexcept {
+    return opt_;
+  }
+
+ private:
+  struct Slot {
+    RequestState state = RequestState::kQueued;
+    std::size_t tiles = 0;
+  };
+
+  [[nodiscard]] Slot& checked(RequestId id);
+  [[nodiscard]] const Slot& checked(RequestId id) const;
+
+  SchedulerOptions opt_;
+  std::deque<RequestId> queue_;
+  std::vector<Slot> slots_;  // indexed by id; engine ids are dense
+  std::size_t admitted_ = 0;
+  std::size_t tiles_reserved_ = 0;
+};
+
+}  // namespace ftt::serve

@@ -1,0 +1,224 @@
+// Continuous-batching scheduler: FCFS admission policy unit tests, and a
+// randomized engine stress test pinning down fairness (no overtaking, no
+// starvation), KV tile reclamation, and lifetime-stats accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "serve/scheduler.hpp"
+#include "tensor/random.hpp"
+#include "transformer/model.hpp"
+
+namespace fs = ftt::serve;
+namespace ft = ftt::tensor;
+namespace fx = ftt::transformer;
+
+namespace {
+
+fx::ModelConfig serving_config() {
+  fx::ModelConfig cfg = fx::ModelConfig::tiny();
+  cfg.causal = true;
+  return cfg;
+}
+
+ft::MatrixF random_prompt(std::size_t seq, std::size_t hidden,
+                          std::uint64_t seed) {
+  ft::MatrixF m(seq, hidden);
+  ft::fill_normal(m, seed);
+  return m;
+}
+
+}  // namespace
+
+TEST(Scheduler, FcfsAdmissionRespectsBatchAndTileBudgets) {
+  fs::SchedulerOptions opt;
+  opt.max_batch_size = 2;
+  opt.max_kv_tiles = 3;
+  fs::Scheduler sched(opt);
+
+  sched.enqueue(0, 64);    // 1 tile
+  sched.enqueue(1, 65);    // 2 tiles
+  sched.enqueue(2, 1);     // 1 tile
+  EXPECT_EQ(sched.queued(), 3u);
+
+  // Batch cap admits 0 and 1 (3 tiles); 2 stays queued behind the cap.
+  const auto first = sched.admit();
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0], 0u);
+  EXPECT_EQ(first[1], 1u);
+  EXPECT_EQ(sched.admitted(), 2u);
+  EXPECT_EQ(sched.tiles_reserved(), 3u);
+  EXPECT_EQ(sched.state(2), fs::RequestState::kQueued);
+  EXPECT_TRUE(sched.admit().empty());  // both budgets exhausted
+
+  // Releasing 0 frees a slot and a tile; 2 is admitted next, FCFS.
+  sched.release(0);
+  EXPECT_EQ(sched.tiles_reserved(), 2u);
+  const auto second = sched.admit();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], 2u);
+}
+
+TEST(Scheduler, StrictFcfsNeverAdmitsPastBlockedHead) {
+  fs::SchedulerOptions opt;
+  opt.max_batch_size = 4;
+  opt.max_kv_tiles = 4;
+  fs::Scheduler sched(opt);
+
+  sched.enqueue(0, 64);       // 1 tile -> admitted
+  sched.enqueue(1, 4 * 64);   // 4 tiles -> blocked (1 already reserved)
+  sched.enqueue(2, 64);       // would fit, but must not overtake 1
+  const auto admitted = sched.admit();
+  ASSERT_EQ(admitted.size(), 1u);
+  EXPECT_EQ(admitted[0], 0u);
+  EXPECT_EQ(sched.state(1), fs::RequestState::kQueued);
+  EXPECT_EQ(sched.state(2), fs::RequestState::kQueued);
+
+  // Once the head fits it goes first — the no-starvation guarantee.
+  sched.release(0);
+  const auto next = sched.admit();
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0], 1u);
+}
+
+TEST(Scheduler, LifecycleAndValidation) {
+  fs::SchedulerOptions opt;
+  opt.max_kv_tiles = 2;
+  fs::Scheduler sched(opt);
+
+  // A reservation that could never fit is rejected at enqueue.
+  EXPECT_THROW(sched.enqueue(0, 3 * 64), std::invalid_argument);
+  EXPECT_THROW(sched.enqueue(0, 0), std::invalid_argument);
+
+  sched.enqueue(0, 10);
+  EXPECT_THROW(sched.on_prefill_done(0), std::logic_error);  // not admitted
+  ASSERT_EQ(sched.admit().size(), 1u);
+  sched.on_prefill_done(0);
+  EXPECT_EQ(sched.state(0), fs::RequestState::kDecoding);
+  sched.release(0);
+  EXPECT_EQ(sched.state(0), fs::RequestState::kRetired);
+  sched.release(0);  // idempotent
+  EXPECT_EQ(sched.tiles_reserved(), 0u);
+
+  // Releasing a queued request removes it from the queue.
+  sched.enqueue(1, 10);
+  sched.release(1);
+  EXPECT_EQ(sched.queued(), 0u);
+  EXPECT_TRUE(sched.admit().empty());
+
+  EXPECT_THROW((void)sched.state(99), std::out_of_range);
+  EXPECT_THROW(fs::Scheduler(fs::SchedulerOptions{0, 0}),
+               std::invalid_argument);
+}
+
+TEST(Scheduler, EngineStressRandomArrivalsFairnessAndReclamation) {
+  const fx::Model model(serving_config(), 0xacedL);
+  const std::size_t hidden = model.config().hidden;
+
+  fs::EngineOptions opt;
+  opt.scheduler.max_batch_size = 3;
+  opt.scheduler.max_kv_tiles = 6;
+  fs::DecodeEngine engine(model, opt);
+
+  // Seeded random traffic: 12 requests, ragged prompts, small budgets,
+  // staggered arrival ticks.
+  std::mt19937_64 rng(20260725);
+  std::uniform_int_distribution<std::size_t> len_dist(1, 100);
+  std::uniform_int_distribution<std::size_t> budget_dist(1, 6);
+  std::uniform_int_distribution<std::size_t> gap_dist(0, 3);
+  constexpr std::size_t kRequests = 12;
+  std::vector<std::size_t> lens, budgets, arrival;
+  std::size_t t = 0;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    lens.push_back(len_dist(rng));
+    budgets.push_back(budget_dist(rng));
+    arrival.push_back(t);
+    t += gap_dist(rng);
+  }
+
+  std::vector<fs::DecodeEngine::RequestId> ids(kRequests, 0);
+  std::vector<bool> submitted(kRequests, false), seen_admitted(kRequests,
+                                                               false);
+  std::vector<std::size_t> admission_order;
+  fs::DecodeEngine::StepStats sum;
+  std::size_t tick = 0;
+  const std::size_t kMaxTicks = 1500;
+  for (; tick < kMaxTicks; ++tick) {
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      if (!submitted[i] && arrival[i] <= tick) {
+        ids[i] = engine.submit(random_prompt(lens[i], hidden, 4000 + i),
+                               budgets[i]);
+        submitted[i] = true;
+      }
+    }
+    sum += engine.step();
+
+    // Back-pressure invariants hold on every tick.
+    EXPECT_LE(engine.active(), opt.scheduler.max_batch_size);
+    EXPECT_LE(engine.kv_tiles_reserved(), opt.scheduler.max_kv_tiles);
+    EXPECT_LE(engine.kv_tiles_in_use(), engine.kv_tiles_reserved());
+
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      if (submitted[i] && !seen_admitted[i] &&
+          engine.state(ids[i]) != fs::RequestState::kQueued) {
+        seen_admitted[i] = true;
+        admission_order.push_back(i);
+      }
+    }
+    const bool all_submitted =
+        std::all_of(submitted.begin(), submitted.end(), [](bool b) { return b; });
+    if (all_submitted && engine.queued() == 0 && engine.active() == 0) break;
+  }
+  ASSERT_LT(tick, kMaxTicks) << "stress run did not drain — starvation?";
+
+  // No starvation, no overtaking: every request completed, and admissions
+  // happened in strict submission (FCFS) order.
+  ASSERT_EQ(admission_order.size(), kRequests);
+  EXPECT_TRUE(std::is_sorted(admission_order.begin(), admission_order.end()));
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(engine.state(ids[i]), fs::RequestState::kRetired) << i;
+    EXPECT_EQ(engine.context_length(ids[i]), lens[i] + budgets[i]) << i;
+    EXPECT_FALSE(engine.hidden(ids[i]).empty()) << i;
+  }
+
+  // KV tiles are actually reclaimed at retirement.
+  EXPECT_EQ(engine.kv_tiles_in_use(), 0u);
+  EXPECT_EQ(engine.kv_tiles_reserved(), 0u);
+  EXPECT_EQ(engine.kv_bytes(), 0u);
+
+  // Lifetime accounting equals the sum of the per-step reports, field by
+  // field — nothing runs outside a tick.
+  const auto& life = engine.lifetime();
+  EXPECT_EQ(life.active, sum.active);
+  EXPECT_EQ(life.admitted, sum.admitted);
+  EXPECT_EQ(life.prefill_chunks, sum.prefill_chunks);
+  EXPECT_EQ(life.prefill_rows, sum.prefill_rows);
+  EXPECT_EQ(life.decoded, sum.decoded);
+  EXPECT_EQ(life.retired, sum.retired);
+  EXPECT_EQ(life.activations_clipped, sum.activations_clipped);
+  EXPECT_EQ(life.attention.gemm1.checks, sum.attention.gemm1.checks);
+  EXPECT_EQ(life.attention.gemm1.flagged, sum.attention.gemm1.flagged);
+  EXPECT_EQ(life.attention.exp_check.checks, sum.attention.exp_check.checks);
+  EXPECT_EQ(life.attention.gemm2.checks, sum.attention.gemm2.checks);
+  EXPECT_EQ(life.attention.range_corrections,
+            sum.attention.range_corrections);
+  EXPECT_EQ(life.attention.faults_injected, sum.attention.faults_injected);
+  EXPECT_EQ(life.linear.checks, sum.linear.checks);
+  EXPECT_EQ(life.linear.flagged, sum.linear.flagged);
+
+  // Totals are intrinsic to the traffic, not the schedule.
+  std::size_t total_prompt = 0, total_decode = 0;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    total_prompt += lens[i];
+    total_decode += budgets[i];
+  }
+  EXPECT_EQ(sum.prefill_rows, total_prompt);
+  EXPECT_EQ(sum.decoded, total_decode);
+  EXPECT_EQ(sum.admitted, kRequests);
+  EXPECT_EQ(sum.retired, kRequests);
+  EXPECT_EQ(sum.active, total_prompt + total_decode);
+  EXPECT_EQ(sum.attention.total_detected(), 0u);  // clean run stays clean
+}

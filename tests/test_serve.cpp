@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <random>
 #include <vector>
 
@@ -246,6 +247,197 @@ TEST(Serve, BatchFaultCampaignStillCorrects) {
   EXPECT_LT(rstats.worst_deviation, 1e2f);  // never NaN/Inf/unbounded
 }
 
+// ---------------------------------------------------------------------------
+// Chunked causal prefill: the kernel must be bit-identical, row for row, to
+// feeding the same tokens one at a time through efta_decode_step.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct TokenStream {
+  std::vector<Half> k, v, q;  // tokens x dim each (single head)
+  std::size_t dim;
+
+  TokenStream(std::size_t tokens, std::size_t d, std::uint64_t seed)
+      : k(tokens * d), v(tokens * d), q(tokens * d), dim(d) {
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<float> dist(0.0f, 1.0f);
+    for (auto& x : k) x = Half(dist(rng));
+    for (auto& x : v) x = Half(dist(rng));
+    for (auto& x : q) x = Half(dist(rng));
+  }
+
+  [[nodiscard]] std::span<const Half> row(const std::vector<Half>& m,
+                                          std::size_t t) const {
+    return {m.data() + t * dim, dim};
+  }
+};
+
+}  // namespace
+
+TEST(KvCache, AppendChunkMatchesPerTokenAppend) {
+  constexpr std::size_t kHeads = 2, kDim = 32, kTokens = 130;
+  const TokenStream ts(kTokens, kHeads * kDim, 41);
+
+  fs::KvCache per_token(kHeads, kDim), chunked(kHeads, kDim);
+  for (std::size_t t = 0; t < kTokens; ++t) {
+    per_token.append(ts.row(ts.k, t), ts.row(ts.v, t));
+  }
+  const std::size_t chunks[] = {64, 50, 16};  // 130 rows, ragged tail tile
+  std::size_t base = 0;
+  for (const std::size_t rows : chunks) {
+    chunked.append_chunk({ts.k.data() + base * kHeads * kDim,
+                          rows * kHeads * kDim},
+                         {ts.v.data() + base * kHeads * kDim,
+                          rows * kHeads * kDim},
+                         rows);
+    base += rows;
+  }
+
+  ASSERT_EQ(per_token.length(), chunked.length());
+  ASSERT_EQ(per_token.tiles(), chunked.tiles());
+  for (std::size_t h = 0; h < kHeads; ++h) {
+    const fc::KvSlice a = per_token.slice(h), b = chunked.slice(h);
+    for (std::size_t j = 0; j < a.tiles(); ++j) {
+      for (std::size_t i = 0; i < fs::KvCache::kTileRows * kDim; ++i) {
+        ASSERT_EQ(a.k_tiles[j][i].bits(), b.k_tiles[j][i].bits());
+        ASSERT_EQ(a.v_tiles[j][i].bits(), b.v_tiles[j][i].bits());
+      }
+    }
+  }
+}
+
+TEST(Prefill, ChunkBitIdenticalToTokenByTokenDecode) {
+  constexpr std::size_t kDim = 32, kTokens = 150;
+  const TokenStream ts(kTokens, kDim, 0xc0ffee);
+
+  // Reference: grow the cache token by token; each token's attention over
+  // its own prefix is one protected decode step.
+  std::vector<float> ref(kTokens * kDim);
+  fs::KvCache cache_ref(1, kDim);
+  fa::FtReport ref_rep;
+  for (std::size_t t = 0; t < kTokens; ++t) {
+    cache_ref.append(ts.row(ts.k, t), ts.row(ts.v, t));
+    ref_rep += fc::efta_decode_step(cache_ref.slice(0), ts.row(ts.q, t),
+                                    {ref.data() + t * kDim, kDim});
+  }
+  EXPECT_EQ(ref_rep.total_detected(), 0u);
+
+  // Chunked prefill over the same tokens, both tile-aligned chunks (the
+  // production schedule) and deliberately misaligned ones (chunks spanning
+  // tile boundaries).
+  const std::vector<std::vector<std::size_t>> schedules = {
+      {64, 64, 22}, {30, 50, 40, 30}, {1, 63, 64, 21, 1}};
+  for (const auto& schedule : schedules) {
+    fs::KvCache cache(1, kDim);
+    std::vector<float> out(kTokens * kDim, 0.0f);
+    fa::FtReport rep;
+    std::size_t base = 0;
+    for (const std::size_t rows : schedule) {
+      cache.append_chunk({ts.k.data() + base * kDim, rows * kDim},
+                         {ts.v.data() + base * kDim, rows * kDim}, rows);
+      rep += fc::efta_prefill_chunk(fc::PrefillWorkItem{
+          cache.slice(0), base, ts.q.data() + base * kDim,
+          out.data() + base * kDim, rows, 0, 0});
+      base += rows;
+    }
+    ASSERT_EQ(base, kTokens);
+    EXPECT_EQ(rep.total_detected(), 0u) << "clean chunks must verify clean";
+    for (std::size_t i = 0; i < kTokens * kDim; ++i) {
+      ASSERT_EQ(out[i], ref[i]) << "schedule[0]=" << schedule[0] << " i=" << i;
+    }
+  }
+}
+
+TEST(Prefill, BatchMatchesSerialChunksAndHandlesEmpty) {
+  // Empty batch: zeroed report, no OpenMP region (the idle-tick guarantee).
+  const fa::FtReport empty = fc::efta_prefill_batch({});
+  EXPECT_EQ(empty.gemm1.checks, 0u);
+  EXPECT_EQ(empty.total_detected(), 0u);
+  const fa::FtReport empty_decode = fc::efta_decode_batch({});
+  EXPECT_EQ(empty_decode.gemm1.checks, 0u);
+
+  constexpr std::size_t kDim = 64, kTokens = 100;
+  const TokenStream a(kTokens, kDim, 7), b(70, kDim, 8);
+  fs::KvCache ca(1, kDim), cb(1, kDim);
+  ca.append_chunk({a.k.data(), 64 * kDim}, {a.v.data(), 64 * kDim}, 64);
+  cb.append_chunk({b.k.data(), 64 * kDim}, {b.v.data(), 64 * kDim}, 64);
+  std::vector<float> out_batch(2 * 64 * kDim), out_serial(2 * 64 * kDim);
+  std::vector<fc::PrefillWorkItem> items{
+      fc::PrefillWorkItem{ca.slice(0), 0, a.q.data(), out_batch.data(), 64, 0,
+                          0},
+      fc::PrefillWorkItem{cb.slice(0), 0, b.q.data(),
+                          out_batch.data() + 64 * kDim, 64, 0, 0}};
+  std::vector<fa::FtReport> per(2);
+  const fa::FtReport agg = fc::efta_prefill_batch(items, {}, nullptr, per);
+  EXPECT_EQ(agg.total_detected(), 0u);
+
+  fa::FtReport serial;
+  items[0].out = out_serial.data();
+  items[1].out = out_serial.data() + 64 * kDim;
+  serial += fc::efta_prefill_chunk(items[0]);
+  serial += fc::efta_prefill_chunk(items[1]);
+  for (std::size_t i = 0; i < out_batch.size(); ++i) {
+    ASSERT_EQ(out_batch[i], out_serial[i]) << i;
+  }
+  EXPECT_EQ(agg.gemm1.checks, serial.gemm1.checks);
+  EXPECT_EQ(per[0].gemm1.checks + per[1].gemm1.checks, agg.gemm1.checks);
+
+  // Malformed items are rejected up front with the offending index.
+  std::vector<fc::PrefillWorkItem> bad{
+      fc::PrefillWorkItem{ca.slice(0), 1, a.q.data(), out_batch.data(), 64, 0,
+                          0}};  // n != base + rows
+  EXPECT_THROW(fc::efta_prefill_batch(bad), std::invalid_argument);
+  bad[0] = fc::PrefillWorkItem{ca.slice(0), 0, a.q.data(), out_batch.data(),
+                               65, 0, 0};  // chunk larger than a tile
+  EXPECT_THROW(fc::efta_prefill_batch(bad), std::invalid_argument);
+}
+
+TEST(Prefill, FaultCampaignStillCorrects) {
+  constexpr std::size_t kDim = 64, kTokens = 100;
+  const TokenStream ts(kTokens, kDim, 0xfa117);
+  fs::KvCache cache(1, kDim);
+  cache.append_chunk({ts.k.data(), kTokens * kDim},
+                     {ts.v.data(), kTokens * kDim}, kTokens);
+
+  // Clean reference for the final chunk (rows 64..99 over the full cache).
+  std::vector<float> clean(36 * kDim);
+  const auto item = [&](std::vector<float>& out) {
+    return fc::PrefillWorkItem{cache.slice(0), 64,
+                               ts.q.data() + 64 * kDim, out.data(), 36, 0, 0};
+  };
+  {
+    auto it = item(clean);
+    fc::efta_prefill_chunk(it);
+  }
+
+  auto trial = [&](ff::FaultInjector& inj) -> ff::TrialResult {
+    std::vector<float> out(36 * kDim);
+    auto it = item(out);
+    const fa::FtReport r = fc::efta_prefill_chunk(it, {}, &inj);
+    float dev = 0.0f;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const float d = std::fabs(out[i] - clean[i]);
+      dev = std::isfinite(d) ? std::max(dev, d) : 1e30f;
+    }
+    return {dev, r.total_detected() > 0};
+  };
+
+  ff::CampaignConfig cfg;
+  cfg.sites = {ff::Site::kGemm1, ff::Site::kExp, ff::Site::kGemm2};
+  cfg.call_offsets = {0, 33, 77, 150};
+  cfg.bits = {30, 24, 20};
+  const ff::CampaignStats stats = ff::run_campaign(cfg, trial);
+  EXPECT_GT(stats.injected, 0u);
+  EXPECT_GT(stats.detected, 0u);
+  EXPECT_GE(stats.absorption_rate(), 0.95);
+  EXPECT_LT(stats.worst_deviation, 5e-2f);
+}
+
+// ---------------------------------------------------------------------------
+// Continuous-batching engine front-end.
+// ---------------------------------------------------------------------------
+
 namespace {
 
 fx::ModelConfig serving_config() {
@@ -263,7 +455,7 @@ ft::MatrixF random_prompt(std::size_t seq, std::size_t hidden,
 
 }  // namespace
 
-TEST(Engine, BatchedStepBitIdenticalToSingleRequestEngines) {
+TEST(Engine, BatchedTickBitIdenticalToSingleRequestEngines) {
   const fx::Model model(serving_config(), 0xabc);
   const std::size_t hidden = model.config().hidden;
   const std::size_t prompt_lens[] = {5, 12, 33};
@@ -275,12 +467,26 @@ TEST(Engine, BatchedStepBitIdenticalToSingleRequestEngines) {
     prompts.push_back(random_prompt(prompt_lens[i], hidden, 7000 + i));
     ids.push_back(batched.submit(prompts.back()));
   }
-  EXPECT_EQ(batched.active(), 3u);
-  // Prefill work is observable: its ABFT stats land in lifetime().
-  EXPECT_EQ(batched.lifetime().active, 5u + 12u + 33u);
-  EXPECT_GT(batched.lifetime().linear.checks, 0u);
+  // submit() is enqueue-only: no compute, no admission yet.
+  EXPECT_EQ(batched.queued(), 3u);
+  EXPECT_EQ(batched.active(), 0u);
+  EXPECT_EQ(batched.lifetime().active, 0u);
+  EXPECT_EQ(batched.state(ids[0]), fs::RequestState::kQueued);
+
+  // Tick 1 admits all three and absorbs each prompt in one chunk.
+  const auto tick1 = batched.step();
+  EXPECT_EQ(tick1.admitted, 3u);
+  EXPECT_EQ(tick1.prefill_chunks, 3u);
+  EXPECT_EQ(tick1.prefill_rows, 5u + 12u + 33u);
+  EXPECT_EQ(tick1.active, 5u + 12u + 33u);
+  EXPECT_EQ(tick1.decoded, 0u);
+  EXPECT_GT(tick1.linear.checks, 0u);
+  EXPECT_GT(tick1.attention.gemm1.checks, 0u);
+  EXPECT_EQ(batched.state(ids[2]), fs::RequestState::kDecoding);
+
   const auto stats = batched.drain(4);
-  EXPECT_EQ(stats.active, 12u);  // 3 sequences x 4 token-steps
+  EXPECT_EQ(stats.decoded, 12u);  // 3 sequences x 4 token-steps
+  EXPECT_EQ(stats.active, 12u);
   EXPECT_GT(stats.attention.gemm1.checks, 0u);
   EXPECT_GT(stats.linear.checks, 0u);
   EXPECT_EQ(stats.attention.total_detected(), 0u);
@@ -288,7 +494,7 @@ TEST(Engine, BatchedStepBitIdenticalToSingleRequestEngines) {
   for (std::size_t i = 0; i < prompts.size(); ++i) {
     fs::DecodeEngine solo(model);
     const auto id = solo.submit(prompts[i]);
-    solo.drain(4);
+    solo.drain(5);  // 1 prefill tick + 4 decode ticks
     EXPECT_EQ(batched.context_length(ids[i]), prompt_lens[i] + 4);
     const auto hb = batched.hidden(ids[i]);
     const auto hs = solo.hidden(id);
@@ -296,6 +502,61 @@ TEST(Engine, BatchedStepBitIdenticalToSingleRequestEngines) {
     for (std::size_t c = 0; c < hb.size(); ++c) {
       EXPECT_EQ(hb[c], hs[c]) << "request " << i << " c " << c;
     }
+  }
+}
+
+TEST(Engine, ChunkedPrefillBitIdenticalToSerialTokenByToken) {
+  const fx::Model model(serving_config(), 0x5ca1e);
+  const std::size_t hidden = model.config().hidden;
+  // A long prompt (3 chunks: 64 + 64 + 22) interleaving with two short
+  // requests that are already decoding while it prefills.
+  const std::size_t lens[] = {20, 150, 7};
+  const std::size_t budgets[] = {7, 5, 9};
+
+  // Generation budgets make each request's trajectory scheduling-invariant:
+  // request r always decodes exactly budgets[r] tokens, no matter how its
+  // ticks interleave with the others', so engines with different chunk
+  // sizes land on comparable final states.
+  auto run = [&](std::size_t chunk_rows) {
+    fs::EngineOptions opt;
+    opt.prefill_chunk_rows = chunk_rows;
+    fs::DecodeEngine engine(model, opt);
+    std::vector<fs::DecodeEngine::RequestId> ids;
+    for (std::size_t i = 0; i < std::size(lens); ++i) {
+      ids.push_back(
+          engine.submit(random_prompt(lens[i], hidden, 9000 + i), budgets[i]));
+    }
+    engine.run_until_idle(nullptr, 4000);
+    std::vector<std::vector<float>> h;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(engine.state(ids[i]), fs::RequestState::kRetired);
+      EXPECT_EQ(engine.context_length(ids[i]), lens[i] + budgets[i]);
+      const auto s = engine.hidden(ids[i]);
+      h.emplace_back(s.begin(), s.end());
+    }
+    EXPECT_EQ(engine.kv_tiles_in_use(), 0u);  // retirement frees the tiles
+    return h;
+  };
+
+  const auto chunked = run(64);   // production: tile-sized prefill chunks
+  const auto serial = run(1);     // serial token-by-token prefill
+  ASSERT_EQ(chunked.size(), serial.size());
+  for (std::size_t r = 0; r < chunked.size(); ++r) {
+    ASSERT_EQ(chunked[r].size(), serial[r].size());
+    for (std::size_t c = 0; c < chunked[r].size(); ++c) {
+      EXPECT_EQ(chunked[r][c], serial[r][c]) << "request " << r << " c " << c;
+    }
+  }
+
+  // And both match a solo engine running only the long request.
+  fs::DecodeEngine solo(model);
+  const auto sid =
+      solo.submit(random_prompt(lens[1], hidden, 9001), budgets[1]);
+  solo.run_until_idle(nullptr, 4000);
+  const auto hs = solo.hidden(sid);
+  ASSERT_EQ(hs.size(), chunked[1].size());
+  for (std::size_t c = 0; c < hs.size(); ++c) {
+    EXPECT_EQ(chunked[1][c], hs[c]) << c;
   }
 }
 
@@ -307,6 +568,7 @@ TEST(Engine, CacheBackedGenerationMatchesFullRecompute) {
   opt.record_inputs = true;  // keep the replay history this test compares
   fs::DecodeEngine engine(model, opt);
   const auto id = engine.submit(random_prompt(40, hidden, 0xfeed));
+  engine.step();     // admit + one-chunk prefill of the 40 prompt rows
   engine.drain(24);  // total context 64: a full efta_attention block
   ASSERT_EQ(engine.context_length(id), 64u);
 
@@ -329,11 +591,11 @@ TEST(Engine, CorrectsInjectedFaultDuringDecode) {
 
   fs::DecodeEngine clean_engine(model);
   const auto cid = clean_engine.submit(prompt);
-  clean_engine.drain(3);
+  clean_engine.drain(4);  // prefill tick + 3 decode ticks
 
   fs::DecodeEngine faulty_engine(model);
   const auto fid = faulty_engine.submit(prompt);
-  faulty_engine.drain(2);
+  faulty_engine.drain(3);  // prefill tick + 2 decode ticks
   auto inj = ff::FaultInjector::single(ff::Site::kGemm1, 7, 30);
   const auto stats = faulty_engine.step(&inj);
   EXPECT_EQ(stats.attention.faults_injected, 1u);
@@ -347,31 +609,83 @@ TEST(Engine, CorrectsInjectedFaultDuringDecode) {
   }
 }
 
-TEST(Engine, FinishReleasesRequest) {
+TEST(Engine, FinishReleasesRequestAndReclaimsTiles) {
   const fx::Model model(serving_config(), 0x321);
   fs::DecodeEngine engine(model);
   const auto a = engine.submit(random_prompt(8, model.config().hidden, 1));
   const auto b = engine.submit(random_prompt(16, model.config().hidden, 2));
+  engine.step();  // admit + prefill both
   EXPECT_EQ(engine.active(), 2u);
+  const std::size_t tiles_before = engine.kv_tiles_in_use();
+  EXPECT_GT(tiles_before, 0u);
 
   engine.finish(a);
   EXPECT_FALSE(engine.is_active(a));
+  EXPECT_EQ(engine.state(a), fs::RequestState::kRetired);
   EXPECT_EQ(engine.active(), 1u);
+  EXPECT_LT(engine.kv_tiles_in_use(), tiles_before);  // tiles reclaimed
   EXPECT_EQ(engine.context_length(a), 8u);  // history survives retirement
 
   const auto stats = engine.step();
-  EXPECT_EQ(stats.active, 1u);  // only b advanced
+  EXPECT_EQ(stats.decoded, 1u);  // only b advanced
+  EXPECT_EQ(stats.active, 1u);
   EXPECT_EQ(engine.context_length(b), 17u);
   EXPECT_EQ(engine.fed_inputs(a).rows(), 0u);  // history freed on retirement
   EXPECT_FALSE(engine.hidden(a).empty());      // last hidden stays readable
   EXPECT_THROW((void)engine.hidden(99), std::out_of_range);
+
+  // finish() also cancels a request that was never admitted.
+  fs::EngineOptions opt;
+  opt.scheduler.max_batch_size = 1;
+  fs::DecodeEngine small(model, opt);
+  small.submit(random_prompt(4, model.config().hidden, 3));
+  const auto waiting = small.submit(random_prompt(4, model.config().hidden, 4));
+  small.step();
+  EXPECT_EQ(small.state(waiting), fs::RequestState::kQueued);
+  small.finish(waiting);
+  EXPECT_EQ(small.state(waiting), fs::RequestState::kRetired);
+  EXPECT_EQ(small.queued(), 0u);
 }
 
-TEST(Engine, RejectsMisalignedStrideAtConstruction) {
+TEST(Engine, IdleTickIsFreeAndZeroed) {
+  const fx::Model model(serving_config(), 0x99);
+  fs::DecodeEngine engine(model);
+
+  // Regression: a tick with zero admitted requests must return zeroed stats
+  // without entering the batched compute path (no OpenMP team spin-up).
+  const auto idle = engine.step();
+  EXPECT_EQ(idle.active, 0u);
+  EXPECT_EQ(idle.admitted, 0u);
+  EXPECT_EQ(idle.prefill_chunks, 0u);
+  EXPECT_EQ(idle.prefill_rows, 0u);
+  EXPECT_EQ(idle.decoded, 0u);
+  EXPECT_EQ(idle.retired, 0u);
+  EXPECT_EQ(idle.attention.gemm1.checks, 0u);
+  EXPECT_EQ(idle.linear.checks, 0u);
+  EXPECT_EQ(engine.lifetime().active, 0u);
+
+  // Same after the last request retires.
+  const auto id = engine.submit(
+      random_prompt(4, model.config().hidden, 5), /*max_new_tokens=*/2);
+  engine.run_until_idle(nullptr, 100);
+  EXPECT_EQ(engine.state(id), fs::RequestState::kRetired);
+  const auto after = engine.step();
+  EXPECT_EQ(after.active, 0u);
+  EXPECT_EQ(after.attention.gemm1.checks, 0u);
+}
+
+TEST(Engine, RejectsBadOptionsAtConstruction) {
   const fx::Model model(serving_config(), 0x55);
   fs::EngineOptions opt;
   opt.efta.stride = 3;  // head_dim 64 is not a multiple of 3
   EXPECT_THROW(fs::DecodeEngine(model, opt), std::invalid_argument);
+
+  fs::EngineOptions chunk0;
+  chunk0.prefill_chunk_rows = 0;
+  EXPECT_THROW(fs::DecodeEngine(model, chunk0), std::invalid_argument);
+  fs::EngineOptions chunk65;
+  chunk65.prefill_chunk_rows = 65;
+  EXPECT_THROW(fs::DecodeEngine(model, chunk65), std::invalid_argument);
 }
 
 TEST(Engine, RetiresCappedRequestWithoutStallingTheBatch) {
@@ -382,9 +696,8 @@ TEST(Engine, RetiresCappedRequestWithoutStallingTheBatch) {
   const auto a = engine.submit(random_prompt(10, model.config().hidden, 4));
   const auto b = engine.submit(random_prompt(4, model.config().hidden, 5));
 
-  // a caps out after 2 generated tokens; b keeps going.
-  const auto stats = engine.drain(5);
-  EXPECT_EQ(stats.active, 2u + 5u);
+  // a caps out after 2 generated tokens; b keeps going to its own cap.
+  engine.drain(6);  // prefill tick + 5 decode ticks (a retires mid-way)
   EXPECT_FALSE(engine.is_active(a));
   EXPECT_TRUE(engine.is_active(b));
   EXPECT_EQ(engine.context_length(a), 12u);
@@ -394,4 +707,50 @@ TEST(Engine, RetiresCappedRequestWithoutStallingTheBatch) {
   // Prompts beyond the cap are rejected outright.
   EXPECT_THROW(engine.submit(random_prompt(13, model.config().hidden, 6)),
                std::invalid_argument);
+}
+
+TEST(Engine, HugeBudgetSaturatesAtMaxContext) {
+  // Regression: prompt_rows + SIZE_MAX must saturate at max_context, not
+  // wrap below the prompt and under-reserve KV tiles.
+  const fx::Model model(serving_config(), 0x41);
+  fs::EngineOptions opt;
+  opt.max_context = 130;
+  fs::DecodeEngine engine(model, opt);
+  const auto id = engine.submit(random_prompt(129, model.config().hidden, 9),
+                                std::numeric_limits<std::size_t>::max());
+  engine.run_until_idle(nullptr, 100);
+  EXPECT_EQ(engine.state(id), fs::RequestState::kRetired);
+  EXPECT_EQ(engine.context_length(id), 130u);  // one generated token
+}
+
+TEST(Engine, TokenBudgetRetiresAndLifetimeMatchesSteps) {
+  const fx::Model model(serving_config(), 0x31);
+  fs::DecodeEngine engine(model);
+  const auto a = engine.submit(random_prompt(70, model.config().hidden, 6),
+                               /*max_new_tokens=*/3);
+  fs::DecodeEngine::StepStats sum;
+  std::size_t ticks = 0;
+  while ((engine.queued() != 0 || engine.active() != 0) && ticks < 100) {
+    sum += engine.step();
+    ++ticks;
+  }
+  EXPECT_EQ(engine.state(a), fs::RequestState::kRetired);
+  EXPECT_EQ(engine.context_length(a), 73u);
+  // 70-row prompt = 2 chunks (64 + 6), then 3 decode ticks, then the
+  // retirement tick.
+  EXPECT_EQ(sum.prefill_chunks, 2u);
+  EXPECT_EQ(sum.prefill_rows, 70u);
+  EXPECT_EQ(sum.decoded, 3u);
+  EXPECT_EQ(sum.retired, 1u);
+
+  // All compute happens inside ticks: lifetime() is exactly the sum of the
+  // per-step stats.
+  const auto& life = engine.lifetime();
+  EXPECT_EQ(life.active, sum.active);
+  EXPECT_EQ(life.prefill_rows, sum.prefill_rows);
+  EXPECT_EQ(life.decoded, sum.decoded);
+  EXPECT_EQ(life.attention.gemm1.checks, sum.attention.gemm1.checks);
+  EXPECT_EQ(life.attention.exp_check.checks, sum.attention.exp_check.checks);
+  EXPECT_EQ(life.attention.gemm2.checks, sum.attention.gemm2.checks);
+  EXPECT_EQ(life.linear.checks, sum.linear.checks);
 }

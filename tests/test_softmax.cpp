@@ -108,7 +108,7 @@ TEST(DmrSoftmax, GivesUpAfterMaxRounds) {
   ft::fill_normal(S, 6);
   // Flip something on every evaluation: never converges within 3 rounds.
   auto inj = ff::FaultInjector::bernoulli(0.2, 11, {ff::Site::kExp});
-  const auto res = fm::dmr_row_softmax(S, 1e-6f, &inj, 3);
+  (void)fm::dmr_row_softmax(S, 1e-6f, &inj, 3);
   // Either it got lucky with two agreeing evaluations or it gave up; both
   // must leave finite output.
   for (std::size_t i = 0; i < S.size(); ++i) {
