@@ -6,6 +6,9 @@
 # Knobs (all optional, same names CI uses):
 #   BUILD_DIR   - build tree (default: build-tier1)
 #   BUILD_TYPE  - CMake build type (default: Release)
+#   FTT_SIMD    - ON (default) or OFF: compile the F16C/AVX2 fp16 kernels
+#                 (the CI matrix runs one OFF leg so the scalar fallback
+#                 stays tested)
 #   CC/CXX      - compiler (default: toolchain default)
 #   CMAKE_CXX_COMPILER_LAUNCHER - e.g. ccache (forwarded when set)
 set -euo pipefail
@@ -13,9 +16,10 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-tier1}
 BUILD_TYPE=${BUILD_TYPE:-Release}
+FTT_SIMD=${FTT_SIMD:-ON}
 
 CONFIGURE_ARGS=(-B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE"
-                -DFTT_WERROR=ON)
+                -DFTT_WERROR=ON -DFTT_SIMD="$FTT_SIMD")
 if command -v ninja > /dev/null 2>&1; then
   CONFIGURE_ARGS+=(-G Ninja)
 fi
@@ -23,7 +27,7 @@ if [[ -n "${CMAKE_CXX_COMPILER_LAUNCHER:-}" ]]; then
   CONFIGURE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER="$CMAKE_CXX_COMPILER_LAUNCHER")
 fi
 
-echo "== configure ($BUILD_TYPE, -Wall -Wextra -Werror) =="
+echo "== configure ($BUILD_TYPE, -Wall -Wextra -Werror, FTT_SIMD=$FTT_SIMD) =="
 cmake "${CONFIGURE_ARGS[@]}"
 
 echo "== build =="

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "sim/mma.hpp"
 
@@ -19,20 +20,35 @@ bool near_integer(float x, float tol = 0.02f) {
 }
 }  // namespace
 
-MatrixH StridedAbft::encode_rows_strided(const MatrixH& X, int s, bool weighted,
-                                         fault::FaultInjector* inj) {
-  const std::size_t R = X.rows(), C = X.cols();
-  if (s <= 0 || R % static_cast<std::size_t>(s) != 0) {
+namespace {
+
+/// Widen a view into dense R x C fp32 scratch (bulk SIMD conversion).
+/// Exact, so the accumulations below stay bit-identical to per-element
+/// table conversion.
+std::vector<float> widen_view(tensor::MatrixHView X) {
+  std::vector<float> xf(X.rows * X.cols);
+  tensor::widen(X, xf.data());
+  return xf;
+}
+
+}  // namespace
+
+MatrixH StridedAbft::encode_rows_strided_widened(const float* xf,
+                                                 std::size_t rows,
+                                                 std::size_t cols, int s,
+                                                 bool weighted,
+                                                 fault::FaultInjector* inj) {
+  if (s <= 0 || rows % static_cast<std::size_t>(s) != 0) {
     throw std::invalid_argument("encode_rows_strided: rows % stride != 0");
   }
-  const std::size_t loops = R / static_cast<std::size_t>(s);
-  MatrixH out(static_cast<std::size_t>(s), C);
+  const std::size_t loops = rows / static_cast<std::size_t>(s);
+  MatrixH out(static_cast<std::size_t>(s), cols);
   for (std::size_t jc = 0; jc < static_cast<std::size_t>(s); ++jc) {
-    for (std::size_t c = 0; c < C; ++c) {
+    for (std::size_t c = 0; c < cols; ++c) {
       float acc = 0.0f;
       for (std::size_t l = 0; l < loops; ++l) {
         const float w = weighted ? static_cast<float>(l + 1) : 1.0f;
-        acc += w * X(jc + l * s, c).to_float();
+        acc += w * xf[(jc + l * static_cast<std::size_t>(s)) * cols + c];
       }
       out(jc, c) = Half(fault::corrupt(inj, fault::Site::kChecksum, acc));
     }
@@ -40,25 +56,53 @@ MatrixH StridedAbft::encode_rows_strided(const MatrixH& X, int s, bool weighted,
   return out;
 }
 
-MatrixH StridedAbft::encode_cols_strided(const MatrixH& X, int s, bool weighted,
+MatrixH StridedAbft::encode_rows_strided(tensor::MatrixHView X, int s,
+                                         bool weighted,
                                          fault::FaultInjector* inj) {
-  const std::size_t R = X.rows(), C = X.cols();
-  if (s <= 0 || C % static_cast<std::size_t>(s) != 0) {
+  const std::vector<float> xf = widen_view(X);
+  return encode_rows_strided_widened(xf.data(), X.rows, X.cols, s, weighted,
+                                     inj);
+}
+
+MatrixH StridedAbft::encode_rows_strided(const MatrixH& X, int s, bool weighted,
+                                         fault::FaultInjector* inj) {
+  return encode_rows_strided(tensor::view(X), s, weighted, inj);
+}
+
+MatrixH StridedAbft::encode_cols_strided_widened(const float* xf,
+                                                 std::size_t rows,
+                                                 std::size_t cols, int s,
+                                                 bool weighted,
+                                                 fault::FaultInjector* inj) {
+  if (s <= 0 || cols % static_cast<std::size_t>(s) != 0) {
     throw std::invalid_argument("encode_cols_strided: cols % stride != 0");
   }
-  const std::size_t loops = C / static_cast<std::size_t>(s);
-  MatrixH out(R, static_cast<std::size_t>(s));
-  for (std::size_t r = 0; r < R; ++r) {
+  const std::size_t loops = cols / static_cast<std::size_t>(s);
+  MatrixH out(rows, static_cast<std::size_t>(s));
+  for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t jc = 0; jc < static_cast<std::size_t>(s); ++jc) {
       float acc = 0.0f;
       for (std::size_t l = 0; l < loops; ++l) {
         const float w = weighted ? static_cast<float>(l + 1) : 1.0f;
-        acc += w * X(r, jc + l * s).to_float();
+        acc += w * xf[r * cols + jc + l * static_cast<std::size_t>(s)];
       }
       out(r, jc) = Half(fault::corrupt(inj, fault::Site::kChecksum, acc));
     }
   }
   return out;
+}
+
+MatrixH StridedAbft::encode_cols_strided(tensor::MatrixHView X, int s,
+                                         bool weighted,
+                                         fault::FaultInjector* inj) {
+  const std::vector<float> xf = widen_view(X);
+  return encode_cols_strided_widened(xf.data(), X.rows, X.cols, s, weighted,
+                                     inj);
+}
+
+MatrixH StridedAbft::encode_cols_strided(const MatrixH& X, int s, bool weighted,
+                                         fault::FaultInjector* inj) {
+  return encode_cols_strided(tensor::view(X), s, weighted, inj);
 }
 
 Report StridedAbft::verify_correct(MatrixF& S, const MatrixF& chk1,

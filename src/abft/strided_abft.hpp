@@ -34,17 +34,38 @@ struct StridedAbft {
   /// Collapse the rows of X (R x C, R % s == 0) at stride `s` into an s x C
   /// checksum: out(jc, c) = sum_l w_l * X(jc + s*l, c), w_l = 1 (unweighted)
   /// or l+1 (weighted).  Encoded in fp16 — the checksum rides the same
-  /// tensor-core GEMM as the payload (Eq. 14).
+  /// tensor-core GEMM as the payload (Eq. 14).  The view overload consumes
+  /// a KV-cache tile in place (no owning-Matrix materialization).
+  static tensor::MatrixH encode_rows_strided(tensor::MatrixHView X, int s,
+                                             bool weighted,
+                                             fault::FaultInjector* inj);
   static tensor::MatrixH encode_rows_strided(const tensor::MatrixH& X, int s,
                                              bool weighted,
                                              fault::FaultInjector* inj);
+  /// Encode from a pre-widened dense fp32 image of the fp16 operand (exact
+  /// values, so bit-identical to the fp16 overloads): the decode hot path
+  /// already holds each tile's widened image and must not re-convert it
+  /// four times to derive the four encodings.
+  static tensor::MatrixH encode_rows_strided_widened(const float* xf,
+                                                     std::size_t rows,
+                                                     std::size_t cols, int s,
+                                                     bool weighted,
+                                                     fault::FaultInjector* inj);
 
   /// Collapse the columns of X (R x C, C % s == 0) at stride `s` into an
   /// R x s checksum: out(r, jc) = sum_l w_l * X(r, jc + s*l).  Used for the
   /// V operand of GEMM II.
+  static tensor::MatrixH encode_cols_strided(tensor::MatrixHView X, int s,
+                                             bool weighted,
+                                             fault::FaultInjector* inj);
   static tensor::MatrixH encode_cols_strided(const tensor::MatrixH& X, int s,
                                              bool weighted,
                                              fault::FaultInjector* inj);
+  static tensor::MatrixH encode_cols_strided_widened(const float* xf,
+                                                     std::size_t rows,
+                                                     std::size_t cols, int s,
+                                                     bool weighted,
+                                                     fault::FaultInjector* inj);
 
   /// Verify an R x C payload S against its two strided checksums chk1/chk2
   /// (each R x s): for every (row, residue class jc) compare chk1 with the

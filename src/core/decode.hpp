@@ -46,6 +46,20 @@ struct KvSlice {
   std::size_t n = 0;  ///< valid context rows
   std::size_t d = 0;  ///< head dimension
 
+  /// Optional memoized per-tile checksum encodings (serve::KvCache computes
+  /// them once when a tile seals; full tiles are immutable so they are never
+  /// invalidated).  Each array has tiles() entries; k_c1/k_c2 point at
+  /// enc_stride x d row checksums and v_c1/v_c2 at kTileRows x enc_stride
+  /// column checksums, all row-major fp16.  Entries for the unsealed ragged
+  /// tail are null.  The kernel consumes them on clean runs when enc_stride
+  /// matches its own stride option; an armed (or probing) fault injector
+  /// forces fresh per-call encodes so campaign hook counts stay stable.
+  const numeric::Half* const* k_c1 = nullptr;
+  const numeric::Half* const* k_c2 = nullptr;
+  const numeric::Half* const* v_c1 = nullptr;
+  const numeric::Half* const* v_c2 = nullptr;
+  int enc_stride = 0;  ///< checksum stride the encodings were built with
+
   [[nodiscard]] std::size_t tiles() const noexcept {
     return (n + kTileRows - 1) / kTileRows;
   }
@@ -129,5 +143,13 @@ attention::FtReport efta_decode_batch(
     std::span<const DecodeWorkItem> items, const EftaOptions& opt = {},
     fault::FaultInjector* inj = nullptr,
     std::span<attention::FtReport> per_item = {});
+
+namespace testing {
+/// Thread-local count of KV tiles the kernel has pad-and-copied into scratch
+/// since thread start.  Full tiles are consumed zero-copy, so only a ragged
+/// tail tile may ever bump this — the property the zero-copy unit test pins
+/// down.  Test-only observability; not part of the serving API.
+std::size_t& tiles_materialized() noexcept;
+}  // namespace testing
 
 }  // namespace ftt::core

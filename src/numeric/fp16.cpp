@@ -71,8 +71,12 @@ std::uint32_t half_bits_to_float_bits(std::uint16_t h) noexcept {
   const std::uint32_t mant = h & 0x03FFu;
 
   if (exp == 0x1Fu) {
-    // Inf / NaN: widen the payload.
-    return sign | 0x7F800000u | (mant << 13);
+    // Inf / NaN: widen the payload, quieting NaNs (set the mantissa MSB)
+    // exactly like hardware fp16 -> fp32 conversion does (F16C vcvtph2ps
+    // quiets signaling NaNs), so the scalar and SIMD widen paths are
+    // bit-identical over all 65536 half patterns.
+    const std::uint32_t quiet = (mant != 0) ? 0x00400000u : 0u;
+    return sign | 0x7F800000u | quiet | (mant << 13);
   }
   if (exp == 0) {
     if (mant == 0) return sign;  // +-0
@@ -92,5 +96,16 @@ std::uint32_t half_bits_to_float_bits(std::uint16_t h) noexcept {
 }
 
 float half_bits_to_float(std::uint16_t h) noexcept { return table().values[h]; }
+
+void halves_to_floats_scalar(const Half* src, float* dst,
+                             std::size_t n) noexcept {
+  const auto& t = table();
+  for (std::size_t i = 0; i < n; ++i) dst[i] = t.values[src[i].bits()];
+}
+
+void floats_to_halves_scalar(const float* src, Half* dst,
+                             std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = Half(src[i]);
+}
 
 }  // namespace ftt::numeric

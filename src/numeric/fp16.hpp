@@ -19,11 +19,41 @@ namespace ftt::numeric {
 /// (round-to-nearest-even), handling subnormals, infinities and NaNs.
 std::uint16_t float_bits_to_half_bits(std::uint32_t f) noexcept;
 
-/// Convert a binary16 bit pattern to the exactly-representable binary32 value.
+/// Convert a binary16 bit pattern to the exactly-representable binary32 value
+/// (signaling NaNs are quieted, matching hardware/F16C widening).
 std::uint32_t half_bits_to_float_bits(std::uint16_t h) noexcept;
 
 /// Table-accelerated binary16 -> float conversion (exact).
 float half_bits_to_float(std::uint16_t h) noexcept;
+
+class Half;
+
+// ---------------------------------------------------------------------------
+// Bulk conversions — the decode hot path.  Software half<->float conversion
+// dominates host time, so the bulk entry points dispatch at runtime to F16C
+// (`_mm256_cvtph_ps` / `_mm256_cvtps_ph`, both RTNE like the scalar path)
+// when the binary was built with FTT_SIMD and the CPU supports AVX2+F16C.
+// SIMD and scalar paths are bit-identical for every input, NaNs included
+// (the SIMD narrow canonicalizes NaN payloads exactly like
+// float_bits_to_half_bits); tests/test_fp16.cpp proves it exhaustively.
+// ---------------------------------------------------------------------------
+
+/// True when the F16C/AVX2 conversion kernels are compiled in (FTT_SIMD)
+/// and this CPU supports them (checked once, then cached).
+bool simd_fp16_active() noexcept;
+
+/// dst[i] = float value of src[i] (exact widening).
+void halves_to_floats(const Half* src, float* dst, std::size_t n) noexcept;
+/// dst[i] = RTNE binary16 of src[i]; all NaNs map to sign | 0x7E00.
+void floats_to_halves(const float* src, Half* dst, std::size_t n) noexcept;
+
+/// Scalar reference paths, always available (the dispatching entry points
+/// above must match them bit for bit; the conversion tests and bench_fp16
+/// compare against these).
+void halves_to_floats_scalar(const Half* src, float* dst,
+                             std::size_t n) noexcept;
+void floats_to_halves_scalar(const float* src, Half* dst,
+                             std::size_t n) noexcept;
 
 inline std::uint16_t float_to_half_bits(float f) noexcept {
   std::uint32_t bits;

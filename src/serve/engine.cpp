@@ -101,7 +101,10 @@ DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
     Request& req = requests_[id];
     req.layers.reserve(cfg.layers);
     for (std::size_t b = 0; b < cfg.layers; ++b) {
-      req.layers.emplace_back(cfg.heads, cfg.head_dim());
+      // Caches memoize per-tile checksum encodings at the engine's stride,
+      // so clean decode ticks consume sealed encodings instead of
+      // re-deriving them per token.
+      req.layers.emplace_back(cfg.heads, cfg.head_dim(), opt_.efta.stride);
     }
     live_.push_back(id);
     ++stats.admitted;

@@ -2,16 +2,29 @@
 
 #include <algorithm>
 #include <cstring>
+#include <new>
 #include <stdexcept>
+
+#include "tensor/tensor.hpp"
 
 namespace ftt::serve {
 
 using numeric::Half;
+using tensor::MatrixH;
+using tensor::MatrixHView;
 
-KvCache::KvCache(std::size_t heads, std::size_t dim)
-    : heads_(heads), dim_(dim), store_(heads) {
+KvCache::KvCache(std::size_t heads, std::size_t dim, int enc_stride)
+    : heads_(heads), dim_(dim), enc_stride_(enc_stride), store_(heads) {
   if (heads == 0 || dim == 0) {
     throw std::invalid_argument("KvCache: heads and dim must be positive");
+  }
+  // A stride that cannot tile the checksum footprint (or an explicit <= 0)
+  // disables memoization rather than rejecting the cache: the kernel then
+  // encodes fresh per call, exactly the pre-memo behavior.
+  if (enc_stride <= 0 ||
+      kTileRows % static_cast<std::size_t>(enc_stride) != 0 ||
+      dim % static_cast<std::size_t>(enc_stride) != 0) {
+    enc_stride_ = 0;
   }
 }
 
@@ -20,7 +33,11 @@ std::size_t KvCache::tiles() const noexcept {
 }
 
 std::size_t KvCache::bytes() const noexcept {
-  return tiles() * kTileRows * dim_ * heads_ * 2 * sizeof(Half);
+  const auto su = static_cast<std::size_t>(enc_stride_);
+  const std::size_t tile_pair = kTileRows * dim_ * 2;
+  const std::size_t enc_block = 2 * su * dim_ + 2 * kTileRows * su;
+  return (tiles() * tile_pair * heads_ + enc_blocks_sealed_ * enc_block) *
+         sizeof(Half);
 }
 
 void KvCache::open_tiles(std::size_t count) {
@@ -51,6 +68,11 @@ void KvCache::open_tiles(std::size_t count) {
     grow(hs.v_tiles);
     grow(hs.k_ptrs);
     grow(hs.v_ptrs);
+    grow(hs.enc_blocks);
+    grow(hs.kc1_ptrs);
+    grow(hs.kc2_ptrs);
+    grow(hs.vc1_ptrs);
+    grow(hs.vc2_ptrs);
   }
   for (std::size_t t = 0; t < count; ++t) {
     for (std::size_t h = 0; h < heads_; ++h) {
@@ -59,6 +81,53 @@ void KvCache::open_tiles(std::size_t count) {
       hs.v_tiles.push_back(std::move(fresh_v[t * heads_ + h]));
       hs.k_ptrs.push_back(hs.k_tiles.back().get());
       hs.v_ptrs.push_back(hs.v_tiles.back().get());
+      hs.enc_blocks.push_back(nullptr);  // sealed later, when the tile fills
+      hs.kc1_ptrs.push_back(nullptr);
+      hs.kc2_ptrs.push_back(nullptr);
+      hs.vc1_ptrs.push_back(nullptr);
+      hs.vc2_ptrs.push_back(nullptr);
+    }
+  }
+}
+
+void KvCache::seal_tiles(std::size_t first, std::size_t count) {
+  if (enc_stride_ == 0) return;  // memoization disabled
+  const auto s = enc_stride_;
+  const auto su = static_cast<std::size_t>(s);
+  const std::size_t kcn = su * dim_;        // one K row-checksum block
+  const std::size_t vcn = kTileRows * su;   // one V column-checksum block
+  std::vector<float> kf(kTileRows * dim_), vf(kTileRows * dim_);
+  for (std::size_t t = first; t < first + count; ++t) {
+    for (std::size_t h = 0; h < heads_; ++h) {
+      HeadStore& hs = store_[h];
+      // Widen each tile once; both encodings of an operand consume the same
+      // fp32 image.  Encode exactly as the decode kernel would per call (no
+      // injector: the memo is built outside any fault campaign), so the
+      // sealed bits equal a fresh encode bit for bit.
+      tensor::widen(MatrixHView{hs.k_tiles[t].get(), kTileRows, dim_, dim_},
+                    kf.data());
+      tensor::widen(MatrixHView{hs.v_tiles[t].get(), kTileRows, dim_, dim_},
+                    vf.data());
+      const MatrixH kc1 = abft::StridedAbft::encode_rows_strided_widened(
+          kf.data(), kTileRows, dim_, s, false, nullptr);
+      const MatrixH kc2 = abft::StridedAbft::encode_rows_strided_widened(
+          kf.data(), kTileRows, dim_, s, true, nullptr);
+      const MatrixH vc1 = abft::StridedAbft::encode_cols_strided_widened(
+          vf.data(), kTileRows, dim_, s, false, nullptr);
+      const MatrixH vc2 = abft::StridedAbft::encode_cols_strided_widened(
+          vf.data(), kTileRows, dim_, s, true, nullptr);
+      auto block = std::make_unique<Half[]>(2 * kcn + 2 * vcn);
+      Half* p = block.get();
+      std::memcpy(p, kc1.data(), kcn * sizeof(Half));
+      std::memcpy(p + kcn, kc2.data(), kcn * sizeof(Half));
+      std::memcpy(p + 2 * kcn, vc1.data(), vcn * sizeof(Half));
+      std::memcpy(p + 2 * kcn + vcn, vc2.data(), vcn * sizeof(Half));
+      hs.kc1_ptrs[t] = p;
+      hs.kc2_ptrs[t] = p + kcn;
+      hs.vc1_ptrs[t] = p + 2 * kcn;
+      hs.vc2_ptrs[t] = p + 2 * kcn + vcn;
+      hs.enc_blocks[t] = std::move(block);
+      ++enc_blocks_sealed_;
     }
   }
 }
@@ -93,7 +162,21 @@ void KvCache::append_chunk(std::span<const Half> k, std::span<const Half> v,
                   v.data() + (r * heads_ + h) * dim_, dim_ * sizeof(Half));
     }
   }
+  // Memoize the checksum encodings of every tile this chunk sealed — once,
+  // ever: full tiles are immutable from here on.  The append itself is
+  // committed at this point; if the memo's allocations fail, the affected
+  // entries simply stay null and the kernel falls back to fresh per-call
+  // encodes — an append must never appear to fail after its rows landed.
+  const std::size_t sealed_before = len_ / kTileRows;
   len_ += rows;
+  const std::size_t sealed_after = len_ / kTileRows;
+  if (sealed_after > sealed_before) {
+    try {
+      seal_tiles(sealed_before, sealed_after - sealed_before);
+    } catch (const std::bad_alloc&) {
+      // partial memo: remaining entries null, decode stays correct
+    }
+  }
 }
 
 core::KvSlice KvCache::slice(std::size_t head) const {
@@ -101,7 +184,10 @@ core::KvSlice KvCache::slice(std::size_t head) const {
     throw std::out_of_range("KvCache::slice: head out of range");
   }
   const HeadStore& hs = store_[head];
-  return core::KvSlice{hs.k_ptrs.data(), hs.v_ptrs.data(), len_, dim_};
+  return core::KvSlice{hs.k_ptrs.data(),   hs.v_ptrs.data(), len_,
+                       dim_,               hs.kc1_ptrs.data(),
+                       hs.kc2_ptrs.data(), hs.vc1_ptrs.data(),
+                       hs.vc2_ptrs.data(), enc_stride_};
 }
 
 }  // namespace ftt::serve

@@ -8,12 +8,22 @@
 // the checksum tile the decode kernel verifies.  Fresh tiles are
 // zero-initialized, matching the kernel's zero-padding convention for the
 // ragged tail.
+//
+// Full tiles are immutable once written, so the cache also memoizes their
+// four strided checksum encodings (K row checksums c1/c2, V column
+// checksums c1/c2) the moment an append seals a tile, and never again:
+// clean decode steps consume the sealed encodings through slice() instead
+// of re-deriving all four per token, dropping the per-token encode cost
+// from O(context) to O(tail).  The memo costs 4 * 64 * stride halves per
+// tile per head on top of the 2 * 64 * dim tile pair (+25% at stride 8,
+// dim 64), which bytes() accounts for.
 
 #include <cstddef>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "abft/strided_abft.hpp"
 #include "core/decode.hpp"
 #include "numeric/fp16.hpp"
 
@@ -23,7 +33,14 @@ class KvCache {
  public:
   static constexpr std::size_t kTileRows = core::KvSlice::kTileRows;
 
-  KvCache(std::size_t heads, std::size_t dim);
+  /// `enc_stride` is the checksum stride the sealed-tile encodings are built
+  /// with (the decode kernel only consumes the memo when its own stride
+  /// option matches).  A stride that does not divide both the 64-row tile
+  /// and `dim` — or an explicit value <= 0 — disables memoization
+  /// (enc_stride() reports 0) instead of rejecting the cache; decode then
+  /// encodes fresh per call, the pre-memo behavior.
+  KvCache(std::size_t heads, std::size_t dim,
+          int enc_stride = abft::StridedAbft::kDefaultStride);
 
   [[nodiscard]] std::size_t heads() const noexcept { return heads_; }
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
@@ -31,8 +48,11 @@ class KvCache {
   [[nodiscard]] std::size_t length() const noexcept { return len_; }
   /// Allocated tiles per head.
   [[nodiscard]] std::size_t tiles() const noexcept;
-  /// Allocated K+V bytes across all heads.
+  /// Allocated K+V bytes across all heads, memoized encodings included.
   [[nodiscard]] std::size_t bytes() const noexcept;
+  /// Checksum stride of the memoized per-tile encodings (0 = memoization
+  /// disabled; see the constructor).
+  [[nodiscard]] int enc_stride() const noexcept { return enc_stride_; }
 
   /// Append one token's keys and values; `k`/`v` hold heads*dim halves,
   /// head-major (the split-heads layout of a projected 1 x hidden row).
@@ -48,9 +68,11 @@ class KvCache {
   void append_chunk(std::span<const numeric::Half> k,
                     std::span<const numeric::Half> v, std::size_t rows);
 
-  /// Tiled read view of one head's K/V over the current context.  Tile
-  /// storage is never relocated, but the view's tile-pointer array can move
-  /// when an append() opens a new tile — re-take the slice after appending.
+  /// Tiled read view of one head's K/V over the current context, carrying
+  /// the memoized checksum encodings of every sealed tile (tail entries are
+  /// null until the tile fills).  Tile storage is never relocated, but the
+  /// view's pointer arrays can move when an append() opens a new tile —
+  /// re-take the slice after appending.
   [[nodiscard]] core::KvSlice slice(std::size_t head) const;
 
  private:
@@ -59,6 +81,11 @@ class KvCache {
     // mirrors in the exact shape core::KvSlice consumes.
     std::vector<std::unique_ptr<numeric::Half[]>> k_tiles, v_tiles;
     std::vector<const numeric::Half*> k_ptrs, v_ptrs;
+    // Memoized encodings, one block per tile laid out
+    // [kc1 (s x dim) | kc2 (s x dim) | vc1 (64 x s) | vc2 (64 x s)],
+    // null until the tile seals.
+    std::vector<std::unique_ptr<numeric::Half[]>> enc_blocks;
+    std::vector<const numeric::Half*> kc1_ptrs, kc2_ptrs, vc1_ptrs, vc2_ptrs;
   };
 
   /// Open `count` fresh zero-initialized tiles per head, strongly exception
@@ -66,8 +93,19 @@ class KvCache {
   /// is mutated.
   void open_tiles(std::size_t count);
 
+  /// Encode + memoize the checksums of freshly sealed tiles
+  /// [first, first+count); no-op when memoization is disabled.  The caller
+  /// catches allocation failure (the append is already committed by then):
+  /// entries not yet sealed stay null and the kernel falls back to fresh
+  /// per-call encodes for those tiles — never wrong results.
+  void seal_tiles(std::size_t first, std::size_t count);
+
   std::size_t heads_, dim_;
+  int enc_stride_;
   std::size_t len_ = 0;
+  /// Encoding blocks actually allocated across all heads (bytes() must not
+  /// charge for entries a failed seal left null).
+  std::size_t enc_blocks_sealed_ = 0;
   std::vector<HeadStore> store_;
 };
 

@@ -82,20 +82,13 @@ int TiledMma64x16x16::thread_of_b(std::size_t k, std::size_t col) noexcept {
   return rc.lane;
 }
 
-void gemm_fp16_nt(const tensor::MatrixH& A, const tensor::MatrixH& B,
-                  tensor::MatrixF& C, bool accumulate) {
-  const std::size_t M = A.rows(), K = A.cols(), N = B.rows();
-  // Widen once: fp16 -> fp32 is exact, so arithmetic below is bit-identical
-  // to fp16-operand / fp32-accumulate MMA with a sequential K loop.
-  std::vector<float> a(M * K), b(N * K);
-  for (std::size_t i = 0; i < M * K; ++i) a[i] = A.data()[i].to_float();
-  for (std::size_t i = 0; i < N * K; ++i) b[i] = B.data()[i].to_float();
-
+void gemm_f32_nt(const float* A, std::size_t M, std::size_t K, const float* B,
+                 std::size_t N, tensor::MatrixF& C, bool accumulate) {
   for (std::size_t m = 0; m < M; ++m) {
-    const float* arow = a.data() + m * K;
+    const float* arow = A + m * K;
     float* crow = &C(m, 0);
     for (std::size_t n = 0; n < N; ++n) {
-      const float* brow = b.data() + n * K;
+      const float* brow = B + n * K;
       float acc = accumulate ? crow[n] : 0.0f;
       for (std::size_t k = 0; k < K; ++k) acc += arow[k] * brow[k];
       crow[n] = acc;
@@ -103,20 +96,43 @@ void gemm_fp16_nt(const tensor::MatrixH& A, const tensor::MatrixH& B,
   }
 }
 
+void gemm_fp16_nt(const tensor::MatrixH& A, tensor::MatrixHView B,
+                  tensor::MatrixF& C, bool accumulate) {
+  const std::size_t M = A.rows(), K = A.cols(), N = B.rows;
+  // Widen once (bulk SIMD conversion): fp16 -> fp32 is exact, so arithmetic
+  // below is bit-identical to fp16-operand / fp32-accumulate MMA with a
+  // sequential K loop.
+  std::vector<float> a(M * K), b(N * K);
+  numeric::halves_to_floats(A.data(), a.data(), M * K);
+  tensor::widen(B, b.data());
+  gemm_f32_nt(a.data(), M, K, b.data(), N, C, accumulate);
+}
+
+void gemm_fp16_nt(const tensor::MatrixH& A, const tensor::MatrixH& B,
+                  tensor::MatrixF& C, bool accumulate) {
+  gemm_fp16_nt(A, tensor::view(B), C, accumulate);
+}
+
 void gemm_f32h_nn(const tensor::MatrixF& A, const tensor::MatrixH& B,
                   tensor::MatrixF& C, bool accumulate) {
   const std::size_t M = A.rows(), K = A.cols(), N = B.cols();
   std::vector<float> b(K * N);
-  for (std::size_t i = 0; i < K * N; ++i) b[i] = B.data()[i].to_float();
+  numeric::halves_to_floats(B.data(), b.data(), K * N);
+  // Pre-round A through fp16 once (two bulk conversions) instead of one
+  // table round-trip per (m, k); values are identical.
+  std::vector<numeric::Half> ah(M * K);
+  std::vector<float> af(M * K);
+  numeric::floats_to_halves(A.data(), ah.data(), M * K);
+  numeric::halves_to_floats(ah.data(), af.data(), M * K);
 
   for (std::size_t m = 0; m < M; ++m) {
     float* crow = &C(m, 0);
     if (!accumulate) {
       for (std::size_t n = 0; n < N; ++n) crow[n] = 0.0f;
     }
-    const float* arow = &A(m, 0);
+    const float* arow = af.data() + m * K;
     for (std::size_t k = 0; k < K; ++k) {
-      const float av = numeric::round_to_half(arow[k]);
+      const float av = arow[k];
       const float* brow = b.data() + k * N;
       for (std::size_t n = 0; n < N; ++n) crow[n] += av * brow[n];
     }

@@ -88,6 +88,20 @@ struct TiledMma64x16x16 {
 void gemm_fp16_nt(const tensor::MatrixH& A, const tensor::MatrixH& B,
                   tensor::MatrixF& C, bool accumulate = false);
 
+/// Same GEMM over a non-owning fp16 view of B — e.g. a KV-cache tile
+/// consumed in place, no pad-and-copy into an owning Matrix first.
+void gemm_fp16_nt(const tensor::MatrixH& A, tensor::MatrixHView B,
+                  tensor::MatrixF& C, bool accumulate = false);
+
+/// Same GEMM over pre-widened fp32 images of the fp16 operands (widening is
+/// exact, so this is bit-identical to gemm_fp16_nt over the original halves
+/// — same per-output sequential-K accumulation order).  A is M x K, B is
+/// N x K, both densely packed; C must be M x N.  The decode hot path widens
+/// each operand once (SIMD bulk conversion) and runs every GEMM of a tile
+/// through this entry point instead of re-converting per GEMM.
+void gemm_f32_nt(const float* A, std::size_t M, std::size_t K, const float* B,
+                 std::size_t N, tensor::MatrixF& C, bool accumulate = false);
+
 /// C = A (rows x K, fp32, pre-rounded or exact) * B (K x cols, fp16).
 /// Used for P * V where P is the fp32 softmax output rounded to fp16 before
 /// feeding the tensor core.

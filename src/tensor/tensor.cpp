@@ -10,16 +10,25 @@ void widen(std::span<const numeric::Half> src, MatrixF& dst) {
   if (src.size() != dst.size()) {
     throw std::invalid_argument("widen: size mismatch");
   }
-  float* out = dst.data();
-  for (std::size_t i = 0; i < src.size(); ++i) out[i] = src[i].to_float();
+  numeric::halves_to_floats(src.data(), dst.data(), src.size());
+}
+
+void widen(MatrixHView src, float* dst) {
+  if (src.dense()) {
+    numeric::halves_to_floats(src.data, dst, src.rows * src.cols);
+    return;
+  }
+  for (std::size_t r = 0; r < src.rows; ++r) {
+    numeric::halves_to_floats(src.data + r * src.stride, dst + r * src.cols,
+                              src.cols);
+  }
 }
 
 void narrow(const MatrixF& src, std::span<numeric::Half> dst) {
   if (src.size() != dst.size()) {
     throw std::invalid_argument("narrow: size mismatch");
   }
-  const float* in = src.data();
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = numeric::Half(in[i]);
+  numeric::floats_to_halves(src.data(), dst.data(), dst.size());
 }
 
 float max_abs_diff(const MatrixF& a, const MatrixF& b) {

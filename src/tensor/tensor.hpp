@@ -62,6 +62,28 @@ class Matrix {
 using MatrixF = Matrix<float>;
 using MatrixH = Matrix<numeric::Half>;
 
+/// Non-owning row-major const view over fp16 storage: the zero-copy handle
+/// the decode hot path uses to consume KV-cache tiles (and their memoized
+/// checksum encodings) in place, without materializing a Matrix.  `stride`
+/// is the row stride in elements (stride == cols when densely packed).
+struct MatrixHView {
+  const numeric::Half* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t stride = 0;
+
+  const numeric::Half& operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows && c < cols);
+    return data[r * stride + c];
+  }
+  [[nodiscard]] bool dense() const noexcept { return stride == cols; }
+};
+
+/// Whole-matrix view (densely packed).
+inline MatrixHView view(const MatrixH& m) noexcept {
+  return {m.data(), m.rows(), m.cols(), m.cols()};
+}
+
 /// Non-owning rectangular window into a Matrix.  Used for the B_r x B_c block
 /// tiling of Q/K/V along seq_len (Figs. 2 and 4).
 template <typename T>
@@ -139,6 +161,10 @@ using Tensor4H = Tensor4D<numeric::Half>;
 
 /// Copy a seq x dim fp16 slice into an fp32 working matrix.
 void widen(std::span<const numeric::Half> src, MatrixF& dst);
+/// Widen a view into a dense rows x cols fp32 buffer (bulk SIMD conversion;
+/// one contiguous pass when the view is densely packed, per-row otherwise).
+/// `dst` must hold rows * cols floats.
+void widen(MatrixHView src, float* dst);
 /// Round an fp32 matrix through fp16 into a Half slice.
 void narrow(const MatrixF& src, std::span<numeric::Half> dst);
 

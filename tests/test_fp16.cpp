@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <random>
+#include <vector>
 
 #include "numeric/bits.hpp"
 #include "numeric/fp16.hpp"
@@ -113,6 +114,93 @@ TEST(Fp16, UnitRoundoffConstant) {
   // boundary it ties to even (1), just above it must round up.
   EXPECT_EQ(fn::round_to_half(1.0f + 1.5f * fn::kHalfEps),
             1.0f + 2.0f * fn::kHalfEps);
+}
+
+TEST(Fp16Bulk, ScalarBulkMatchesElementwise) {
+  // The scalar bulk entry points are definitionally the per-element
+  // conversions; pin that down over every half bit pattern.
+  std::vector<fn::Half> halves(65536);
+  for (std::uint32_t h = 0; h < 65536; ++h) {
+    halves[h] = fn::Half::from_bits(static_cast<std::uint16_t>(h));
+  }
+  std::vector<float> widened(65536);
+  fn::halves_to_floats_scalar(halves.data(), widened.data(), halves.size());
+  std::vector<fn::Half> narrowed(65536);
+  fn::floats_to_halves_scalar(widened.data(), narrowed.data(), widened.size());
+  for (std::uint32_t h = 0; h < 65536; ++h) {
+    std::uint32_t wide_bits, ref_bits = fn::half_bits_to_float_bits(
+        static_cast<std::uint16_t>(h));
+    std::memcpy(&wide_bits, &widened[h], sizeof(wide_bits));
+    ASSERT_EQ(wide_bits, ref_bits) << std::hex << h;
+    ASSERT_EQ(narrowed[h].bits(), fn::float_to_half_bits(widened[h]))
+        << std::hex << h;
+  }
+}
+
+TEST(Fp16Bulk, ExhaustiveSimdMatchesScalarAllHalfPatterns) {
+  // All 65536 half bit patterns — NaNs, infinities, subnormals, both zeros —
+  // must round-trip identically through the scalar and SIMD paths: widening
+  // bit-equal, and the widened values narrowing back bit-equal (the SIMD
+  // narrow canonicalizes NaN payloads exactly like the scalar path).
+  if (!fn::simd_fp16_active()) {
+    GTEST_SKIP() << "F16C/AVX2 unavailable (or FTT_SIMD=OFF): SIMD leg skipped";
+  }
+  std::vector<fn::Half> halves(65536);
+  for (std::uint32_t h = 0; h < 65536; ++h) {
+    halves[h] = fn::Half::from_bits(static_cast<std::uint16_t>(h));
+  }
+  std::vector<float> wide_scalar(65536), wide_simd(65536);
+  fn::halves_to_floats_scalar(halves.data(), wide_scalar.data(), 65536);
+  fn::halves_to_floats(halves.data(), wide_simd.data(), 65536);
+  ASSERT_EQ(std::memcmp(wide_scalar.data(), wide_simd.data(),
+                        65536 * sizeof(float)),
+            0);
+
+  std::vector<fn::Half> back_scalar(65536), back_simd(65536);
+  fn::floats_to_halves_scalar(wide_scalar.data(), back_scalar.data(), 65536);
+  fn::floats_to_halves(wide_scalar.data(), back_simd.data(), 65536);
+  for (std::uint32_t h = 0; h < 65536; ++h) {
+    ASSERT_EQ(back_scalar[h].bits(), back_simd[h].bits()) << std::hex << h;
+  }
+}
+
+TEST(Fp16Bulk, SimdNarrowMatchesScalarOnHardFloats) {
+  if (!fn::simd_fp16_active()) {
+    GTEST_SKIP() << "F16C/AVX2 unavailable (or FTT_SIMD=OFF): SIMD leg skipped";
+  }
+  // Random floats across the interesting magnitude range plus crafted
+  // boundary patterns: RTNE ties, the overflow cliff, subnormal cliff,
+  // signed zeros, infinities, and NaNs with assorted payloads (the SIMD
+  // path must canonicalize them to the scalar path's quiet NaN).
+  std::vector<float> values;
+  const auto from_bits = [](std::uint32_t b) {
+    float f;
+    std::memcpy(&f, &b, sizeof(f));
+    return f;
+  };
+  for (const std::uint32_t b :
+       {0x00000000u, 0x80000000u, 0x7F800000u, 0xFF800000u, 0x7FC00000u,
+        0xFFC00000u, 0x7F800001u, 0x7FC00123u, 0xFFABCDEFu, 0x00000001u,
+        0x33000000u, 0x33000001u, 0x38800000u, 0x477FF000u, 0x477FEFFFu,
+        0x47800000u, 0x3F802000u, 0x3F806000u}) {
+    values.push_back(from_bits(b));
+  }
+  std::mt19937 rng(0xf16c);
+  std::uniform_real_distribution<float> wide(-70000.0f, 70000.0f);
+  std::uniform_real_distribution<float> tiny(-1e-4f, 1e-4f);
+  for (int i = 0; i < 100000; ++i) {
+    values.push_back(wide(rng));
+    values.push_back(tiny(rng));
+  }
+  // Odd length exercises the scalar tail of the 8-wide kernel.
+  values.push_back(1.0f);
+
+  std::vector<fn::Half> scalar(values.size()), simd(values.size());
+  fn::floats_to_halves_scalar(values.data(), scalar.data(), values.size());
+  fn::floats_to_halves(values.data(), simd.data(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(scalar[i].bits(), simd[i].bits()) << "value " << values[i];
+  }
 }
 
 TEST(BitFlip, SingleBitF32) {
