@@ -13,7 +13,12 @@
 //     same attention FLOPs, chunking amortizes tile loads and checksum
 //     encodes and batches rows through the shared linears,
 //   * average batch occupancy per tick (how full the scheduler keeps the
-//     engine).
+//     engine),
+//   * the shared-prefix win: N requests over one long common prompt, run
+//     with prefix sharing on vs off.  Sharing attaches the sealed prompt
+//     tiles (and their ABFT memos) from the pool instead of recomputing
+//     them, so the gauge pair is wall-clock speedup and the effective-
+//     context capacity ratio (peak pool tiles unshared / shared).
 //
 // With --json <path> it also emits the machine-readable section the CI perf
 // job merges into BENCH_serve.json and gates on.
@@ -92,6 +97,51 @@ MixedRun run_mixed(const fx::Model& model, std::size_t chunk_rows,
   return run;
 }
 
+// Shared-prefix workload: one 257-row common prompt ((257-1)/64 = 4
+// shareable sealed tiles), a leader that computes + publishes it, then 11
+// followers that either attach it from the pool (share = true) or recompute
+// it per request (share = false).  Everything else — budgets, batch cap,
+// tick schedule — is identical across the two runs.
+constexpr std::size_t kCommonRows = 257;
+constexpr std::size_t kFollowers = 11;
+constexpr std::size_t kSharedBudget = 16;
+
+struct SharedRun {
+  double seconds = 0.0;
+  std::size_t peak_tiles = 0;
+  fs::DecodeEngine::StepStats stats;
+};
+
+SharedRun run_shared_prefix(const fx::Model& model, bool share) {
+  fs::EngineOptions opt;
+  opt.share_prefix = share;
+  opt.scheduler.max_batch_size = 8;
+  fs::DecodeEngine engine(model, opt);
+
+  MatrixF prompt(kCommonRows, model.config().hidden);
+  ftt::tensor::fill_normal(prompt, 0xcafe);
+
+  SharedRun run;
+  run.seconds = bench::time_once([&] {
+    const auto leader = engine.submit(prompt, kSharedBudget);
+    // Let the leader finish prefilling (sealing + publishing the prefix)
+    // before the followers arrive — the warm-cache steady state a serving
+    // fleet lives in.
+    while (engine.state(leader) == fs::RequestState::kQueued ||
+           engine.state(leader) == fs::RequestState::kPrefilling) {
+      run.stats += engine.step();
+    }
+    for (std::size_t i = 0; i < kFollowers; ++i) {
+      engine.submit(prompt, kSharedBudget);
+    }
+    while (engine.queued() != 0 || engine.active() != 0) {
+      run.stats += engine.step();
+      run.peak_tiles = std::max(run.peak_tiles, engine.kv_tiles_in_use());
+    }
+  });
+  return run;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -161,9 +211,51 @@ int main(int argc, char** argv) {
                 noise);
   }
 
+  // --- shared-prefix throughput + capacity -------------------------------
+  const SharedRun shared = run_shared_prefix(model, true);
+  const SharedRun unshared = run_shared_prefix(model, false);
+  const double shared_speedup =
+      shared.seconds > 0.0 ? unshared.seconds / shared.seconds : 0.0;
+  const double capacity_ratio =
+      shared.peak_tiles > 0
+          ? static_cast<double>(unshared.peak_tiles) /
+                static_cast<double>(shared.peak_tiles)
+          : 0.0;
+  std::printf("\n  shared-prefix workload (%zu requests, one %zu-row prompt)\n",
+              kFollowers + 1, kCommonRows);
+  std::printf("  %-26s %12s %12s %12s\n", "mode", "makespan", "peak tiles",
+              "prefill rows");
+  std::printf("  %-26s %9.2f ms %12zu %12zu\n", "prefix sharing on",
+              shared.seconds * 1e3, shared.peak_tiles,
+              shared.stats.prefill_rows);
+  std::printf("  %-26s %9.2f ms %12zu %12zu\n", "prefix sharing off",
+              unshared.seconds * 1e3, unshared.peak_tiles,
+              unshared.stats.prefill_rows);
+  std::printf("  shared-prefix speedup: %.2fx   capacity ratio: %.2fx "
+              "(%zu tiles attached, not computed)\n",
+              shared_speedup, capacity_ratio, shared.stats.shared_tiles);
+  // Same traffic, same generated tokens; only the prefix compute differs.
+  ok = ok && shared.stats.decoded == unshared.stats.decoded &&
+       shared.stats.shared_tiles > 0 && unshared.stats.shared_tiles == 0;
+  if (shared.stats.decoded != unshared.stats.decoded) {
+    std::printf("  UNEXPECTED: shared/unshared decode totals diverged\n");
+  }
+
   if (!json_path.empty()) {
     bench::JsonWriter w;
     w.begin_object();
+    w.key("shared_prefix");
+    w.begin_object();
+    w.kv("requests", kFollowers + 1);
+    w.kv("common_prompt_rows", kCommonRows);
+    w.kv("shared_makespan_ms", shared.seconds * 1e3);
+    w.kv("unshared_makespan_ms", unshared.seconds * 1e3);
+    w.kv("shared_peak_tiles", shared.peak_tiles);
+    w.kv("unshared_peak_tiles", unshared.peak_tiles);
+    w.kv("tiles_attached", shared.stats.shared_tiles);
+    w.kv("shared_prefill_rows", shared.stats.prefill_rows);
+    w.kv("unshared_prefill_rows", unshared.stats.prefill_rows);
+    w.end_object();
     w.key("scheduler");
     w.begin_object();
     w.kv("threads", omp_get_max_threads());
@@ -183,6 +275,8 @@ int main(int argc, char** argv) {
     w.begin_object();
     w.kv("scheduler_tokens_per_s", tok(chunked));
     w.kv("scheduler_chunked_prefill_speedup", speedup);
+    w.kv("shared_prefix_speedup", shared_speedup);
+    w.kv("shared_prefix_capacity_ratio", capacity_ratio);
     w.end_object();
     w.end_object();
     ok = w.write_file(json_path) && ok;

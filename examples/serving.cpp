@@ -1,21 +1,34 @@
-// Serving demo: continuous-batching multi-request fault-tolerant generation.
+// Serving demo: paged KV pool with prefix sharing, priority classes and
+// preemption under fault-tolerant continuous batching.
 //
 //   ./serving
 //
-// Three "users" submit prompts of different lengths to one DecodeEngine
-// backed by a tiny causal transformer.  submit() only enqueues; every
-// step() is one scheduler tick that admits queued requests under the
-// batch/KV budgets, streams admitted prompts into their per-layer KV caches
-// one 64-row causal prefill chunk at a time, advances every decoding
-// request by one token in the same batched pass, and retires requests that
-// hit their generation budget.  A soft error is injected mid-generation and
-// corrected in flight; the final hidden states match a fault-free run.
+// A fleet of "users" shares one DecodeEngine backed by a tiny causal
+// transformer and a deliberately tight KV pool (9 context tiles).  The
+// workload is the shape paging is built for:
+//
+//   1. an archetype request computes a 193-row common prompt once, sealing
+//      and publishing its 3 prefix tiles in the pool;
+//   2. four low-priority bulk requests over the *same* prompt attach those
+//      tiles instead of recomputing them (one prompt, computed once, shared
+//      five ways — the PagedAttention capacity win);
+//   3. a high-priority request with a private prompt arrives into a full
+//      pool: the youngest low-priority request is preempted (tiles
+//      released, request re-queued at the front of its class) and the VIP
+//      overtakes the bulk traffic;
+//   4. the preempted request is readmitted, re-attaches the still-cached
+//      prefix, recomputes its private tail, and finishes with *exactly* the
+//      trajectory an uninterrupted run produces — generation is a
+//      deterministic function of the prompt.
+//
+// Along the way the demo prints pool occupancy, the shared-tile ratio and
+// preemption counters, and it exits nonzero if sharing or preemption ever
+// changes a result (mirrors bench_serve_throughput's CI smoke role).
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 
-#include "fault/fault.hpp"
 #include "serve/engine.hpp"
 #include "tensor/random.hpp"
 #include "transformer/model.hpp"
@@ -31,6 +44,24 @@ tensor::MatrixF prompt(std::size_t seq, std::size_t hidden,
   return m;
 }
 
+void print_pool(const serve::DecodeEngine& engine) {
+  const auto& pool = engine.pool();
+  std::size_t shared_mapped = 0, mapped = 0;
+  for (std::size_t id = 0; id < 64; ++id) {
+    if (!engine.is_active(id)) continue;
+    mapped += engine.kv_block_table(id).size();
+    shared_mapped += engine.shared_tile_count(id);
+  }
+  std::printf("  pool: %zu/%zu tiles in use (%zu cached prefixes), "
+              "block-table entries %zu of which shared %zu (%.0f%%), "
+              "lifetime: %zu prefix hits, %zu evictions\n",
+              pool.in_use(), pool.capacity(), pool.published(), mapped,
+              shared_mapped,
+              mapped == 0 ? 0.0 : 100.0 * static_cast<double>(shared_mapped) /
+                                      static_cast<double>(mapped),
+              pool.shared_hits(), pool.evictions());
+}
+
 }  // namespace
 
 int main() {
@@ -40,68 +71,99 @@ int main() {
   std::printf("model: %s  layers=%zu hidden=%zu heads=%zu\n",
               cfg.name.c_str(), cfg.layers, cfg.hidden, cfg.heads);
 
-  // 1. Enqueue three requests with ragged prompt lengths (no 64-alignment).
-  //    The 97-row prompt needs two prefill chunks (64 + 33), so it keeps
-  //    prefilling while the short requests already decode — the chunked
-  //    interleave that stops long prompts from stalling the batch.
-  serve::DecodeEngine engine(model);
-  const auto a = engine.submit(prompt(13, cfg.hidden, 1));
-  const auto b = engine.submit(prompt(50, cfg.hidden, 2));
-  const auto c = engine.submit(prompt(97, cfg.hidden, 3));
-  std::printf("enqueued %zu requests (no compute yet: admission happens on "
-              "the next tick)\n", engine.queued());
+  serve::EngineOptions opt;
+  opt.scheduler.max_batch_size = 6;
+  opt.scheduler.max_kv_tiles = 9;  // tight on purpose: forces preemption
+  serve::DecodeEngine engine(model, opt);
+  std::printf("pool: %zu context tiles of 64 tokens x %zu layers x %zu "
+              "heads (%zu KiB/tile with sealed checksum memos)\n\n",
+              engine.pool().capacity(), cfg.layers, cfg.heads,
+              engine.pool().slab_halves() * sizeof(numeric::Half) / 1024);
 
-  // 2. First tick: admit everyone, absorb the first chunk of each prompt.
-  const auto tick1 = engine.step();
-  std::printf("tick 1: admitted=%zu prefill_chunks=%zu prefill_rows=%zu "
-              "decoded=%zu\n",
-              tick1.admitted, tick1.prefill_chunks, tick1.prefill_rows,
-              tick1.decoded);
-
-  // 3. Drain 6 more ticks: c finishes prefilling while a and b decode.
-  const auto stats = engine.drain(6);
-  std::printf("6 ticks: %zu prefill rows + %zu decode steps, %zu attention "
-              "checks, %zu linear checks, 0 faults -> %zu detected\n",
-              stats.prefill_rows, stats.decoded,
-              stats.attention.gemm1.checks + stats.attention.exp_check.checks +
-                  stats.attention.gemm2.checks,
-              stats.linear.checks, stats.attention.total_detected());
-  std::printf("contexts now %zu/%zu/%zu tokens, %zu KV tiles in use\n",
-              engine.context_length(a), engine.context_length(b),
-              engine.context_length(c), engine.kv_tiles_in_use());
-
-  // 4. One more tick with a single-event upset in the QK^T pipeline.
-  auto inj = fault::FaultInjector::single(fault::Site::kGemm1, 300, 30);
-  const auto faulty = engine.step(&inj);
-  std::printf("SEU tick: %zu flip(s) injected, %zu detected, %zu corrected\n",
-              faulty.attention.faults_injected,
-              faulty.attention.total_detected(),
-              faulty.attention.total_corrected());
-
-  // 5. Compare against a fault-free replica engine driven identically.
-  serve::DecodeEngine clean(model);
-  const auto ca = clean.submit(prompt(13, cfg.hidden, 1));
-  clean.submit(prompt(50, cfg.hidden, 2));
-  clean.submit(prompt(97, cfg.hidden, 3));
-  clean.drain(8);
-
-  float worst = 0.0f;
-  const auto hf = engine.hidden(a);
-  const auto hc = clean.hidden(ca);
-  for (std::size_t i = 0; i < hf.size(); ++i) {
-    worst = std::max(worst, std::fabs(hf[i] - hc[i]));
+  // 1. The archetype computes the shared 193-row prompt (3 sealed tiles).
+  const tensor::MatrixF common = prompt(193, cfg.hidden, 1);
+  const auto archetype = engine.submit(common, /*max_new_tokens=*/8);
+  while (engine.state(archetype) == serve::RequestState::kQueued ||
+         engine.state(archetype) == serve::RequestState::kPrefilling) {
+    engine.step();
   }
-  std::printf("max |faulty - clean| hidden after correction: %.2e\n", worst);
-  std::printf(worst < 1e-2f ? "OK: the soft error was absorbed in flight.\n"
-                            : "WARNING: output deviates.\n");
+  std::printf("archetype prefilled the 193-row common prompt (3 prefix "
+              "tiles sealed + published)\n");
+  print_pool(engine);
 
-  std::printf("request A lifetime report: %zu checks, %zu detected, %zu "
-              "corrected over %zu tokens\n",
-              engine.report(a).gemm1.checks + engine.report(a).exp_check.checks +
-                  engine.report(a).gemm2.checks,
-              engine.report(a).total_detected(),
-              engine.report(a).total_corrected(), engine.context_length(a));
-  // Nonzero exit on deviation so the CI smoke-run catches a broken
-  // correction path (mirrors bench_serve_throughput).
-  return worst < 1e-2f ? 0 : 1;
+  // 2. Four low-priority bulk requests over the same prompt: each attaches
+  //    the 3 published tiles and computes only the last prompt row.
+  serve::DecodeEngine::RequestId bulk[4];
+  for (std::size_t i = 0; i < 4; ++i) {
+    bulk[i] = engine.submit(common, /*max_new_tokens=*/24,
+                            serve::Priority::kLow);
+  }
+  auto st = engine.step();  // admit + prefix attach + 1-row prefills
+  std::printf("\nbulk wave admitted: %zu requests attached %zu prefix tiles "
+              "and prefilled only %zu rows this tick\n",
+              st.admitted, st.shared_tiles, st.prefill_rows);
+  print_pool(engine);
+
+  // 3. A high-priority request arrives into a (nearly) full pool.
+  const tensor::MatrixF vip_prompt = prompt(100, cfg.hidden, 7);
+  const auto vip = engine.submit(vip_prompt, /*max_new_tokens=*/4,
+                                 serve::Priority::kHigh);
+  serve::DecodeEngine::StepStats storm;
+  while (engine.state(vip) != serve::RequestState::kRetired) {
+    storm += engine.step();
+  }
+  std::printf("\nVIP served to completion: %zu preemption(s), %zu "
+              "eviction(s) while it ran\n",
+              storm.preempted, storm.evicted);
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (engine.preemption_count(bulk[i]) != 0) {
+      std::printf("  bulk[%zu] was preempted %zux and re-queued at the "
+                  "front of the low class\n",
+                  i, engine.preemption_count(bulk[i]));
+    }
+  }
+  print_pool(engine);
+
+  // 4. Drain the bulk traffic (preempted requests re-attach the cached
+  //    prefix and replay their private tails).
+  const auto tail = engine.run_until_idle(nullptr, 4000);
+  storm += tail;
+  std::printf("\ndrained: since the VIP arrived, %zu decode steps, %zu "
+              "prompt rows recomputed after preemption, %zu prefix tiles "
+              "(re)attached from the cache\n",
+              storm.decoded, storm.prefill_rows, storm.shared_tiles);
+
+  // Verify: sharing and preemption are invisible in the results.  Every
+  // request must match a solo engine (no sharing, unbounded pool) bit for
+  // bit; the lifetime FT reports stay clean.
+  float worst = 0.0f;
+  auto check = [&](serve::DecodeEngine::RequestId id,
+                   const tensor::MatrixF& p, std::size_t budget) {
+    serve::DecodeEngine solo(model);
+    const auto sid = solo.submit(p, budget);
+    solo.run_until_idle(nullptr, 400);
+    const auto a = engine.hidden(id);
+    const auto b = solo.hidden(sid);
+    for (std::size_t c = 0; c < a.size(); ++c) {
+      worst = std::max(worst, std::fabs(a[c] - b[c]));
+    }
+  };
+  check(archetype, common, 8);
+  for (std::size_t i = 0; i < 4; ++i) check(bulk[i], common, 24);
+  check(vip, vip_prompt, 4);
+  std::printf("\nmax |paged - solo| over all 6 requests: %.2e  (checks: %zu "
+              "attention + %zu linear, %zu detected)\n",
+              worst,
+              engine.lifetime().attention.gemm1.checks +
+                  engine.lifetime().attention.exp_check.checks +
+                  engine.lifetime().attention.gemm2.checks,
+              engine.lifetime().linear.checks,
+              engine.lifetime().attention.total_detected());
+  const bool exercised = storm.preempted > 0 &&
+                         engine.pool().shared_hits() > 0;
+  std::printf(worst == 0.0f && exercised
+                  ? "OK: prefix sharing and preemption changed memory "
+                    "traffic, not results.\n"
+                  : "WARNING: unexpected divergence or untriggered path.\n");
+  return worst == 0.0f && exercised ? 0 : 1;
 }

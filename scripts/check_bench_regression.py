@@ -24,12 +24,42 @@ tokens/s baselines are deliberately set well below a healthy run (CI runners
 vary); the dimensionless speedup gauges are the tighter tripwires.  Exit
 code 1 on any regression or missing gauge, so the CI perf job fails loudly.
 
+When GITHUB_STEP_SUMMARY is set (always, inside a GitHub Actions step), a
+markdown gauge table is appended to it so the perf job's results are
+readable straight from the run page, without downloading the artifact.
+
 Stdlib only — no pip installs.
 """
 
 import argparse
 import json
+import os
 import sys
+
+
+def write_step_summary(rows, extra_gauges, threshold):
+    """Append the gauge table to the Actions step summary, if available."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = [
+        "## Serving bench gauges",
+        "",
+        f"Gate: measured < baseline × {1.0 - threshold:.2f} fails "
+        f"(threshold {threshold:.0%}).",
+        "",
+        "| gauge | measured | baseline | floor | verdict |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for name, measured, floor, limit, verdict in rows:
+        icon = "✅" if verdict == "OK" else "❌"
+        shown = "—" if measured is None else f"{measured:.3f}"
+        lines.append(f"| `{name}` | {shown} | {floor:.3f} | {limit:.3f} | "
+                     f"{icon} {verdict} |")
+    for name, value in sorted(extra_gauges.items()):
+        lines.append(f"| `{name}` | {value:.3f} | — | — | untracked |")
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
 
 
 def merge(fragments):
@@ -73,19 +103,28 @@ def main():
         else float(baseline.get("threshold", 0.25))
 
     failures = []
+    rows = []  # (name, measured|None, floor, limit, verdict)
     for name, floor in sorted(baseline.get("gauges", {}).items()):
         measured = merged["gauges"].get(name)
+        limit = floor * (1.0 - threshold)
         if measured is None:
             failures.append(f"{name}: missing from bench output")
+            rows.append((name, None, floor, limit, "MISSING"))
             continue
-        limit = floor * (1.0 - threshold)
         verdict = "OK" if measured >= limit else "REGRESSION"
+        rows.append((name, measured, floor, limit, verdict))
         print(f"  {verdict:10s} {name}: measured {measured:.3f} vs "
               f"baseline {floor:.3f} (floor {limit:.3f})")
         if measured < limit:
             failures.append(
                 f"{name}: {measured:.3f} < {limit:.3f} "
                 f"(baseline {floor:.3f}, threshold {threshold:.0%})")
+
+    gated = {name for name, *_ in rows}
+    extra = {name: value for name, value in merged["gauges"].items()
+             if name not in gated and isinstance(value, (int, float))
+             and not isinstance(value, bool)}
+    write_step_summary(rows, extra, threshold)
 
     if failures:
         print("\nthroughput regression gate FAILED:", file=sys.stderr)

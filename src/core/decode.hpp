@@ -37,7 +37,12 @@ namespace ftt::core {
 /// of 64 x d halves; rows past the valid count must not be read (the kernel
 /// zero-pads its working tile instead).  This is the natural shape of a
 /// growable KV cache that appends in 64-row tiles without relocating old
-/// rows.
+/// rows — and, just as deliberately, of a *paged* cache whose block table
+/// maps context tiles to pooled storage (serve::TilePool): the per-tile
+/// pointer indirection means the kernel never distinguishes private,
+/// pooled or prefix-shared tiles, so paging and sharing are invisible to
+/// the verified decode path and cannot perturb its bit-identity
+/// guarantees.
 struct KvSlice {
   static constexpr std::size_t kTileRows = 64;
 
@@ -46,9 +51,11 @@ struct KvSlice {
   std::size_t n = 0;  ///< valid context rows
   std::size_t d = 0;  ///< head dimension
 
-  /// Optional memoized per-tile checksum encodings (serve::KvCache computes
-  /// them once when a tile seals; full tiles are immutable so they are never
-  /// invalidated).  Each array has tiles() entries; k_c1/k_c2 point at
+  /// Optional memoized per-tile checksum encodings (serve::KvCache and
+  /// serve::TilePool compute them once when a tile seals; full tiles are
+  /// immutable so they are never invalidated, and a prefix-shared pool tile
+  /// shares its sealed encodings with every request that maps it).  Each
+  /// array has tiles() entries; k_c1/k_c2 point at
   /// enc_stride x d row checksums and v_c1/v_c2 at kTileRows x enc_stride
   /// column checksums, all row-major fp16.  Entries for the unsealed ragged
   /// tail are null.  The kernel consumes them on clean runs when enc_stride

@@ -12,8 +12,26 @@ using tensor::MatrixH;
 using transformer::Block;
 using transformer::LinearProtect;
 
+namespace {
+
+/// Preemption rank: lower is better-protected.  Victims are drawn worst
+/// first — lowest priority class, then youngest (largest id) — so the
+/// oldest request of the most urgent class is never preempted by anyone.
+[[nodiscard]] bool better_rank(Priority pa, std::size_t ida, Priority pb,
+                               std::size_t idb) noexcept {
+  if (pa != pb) return pa < pb;
+  return ida < idb;
+}
+
+}  // namespace
+
 DecodeEngine::DecodeEngine(const transformer::Model& model, EngineOptions opt)
-    : model_(&model), opt_(opt), scheduler_(opt.scheduler) {
+    : model_(&model),
+      opt_(opt),
+      pool_(TilePoolOptions{model.config().layers, model.config().heads,
+                            model.config().head_dim(),
+                            opt.scheduler.max_kv_tiles, opt.efta.stride}),
+      scheduler_(opt.scheduler) {
   // Fail fast on a stride the kernels would reject per slice.
   const auto stride = static_cast<std::size_t>(opt_.efta.stride);
   if (stride == 0 || model.config().head_dim() % stride != 0) {
@@ -40,7 +58,8 @@ DecodeEngine::DecodeEngine(const transformer::Model& model, EngineOptions opt)
 }
 
 DecodeEngine::RequestId DecodeEngine::submit(const MatrixF& prompt_hidden,
-                                             std::size_t max_new_tokens) {
+                                             std::size_t max_new_tokens,
+                                             Priority priority) {
   const auto& cfg = model_->config();
   if (prompt_hidden.rows() == 0 || prompt_hidden.cols() != cfg.hidden) {
     throw std::invalid_argument(
@@ -55,32 +74,60 @@ DecodeEngine::RequestId DecodeEngine::submit(const MatrixF& prompt_hidden,
   Request req;
   req.prompt = prompt_hidden;
   req.prompt_rows = prompt_hidden.rows();
+  req.priority = priority;
   // Clamp overflow-safely: a huge budget (SIZE_MAX as an "unlimited"
-  // sentinel) must saturate at max_context, not wrap below the prompt and
-  // under-reserve KV tiles.
+  // sentinel) must saturate at max_context, not wrap below the prompt.
   const std::size_t headroom = opt_.max_context - req.prompt_rows;
   req.max_tokens = (budget == 0 || budget >= headroom)
                        ? opt_.max_context
                        : req.prompt_rows + budget;
+  if (opt_.share_prefix) {
+    // Chain keys over the prompt's hidden rows, one per *shareable* tile.
+    // The last prompt row is never shared — its forward pass seeds
+    // generation — so at most (prompt_rows - 1) / 64 tiles are keyed.
+    const std::size_t shareable = (req.prompt_rows - 1) / TilePool::kTileRows;
+    ChainKey key;  // empty-chain root
+    for (std::size_t t = 0; t < shareable; ++t) {
+      key = chain_extend(
+          key, &req.prompt(t * TilePool::kTileRows, 0),
+          TilePool::kTileRows * cfg.hidden * sizeof(float));
+      req.prompt_keys.push_back(key);
+    }
+  }
 
   const RequestId id = requests_.size();
-  // Transactional admit to the queue: enqueue can throw (a reservation that
-  // could never fit), and neither side may keep a phantom entry.
+  // Transactional admit to the queue: a typed rejection (or a throw) must
+  // not keep a phantom entry on either side.
   requests_.push_back(std::move(req));
+  EnqueueResult result;
   try {
-    scheduler_.enqueue(id, requests_.back().max_tokens);
+    result = scheduler_.enqueue(id, requests_.back().max_tokens, priority);
   } catch (...) {
     requests_.pop_back();
     throw;
   }
+  if (result == EnqueueResult::kRejectedTooLarge) {
+    requests_.pop_back();
+    throw std::invalid_argument(
+        "DecodeEngine::submit: context ceiling exceeds the KV pool — the "
+        "request could never run, even alone");
+  }
   return id;
+}
+
+std::size_t DecodeEngine::next_rows(const Request& req, RequestId id) const {
+  if (scheduler_.state(id) == RequestState::kPrefilling) {
+    return std::min(opt_.prefill_chunk_rows, req.prompt_rows - req.prefilled);
+  }
+  return 1;
 }
 
 DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
   const auto& cfg = model_->config();
   StepStats stats;
+  const std::size_t evictions_at_start = pool_.evictions();
 
-  // (d) retire requests that reached their budget or the context cap.  Done
+  // (a) retire requests that reached their budget or the context cap.  Done
   // at tick start so the final token's hidden state was readable for one
   // tick, matching the pre-scheduler engine's behavior at max_context.
   for (std::size_t i = 0; i < live_.size();) {
@@ -94,31 +141,94 @@ DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
     }
   }
 
-  // (a) admit queued requests whose KV reservation fits.  FCFS over
-  // monotonically assigned ids keeps live_ sorted, which keeps the tick's
-  // row-stack in request-id order (the order the bit-identity tests pin).
-  for (const RequestId id : scheduler_.admit()) {
+  // (b) admit queued requests, high class first; the allocatable-tile hint
+  // throttles admissions the pool could not feed.
+  for (const RequestId id : scheduler_.admit(pool_.allocatable())) {
     Request& req = requests_[id];
-    req.layers.reserve(cfg.layers);
-    for (std::size_t b = 0; b < cfg.layers; ++b) {
-      // Caches memoize per-tile checksum encodings at the engine's stride,
-      // so clean decode ticks consume sealed encodings instead of
-      // re-deriving them per token.
-      req.layers.emplace_back(cfg.heads, cfg.head_dim(), opt_.efta.stride);
-    }
+    req.cache = std::make_unique<PagedKvCache>(pool_);
+    req.prefilled = 0;
+    req.tokens = 0;
     live_.push_back(id);
     ++stats.admitted;
   }
+  // Priority admission can admit ids out of order; the tick's row-stack is
+  // in request-id order (the order the bit-identity tests pin).
+  std::sort(live_.begin(), live_.end());
 
-  // (b)+(c) gather this tick's row-stack: one prefill chunk per prefilling
+  // (c) memory phase: on-demand paged allocation, best-ranked request
+  // first.  The only allocation site — the compute below cannot fail.
+  std::vector<RequestId> granted;
+  {
+    std::vector<RequestId> order(live_);
+    std::sort(order.begin(), order.end(), [&](RequestId a, RequestId b) {
+      return better_rank(requests_[a].priority, a, requests_[b].priority, b);
+    });
+    for (const RequestId id : order) {
+      if (scheduler_.state(id) == RequestState::kQueued) continue;  // victim
+      Request& req = requests_[id];
+      // Prefix attach before computing anything: whenever the rows this
+      // request would prefill next are a tile already cached in the pool —
+      // published at admission time, or by another request mid-run —
+      // attach it instead of recomputing.  Checked at every tile boundary,
+      // so a request admitted alongside the prefix's first computer still
+      // picks up every tile sealed after its own admission.
+      if (opt_.share_prefix &&
+          scheduler_.state(id) == RequestState::kPrefilling) {
+        while (req.prefilled % TilePool::kTileRows == 0 &&
+               req.prefilled / TilePool::kTileRows < req.prompt_keys.size()) {
+          const std::size_t t = req.prefilled / TilePool::kTileRows;
+          const TilePool::TileId tid =
+              pool_.lookup_shared(req.prompt_keys[t]);
+          if (tid == TilePool::kNoTile) break;  // chain miss: compute on
+          req.cache->attach_shared(tid);
+          req.prefilled += TilePool::kTileRows;
+          req.tokens += TilePool::kTileRows;
+          ++stats.shared_tiles;
+        }
+      }
+      const std::size_t rows = next_rows(req, id);
+      bool ok;
+      while (!(ok = req.cache->ensure_capacity(req.tokens + rows))) {
+        // Pool exhausted: preempt the worst-ranked admitted request that
+        // actually holds tiles and ranks worse than the current one —
+        // preempting a tile-less (freshly admitted) victim would free
+        // nothing and churn, and preempting a better-ranked request would
+        // invert priorities.  With no such victim the current request
+        // backs off (self-preempts); the better-ranked requests it yields
+        // to always fit, because a request's tile ceiling is
+        // admission-checked against the pool.
+        RequestId victim = id;
+        for (const RequestId v : live_) {
+          const RequestState s = scheduler_.state(v);
+          if (s != RequestState::kPrefilling && s != RequestState::kDecoding) {
+            continue;
+          }
+          if (requests_[v].cache->block_table().empty()) continue;
+          if (better_rank(requests_[id].priority, id, requests_[v].priority,
+                          v) &&
+              (victim == id ||
+               better_rank(requests_[victim].priority, victim,
+                           requests_[v].priority, v))) {
+            victim = v;  // worst tile-holding candidate worse than current
+          }
+        }
+        preempt_request(victim);
+        ++stats.preempted;
+        if (victim == id) break;
+      }
+      if (ok) granted.push_back(id);
+    }
+    std::sort(granted.begin(), granted.end());
+  }
+
+  // (d)+(e) gather this tick's row-stack: one prefill chunk per prefilling
   // request, one decode row per decoding request, in request-id order.
   std::vector<TickEntry> entries;
   std::size_t total_rows = 0;
-  for (const RequestId id : live_) {
+  for (const RequestId id : granted) {
     Request& req = requests_[id];
     if (scheduler_.state(id) == RequestState::kPrefilling) {
-      const std::size_t rows = std::min(opt_.prefill_chunk_rows,
-                                        req.prompt_rows - req.prefilled);
+      const std::size_t rows = next_rows(req, id);
       entries.push_back(TickEntry{id, total_rows, rows, true, req.prefilled});
       total_rows += rows;
     } else {
@@ -128,6 +238,7 @@ DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
   }
   // An idle tick is free: no allocation, no OpenMP region.
   if (entries.empty()) {
+    stats.evicted = pool_.evictions() - evictions_at_start;
     lifetime_ += stats;
     return stats;
   }
@@ -150,7 +261,7 @@ DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
 
   advance(entries, X, inj, stats);
 
-  // State transitions after the compute.
+  // State transitions and prefix publication after the compute.
   for (const TickEntry& e : entries) {
     Request& req = requests_[e.id];
     req.tokens += e.rows;
@@ -158,11 +269,28 @@ DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
       req.prefilled += e.rows;
       if (req.prefilled == req.prompt_rows) {
         scheduler_.on_prefill_done(e.id);
-        req.prompt = MatrixF();  // pending prompt rows are no longer needed
+        // The prompt stays resident while preemption is reachable: a
+        // preempted request recomputes from it on readmission.  An
+        // unbounded pool never exhausts, so there it is freed at
+        // prefill-done exactly like the pre-paging engine.
+        if (opt_.scheduler.max_kv_tiles == 0) req.prompt = MatrixF();
+      }
+    }
+    // Publish freshly sealed fully-prompt tiles so later requests (and this
+    // one, after a preemption) can attach them.  Tiles holding any
+    // generated row are never published — generated rows are per-request.
+    // Neither is anything sealed while a fault injector was threaded
+    // through the tick: ABFT correction is approximate, not bit-exact, so
+    // a possibly-perturbed tile must stay private — one fault's blast
+    // radius must never widen to every future sharer of the prompt.
+    for (const std::size_t idx : req.cache->take_newly_sealed()) {
+      if (inj == nullptr && idx < req.prompt_keys.size()) {
+        pool_.publish(req.cache->block_table()[idx], req.prompt_keys[idx]);
       }
     }
   }
 
+  stats.evicted = pool_.evictions() - evictions_at_start;
   lifetime_ += stats;
   return stats;
 }
@@ -242,20 +370,20 @@ void DecodeEngine::advance(const std::vector<TickEntry>& entries, MatrixF& X,
     ditems.clear();
     pitems.clear();
     for (const TickEntry& e : entries) {
-      KvCache& cache = requests_[e.id].layers[layer];
+      PagedKvCache& cache = *requests_[e.id].cache;
       if (e.prefill) {
-        cache.append_chunk({&kh(e.row0, 0), e.rows * hidden},
+        cache.append_chunk(layer, {&kh(e.row0, 0), e.rows * hidden},
                            {&vh(e.row0, 0), e.rows * hidden}, e.rows);
         for (std::size_t hd = 0; hd < heads; ++hd) {
           pitems.push_back(core::PrefillWorkItem{
-              cache.slice(hd), e.base, &qh(e.row0, hd * dim),
+              cache.slice(layer, hd), e.base, &qh(e.row0, hd * dim),
               &attn(e.row0, hd * dim), e.rows, hidden, hidden});
         }
       } else {
-        cache.append(kh.row(e.row0), vh.row(e.row0));
+        cache.append_chunk(layer, kh.row(e.row0), vh.row(e.row0), 1);
         for (std::size_t hd = 0; hd < heads; ++hd) {
           ditems.push_back(core::DecodeWorkItem{
-              cache.slice(hd), qh.row(e.row0).subspan(hd * dim, dim),
+              cache.slice(layer, hd), qh.row(e.row0).subspan(hd * dim, dim),
               attn.row(e.row0).subspan(hd * dim, dim)});
         }
       }
@@ -307,11 +435,32 @@ void DecodeEngine::retire(RequestId id) {
   scheduler_.release(id);
   const auto it = std::find(live_.begin(), live_.end(), id);
   if (it != live_.end()) live_.erase(it);
-  req.layers.clear();
-  req.layers.shrink_to_fit();
+  if (req.cache) {
+    // Published prompt tiles stay cached in the pool after release: a
+    // retired request's prefix remains attachable until evicted.
+    req.cache->release_all();
+    req.cache.reset();
+  }
   req.inputs.clear();
   req.inputs.shrink_to_fit();
   req.prompt = MatrixF();
+}
+
+void DecodeEngine::preempt_request(RequestId id) {
+  Request& req = requests_[id];
+  scheduler_.preempt(id);
+  req.cache->release_all();
+  req.cache.reset();
+  // Progress resets; generation is deterministic in the prompt, so the
+  // recompute replays the identical token trajectory on readmission.
+  req.prefilled = 0;
+  req.tokens = 0;
+  req.next_in.clear();
+  req.inputs.clear();
+  req.inputs.shrink_to_fit();
+  ++req.preemptions;
+  const auto it = std::find(live_.begin(), live_.end(), id);
+  if (it != live_.end()) live_.erase(it);
 }
 
 void DecodeEngine::finish(RequestId id) {
@@ -367,21 +516,20 @@ MatrixF DecodeEngine::fed_inputs(RequestId id) const {
   return m;
 }
 
-std::size_t DecodeEngine::kv_tiles_in_use() const noexcept {
-  std::size_t n = 0;
-  for (const RequestId id : live_) {
-    const Request& r = requests_[id];
-    if (!r.layers.empty()) n += r.layers.front().tiles();
-  }
-  return n;
+std::vector<TilePool::TileId> DecodeEngine::kv_block_table(
+    RequestId id) const {
+  const Request& req = checked(id);
+  return req.cache ? req.cache->block_table()
+                   : std::vector<TilePool::TileId>{};
 }
 
-std::size_t DecodeEngine::kv_bytes() const noexcept {
-  std::size_t n = 0;
-  for (const RequestId id : live_) {
-    for (const KvCache& c : requests_[id].layers) n += c.bytes();
-  }
-  return n;
+std::size_t DecodeEngine::shared_tile_count(RequestId id) const {
+  const Request& req = checked(id);
+  return req.cache ? req.cache->shared_tiles() : 0;
+}
+
+std::size_t DecodeEngine::preemption_count(RequestId id) const {
+  return checked(id).preemptions;
 }
 
 }  // namespace ftt::serve

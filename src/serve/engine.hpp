@@ -1,19 +1,32 @@
 #pragma once
-// Continuous-batching fault-tolerant serving engine.
+// Continuous-batching fault-tolerant serving engine over a paged KV pool.
 //
 // The engine drives autoregressive generation for many concurrent sequences
-// through a transformer::Model without ever recomputing a prefix.  submit()
-// only enqueues: all compute happens in step(), one scheduler tick that
+// through a transformer::Model without ever recomputing a live prefix.
+// KV storage is one serve::TilePool shared by every request: per-request
+// block tables map context tiles to pool tiles, sealed prompt tiles are
+// prefix-shared between requests (a hash chain over the prompt's hidden
+// rows keys the pool registry), and unreferenced tiles are LRU-evicted.
+// submit() only enqueues: all compute happens in step(), one scheduler tick
+// that
 //
-//   (a) admits queued requests whose KV reservation fits the batch-size and
-//       tile budgets (serve::Scheduler, strict FCFS — no overtaking);
-//   (b) runs at most one causal prefill chunk (up to 64 prompt rows) per
-//       prefilling request through efta_prefill_batch, so a long prompt
-//       streams into its caches across ticks instead of stalling the batch;
-//   (c) advances every decoding request by one token through
+//   (a) retires requests that reached their generation budget or context
+//       cap, releasing their tiles (published prompt tiles stay cached for
+//       future sharers until evicted);
+//   (b) admits queued requests, high-priority class first (serve::Scheduler,
+//       strict FCFS within a class), attaching any prefix tiles already in
+//       the pool so a shared prompt is computed once, ever;
+//   (c) memory phase: on-demand paged allocation of the tiles this tick's
+//       rows need, best-ranked request first.  When the pool is exhausted,
+//       the worst-ranked admitted request (lowest priority class, then
+//       youngest) is preempted: tiles released, request re-queued at the
+//       front of its class, to recompute from its prompt on readmission.
+//       A request that is itself the worst-ranked self-preempts, so the
+//       best-ranked request always makes progress — no livelock;
+//   (d) runs at most one causal prefill chunk (up to 64 prompt rows) per
+//       prefilling request through efta_prefill_batch;
+//   (e) advances every decoding request by one token through
 //       efta_decode_batch;
-//   (d) retires requests that reached their generation budget or context
-//       cap, freeing their KV tiles for the queue.
 //
 // Prefill chunks and decode rows share one row-stack per tick: layer norms,
 // the QKV/output projections and the feed-forward run once per layer over
@@ -25,8 +38,14 @@
 // Every per-row operation in the stack is row-deterministic, and the chunked
 // prefill kernel is bit-identical per row to the token-by-token decode path,
 // so a batched tick is bit-identical to running each request in its own
-// engine — regardless of what else shares the batch, and regardless of the
-// chunk size.  tests/test_serve.cpp pins both properties down.
+// engine — regardless of what else shares the batch, regardless of the
+// chunk size, and regardless of whether a prefix tile was computed locally
+// or attached from the pool (a shared tile holds exactly the bits a private
+// prefill would have produced, sealed checksum encodings included).
+// Preemption preserves the same guarantee by recomputation: generation is a
+// deterministic function of the prompt, so a preempted-then-readmitted
+// request replays its exact token trajectory.  tests/test_serve.cpp and
+// tests/test_tile_pool.cpp pin these properties down.
 //
 // Token embedding/unembedding are outside the paper's protected region
 // (memory, assumed ECC-protected) and are not modeled; "generation" feeds
@@ -34,13 +53,14 @@
 // input, which exercises exactly the per-token compute the paper profiles.
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "attention/ft_report.hpp"
 #include "core/decode.hpp"
-#include "serve/kv_cache.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/tile_pool.hpp"
 #include "transformer/model.hpp"
 
 namespace ftt::serve {
@@ -62,7 +82,8 @@ struct EngineOptions {
   /// Record every fed input row so fed_inputs() can replay the request
   /// through a from-scratch forward (tests / offline verification).  Costs
   /// hidden * 4 bytes per token while the request lives, which is why the
-  /// serving default is off.
+  /// serving default is off.  Preemption clears the recording (the rows are
+  /// re-recorded on recompute).
   bool record_inputs = false;
   /// Prompt rows per prefill chunk per tick, 1..64.  64 — the checksum tile
   /// — is the production setting: K/V tiles are loaded and encoded once per
@@ -72,7 +93,13 @@ struct EngineOptions {
   /// Generation budget for submit() calls that don't pass one explicitly.
   /// 0 = unbudgeted: the request decodes until finish() or max_context.
   std::size_t default_max_new_tokens = 0;
-  /// Admission policy: batch-size cap and KV tile back-pressure.
+  /// Register sealed fully-prompt tiles in the pool and attach matching
+  /// prefixes at admission.  Sharing never changes results (sealed tiles
+  /// are bit-identical to what a private prefill would compute); the knob
+  /// exists for A/B benchmarking the capacity win.
+  bool share_prefix = true;
+  /// Admission policy (batch-size cap, priority classes) and the pool
+  /// capacity (scheduler.max_kv_tiles, in context tiles; 0 = unbounded).
   SchedulerOptions scheduler;
 };
 
@@ -82,13 +109,22 @@ class DecodeEngine {
 
   struct StepStats {
     /// Token rows advanced this tick: prefill rows + decode steps.  Summed
-    /// over a request's lifetime this is its context length.
+    /// over a request's lifetime this is its *computed* context length
+    /// (prefix-shared rows are attached, not computed; preempted rows are
+    /// recomputed and so counted again).
     std::size_t active = 0;
     std::size_t admitted = 0;        ///< requests admitted from the queue
     std::size_t prefill_chunks = 0;  ///< causal prefill chunks run
-    std::size_t prefill_rows = 0;    ///< prompt rows absorbed
+    std::size_t prefill_rows = 0;    ///< prompt rows absorbed (computed)
     std::size_t decoded = 0;         ///< decode token-steps
     std::size_t retired = 0;         ///< requests retired (budget/cap)
+    std::size_t preempted = 0;       ///< requests preempted (pool exhausted)
+    std::size_t evicted = 0;         ///< cached prefix tiles evicted
+    /// Prefix-tile attach events (tiles mapped from the pool instead of
+    /// computed).  Counts *events*: a preempted request re-attaching its
+    /// prefix on readmission counts again — each attach is prefill compute
+    /// that did not run.
+    std::size_t shared_tiles = 0;
     attention::FtReport attention;   ///< merged over all attention slices
     abft::Report linear;             ///< projections + FFN ABFT
     std::size_t activations_clipped = 0;
@@ -100,6 +136,9 @@ class DecodeEngine {
       prefill_rows += o.prefill_rows;
       decoded += o.decoded;
       retired += o.retired;
+      preempted += o.preempted;
+      evicted += o.evicted;
+      shared_tiles += o.shared_tiles;
       attention += o.attention;
       linear += o.linear;
       activations_clipped += o.activations_clipped;
@@ -112,16 +151,21 @@ class DecodeEngine {
 
   /// Enqueue a sequence: `prompt_hidden` is seq x hidden, any seq >= 1.
   /// No compute happens here — the scheduler admits the request on a later
-  /// step() and its prompt streams in as causal prefill chunks.
-  /// `max_new_tokens` caps generation (0 = EngineOptions default); once the
-  /// cap or max_context is reached the request retires on its own.
+  /// step() and its prompt streams in as causal prefill chunks (minus any
+  /// prefix tiles already cached in the pool).  `max_new_tokens` caps
+  /// generation (0 = EngineOptions default); once the cap or max_context is
+  /// reached the request retires on its own.  `priority` picks the
+  /// scheduling class: high overtakes normal overtakes low, and preemption
+  /// victims are drawn lowest class first.  Throws std::invalid_argument
+  /// when the request's context ceiling could never fit the pool.
   RequestId submit(const tensor::MatrixF& prompt_hidden,
-                   std::size_t max_new_tokens = 0);
+                   std::size_t max_new_tokens = 0,
+                   Priority priority = Priority::kNormal);
 
-  /// One scheduler tick: admit, prefill one chunk per prefilling request,
-  /// advance every decoding request by one token, retire capped requests.
-  /// A tick with nothing to run returns zeroed stats without touching
-  /// OpenMP — an idle engine is free to poll.
+  /// One scheduler tick: retire, admit (+ prefix attach), allocate/preempt,
+  /// prefill one chunk per prefilling request, advance every decoding
+  /// request by one token.  A tick with nothing to run returns zeroed stats
+  /// without touching OpenMP — an idle engine is free to poll.
   StepStats step(fault::FaultInjector* inj = nullptr);
 
   /// Run `steps` ticks; merged stats.
@@ -132,14 +176,14 @@ class DecodeEngine {
   StepStats run_until_idle(fault::FaultInjector* inj = nullptr,
                            std::size_t max_ticks = SIZE_MAX);
 
-  /// Retire a request in any live state: release its caches, pending prompt
-  /// and recorded history, and free its scheduler reservation.  Its last
-  /// hidden state, lifetime report and token count stay readable.
+  /// Retire a request in any live state: release its tiles, pending prompt
+  /// and recorded history, and free its scheduler slot.  Its last hidden
+  /// state, lifetime report and token count stay readable.
   void finish(RequestId id);
 
   /// Merged stats over everything this engine ever ran; `active` counts
-  /// token rows (prefill + decode).  Equal to the sum of every step()
-  /// return — all compute happens inside ticks.
+  /// computed token rows (prefill + decode).  Equal to the sum of every
+  /// step() return — all compute happens inside ticks.
   [[nodiscard]] const StepStats& lifetime() const noexcept {
     return lifetime_;
   }
@@ -147,12 +191,14 @@ class DecodeEngine {
   [[nodiscard]] RequestState state(RequestId id) const;
   /// Requests admitted and not yet retired (prefilling + decoding).
   [[nodiscard]] std::size_t active() const noexcept;
-  /// Requests waiting for admission.
+  /// Requests waiting for admission (first-time or re-queued by
+  /// preemption).
   [[nodiscard]] std::size_t queued() const noexcept {
     return scheduler_.queued();
   }
   [[nodiscard]] bool is_active(RequestId id) const;
-  /// Tokens in the request's context (prefilled prompt rows + generated).
+  /// Tokens in the request's context (shared + prefilled prompt rows +
+  /// generated).  Reset by preemption; recovered by recomputation.
   [[nodiscard]] std::size_t context_length(RequestId id) const;
   /// Final-layernormed hidden state of the request's latest token (empty
   /// while the request is still queued).
@@ -162,33 +208,46 @@ class DecodeEngine {
   /// Every input row fed so far (prompt rows, then the fed-back generated
   /// rows): the matrix a from-scratch forward() would consume.  For tests
   /// and offline verification of cache-backed generation.  Empty when
-  /// record_inputs is off or the request has been retired.
+  /// record_inputs is off, the request was retired, or rows were skipped
+  /// by prefix sharing (sharing substitutes cached KV for compute).
   [[nodiscard]] tensor::MatrixF fed_inputs(RequestId id) const;
 
-  /// Context tiles currently allocated across live requests (the unit the
-  /// scheduler budgets): one context tile covers 64 tokens of KV across
-  /// every layer and head.  Drops when requests retire — the reclamation
-  /// the scheduler stress test asserts.
-  [[nodiscard]] std::size_t kv_tiles_in_use() const noexcept;
-  /// Allocated KV bytes across all live requests, layers and heads.
-  [[nodiscard]] std::size_t kv_bytes() const noexcept;
-  /// Tiles the scheduler has reserved for admitted requests.
-  [[nodiscard]] std::size_t kv_tiles_reserved() const noexcept {
-    return scheduler_.tiles_reserved();
+  /// The shared KV pool (occupancy, eviction and sharing stats; tile
+  /// introspection for the stress tests).
+  [[nodiscard]] const TilePool& pool() const noexcept { return pool_; }
+  /// Context tiles currently referenced by live requests — the pool's
+  /// in-use count.  Shared tiles count once, which is the capacity win.
+  [[nodiscard]] std::size_t kv_tiles_in_use() const noexcept {
+    return pool_.in_use();
   }
+  /// Bytes pinned by live requests' tiles (K+V+sealed encodings).
+  [[nodiscard]] std::size_t kv_bytes() const noexcept {
+    return pool_.bytes_in_use();
+  }
+  /// The request's block table (pool tile ids), empty when not admitted.
+  [[nodiscard]] std::vector<TilePool::TileId> kv_block_table(
+      RequestId id) const;
+  /// Tiles this request attached via prefix sharing (0 when not admitted).
+  [[nodiscard]] std::size_t shared_tile_count(RequestId id) const;
+  /// Times this request has been preempted so far.
+  [[nodiscard]] std::size_t preemption_count(RequestId id) const;
 
  private:
   struct Request {
-    std::vector<KvCache> layers;           // one cache per block
-    tensor::MatrixF prompt;                // pending rows (freed after prefill)
+    std::unique_ptr<PagedKvCache> cache;   // block table over the pool
+    tensor::MatrixF prompt;                // kept live for recompute-on-preempt
     std::size_t prompt_rows = 0;           // original prompt length
-    std::size_t prefilled = 0;             // prompt rows absorbed so far
+    std::size_t prefilled = 0;             // prompt rows in cache (shared
+                                           //   + computed)
     std::size_t max_tokens = 0;            // context cap: prompt + budget
+    Priority priority = Priority::kNormal;
+    std::vector<ChainKey> prompt_keys;     // shareable-prefix hash chain
     std::vector<float> next_in;            // next token's input row
     std::vector<float> last_hidden;        // final-LN output of last row
     std::vector<std::vector<float>> inputs;  // fed rows (record_inputs)
     attention::FtReport attention;         // lifetime attention report
-    std::size_t tokens = 0;                // context length ever reached
+    std::size_t tokens = 0;                // current context length
+    std::size_t preemptions = 0;           // times preempted
   };
 
   /// One request's share of a tick's row-stack.
@@ -201,6 +260,11 @@ class DecodeEngine {
   };
 
   void retire(RequestId id);
+  /// Preempt: release tiles, reset progress, re-queue at class front.
+  void preempt_request(RequestId id);
+  /// Rows this request would advance next tick (prefill chunk or 1).
+  [[nodiscard]] std::size_t next_rows(const Request& req,
+                                      RequestId id) const;
 
   /// Run the stacked rows X through the model: shared linears/FFN, per-
   /// (request, head) attention work items (prefill chunks + decode slices).
@@ -211,12 +275,13 @@ class DecodeEngine {
 
   const transformer::Model* model_;
   EngineOptions opt_;
+  TilePool pool_;
   Scheduler scheduler_;
   std::vector<Request> requests_;
-  /// Admitted, not-yet-retired ids, ascending (admissions are FCFS over
-  /// monotone ids).  Ticks sweep this instead of every request ever
-  /// submitted, so a long-running engine's tick cost tracks the batch, not
-  /// the lifetime request count.
+  /// Admitted, not-yet-retired ids, ascending (the tick's row-stack is in
+  /// request-id order — the order the bit-identity tests pin).  Ticks sweep
+  /// this instead of every request ever submitted, so a long-running
+  /// engine's tick cost tracks the batch, not the lifetime request count.
   std::vector<RequestId> live_;
   StepStats lifetime_;
 };

@@ -13,6 +13,44 @@ using numeric::Half;
 using tensor::MatrixH;
 using tensor::MatrixHView;
 
+namespace detail {
+
+void encode_sealed_tile(const Half* k_tile, const Half* v_tile,
+                        std::size_t dim, int s, Half* out) {
+  constexpr std::size_t kRows = KvCache::kTileRows;
+  const auto su = static_cast<std::size_t>(s);
+  const std::size_t kcn = su * dim;     // one K row-checksum block
+  const std::size_t vcn = kRows * su;   // one V column-checksum block
+  // Widen each operand once; both encodings of an operand consume the same
+  // fp32 image.
+  std::vector<float> kf(kRows * dim), vf(kRows * dim);
+  tensor::widen(MatrixHView{k_tile, kRows, dim, dim}, kf.data());
+  tensor::widen(MatrixHView{v_tile, kRows, dim, dim}, vf.data());
+  const MatrixH kc1 = abft::StridedAbft::encode_rows_strided_widened(
+      kf.data(), kRows, dim, s, false, nullptr);
+  const MatrixH kc2 = abft::StridedAbft::encode_rows_strided_widened(
+      kf.data(), kRows, dim, s, true, nullptr);
+  const MatrixH vc1 = abft::StridedAbft::encode_cols_strided_widened(
+      vf.data(), kRows, dim, s, false, nullptr);
+  const MatrixH vc2 = abft::StridedAbft::encode_cols_strided_widened(
+      vf.data(), kRows, dim, s, true, nullptr);
+  std::memcpy(out, kc1.data(), kcn * sizeof(Half));
+  std::memcpy(out + kcn, kc2.data(), kcn * sizeof(Half));
+  std::memcpy(out + 2 * kcn, vc1.data(), vcn * sizeof(Half));
+  std::memcpy(out + 2 * kcn + vcn, vc2.data(), vcn * sizeof(Half));
+}
+
+}  // namespace detail
+
+namespace testing {
+
+std::size_t& seal_alloc_failures() noexcept {
+  thread_local std::size_t count = 0;
+  return count;
+}
+
+}  // namespace testing
+
 KvCache::KvCache(std::size_t heads, std::size_t dim, int enc_stride)
     : heads_(heads), dim_(dim), enc_stride_(enc_stride), store_(heads) {
   if (heads == 0 || dim == 0) {
@@ -92,36 +130,22 @@ void KvCache::open_tiles(std::size_t count) {
 
 void KvCache::seal_tiles(std::size_t first, std::size_t count) {
   if (enc_stride_ == 0) return;  // memoization disabled
-  const auto s = enc_stride_;
-  const auto su = static_cast<std::size_t>(s);
+  const auto su = static_cast<std::size_t>(enc_stride_);
   const std::size_t kcn = su * dim_;        // one K row-checksum block
   const std::size_t vcn = kTileRows * su;   // one V column-checksum block
-  std::vector<float> kf(kTileRows * dim_), vf(kTileRows * dim_);
   for (std::size_t t = first; t < first + count; ++t) {
     for (std::size_t h = 0; h < heads_; ++h) {
       HeadStore& hs = store_[h];
-      // Widen each tile once; both encodings of an operand consume the same
-      // fp32 image.  Encode exactly as the decode kernel would per call (no
-      // injector: the memo is built outside any fault campaign), so the
-      // sealed bits equal a fresh encode bit for bit.
-      tensor::widen(MatrixHView{hs.k_tiles[t].get(), kTileRows, dim_, dim_},
-                    kf.data());
-      tensor::widen(MatrixHView{hs.v_tiles[t].get(), kTileRows, dim_, dim_},
-                    vf.data());
-      const MatrixH kc1 = abft::StridedAbft::encode_rows_strided_widened(
-          kf.data(), kTileRows, dim_, s, false, nullptr);
-      const MatrixH kc2 = abft::StridedAbft::encode_rows_strided_widened(
-          kf.data(), kTileRows, dim_, s, true, nullptr);
-      const MatrixH vc1 = abft::StridedAbft::encode_cols_strided_widened(
-          vf.data(), kTileRows, dim_, s, false, nullptr);
-      const MatrixH vc2 = abft::StridedAbft::encode_cols_strided_widened(
-          vf.data(), kTileRows, dim_, s, true, nullptr);
+      if (testing::seal_alloc_failures() > 0) {
+        // Injected allocation failure: behave exactly like a real
+        // exhausted-heap make_unique below.
+        --testing::seal_alloc_failures();
+        throw std::bad_alloc();
+      }
       auto block = std::make_unique<Half[]>(2 * kcn + 2 * vcn);
       Half* p = block.get();
-      std::memcpy(p, kc1.data(), kcn * sizeof(Half));
-      std::memcpy(p + kcn, kc2.data(), kcn * sizeof(Half));
-      std::memcpy(p + 2 * kcn, vc1.data(), vcn * sizeof(Half));
-      std::memcpy(p + 2 * kcn + vcn, vc2.data(), vcn * sizeof(Half));
+      detail::encode_sealed_tile(hs.k_tiles[t].get(), hs.v_tiles[t].get(),
+                                 dim_, enc_stride_, p);
       hs.kc1_ptrs[t] = p;
       hs.kc2_ptrs[t] = p + kcn;
       hs.vc1_ptrs[t] = p + 2 * kcn;

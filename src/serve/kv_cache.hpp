@@ -1,6 +1,13 @@
 #pragma once
 // Per-request growable K/V storage for batched fault-tolerant decode.
 //
+// This is the standalone, self-owning cache: each instance allocates its
+// own tiles.  The serving engine itself pages KV through the shared
+// serve::TilePool (tile_pool.hpp) instead, which reuses this file's
+// sealed-encoding layout via detail::encode_sealed_tile; KvCache remains
+// the kernel-level harness (tests, benches, single-request embedding) and
+// the reference the paged path is bit-compared against.
+//
 // Storage is allocated in 64-row tiles per head (the strided-ABFT checksum
 // footprint, abft::StridedAbft::kTile): appending a token never relocates
 // previously written rows, so tile pointers handed to in-flight decode
@@ -28,6 +35,28 @@
 #include "numeric/fp16.hpp"
 
 namespace ftt::serve {
+
+namespace detail {
+/// Encode the four sealed-tile checksum blocks of one 64 x dim K/V tile
+/// pair into `out`, laid out [kc1 (s x dim) | kc2 (s x dim) | vc1 (64 x s)
+/// | vc2 (64 x s)] — 2*s*dim + 2*64*s halves.  Exactly the encodes the
+/// decode kernel would run per call (no injector: memos are built outside
+/// any fault campaign), so the sealed bits equal a fresh encode bit for
+/// bit.  Shared by KvCache (per-request caches) and TilePool (paged pool
+/// slabs).
+void encode_sealed_tile(const numeric::Half* k_tile,
+                        const numeric::Half* v_tile, std::size_t dim, int s,
+                        numeric::Half* out);
+}  // namespace detail
+
+namespace testing {
+/// Thread-local count of encoding-block allocations KvCache::seal_tiles
+/// should fail (throwing bad_alloc) before allocating normally again.
+/// Exercises the allocation-failure fallback — null memo entries must
+/// degrade to fresh per-call encodes, never wrong results — without
+/// exhausting real memory.  Test-only observability; not a serving API.
+std::size_t& seal_alloc_failures() noexcept;
+}  // namespace testing
 
 class KvCache {
  public:

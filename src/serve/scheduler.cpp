@@ -11,40 +11,42 @@ Scheduler::Scheduler(SchedulerOptions opt) : opt_(opt) {
   }
 }
 
-void Scheduler::enqueue(RequestId id, std::size_t max_tokens) {
+EnqueueResult Scheduler::enqueue(RequestId id, std::size_t max_tokens,
+                                 Priority priority) {
   if (max_tokens == 0) {
     throw std::invalid_argument("Scheduler: max_tokens must be >= 1");
   }
   // Overflow-safe ceil: max_tokens can legitimately be SIZE_MAX (an
-  // uncapped engine), where (max_tokens + 63) would wrap to a 0-tile
-  // reservation and silently bypass the KV back-pressure budget.
+  // uncapped engine), where (max_tokens + 63) would wrap and bypass the
+  // never-admittable check.
   const std::size_t tiles =
       max_tokens / kTileRows + (max_tokens % kTileRows != 0 ? 1 : 0);
   if (opt_.max_kv_tiles != 0 && tiles > opt_.max_kv_tiles) {
-    throw std::invalid_argument(
-        "Scheduler: request reservation exceeds max_kv_tiles — it could "
-        "never be admitted");
+    return EnqueueResult::kRejectedTooLarge;  // could never run, even alone
   }
   if (id >= slots_.size()) slots_.resize(id + 1);
-  slots_[id] = Slot{RequestState::kQueued, tiles};
-  queue_.push_back(id);
+  slots_[id] = Slot{RequestState::kQueued, priority};
+  queues_[static_cast<std::size_t>(priority)].push_back(id);
+  return EnqueueResult::kAccepted;
 }
 
-std::vector<Scheduler::RequestId> Scheduler::admit() {
+std::vector<Scheduler::RequestId> Scheduler::admit(
+    std::size_t new_tile_hint) {
   std::vector<RequestId> out;
-  while (!queue_.empty()) {
-    const RequestId id = queue_.front();
-    const std::size_t tiles = slots_[id].tiles;
-    if (admitted_ >= opt_.max_batch_size) break;
-    if (opt_.max_kv_tiles != 0 &&
-        tiles_reserved_ + tiles > opt_.max_kv_tiles) {
-      break;  // strict FCFS: never admit past a blocked head
+  for (auto& queue : queues_) {  // high class first
+    while (!queue.empty()) {
+      if (admitted_ >= opt_.max_batch_size || new_tile_hint == 0) {
+        return out;
+      }
+      const RequestId id = queue.front();
+      queue.pop_front();
+      slots_[id].state = RequestState::kPrefilling;
+      ++admitted_;
+      // Each admission plausibly needs one fresh tile beyond any shared
+      // prefix; the hint is a throttle, not a reservation.
+      --new_tile_hint;
+      out.push_back(id);
     }
-    queue_.pop_front();
-    slots_[id].state = RequestState::kPrefilling;
-    ++admitted_;
-    tiles_reserved_ += tiles;
-    out.push_back(id);
   }
   return out;
 }
@@ -58,18 +60,32 @@ void Scheduler::on_prefill_done(RequestId id) {
   slot.state = RequestState::kDecoding;
 }
 
+void Scheduler::preempt(RequestId id) {
+  Slot& slot = checked(id);
+  if (slot.state != RequestState::kPrefilling &&
+      slot.state != RequestState::kDecoding) {
+    throw std::logic_error("Scheduler: preempt of a non-admitted request");
+  }
+  --admitted_;
+  slot.state = RequestState::kQueued;
+  // Front of its class: a preempted request is the first of its class to be
+  // readmitted — delayed, never starved behind later arrivals.
+  queues_[static_cast<std::size_t>(slot.priority)].push_front(id);
+  ++preemptions_;
+}
+
 void Scheduler::release(RequestId id) {
   Slot& slot = checked(id);
   switch (slot.state) {
     case RequestState::kQueued: {
-      const auto it = std::find(queue_.begin(), queue_.end(), id);
-      if (it != queue_.end()) queue_.erase(it);
+      auto& queue = queues_[static_cast<std::size_t>(slot.priority)];
+      const auto it = std::find(queue.begin(), queue.end(), id);
+      if (it != queue.end()) queue.erase(it);
       break;
     }
     case RequestState::kPrefilling:
     case RequestState::kDecoding:
       --admitted_;
-      tiles_reserved_ -= slot.tiles;
       break;
     case RequestState::kRetired:
       return;  // idempotent
@@ -79,6 +95,16 @@ void Scheduler::release(RequestId id) {
 
 RequestState Scheduler::state(RequestId id) const {
   return checked(id).state;
+}
+
+Priority Scheduler::priority(RequestId id) const {
+  return checked(id).priority;
+}
+
+std::size_t Scheduler::queued() const noexcept {
+  std::size_t n = 0;
+  for (const auto& queue : queues_) n += queue.size();
+  return n;
 }
 
 Scheduler::Slot& Scheduler::checked(RequestId id) {

@@ -1,46 +1,64 @@
 #pragma once
 // Continuous-batching admission control: the policy half of the serving
-// engine.
+// engine, now priority-aware and preemption-capable.
 //
-// The scheduler owns the FCFS queue and the two back-pressure knobs that
-// bound what one DecodeEngine tick may run: a batch-size cap on concurrently
-// admitted requests and a KV tile budget.  Admission reserves the tiles a
-// request could ever need (ceil(max_tokens / 64) context tiles), so an
-// admitted request is guaranteed to run to its cap without mid-flight
-// eviction — the engine never has to preempt to make memory progress.
+// KV admission is no longer a worst-case reservation.  With the paged
+// TilePool, tiles are allocated on demand inside the engine's tick (and
+// reclaimed by preemption when the pool runs dry), so the scheduler's job
+// shrinks to ordering: three priority classes (high / normal / low), each a
+// strict-FCFS queue, swept high-to-low.  Within a class no request ever
+// overtakes an earlier one; across classes, high-priority traffic overtakes
+// bulk — the latency bound the priority stress test pins down.
 //
-// The policy is strict FCFS: the sweep admits from the head of the queue and
-// stops at the first request that does not fit.  No request ever overtakes
-// an earlier one, which is the starvation bound the scheduler stress test
-// pins down — the head of the queue is always the next admission once tiles
-// drain, so every request is admitted after finitely many retirements.
+// Preemption re-queues a victim at the *front* of its class, so a preempted
+// request is the first of its class to be readmitted once memory frees up —
+// preemption can delay a request but never starve it behind later arrivals.
 //
-// The scheduler is deliberately engine-agnostic bookkeeping (ids in, ids
-// out, no tensors) so the policy is unit-testable without a model.
+// The one memory-shaped check left is at enqueue: a request whose context
+// ceiling needs more tiles than the whole pool could ever hold can never
+// run, and is rejected with a typed result (kRejectedTooLarge) instead of
+// an exception — with paging this is a load-shedding decision, not a
+// programming error.
+//
+// The scheduler stays engine-agnostic bookkeeping (ids in, ids out, no
+// tensors) so the policy is unit-testable without a model.
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
 namespace ftt::serve {
 
 /// Lifecycle of a request inside the serving engine:
-/// queued -> prefilling -> decoding -> retired.
+/// queued -> prefilling -> decoding -> retired, with preemption arcing
+/// prefilling/decoding back to queued (front of its class).
 enum class RequestState {
-  kQueued,      ///< submitted, waiting for admission
+  kQueued,      ///< submitted or preempted, waiting for (re)admission
   kPrefilling,  ///< admitted; prompt chunks still streaming into the cache
   kDecoding,    ///< prompt absorbed; advancing one token per tick
   kRetired,     ///< finished, capped, or finish()ed; caches released
 };
 
+/// Priority class; lower value = more urgent.  Admission sweeps high first,
+/// and preemption victims are chosen lowest-priority first.
+enum class Priority : std::uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+inline constexpr std::size_t kNumPriorities = 3;
+
+/// Typed enqueue outcome.  kRejectedTooLarge: the request's tile ceiling
+/// exceeds the whole pool — it could never run, even alone — and was NOT
+/// queued.
+enum class EnqueueResult { kAccepted, kRejectedTooLarge };
+
 struct SchedulerOptions {
   /// Concurrently admitted requests (prefilling + decoding).  Bounds the
   /// row-stack one tick runs through the shared linears.
   std::size_t max_batch_size = 8;
-  /// KV back-pressure: total *context tiles* reserved across admitted
-  /// requests (one context tile = 64 tokens of KV across every layer and
-  /// head).  A request reserves ceil(max_tokens / 64) at admission and
-  /// frees them at retirement.  0 = unlimited.
+  /// Capacity of the paged KV pool in context tiles (one context tile = 64
+  /// tokens of KV across every layer and head).  The scheduler uses it only
+  /// for the never-admittable enqueue rejection; the pool itself enforces
+  /// the budget at allocation time.  0 = unbounded.
   std::size_t max_kv_tiles = 0;
 };
 
@@ -48,34 +66,48 @@ class Scheduler {
  public:
   using RequestId = std::size_t;
 
-  /// Context tile granularity (tokens per reserved tile).
+  /// Context tile granularity (tokens per tile).
   static constexpr std::size_t kTileRows = 64;
 
   explicit Scheduler(SchedulerOptions opt = {});
 
-  /// Register a request at the tail of the queue.  `max_tokens` is its
-  /// context ceiling (prompt + generation budget); the reservation is
-  /// ceil(max_tokens / 64) tiles.  Throws if the reservation alone exceeds
-  /// max_kv_tiles — such a request could never be admitted.
-  void enqueue(RequestId id, std::size_t max_tokens);
+  /// Register a request at the tail of its class's queue.  `max_tokens` is
+  /// its context ceiling (prompt + generation budget).  Returns
+  /// kRejectedTooLarge — without queueing — when ceil(max_tokens / 64)
+  /// exceeds max_kv_tiles: such a request could never run even with the
+  /// pool to itself.  Throws only on max_tokens == 0 (a programming error,
+  /// not load).
+  EnqueueResult enqueue(RequestId id, std::size_t max_tokens,
+                        Priority priority = Priority::kNormal);
 
-  /// One FCFS admission sweep: admits from the head while both budgets
-  /// hold, stops at the first request that does not fit (no overtaking).
-  /// Returns the ids admitted, in queue order.
-  std::vector<RequestId> admit();
+  /// One admission sweep: high class first, strict FCFS within each class,
+  /// while the batch-size cap holds and `new_tile_hint` admissions remain.
+  /// The hint is the engine's estimate of how many more requests the pool
+  /// can take on (TilePool::allocatable()); it throttles thundering
+  /// admissions that would immediately preempt each other.  Returns the ids
+  /// admitted, in admission order.
+  std::vector<RequestId> admit(std::size_t new_tile_hint = SIZE_MAX);
 
   /// kPrefilling -> kDecoding (the engine finished the last prompt chunk).
   void on_prefill_done(RequestId id);
 
-  /// Retire a request from any live state: frees its reservation, or
-  /// removes it from the queue if it was never admitted.
+  /// Preempt an admitted request: back to kQueued at the *front* of its
+  /// class, so it is the first of its class readmitted.  The engine pairs
+  /// this with releasing the request's tiles; the request recomputes from
+  /// its prompt on readmission.
+  void preempt(RequestId id);
+
+  /// Retire a request from any live state: frees its batch slot, or removes
+  /// it from its queue if it was waiting.
   void release(RequestId id);
 
   [[nodiscard]] RequestState state(RequestId id) const;
-  [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+  [[nodiscard]] Priority priority(RequestId id) const;
+  [[nodiscard]] std::size_t queued() const noexcept;
   [[nodiscard]] std::size_t admitted() const noexcept { return admitted_; }
-  [[nodiscard]] std::size_t tiles_reserved() const noexcept {
-    return tiles_reserved_;
+  /// Lifetime preemption count.
+  [[nodiscard]] std::size_t preemptions() const noexcept {
+    return preemptions_;
   }
   [[nodiscard]] const SchedulerOptions& options() const noexcept {
     return opt_;
@@ -84,17 +116,17 @@ class Scheduler {
  private:
   struct Slot {
     RequestState state = RequestState::kQueued;
-    std::size_t tiles = 0;
+    Priority priority = Priority::kNormal;
   };
 
   [[nodiscard]] Slot& checked(RequestId id);
   [[nodiscard]] const Slot& checked(RequestId id) const;
 
   SchedulerOptions opt_;
-  std::deque<RequestId> queue_;
+  std::array<std::deque<RequestId>, kNumPriorities> queues_;
   std::vector<Slot> slots_;  // indexed by id; engine ids are dense
   std::size_t admitted_ = 0;
-  std::size_t tiles_reserved_ = 0;
+  std::size_t preemptions_ = 0;
 };
 
 }  // namespace ftt::serve

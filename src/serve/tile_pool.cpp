@@ -1,0 +1,381 @@
+#include "serve/tile_pool.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "serve/kv_cache.hpp"
+
+namespace ftt::serve {
+
+using numeric::Half;
+
+ChainKey chain_extend(const ChainKey& parent, const void* data,
+                      std::size_t bytes) noexcept {
+  // Two independent FNV-1a streams (distinct offset bases; the second also
+  // finalizes with a strong 64-bit mix) give a 128-bit effective key; the
+  // registry compares full keys, so a collision needs both to collide.
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t a = parent.a ^ 0xcbf29ce484222325ull;
+  std::uint64_t b = parent.b ^ 0x84222325cbf29ce4ull;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    a = (a ^ p[i]) * kPrime;
+    b = (b ^ p[bytes - 1 - i]) * kPrime;
+  }
+  // splitmix64 finalizer decorrelates the two lanes.
+  b ^= b >> 30;
+  b *= 0xbf58476d1ce4e5b9ull;
+  b ^= b >> 27;
+  return ChainKey{a, b};
+}
+
+TilePool::TilePool(TilePoolOptions opt)
+    : layers_(opt.layers),
+      heads_(opt.heads),
+      dim_(opt.dim),
+      enc_stride_(opt.enc_stride),
+      capacity_tiles_(opt.capacity_tiles) {
+  if (layers_ == 0 || heads_ == 0 || dim_ == 0) {
+    throw std::invalid_argument(
+        "TilePool: layers, heads and dim must be positive");
+  }
+  // Same memoization gate as KvCache: a stride that cannot tile the
+  // checksum footprint disables the memo instead of rejecting the pool.
+  if (enc_stride_ <= 0 ||
+      kTileRows % static_cast<std::size_t>(enc_stride_) != 0 ||
+      dim_ % static_cast<std::size_t>(enc_stride_) != 0) {
+    enc_stride_ = 0;
+  }
+  const auto su = static_cast<std::size_t>(enc_stride_);
+  enc_halves_ = enc_stride_ == 0 ? 0 : 2 * su * dim_ + 2 * kTileRows * su;
+  per_lh_halves_ = 2 * kTileRows * dim_ + enc_halves_;
+  slab_halves_ = layers_ * heads_ * per_lh_halves_;
+}
+
+std::size_t TilePool::offset(std::size_t layer,
+                             std::size_t head) const noexcept {
+  return (layer * heads_ + head) * per_lh_halves_;
+}
+
+Half* TilePool::k_tile(TileId id, std::size_t layer,
+                       std::size_t head) noexcept {
+  return tiles_[id].slab.get() + offset(layer, head);
+}
+Half* TilePool::v_tile(TileId id, std::size_t layer,
+                       std::size_t head) noexcept {
+  return k_tile(id, layer, head) + kTileRows * dim_;
+}
+Half* TilePool::enc_block(TileId id, std::size_t layer,
+                          std::size_t head) noexcept {
+  if (enc_stride_ == 0) return nullptr;
+  return v_tile(id, layer, head) + kTileRows * dim_;
+}
+const Half* TilePool::k_tile(TileId id, std::size_t layer,
+                             std::size_t head) const noexcept {
+  return tiles_[id].slab.get() + offset(layer, head);
+}
+const Half* TilePool::v_tile(TileId id, std::size_t layer,
+                             std::size_t head) const noexcept {
+  return k_tile(id, layer, head) + kTileRows * dim_;
+}
+const Half* TilePool::enc_block(TileId id, std::size_t layer,
+                                std::size_t head) const noexcept {
+  if (enc_stride_ == 0) return nullptr;
+  return v_tile(id, layer, head) + kTileRows * dim_;
+}
+
+TilePool::Tile& TilePool::checked(TileId id) {
+  if (id >= tiles_.size()) {
+    throw std::out_of_range("TilePool: unknown tile id");
+  }
+  return tiles_[id];
+}
+const TilePool::Tile& TilePool::checked(TileId id) const {
+  if (id >= tiles_.size()) {
+    throw std::out_of_range("TilePool: unknown tile id");
+  }
+  return tiles_[id];
+}
+
+void TilePool::recycle(TileId id) {
+  Tile& t = tiles_[id];
+  // Zero the whole slab: fresh K/V rows are the decode kernel's ragged-tail
+  // padding, and stale sealed encodings must never leak into a new tile.
+  std::fill_n(t.slab.get(), slab_halves_, Half{});
+  t.sealed = false;
+  if (t.is_published) {
+    registry_.erase(t.key);
+    t.is_published = false;
+  }
+  t.key = ChainKey{};
+  t.stamp = 0;
+}
+
+TilePool::TileId TilePool::acquire() {
+  // 1. Dead tiles first: reclaiming one loses nothing.
+  while (!dead_.empty()) {
+    const TileId id = dead_.front();
+    dead_.pop_front();
+    Tile& t = tiles_[id];
+    if (t.refs != 0) continue;  // stale entry (re-retained since listed)
+    recycle(id);
+    t.refs = 1;
+    ++in_use_;
+    return id;
+  }
+  // 2. Fresh capacity.
+  if (capacity_tiles_ == 0 || tiles_.size() < capacity_tiles_) {
+    Tile t;
+    t.slab = std::make_unique<Half[]>(slab_halves_);  // value-init: zeroed
+    t.refs = 1;
+    tiles_.push_back(std::move(t));
+    ++in_use_;
+    return tiles_.size() - 1;
+  }
+  // 3. Evict the least-recently-released cached (prefix-registered) tile.
+  while (!cached_.empty()) {
+    const auto [id, stamp] = cached_.front();
+    cached_.pop_front();
+    Tile& t = tiles_[id];
+    if (t.refs != 0 || t.stamp != stamp) continue;  // stale: re-shared since
+    ++evictions_;
+    recycle(id);
+    t.refs = 1;
+    ++in_use_;
+    return id;
+  }
+  return kNoTile;  // every tile is referenced
+}
+
+void TilePool::retain(TileId id) {
+  Tile& t = checked(id);
+  if (t.refs == 0) {
+    ++in_use_;
+    t.stamp = 0;  // invalidate any free-list entry (lazy removal)
+  }
+  ++t.refs;
+}
+
+void TilePool::release(TileId id) {
+  Tile& t = checked(id);
+  if (t.refs == 0) {
+    throw std::logic_error("TilePool: refcount underflow on release");
+  }
+  if (--t.refs == 0) {
+    --in_use_;
+    if (t.is_published) {
+      t.stamp = ++clock_;
+      cached_.emplace_back(id, t.stamp);
+    } else {
+      t.stamp = ++clock_;
+      dead_.push_back(id);
+    }
+  }
+}
+
+TilePool::TileId TilePool::lookup_shared(const ChainKey& key) {
+  const auto it = registry_.find(key);
+  if (it == registry_.end()) return kNoTile;
+  const TileId id = it->second;
+  retain(id);  // also pulls it off the cached list via the stamp
+  ++shared_hits_;
+  return id;
+}
+
+void TilePool::seal(TileId id) { checked(id).sealed = true; }
+
+bool TilePool::sealed(TileId id) const { return checked(id).sealed; }
+
+bool TilePool::publish(TileId id, const ChainKey& key) {
+  Tile& t = checked(id);
+  if (!t.sealed) {
+    throw std::logic_error("TilePool: publish of an unsealed tile");
+  }
+  if (t.is_published) return false;
+  if (!registry_.emplace(key, id).second) {
+    return false;  // first writer wins; the caller keeps its private copy
+  }
+  t.is_published = true;
+  t.key = key;
+  return true;
+}
+
+std::size_t TilePool::allocatable() const noexcept {
+  if (capacity_tiles_ == 0) return static_cast<std::size_t>(-1);
+  return capacity_tiles_ - in_use_;
+}
+
+std::size_t TilePool::refcount(TileId id) const { return checked(id).refs; }
+
+std::size_t TilePool::bytes_in_use() const noexcept {
+  return in_use_ * slab_halves_ * sizeof(Half);
+}
+
+std::size_t TilePool::bytes_allocated() const noexcept {
+  return tiles_.size() * slab_halves_ * sizeof(Half);
+}
+
+// ---------------------------------------------------------------------------
+// PagedKvCache
+// ---------------------------------------------------------------------------
+
+PagedKvCache::PagedKvCache(TilePool& pool)
+    : pool_(&pool),
+      layer_len_(pool.layers(), 0),
+      ptrs_(pool.layers() * pool.heads()) {}
+
+PagedKvCache::~PagedKvCache() { release_all(); }
+
+void PagedKvCache::push_tile_ptrs(TilePool::TileId id, bool with_enc) {
+  const std::size_t layers = pool_->layers(), heads = pool_->heads();
+  const std::size_t dim = pool_->dim();
+  const auto su = static_cast<std::size_t>(pool_->enc_stride());
+  const std::size_t kcn = su * dim, vcn = TilePool::kTileRows * su;
+  for (std::size_t l = 0; l < layers; ++l) {
+    for (std::size_t h = 0; h < heads; ++h) {
+      HeadPtrs& hp = ptrs_[l * heads + h];
+      hp.k.push_back(pool_->k_tile(id, l, h));
+      hp.v.push_back(pool_->v_tile(id, l, h));
+      const Half* enc = with_enc ? pool_->enc_block(id, l, h) : nullptr;
+      hp.kc1.push_back(enc);
+      hp.kc2.push_back(enc == nullptr ? nullptr : enc + kcn);
+      hp.vc1.push_back(enc == nullptr ? nullptr : enc + 2 * kcn);
+      hp.vc2.push_back(enc == nullptr ? nullptr : enc + 2 * kcn + vcn);
+    }
+  }
+}
+
+void PagedKvCache::attach_shared(TilePool::TileId id) {
+  if (!pool_->sealed(id)) {
+    throw std::logic_error("PagedKvCache: attach of an unsealed tile");
+  }
+  for (const std::size_t len : layer_len_) {
+    if (len != table_.size() * TilePool::kTileRows) {
+      throw std::logic_error(
+          "PagedKvCache: shared tiles attach only on tile boundaries");
+    }
+  }
+  table_.push_back(id);
+  push_tile_ptrs(id, /*with_enc=*/true);
+  for (std::size_t& len : layer_len_) len += TilePool::kTileRows;
+  ++shared_tiles_;
+}
+
+bool PagedKvCache::ensure_capacity(std::size_t tokens) {
+  const std::size_t need =
+      (tokens + TilePool::kTileRows - 1) / TilePool::kTileRows;
+  while (table_.size() < need) {
+    const TilePool::TileId id = pool_->acquire();
+    if (id == TilePool::kNoTile) return false;
+    table_.push_back(id);
+    push_tile_ptrs(id, /*with_enc=*/false);  // enc ptrs null until sealed
+  }
+  return true;
+}
+
+void PagedKvCache::seal_layer_tile(std::size_t layer, std::size_t tile_index) {
+  const int s = pool_->enc_stride();
+  const std::size_t heads = pool_->heads(), dim = pool_->dim();
+  const TilePool::TileId id = table_[tile_index];
+  if (s != 0) {
+    const auto su = static_cast<std::size_t>(s);
+    const std::size_t kcn = su * dim, vcn = TilePool::kTileRows * su;
+    for (std::size_t h = 0; h < heads; ++h) {
+      Half* enc = pool_->enc_block(id, layer, h);
+      detail::encode_sealed_tile(pool_->k_tile(id, layer, h),
+                                 pool_->v_tile(id, layer, h), dim, s, enc);
+      HeadPtrs& hp = ptrs_[layer * heads + h];
+      hp.kc1[tile_index] = enc;
+      hp.kc2[tile_index] = enc + kcn;
+      hp.vc1[tile_index] = enc + 2 * kcn;
+      hp.vc2[tile_index] = enc + 2 * kcn + vcn;
+    }
+  }
+  // The last layer fills last within a tick: its seal completes the tile.
+  if (layer == pool_->layers() - 1) {
+    pool_->seal(id);
+    newly_sealed_.push_back(tile_index);
+  }
+}
+
+void PagedKvCache::append_chunk(std::size_t layer,
+                                std::span<const Half> k,
+                                std::span<const Half> v, std::size_t rows) {
+  const std::size_t heads = pool_->heads(), dim = pool_->dim();
+  if (layer >= pool_->layers()) {
+    throw std::out_of_range("PagedKvCache: layer out of range");
+  }
+  if (rows == 0 || k.size() != rows * heads * dim ||
+      v.size() != rows * heads * dim) {
+    throw std::invalid_argument(
+        "PagedKvCache: expected rows*heads*dim values");
+  }
+  const std::size_t len = layer_len_[layer];
+  if (len + rows > table_.size() * TilePool::kTileRows) {
+    throw std::logic_error(
+        "PagedKvCache: append beyond ensured capacity — the engine's memory "
+        "phase must run first");
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t tile = (len + r) / TilePool::kTileRows;
+    const std::size_t row = (len + r) % TilePool::kTileRows;
+    const TilePool::TileId id = table_[tile];
+    for (std::size_t h = 0; h < heads; ++h) {
+      std::memcpy(pool_->k_tile(id, layer, h) + row * dim,
+                  k.data() + (r * heads + h) * dim, dim * sizeof(Half));
+      std::memcpy(pool_->v_tile(id, layer, h) + row * dim,
+                  v.data() + (r * heads + h) * dim, dim * sizeof(Half));
+    }
+  }
+  layer_len_[layer] = len + rows;
+  // Seal every tile this chunk filled for this layer.  Slab encoding space
+  // is preallocated, so — unlike KvCache — sealing cannot fail mid-append.
+  const std::size_t sealed_before = len / TilePool::kTileRows;
+  const std::size_t sealed_after = layer_len_[layer] / TilePool::kTileRows;
+  for (std::size_t t = sealed_before; t < sealed_after; ++t) {
+    seal_layer_tile(layer, t);
+  }
+}
+
+core::KvSlice PagedKvCache::slice(std::size_t layer, std::size_t head) const {
+  if (layer >= pool_->layers() || head >= pool_->heads()) {
+    throw std::out_of_range("PagedKvCache: layer/head out of range");
+  }
+  const HeadPtrs& hp = ptrs_[layer * pool_->heads() + head];
+  return core::KvSlice{hp.k.data(),   hp.v.data(),   layer_len_[layer],
+                       pool_->dim(),  hp.kc1.data(), hp.kc2.data(),
+                       hp.vc1.data(), hp.vc2.data(), pool_->enc_stride()};
+}
+
+std::size_t PagedKvCache::length() const noexcept {
+  // Rows every layer has committed; mid-tick, later layers lag earlier
+  // ones, and the minimum is the fully-appended context.
+  std::size_t len = layer_len_.empty() ? 0 : layer_len_[0];
+  for (const std::size_t l : layer_len_) len = l < len ? l : len;
+  return len;
+}
+
+std::vector<std::size_t> PagedKvCache::take_newly_sealed() {
+  std::vector<std::size_t> out;
+  out.swap(newly_sealed_);
+  return out;
+}
+
+void PagedKvCache::release_all() {
+  for (const TilePool::TileId id : table_) pool_->release(id);
+  table_.clear();
+  for (std::size_t& len : layer_len_) len = 0;
+  for (HeadPtrs& hp : ptrs_) {
+    hp.k.clear();
+    hp.v.clear();
+    hp.kc1.clear();
+    hp.kc2.clear();
+    hp.vc1.clear();
+    hp.vc2.clear();
+  }
+  shared_tiles_ = 0;
+  newly_sealed_.clear();
+}
+
+}  // namespace ftt::serve

@@ -1,0 +1,288 @@
+#pragma once
+// Paged KV storage: one shared pool of 64-row context tiles behind every
+// request's block table (vLLM-style PagedAttention, specialized to the
+// fault-tolerant decode kernel's checksum footprint).
+//
+// A *context tile* holds 64 tokens of K/V for every layer and head of the
+// model, plus — when checksum memoization is enabled — the four sealed
+// strided-ABFT encodings of each (layer, head) 64 x dim tile pair, all in
+// one contiguous slab.  Because the encodings live inside the tile, sharing
+// a tile shares its ABFT memo too: a prefix computed (and encoded) once is
+// verified from the same sealed checksums by every request that maps it.
+//
+// Tiles are refcounted.  A request's PagedKvCache maps context positions to
+// pool tiles through a block table; sealed tiles are immutable, so sharing
+// needs no copy-on-write machinery beyond the rule that only the *open tail
+// tile* of each request is ever written, and the tail is always private
+// (shared tiles are attached only in the sealed state).  When a tile's
+// refcount drops to zero it is not destroyed:
+//
+//   * unpublished tiles (generated rows, aborted prefills) go on a dead
+//     list and are the first choice for reuse — reclaiming them loses
+//     nothing;
+//   * published tiles (sealed prompt tiles registered under a prefix hash
+//     chain) go on an LRU cached list and remain discoverable through
+//     lookup_shared() until capacity pressure evicts them, oldest first.
+//
+// acquire() prefers dead tiles, then fresh capacity, then LRU eviction of
+// cached tiles; only when every tile is referenced does it fail (kNoTile),
+// which is the signal the engine turns into preemption.
+//
+// Prefix sharing is keyed by a hash chain: tile t's key extends tile t-1's
+// key with the bytes that *determine* the tile's sealed contents (the
+// engine hashes the prompt's hidden rows — the model is deterministic and
+// the batched path bit-identical per row, so equal prompt prefixes produce
+// bit-identical sealed tiles in every layer).  Keys are 128 bits (two
+// independent 64-bit FNV-1a chains) so an accidental collision — which
+// would silently splice the wrong KV into a context — is out of reach for
+// any realistic pool lifetime; lookups compare the full key.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "abft/strided_abft.hpp"
+#include "core/decode.hpp"
+#include "numeric/fp16.hpp"
+
+namespace ftt::serve {
+
+/// 128-bit prefix-chain key.  Value-initialized = the empty-chain root.
+struct ChainKey {
+  std::uint64_t a = 0, b = 0;
+
+  friend bool operator==(const ChainKey& x, const ChainKey& y) noexcept {
+    return x.a == y.a && x.b == y.b;
+  }
+};
+
+/// Extend `parent` with `bytes` more input (two independent FNV-1a chains).
+[[nodiscard]] ChainKey chain_extend(const ChainKey& parent, const void* data,
+                                    std::size_t bytes) noexcept;
+
+struct TilePoolOptions {
+  std::size_t layers = 0;
+  std::size_t heads = 0;
+  std::size_t dim = 0;
+  /// Pool capacity in context tiles.  0 = unbounded: acquire() never fails,
+  /// the pool grows on demand and eviction only recycles dead/cached tiles
+  /// that already exist.
+  std::size_t capacity_tiles = 0;
+  /// Checksum stride for the sealed-tile encodings; invalid strides disable
+  /// memoization exactly like serve::KvCache (enc_stride() reports 0).
+  int enc_stride = abft::StridedAbft::kDefaultStride;
+};
+
+class TilePool {
+ public:
+  using TileId = std::size_t;
+  static constexpr TileId kNoTile = static_cast<TileId>(-1);
+  static constexpr std::size_t kTileRows = core::KvSlice::kTileRows;
+
+  explicit TilePool(TilePoolOptions opt);
+
+  /// A fresh zero-initialized tile with refcount 1, reclaiming dead tiles,
+  /// then fresh capacity, then evicting the LRU cached tile.  kNoTile only
+  /// when the pool is bounded and every tile is referenced.
+  [[nodiscard]] TileId acquire();
+
+  void retain(TileId id);
+  /// Drop one reference.  Throws std::logic_error on refcount underflow —
+  /// an underflow means a block table double-released a tile, which the
+  /// randomized stress test treats as corruption, never as noise.
+  void release(TileId id);
+
+  /// Probe the prefix registry.  On a hit the tile is retained for the
+  /// caller (and pulled off the cached list if it was unreferenced).
+  [[nodiscard]] TileId lookup_shared(const ChainKey& key);
+
+  /// Mark a tile fully written (all layers appended and encoded).  Only
+  /// sealed tiles may be attached by other requests.
+  void seal(TileId id);
+  [[nodiscard]] bool sealed(TileId id) const;
+
+  /// Register a sealed tile under a prefix key.  First writer wins: if the
+  /// key is already mapped the call is a no-op returning false (the caller
+  /// keeps its private tile; the earlier copy stays the shared one).
+  bool publish(TileId id, const ChainKey& key);
+
+  // --- storage access (slab layout: per (layer, head):
+  //     [K 64*dim | V 64*dim | kc1 s*dim | kc2 s*dim | vc1 64*s | vc2 64*s])
+  [[nodiscard]] numeric::Half* k_tile(TileId id, std::size_t layer,
+                                      std::size_t head) noexcept;
+  [[nodiscard]] numeric::Half* v_tile(TileId id, std::size_t layer,
+                                      std::size_t head) noexcept;
+  /// The four-encoding block of one (layer, head) tile, or nullptr when
+  /// memoization is disabled.
+  [[nodiscard]] numeric::Half* enc_block(TileId id, std::size_t layer,
+                                         std::size_t head) noexcept;
+  [[nodiscard]] const numeric::Half* k_tile(TileId id, std::size_t layer,
+                                            std::size_t head) const noexcept;
+  [[nodiscard]] const numeric::Half* v_tile(TileId id, std::size_t layer,
+                                            std::size_t head) const noexcept;
+  [[nodiscard]] const numeric::Half* enc_block(TileId id, std::size_t layer,
+                                               std::size_t head) const noexcept;
+
+  [[nodiscard]] std::size_t layers() const noexcept { return layers_; }
+  [[nodiscard]] std::size_t heads() const noexcept { return heads_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] int enc_stride() const noexcept { return enc_stride_; }
+  /// Capacity in tiles (0 = unbounded).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return capacity_tiles_;
+  }
+  /// Tiles ever materialized (<= capacity when bounded).
+  [[nodiscard]] std::size_t allocated() const noexcept {
+    return tiles_.size();
+  }
+  /// Tiles with refcount > 0.
+  [[nodiscard]] std::size_t in_use() const noexcept { return in_use_; }
+  /// Tiles acquire() could hand out without failing: unreferenced tiles
+  /// plus unmaterialized capacity (SIZE_MAX when unbounded).  The engine
+  /// uses this as its admission hint.
+  [[nodiscard]] std::size_t allocatable() const noexcept;
+  [[nodiscard]] std::size_t refcount(TileId id) const;
+  /// Published (prefix-registered) tiles currently discoverable.
+  [[nodiscard]] std::size_t published() const noexcept {
+    return registry_.size();
+  }
+  /// Lifetime counters.
+  [[nodiscard]] std::size_t evictions() const noexcept { return evictions_; }
+  [[nodiscard]] std::size_t shared_hits() const noexcept {
+    return shared_hits_;
+  }
+  /// Halves per context-tile slab (K+V+encodings across all layers/heads).
+  [[nodiscard]] std::size_t slab_halves() const noexcept {
+    return slab_halves_;
+  }
+  /// Bytes held by *referenced* tiles (what live requests pin).
+  [[nodiscard]] std::size_t bytes_in_use() const noexcept;
+  /// Bytes of every materialized slab, cached/dead tiles included.
+  [[nodiscard]] std::size_t bytes_allocated() const noexcept;
+
+ private:
+  struct ChainKeyHash {
+    std::size_t operator()(const ChainKey& k) const noexcept {
+      return static_cast<std::size_t>(k.a ^ (k.b * 0x9e3779b97f4a7c15ull));
+    }
+  };
+
+  struct Tile {
+    std::unique_ptr<numeric::Half[]> slab;
+    std::size_t refs = 0;
+    bool sealed = false;
+    bool is_published = false;
+    ChainKey key;       // valid while is_published
+    std::uint64_t stamp = 0;  // matches its cached-list entry; 0 = not listed
+  };
+
+  [[nodiscard]] Tile& checked(TileId id);
+  [[nodiscard]] const Tile& checked(TileId id) const;
+  /// Reset a reclaimed tile for reuse: zero the slab (the decode kernel's
+  /// ragged-tail padding convention), clear seal/publication state.
+  void recycle(TileId id);
+  [[nodiscard]] std::size_t offset(std::size_t layer,
+                                   std::size_t head) const noexcept;
+
+  std::size_t layers_, heads_, dim_;
+  int enc_stride_;
+  std::size_t capacity_tiles_;
+  std::size_t per_lh_halves_ = 0;  // K+V+enc of one (layer, head)
+  std::size_t enc_halves_ = 0;     // the enc portion of the above
+  std::size_t slab_halves_ = 0;
+  std::size_t in_use_ = 0;
+  std::size_t evictions_ = 0;
+  std::size_t shared_hits_ = 0;
+  std::uint64_t clock_ = 0;
+  std::vector<Tile> tiles_;
+  std::deque<TileId> dead_;                       // refcount 0, unpublished
+  std::deque<std::pair<TileId, std::uint64_t>> cached_;  // LRU, lazy-stale
+  std::unordered_map<ChainKey, TileId, ChainKeyHash> registry_;
+};
+
+/// One request's paged view of the pool: a block table of context tiles plus
+/// the per-(layer, head) tile-pointer arrays core::KvSlice consumes.
+///
+/// The write protocol matches the engine's tick: ensure_capacity() runs in
+/// the tick's memory phase (the only place tiles are acquired — it can fail,
+/// and failure is the preemption signal), then append_chunk() lands the same
+/// rows layer by layer and never allocates.  Per-layer lengths track the
+/// mid-tick state where layer L has appended this tick's rows but layer L+1
+/// has not; slice(layer, head) reads the per-layer length, exactly like the
+/// per-layer KvCache objects this class replaces.
+///
+/// When a (layer, head) tile fills, its four checksum encodings are sealed
+/// into the tile slab (same bits as a fresh per-call encode — the shared
+/// encode_sealed_tile helper); when the *last* layer fills, the tile is
+/// sealed pool-wide and reported through take_newly_sealed() so the engine
+/// can publish fully-prompt tiles for prefix sharing.
+class PagedKvCache {
+ public:
+  explicit PagedKvCache(TilePool& pool);
+  ~PagedKvCache();
+  PagedKvCache(const PagedKvCache&) = delete;
+  PagedKvCache& operator=(const PagedKvCache&) = delete;
+
+  /// Attach an already-sealed shared tile at the end of the block table
+  /// (admission-time prefix reuse; the pool retained it in lookup_shared).
+  /// All per-layer lengths advance by the full 64 rows.
+  void attach_shared(TilePool::TileId id);
+
+  /// Grow the block table until it can hold `tokens` context rows.  Returns
+  /// false — with the table unchanged beyond already-acquired tiles — when
+  /// the pool cannot supply a tile; the caller preempts and retries, or
+  /// backs off.
+  [[nodiscard]] bool ensure_capacity(std::size_t tokens);
+
+  /// Append `rows` tokens' K/V for one layer (head-major rows of heads*dim
+  /// halves, the KvCache::append_chunk layout).  Capacity must already be
+  /// ensured; throws std::logic_error otherwise — the engine's memory phase
+  /// is the only allocation site by design.
+  void append_chunk(std::size_t layer, std::span<const numeric::Half> k,
+                    std::span<const numeric::Half> v, std::size_t rows);
+
+  [[nodiscard]] core::KvSlice slice(std::size_t layer,
+                                    std::size_t head) const;
+
+  /// Context rows fully appended (every layer).
+  [[nodiscard]] std::size_t length() const noexcept;
+  [[nodiscard]] std::size_t layer_length(std::size_t layer) const {
+    return layer_len_.at(layer);
+  }
+  [[nodiscard]] const std::vector<TilePool::TileId>& block_table()
+      const noexcept {
+    return table_;
+  }
+  /// Tiles attached through prefix sharing (vs acquired fresh).
+  [[nodiscard]] std::size_t shared_tiles() const noexcept {
+    return shared_tiles_;
+  }
+
+  /// Block-table indices whose tiles sealed (all layers full) since the
+  /// last call — the engine publishes the fully-prompt ones.
+  [[nodiscard]] std::vector<std::size_t> take_newly_sealed();
+
+  /// Release every tile and reset to empty (preemption / retirement).
+  void release_all();
+
+ private:
+  struct HeadPtrs {
+    std::vector<const numeric::Half*> k, v, kc1, kc2, vc1, vc2;
+  };
+
+  void push_tile_ptrs(TilePool::TileId id, bool with_enc);
+  void seal_layer_tile(std::size_t layer, std::size_t tile_index);
+
+  TilePool* pool_;
+  std::vector<TilePool::TileId> table_;
+  std::vector<std::size_t> layer_len_;
+  std::vector<HeadPtrs> ptrs_;  // indexed layer * heads + head
+  std::size_t shared_tiles_ = 0;
+  std::vector<std::size_t> newly_sealed_;
+};
+
+}  // namespace ftt::serve

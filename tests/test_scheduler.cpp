@@ -1,6 +1,8 @@
-// Continuous-batching scheduler: FCFS admission policy unit tests, and a
-// randomized engine stress test pinning down fairness (no overtaking, no
-// starvation), KV tile reclamation, and lifetime-stats accounting.
+// Priority-aware continuous-batching scheduler: admission policy unit tests
+// (per-class FCFS, priority overtaking, typed never-admittable rejection,
+// preemption re-queueing), plus engine stress tests pinning down fairness,
+// pool reclamation, lifetime-stats accounting, and the recompute-on-
+// readmission guarantee (a preempted request replays its exact trajectory).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -33,65 +35,120 @@ ft::MatrixF random_prompt(std::size_t seq, std::size_t hidden,
 
 }  // namespace
 
-TEST(Scheduler, FcfsAdmissionRespectsBatchAndTileBudgets) {
+TEST(Scheduler, FcfsAdmissionRespectsBatchCapAndTileHint) {
   fs::SchedulerOptions opt;
   opt.max_batch_size = 2;
-  opt.max_kv_tiles = 3;
   fs::Scheduler sched(opt);
 
-  sched.enqueue(0, 64);    // 1 tile
-  sched.enqueue(1, 65);    // 2 tiles
-  sched.enqueue(2, 1);     // 1 tile
+  EXPECT_EQ(sched.enqueue(0, 64), fs::EnqueueResult::kAccepted);
+  EXPECT_EQ(sched.enqueue(1, 65), fs::EnqueueResult::kAccepted);
+  EXPECT_EQ(sched.enqueue(2, 1), fs::EnqueueResult::kAccepted);
   EXPECT_EQ(sched.queued(), 3u);
 
-  // Batch cap admits 0 and 1 (3 tiles); 2 stays queued behind the cap.
+  // Batch cap admits 0 and 1; 2 stays queued behind the cap.
   const auto first = sched.admit();
   ASSERT_EQ(first.size(), 2u);
   EXPECT_EQ(first[0], 0u);
   EXPECT_EQ(first[1], 1u);
   EXPECT_EQ(sched.admitted(), 2u);
-  EXPECT_EQ(sched.tiles_reserved(), 3u);
   EXPECT_EQ(sched.state(2), fs::RequestState::kQueued);
-  EXPECT_TRUE(sched.admit().empty());  // both budgets exhausted
+  EXPECT_TRUE(sched.admit().empty());  // cap exhausted
 
-  // Releasing 0 frees a slot and a tile; 2 is admitted next, FCFS.
+  // Releasing 0 frees a slot; 2 is admitted next, FCFS.
   sched.release(0);
-  EXPECT_EQ(sched.tiles_reserved(), 2u);
   const auto second = sched.admit();
   ASSERT_EQ(second.size(), 1u);
   EXPECT_EQ(second[0], 2u);
+
+  // The allocatable-tile hint throttles admissions even under the cap.
+  fs::Scheduler hinted({/*max_batch_size=*/4, 0});
+  hinted.enqueue(0, 10);
+  hinted.enqueue(1, 10);
+  hinted.enqueue(2, 10);
+  EXPECT_TRUE(hinted.admit(/*new_tile_hint=*/0).empty());
+  const auto one = hinted.admit(/*new_tile_hint=*/1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);  // still FCFS under the hint
+  EXPECT_EQ(hinted.admit(/*new_tile_hint=*/SIZE_MAX).size(), 2u);
 }
 
-TEST(Scheduler, StrictFcfsNeverAdmitsPastBlockedHead) {
+TEST(Scheduler, PriorityClassesOvertakeButStayFcfsWithinClass) {
   fs::SchedulerOptions opt;
-  opt.max_batch_size = 4;
-  opt.max_kv_tiles = 4;
+  opt.max_batch_size = 3;
   fs::Scheduler sched(opt);
 
-  sched.enqueue(0, 64);       // 1 tile -> admitted
-  sched.enqueue(1, 4 * 64);   // 4 tiles -> blocked (1 already reserved)
-  sched.enqueue(2, 64);       // would fit, but must not overtake 1
-  const auto admitted = sched.admit();
-  ASSERT_EQ(admitted.size(), 1u);
-  EXPECT_EQ(admitted[0], 0u);
-  EXPECT_EQ(sched.state(1), fs::RequestState::kQueued);
-  EXPECT_EQ(sched.state(2), fs::RequestState::kQueued);
+  sched.enqueue(0, 10, fs::Priority::kLow);
+  sched.enqueue(1, 10, fs::Priority::kNormal);
+  sched.enqueue(2, 10, fs::Priority::kHigh);
+  sched.enqueue(3, 10, fs::Priority::kHigh);
+  sched.enqueue(4, 10, fs::Priority::kLow);
 
-  // Once the head fits it goes first — the no-starvation guarantee.
-  sched.release(0);
-  const auto next = sched.admit();
-  ASSERT_EQ(next.size(), 1u);
-  EXPECT_EQ(next[0], 1u);
+  // High class drains first (FCFS within it), then normal, then low.
+  const auto admitted = sched.admit();
+  ASSERT_EQ(admitted.size(), 3u);
+  EXPECT_EQ(admitted[0], 2u);
+  EXPECT_EQ(admitted[1], 3u);
+  EXPECT_EQ(admitted[2], 1u);
+  EXPECT_EQ(sched.state(0), fs::RequestState::kQueued);
+  EXPECT_EQ(sched.priority(2), fs::Priority::kHigh);
+
+  sched.release(2);
+  sched.release(3);
+  const auto lows = sched.admit();
+  ASSERT_EQ(lows.size(), 2u);
+  EXPECT_EQ(lows[0], 0u);  // low class is FCFS too: 0 before 4
+  EXPECT_EQ(lows[1], 4u);
 }
 
-TEST(Scheduler, LifecycleAndValidation) {
+TEST(Scheduler, EnqueueRejectsNeverAdmittableWithTypedResult) {
+  // With paging there is no worst-case reservation, but a request whose
+  // context ceiling exceeds the whole pool can never run: rejected with a
+  // typed result, never an exception, and never queued.
   fs::SchedulerOptions opt;
   opt.max_kv_tiles = 2;
   fs::Scheduler sched(opt);
 
-  // A reservation that could never fit is rejected at enqueue.
-  EXPECT_THROW(sched.enqueue(0, 3 * 64), std::invalid_argument);
-  EXPECT_THROW(sched.enqueue(0, 0), std::invalid_argument);
+  EXPECT_EQ(sched.enqueue(0, 3 * 64), fs::EnqueueResult::kRejectedTooLarge);
+  EXPECT_EQ(sched.queued(), 0u);
+  EXPECT_THROW((void)sched.state(0), std::out_of_range);  // never registered
+  EXPECT_TRUE(sched.admit().empty());
+
+  // Exactly at the pool ceiling is admittable.
+  EXPECT_EQ(sched.enqueue(0, 2 * 64), fs::EnqueueResult::kAccepted);
+  EXPECT_EQ(sched.admit().size(), 1u);
+
+  // max_tokens == 0 stays a programming error, not load shedding.
+  EXPECT_THROW(sched.enqueue(1, 0), std::invalid_argument);
+}
+
+TEST(Scheduler, PreemptRequeuesAtFrontOfItsClass) {
+  fs::SchedulerOptions opt;
+  opt.max_batch_size = 2;
+  fs::Scheduler sched(opt);
+
+  sched.enqueue(0, 10, fs::Priority::kNormal);
+  sched.enqueue(1, 10, fs::Priority::kNormal);
+  sched.enqueue(2, 10, fs::Priority::kNormal);
+  ASSERT_EQ(sched.admit().size(), 2u);  // 0, 1 admitted; 2 waits
+
+  // Preempting 1 re-queues it *ahead* of 2: delayed, never starved behind
+  // later arrivals.
+  sched.preempt(1);
+  EXPECT_EQ(sched.state(1), fs::RequestState::kQueued);
+  EXPECT_EQ(sched.admitted(), 1u);
+  EXPECT_EQ(sched.preemptions(), 1u);
+  const auto next = sched.admit();
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0], 1u);
+
+  // Only admitted requests can be preempted.
+  EXPECT_THROW(sched.preempt(2), std::logic_error);
+  sched.release(0);
+  EXPECT_THROW(sched.preempt(0), std::logic_error);
+}
+
+TEST(Scheduler, LifecycleAndValidation) {
+  fs::Scheduler sched;
 
   sched.enqueue(0, 10);
   EXPECT_THROW(sched.on_prefill_done(0), std::logic_error);  // not admitted
@@ -101,10 +158,10 @@ TEST(Scheduler, LifecycleAndValidation) {
   sched.release(0);
   EXPECT_EQ(sched.state(0), fs::RequestState::kRetired);
   sched.release(0);  // idempotent
-  EXPECT_EQ(sched.tiles_reserved(), 0u);
+  EXPECT_EQ(sched.admitted(), 0u);
 
-  // Releasing a queued request removes it from the queue.
-  sched.enqueue(1, 10);
+  // Releasing a queued request removes it from its class queue.
+  sched.enqueue(1, 10, fs::Priority::kHigh);
   sched.release(1);
   EXPECT_EQ(sched.queued(), 0u);
   EXPECT_TRUE(sched.admit().empty());
@@ -114,12 +171,30 @@ TEST(Scheduler, LifecycleAndValidation) {
                std::invalid_argument);
 }
 
+TEST(Engine, SubmitRejectsRequestLargerThanThePool) {
+  const fx::Model model(serving_config(), 0x91);
+  fs::EngineOptions opt;
+  opt.scheduler.max_kv_tiles = 2;  // 128-token pool
+  fs::DecodeEngine engine(model, opt);
+  // Prompt fits max_context but its ceiling (prompt + unbounded budget ->
+  // max_context) can never fit two tiles.
+  EXPECT_THROW(engine.submit(random_prompt(200, model.config().hidden, 1)),
+               std::invalid_argument);
+  // A budgeted request under the ceiling is accepted.
+  const auto id = engine.submit(random_prompt(100, model.config().hidden, 2),
+                                /*max_new_tokens=*/20);
+  EXPECT_EQ(engine.state(id), fs::RequestState::kQueued);
+}
+
 TEST(Scheduler, EngineStressRandomArrivalsFairnessAndReclamation) {
   const fx::Model model(serving_config(), 0xacedL);
   const std::size_t hidden = model.config().hidden;
 
   fs::EngineOptions opt;
   opt.scheduler.max_batch_size = 3;
+  // Pool sized so the worst case (3 concurrent contexts of <= 106 tokens =
+  // 2 tiles each) always fits: on-demand paging never has to preempt, so
+  // the strict-FCFS fairness properties are exact.
   opt.scheduler.max_kv_tiles = 6;
   fs::DecodeEngine engine(model, opt);
 
@@ -156,10 +231,11 @@ TEST(Scheduler, EngineStressRandomArrivalsFairnessAndReclamation) {
     }
     sum += engine.step();
 
-    // Back-pressure invariants hold on every tick.
+    // Back-pressure invariants hold on every tick: the batch cap, and the
+    // pool capacity (referenced tiles can never exceed it).
     EXPECT_LE(engine.active(), opt.scheduler.max_batch_size);
-    EXPECT_LE(engine.kv_tiles_reserved(), opt.scheduler.max_kv_tiles);
-    EXPECT_LE(engine.kv_tiles_in_use(), engine.kv_tiles_reserved());
+    EXPECT_LE(engine.kv_tiles_in_use(), opt.scheduler.max_kv_tiles);
+    EXPECT_LE(engine.pool().allocated(), opt.scheduler.max_kv_tiles);
 
     for (std::size_t i = 0; i < kRequests; ++i) {
       if (submitted[i] && !seen_admitted[i] &&
@@ -175,7 +251,7 @@ TEST(Scheduler, EngineStressRandomArrivalsFairnessAndReclamation) {
   ASSERT_LT(tick, kMaxTicks) << "stress run did not drain — starvation?";
 
   // No starvation, no overtaking: every request completed, and admissions
-  // happened in strict submission (FCFS) order.
+  // happened in strict submission (FCFS) order — all one priority class.
   ASSERT_EQ(admission_order.size(), kRequests);
   EXPECT_TRUE(std::is_sorted(admission_order.begin(), admission_order.end()));
   for (std::size_t i = 0; i < kRequests; ++i) {
@@ -184,10 +260,12 @@ TEST(Scheduler, EngineStressRandomArrivalsFairnessAndReclamation) {
     EXPECT_FALSE(engine.hidden(ids[i]).empty()) << i;
   }
 
-  // KV tiles are actually reclaimed at retirement.
+  // KV tiles are actually reclaimed at retirement (cached prefix tiles may
+  // stay materialized, but nothing stays *referenced*).
   EXPECT_EQ(engine.kv_tiles_in_use(), 0u);
-  EXPECT_EQ(engine.kv_tiles_reserved(), 0u);
   EXPECT_EQ(engine.kv_bytes(), 0u);
+  // The pool was sized for the worst case: no request was ever preempted.
+  EXPECT_EQ(sum.preempted, 0u);
 
   // Lifetime accounting equals the sum of the per-step reports, field by
   // field — nothing runs outside a tick.
@@ -198,6 +276,9 @@ TEST(Scheduler, EngineStressRandomArrivalsFairnessAndReclamation) {
   EXPECT_EQ(life.prefill_rows, sum.prefill_rows);
   EXPECT_EQ(life.decoded, sum.decoded);
   EXPECT_EQ(life.retired, sum.retired);
+  EXPECT_EQ(life.preempted, sum.preempted);
+  EXPECT_EQ(life.evicted, sum.evicted);
+  EXPECT_EQ(life.shared_tiles, sum.shared_tiles);
   EXPECT_EQ(life.activations_clipped, sum.activations_clipped);
   EXPECT_EQ(life.attention.gemm1.checks, sum.attention.gemm1.checks);
   EXPECT_EQ(life.attention.gemm1.flagged, sum.attention.gemm1.flagged);
@@ -209,7 +290,9 @@ TEST(Scheduler, EngineStressRandomArrivalsFairnessAndReclamation) {
   EXPECT_EQ(life.linear.checks, sum.linear.checks);
   EXPECT_EQ(life.linear.flagged, sum.linear.flagged);
 
-  // Totals are intrinsic to the traffic, not the schedule.
+  // Totals are intrinsic to the traffic, not the schedule.  Prompts are
+  // distinct random matrices, so prefix sharing never fires and every
+  // prompt row is computed exactly once.
   std::size_t total_prompt = 0, total_decode = 0;
   for (std::size_t i = 0; i < kRequests; ++i) {
     total_prompt += lens[i];
@@ -224,4 +307,83 @@ TEST(Scheduler, EngineStressRandomArrivalsFairnessAndReclamation) {
   // (chunk = 1), where the relative threshold can trip on rounding noise.
   EXPECT_LE(sum.attention.total_detected(),
             sum.attention.gemm1.checks / 1000 + 2);
+}
+
+TEST(Engine, PreemptionLetsHighPriorityOvertakeAndVictimsReplayExactly) {
+  const fx::Model model(serving_config(), 0xbeefcafe);
+  const std::size_t hidden = model.config().hidden;
+
+  fs::EngineOptions opt;
+  opt.scheduler.max_batch_size = 4;
+  opt.scheduler.max_kv_tiles = 4;  // tight: 3 bulk contexts + 1 spare tile
+  fs::DecodeEngine engine(model, opt);
+
+  // Three low-priority bulk requests whose contexts grow past one tile
+  // (40-row prompt + 30 generated = 70 tokens = 2 tiles each), then a
+  // high-priority arrival that needs 2 tiles of its own.
+  const std::size_t bulk_lens[] = {40, 40, 40};
+  const std::size_t bulk_budget = 30;
+  std::vector<fs::DecodeEngine::RequestId> bulk;
+  std::vector<ft::MatrixF> prompts;
+  for (std::size_t i = 0; i < 3; ++i) {
+    prompts.push_back(random_prompt(bulk_lens[i], hidden, 600 + i));
+    bulk.push_back(
+        engine.submit(prompts[i], bulk_budget, fs::Priority::kLow));
+  }
+  engine.drain(3);  // all bulk admitted + prefilled, decoding under way
+  ASSERT_EQ(engine.active(), 3u);
+
+  prompts.push_back(random_prompt(100, hidden, 700));
+  const auto vip =
+      engine.submit(prompts[3], /*max_new_tokens=*/5, fs::Priority::kHigh);
+
+  fs::DecodeEngine::StepStats stats;
+  std::size_t vip_retired_at = 0, first_bulk_retired_at = 0;
+  for (std::size_t tick2 = 1; tick2 <= 4000; ++tick2) {
+    stats += engine.step();
+    if (vip_retired_at == 0 &&
+        engine.state(vip) == fs::RequestState::kRetired) {
+      vip_retired_at = tick2;
+    }
+    if (first_bulk_retired_at == 0) {
+      for (const auto id : bulk) {
+        if (engine.state(id) == fs::RequestState::kRetired) {
+          first_bulk_retired_at = tick2;
+          break;
+        }
+      }
+    }
+    if (engine.queued() == 0 && engine.active() == 0) break;
+  }
+
+  // The tight pool forced preemption, the high-priority request overtook
+  // the bulk traffic, and no high-priority request was ever a victim.
+  EXPECT_GT(stats.preempted, 0u);
+  EXPECT_GT(vip_retired_at, 0u);
+  EXPECT_GT(first_bulk_retired_at, 0u);
+  EXPECT_LT(vip_retired_at, first_bulk_retired_at)
+      << "high priority must finish before any bulk request";
+  EXPECT_EQ(engine.preemption_count(vip), 0u);
+  std::size_t victim_preemptions = 0;
+  for (const auto id : bulk) victim_preemptions += engine.preemption_count(id);
+  EXPECT_EQ(victim_preemptions, stats.preempted);
+
+  // Recompute-on-readmission is exact: every request — preempted or not —
+  // lands on the same final hidden state as an uninterrupted solo run.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto id = i < 3 ? bulk[i] : vip;
+    const std::size_t budget = i < 3 ? bulk_budget : 5;
+    EXPECT_EQ(engine.state(id), fs::RequestState::kRetired) << i;
+    EXPECT_EQ(engine.context_length(id), prompts[i].rows() + budget) << i;
+    fs::DecodeEngine solo(model);
+    const auto sid = solo.submit(prompts[i], budget);
+    solo.run_until_idle(nullptr, 200);
+    const auto hb = engine.hidden(id);
+    const auto hs = solo.hidden(sid);
+    ASSERT_EQ(hb.size(), hs.size());
+    for (std::size_t c = 0; c < hb.size(); ++c) {
+      EXPECT_EQ(hb[c], hs[c]) << "request " << i << " c " << c;
+    }
+  }
+  EXPECT_EQ(engine.kv_tiles_in_use(), 0u);
 }

@@ -155,6 +155,74 @@ TEST(KvCache, SealsEncodingsOncePerFullTile) {
   EXPECT_EQ(fs::KvCache(1, 32, 0).enc_stride(), 0);
 }
 
+TEST(KvCache, SealAllocationFailureDegradesToFreshEncodes) {
+  // The seal_tiles allocation-failure fallback, exercised through the
+  // injectable hook: when an encoding-block allocation fails mid-seal, the
+  // append must still succeed, the affected entries stay null, and decode
+  // falls back to fresh per-call encodes with bit-identical results.
+  constexpr std::size_t kHeads = 2, kDim = 64;
+  fs::KvCache cache(kHeads, kDim);
+  ft::MatrixH K(128, kDim), V(128, kDim);  // head-0 mirror for the reference
+  std::mt19937_64 rng(0xfa11);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<Half> k(kHeads * kDim), v(kHeads * kDim);
+  auto append_one = [&](std::size_t t) {
+    for (std::size_t i = 0; i < kHeads * kDim; ++i) {
+      k[i] = Half(dist(rng));
+      v[i] = Half(dist(rng));
+    }
+    cache.append(k, v);
+    for (std::size_t c = 0; c < kDim; ++c) {
+      K(t, c) = k[c];
+      V(t, c) = v[c];
+    }
+  };
+
+  for (std::size_t t = 0; t < 63; ++t) append_one(t);  // no seal yet
+  const std::size_t bytes_before_seal = cache.bytes();
+  // Arm the hook: the next enc-block allocation throws bad_alloc, aborting
+  // tile 0's seal — its entries stay null for every head.
+  fs::testing::seal_alloc_failures() = 1;
+  append_one(63);  // crosses the tile boundary: seal attempted, fails
+  EXPECT_EQ(fs::testing::seal_alloc_failures(), 0u);  // hook fired
+  EXPECT_EQ(cache.length(), 64u);  // the append itself committed
+  EXPECT_EQ(cache.slice(0).k_c1[0], nullptr);
+  EXPECT_EQ(cache.slice(1).k_c1[0], nullptr);
+  // bytes() must not charge for blocks the failed seal never allocated.
+  EXPECT_EQ(cache.bytes(), bytes_before_seal);
+
+  // Null entries degrade to fresh per-call encodes — never wrong results:
+  // bit-identical to the contiguous-cache overload that always encodes.
+  const auto q = random_query(kDim, 0xfa12);
+  std::vector<float> out_cache(kDim), out_ref(kDim);
+  {
+    ft::MatrixH K64(64, kDim), V64(64, kDim);
+    for (std::size_t t = 0; t < 64; ++t) {
+      for (std::size_t c = 0; c < kDim; ++c) {
+        K64(t, c) = K(t, c);
+        V64(t, c) = V(t, c);
+      }
+    }
+    fc::efta_decode_step(cache.slice(0), q, out_cache);
+    fc::efta_decode_step(K64, V64, q, out_ref);
+    for (std::size_t c = 0; c < kDim; ++c) {
+      EXPECT_EQ(out_cache[c], out_ref[c]) << c;
+    }
+  }
+
+  // With the hook disarmed, later tiles seal normally — the failure is not
+  // sticky — and mixed null/sealed tiles still decode bit-identically.
+  for (std::size_t t = 64; t < 128; ++t) append_one(t);
+  EXPECT_EQ(cache.slice(0).k_c1[0], nullptr);   // tile 0 stays unsealed
+  EXPECT_NE(cache.slice(0).k_c1[1], nullptr);   // tile 1 sealed normally
+  EXPECT_NE(cache.slice(1).v_c2[1], nullptr);
+  fc::efta_decode_step(cache.slice(0), q, out_cache);
+  fc::efta_decode_step(K, V, q, out_ref);
+  for (std::size_t c = 0; c < kDim; ++c) {
+    EXPECT_EQ(out_cache[c], out_ref[c]) << c;
+  }
+}
+
 TEST(Serve, FullTileReadsAreZeroCopy) {
   // The kernel materializes (pads-and-copies) only the ragged tail tile;
   // full tiles are consumed in place.  core::testing::tiles_materialized()
