@@ -18,7 +18,16 @@
 //     with prefix sharing on vs off.  Sharing attaches the sealed prompt
 //     tiles (and their ABFT memos) from the pool instead of recomputing
 //     them, so the gauge pair is wall-clock speedup and the effective-
-//     context capacity ratio (peak pool tiles unshared / shared).
+//     context capacity ratio (peak pool tiles unshared / shared),
+//   * the speculative-decode win on a repetitive-suffix workload: a fleet
+//     whose generated stream repeats exactly (final-LN gamma = 0 — every
+//     layer still computes in full, but the read-out row is constant, the
+//     bitwise-sharpest form of templated/self-quoting output), decoded
+//     with the default prompt-lookup drafter at spec_tokens = 4 vs the
+//     serial engine, timing the decode phase only (prefill is identical
+//     in both configurations).  Gauges: spec_decode_speedup (same tokens,
+//     fewer block passes — KV tile loads, widenings and checksum work
+//     amortize over the accepted block) and spec_acceptance_rate.
 //
 // With --json <path> it also emits the machine-readable section the CI perf
 // job merges into BENCH_serve.json and gates on.
@@ -142,6 +151,69 @@ SharedRun run_shared_prefix(const fx::Model& model, bool share) {
   return run;
 }
 
+// Speculative decode on a repetitive-suffix fleet: random prompts, but a
+// read-out head (final-LN gamma = 0, nonzero beta) that makes the generated
+// stream exactly periodic — the regime prompt-lookup drafting is built for.
+// Both runs decode the same tokens; only the number of verified block
+// passes differs.
+constexpr std::size_t kSpecRequests = 6;
+constexpr std::size_t kSpecPrompt = 256;
+constexpr std::size_t kSpecBudget = 64;
+constexpr std::size_t kSpecTokens = 4;
+
+fx::Model make_spec_model() {
+  fx::ModelConfig cfg = fx::ModelConfig::tiny();
+  cfg.causal = true;
+  fx::Model model(cfg, 0x5eed);
+  auto& gamma = model.final_ln().gamma();
+  auto& beta = model.final_ln().beta();
+  for (std::size_t c = 0; c < gamma.size(); ++c) {
+    gamma[c] = 0.0f;
+    beta[c] = 0.25f + 0.001f * static_cast<float>(c);
+  }
+  return model;
+}
+
+struct SpecRun {
+  double seconds = 0.0;
+  std::size_t ticks = 0;
+  fs::DecodeEngine::StepStats stats;
+};
+
+SpecRun run_spec(const fx::Model& model, std::size_t spec_tokens) {
+  fs::EngineOptions opt;
+  opt.spec_tokens = spec_tokens;
+  opt.scheduler.max_batch_size = 8;
+  fs::DecodeEngine engine(model, opt);
+  const std::size_t hidden = model.config().hidden;
+
+  std::vector<MatrixF> prompts;
+  std::vector<fs::DecodeEngine::RequestId> ids;
+  for (std::size_t i = 0; i < kSpecRequests; ++i) {
+    prompts.emplace_back(kSpecPrompt, hidden);
+    ftt::tensor::fill_normal(prompts.back(), 0x5bec + i);
+    ids.push_back(engine.submit(prompts.back(), kSpecBudget));
+  }
+  // Absorb every prompt outside the timed window: prefill is identical in
+  // both configurations, and spec_decode_speedup is a *decode* gauge.
+  bool prefilling = true;
+  while (prefilling) {
+    engine.step();
+    prefilling = false;
+    for (const auto id : ids) {
+      prefilling |= engine.state(id) != fs::RequestState::kDecoding;
+    }
+  }
+  SpecRun run;
+  run.seconds = bench::time_once([&] {
+    while (engine.queued() != 0 || engine.active() != 0) {
+      run.stats += engine.step();
+      ++run.ticks;
+    }
+  });
+  return run;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -165,7 +237,7 @@ int main(int argc, char** argv) {
     const double t = bench::time_once([&] { st = pre.step(); });
     if (st.prefill_chunks == 0) break;  // prompt absorbed; decode from here
     chunk_ms.push_back(t * 1e3);
-    const auto costs = ftt::core::efta_prefill_chunk_costs(
+    const auto costs = ftt::core::efta_decode_block_costs(
         st.prefill_rows + (chunk_ms.size() - 1) * 64, st.prefill_rows,
         model.config().head_dim(), fs::EngineOptions{}.efta);
     std::printf("  rows %3zu @ context %4zu      %9.2f ms %12.0f\n",
@@ -241,9 +313,57 @@ int main(int argc, char** argv) {
     std::printf("  UNEXPECTED: shared/unshared decode totals diverged\n");
   }
 
+  // --- speculative decode on the repetitive-suffix fleet ------------------
+  const fx::Model spec_model = make_spec_model();
+  const SpecRun spec = run_spec(spec_model, kSpecTokens);
+  const SpecRun spec_serial = run_spec(spec_model, 0);
+  const double spec_speedup =
+      spec.seconds > 0.0 ? spec_serial.seconds / spec.seconds : 0.0;
+  const double acceptance =
+      spec.stats.spec_proposed > 0
+          ? static_cast<double>(spec.stats.spec_accepted) /
+                static_cast<double>(spec.stats.spec_proposed)
+          : 0.0;
+  std::printf("\n  speculative decode (%zu requests, %zu-row prompts, "
+              "budget %zu, repetitive suffix)\n",
+              kSpecRequests, kSpecPrompt, kSpecBudget);
+  std::printf("  %-26s %12s %8s %12s\n", "mode", "makespan", "ticks",
+              "decoded");
+  std::printf("  %-26s %9.2f ms %8zu %12zu\n", "speculative (k=4)",
+              spec.seconds * 1e3, spec.ticks, spec.stats.decoded);
+  std::printf("  %-26s %9.2f ms %8zu %12zu\n", "serial (q_len=1)",
+              spec_serial.seconds * 1e3, spec_serial.ticks,
+              spec_serial.stats.decoded);
+  std::printf("  spec-decode speedup: %.2fx   acceptance: %.0f%% "
+              "(%zu/%zu drafts, %zu rejected)\n",
+              spec_speedup, acceptance * 100.0, spec.stats.spec_accepted,
+              spec.stats.spec_proposed, spec.stats.spec_rejected);
+  // Same committed tokens either way — speculation may only change speed.
+  ok = ok && spec.stats.decoded == spec_serial.stats.decoded &&
+       spec.stats.decoded == kSpecRequests * kSpecBudget &&
+       spec.stats.spec_accepted > 0;
+  if (spec.stats.decoded != spec_serial.stats.decoded) {
+    std::printf("  UNEXPECTED: speculative/serial decode totals diverged\n");
+  }
+
   if (!json_path.empty()) {
     bench::JsonWriter w;
     w.begin_object();
+    w.key("speculative");
+    w.begin_object();
+    w.kv("requests", kSpecRequests);
+    w.kv("prompt_rows", kSpecPrompt);
+    w.kv("budget", kSpecBudget);
+    w.kv("spec_tokens", kSpecTokens);
+    w.kv("spec_makespan_ms", spec.seconds * 1e3);
+    w.kv("serial_makespan_ms", spec_serial.seconds * 1e3);
+    w.kv("spec_ticks", spec.ticks);
+    w.kv("serial_ticks", spec_serial.ticks);
+    w.kv("drafts_proposed", spec.stats.spec_proposed);
+    w.kv("drafts_accepted", spec.stats.spec_accepted);
+    w.kv("drafts_rejected", spec.stats.spec_rejected);
+    w.kv("decoded_tokens", spec.stats.decoded);
+    w.end_object();
     w.key("shared_prefix");
     w.begin_object();
     w.kv("requests", kFollowers + 1);
@@ -277,6 +397,8 @@ int main(int argc, char** argv) {
     w.kv("scheduler_chunked_prefill_speedup", speedup);
     w.kv("shared_prefix_speedup", shared_speedup);
     w.kv("shared_prefix_capacity_ratio", capacity_ratio);
+    w.kv("spec_decode_speedup", spec_speedup);
+    w.kv("spec_acceptance_rate", acceptance);
     w.end_object();
     w.end_object();
     ok = w.write_file(json_path) && ok;

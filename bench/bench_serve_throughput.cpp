@@ -65,10 +65,9 @@ struct Fleet {
     std::vector<fc::DecodeWorkItem> v;
     for (std::size_t r = 0; r < caches.size(); ++r) {
       for (std::size_t h = 0; h < kHeads; ++h) {
-        v.push_back(fc::DecodeWorkItem{
-            caches[r].slice(h),
-            std::span<const Half>(queries[r]).subspan(h * kDim, kDim),
-            std::span<float>(out[r]).subspan(h * kDim, kDim)});
+        v.push_back(fc::DecodeWorkItem{caches[r].slice(h),
+                                       queries[r].data() + h * kDim,
+                                       out[r].data() + h * kDim});
       }
     }
     return v;
@@ -88,9 +87,7 @@ int main(int argc, char** argv) {
   Fleet solo(1);
   const auto solo_items = solo.items();
   const double t1 = bench::time_best([&] {
-    for (const auto& it : solo_items) {
-      fc::efta_decode_step(it.kv, it.q, it.out);
-    }
+    for (const auto& it : solo_items) fc::efta_decode_block(it);
   });
   const double tok1 = 1.0 / t1;
   std::printf("\n  %-22s %10s %12s %10s %8s\n", "mode", "tokens/s", "slices",
@@ -115,7 +112,7 @@ int main(int argc, char** argv) {
     // Cross-check: the batch must be bit-identical to the serial loop.
     Fleet ref(batch);
     auto ref_items = ref.items();
-    for (const auto& it : ref_items) fc::efta_decode_step(it.kv, it.q, it.out);
+    for (const auto& it : ref_items) fc::efta_decode_block(it);
     bool identical = true;
     for (std::size_t r = 0; r < batch && identical; ++r) {
       for (std::size_t c = 0; c < kHeads * kDim; ++c) {

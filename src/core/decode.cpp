@@ -28,59 +28,48 @@ std::size_t& tiles_materialized() noexcept {
 
 namespace {
 
-void validate_slice(const KvSlice& kv, std::span<const Half> q,
-                    std::span<float> out, const EftaOptions& opt) {
-  if (kv.k_tiles == nullptr || kv.v_tiles == nullptr) {
+void validate_item(const DecodeWorkItem& it, const EftaOptions& opt) {
+  if (it.kv.k_tiles == nullptr || it.kv.v_tiles == nullptr) {
     throw std::invalid_argument("efta decode: null KV tile pointers");
   }
-  if (kv.n == 0) {
+  if (it.kv.n == 0) {
     throw std::invalid_argument("efta decode: empty context (n == 0)");
   }
-  if (q.size() != kv.d || out.size() != kv.d) {
-    throw std::invalid_argument(
-        "efta decode: q/out spans must hold d values");
-  }
-  if (opt.stride <= 0 || kv.d % static_cast<std::size_t>(opt.stride) != 0) {
-    throw std::invalid_argument(
-        "efta decode: d must be a multiple of the checksum stride");
-  }
-}
-
-void validate_prefill(const PrefillWorkItem& it, const EftaOptions& opt) {
-  if (it.kv.k_tiles == nullptr || it.kv.v_tiles == nullptr) {
-    throw std::invalid_argument("efta prefill: null KV tile pointers");
-  }
   if (it.q == nullptr || it.out == nullptr) {
-    throw std::invalid_argument("efta prefill: null q/out pointers");
+    throw std::invalid_argument("efta decode: null q/out pointers");
   }
-  if (it.rows == 0 || it.rows > KvSlice::kTileRows) {
+  if (it.q_len == 0 || it.q_len > KvSlice::kTileRows) {
     throw std::invalid_argument(
-        "efta prefill: chunk must hold 1..64 query rows");
+        "efta decode: block must hold 1..64 query rows");
   }
-  if (it.kv.n != it.base + it.rows) {
+  if (it.q_len > it.kv.n) {
     throw std::invalid_argument(
-        "efta prefill: cache must end exactly at the chunk (n == base+rows)");
+        "efta decode: cache must already hold the block's K/V rows "
+        "(q_len <= n)");
   }
   if (opt.stride <= 0 ||
       it.kv.d % static_cast<std::size_t>(opt.stride) != 0) {
     throw std::invalid_argument(
-        "efta prefill: d must be a multiple of the checksum stride");
+        "efta decode: d must be a multiple of the checksum stride");
   }
   const std::size_t d = it.kv.d;
   if ((it.q_stride != 0 && it.q_stride < d) ||
       (it.out_stride != 0 && it.out_stride < d)) {
-    throw std::invalid_argument("efta prefill: row stride below d");
+    throw std::invalid_argument("efta decode: row stride below d");
   }
 }
 
-/// Core causal prefill chunk over one tiled KV slice.  Query row r (global
-/// position p = base + r) attends rows [0, p] of the cache.  The loop
-/// structure deliberately mirrors decode_slice per row — same GEMM routine,
-/// same valid-lane masking, same scalar GEMM II accumulation order, same
-/// fault hooks on the visible lanes — so each output row is bit-identical to
-/// efta_decode_step over a context of p+1 tokens.  The chunk's win is
-/// amortization: K/V tiles are loaded and checksum-encoded once per chunk
-/// instead of once per token, and the score GEMM covers all rows at once.
+/// Core causal query block over one tiled KV slice.  The block sits at the
+/// end of the context: query row r (global position p = base + r with
+/// base = n - q_len) attends rows [0, p] of the cache.  The loop structure
+/// runs every row through the same GEMM routine, the same valid-lane
+/// masking, the same scalar GEMM II accumulation order and the same fault
+/// hooks on the visible lanes — so each output row is bit-identical to
+/// efta_decode_step over a context of p+1 tokens, whether the block is a
+/// 1-row decode step, a speculative draft block or a 64-row prefill chunk.
+/// The block's win is amortization: K/V tiles are loaded, widened and
+/// checksum-encoded once per block instead of once per token, and the score
+/// GEMM covers all rows at once.
 ///
 /// Hot-path layout: full 64-row tiles are consumed zero-copy straight from
 /// the cache storage (only the ragged tail is pad-and-copied into scratch),
@@ -92,9 +81,10 @@ void validate_prefill(const PrefillWorkItem& it, const EftaOptions& opt) {
 /// KvCache seals them once per full tile), clean runs consume those instead
 /// of re-deriving all four encodings per call, dropping the per-token encode
 /// cost from O(context) to O(tail).
-FtReport prefill_slice(const PrefillWorkItem& it, const EftaOptions& opt,
-                       fault::FaultInjector* inj) {
-  const std::size_t n = it.kv.n, d = it.kv.d, R = it.rows, base = it.base;
+FtReport block_slice(const DecodeWorkItem& it, const EftaOptions& opt,
+                     fault::FaultInjector* inj) {
+  const std::size_t n = it.kv.n, d = it.kv.d, R = it.q_len;
+  const std::size_t base = n - R;
   const std::size_t B = KvSlice::kTileRows;
   const int s = opt.stride;
   const auto su = static_cast<std::size_t>(s);
@@ -143,7 +133,7 @@ FtReport prefill_slice(const PrefillWorkItem& it, const EftaOptions& opt,
   MatrixH ek1, ek2, ev1, ev2;  // fresh encodes when the memo can't serve
   for (std::size_t j = 0; j < nblk; ++j) {
     // Rows of this tile holding real context; the remainder is zero padding,
-    // exactly the view decode_slice reconstructs per token.
+    // exactly the view decode reconstructs per token.
     const std::size_t tile_valid = std::min(B, n - j * B);
     const bool full = tile_valid == B;
     const Half* kt = it.kv.k_tiles[j];
@@ -164,8 +154,8 @@ FtReport prefill_slice(const PrefillWorkItem& it, const EftaOptions& opt,
     numeric::halves_to_floats(vt, vf.data(), B * d);
 
     // Checksum encodings: memoized once per sealed tile, or derived fresh
-    // (per chunk — decode re-encodes the tail per token, the residual
-    // O(tail) work).
+    // (per block — single-token decode re-encodes the tail per token, the
+    // residual O(tail) work).
     const Half *kc1, *kc2, *vc1, *vc2;
     if (cache_ok && full && it.kv.k_c1[j] != nullptr) {
       kc1 = it.kv.k_c1[j];
@@ -198,7 +188,7 @@ FtReport prefill_slice(const PrefillWorkItem& it, const EftaOptions& opt,
     sim::gemm_f32_nt(qf.data(), R, d, kc2f.data(), su, schk2);
     for (std::size_t r = 0; r < R; ++r) {
       // Visible lanes of row r in this tile: its causal prefix, clipped to
-      // the tile.  A chunk never starts past the cache end, so visibility is
+      // the tile.  A block never starts past the cache end, so visibility is
       // a per-row prefix of lanes and a per-row prefix of tiles.
       const std::size_t p = base + r;
       if (p < j * B) continue;  // row's causal prefix ends before this tile
@@ -220,7 +210,7 @@ FtReport prefill_slice(const PrefillWorkItem& it, const EftaOptions& opt,
       if (p < j * B) continue;
       const std::size_t vis = std::min(B, p + 1 - j * B);
 
-      // Streaming softmax update, decode_slice's single-row loop verbatim:
+      // Streaming softmax update, the single-row decode loop verbatim:
       // the running max sees only the row's visible lanes.
       float bmax = -std::numeric_limits<float>::infinity();
       for (std::size_t c = 0; c < vis; ++c) bmax = std::max(bmax, S(r, c));
@@ -341,7 +331,7 @@ FtReport prefill_slice(const PrefillWorkItem& it, const EftaOptions& opt,
     }
   }
 
-  // Normalize + final unified O verification over the whole chunk.
+  // Normalize + final unified O verification over the whole block.
   MatrixF ofin(R, d);
   for (std::size_t r = 0; r < R; ++r) {
     const float inv = 1.0f / l[r];
@@ -362,83 +352,26 @@ FtReport prefill_slice(const PrefillWorkItem& it, const EftaOptions& opt,
   return rep;
 }
 
-/// A decode step is exactly a one-row prefill chunk: the new token (global
-/// position n-1) attends over the cache that already holds its own K/V.
-/// One kernel serves both paths, so the bit-identity the serving engine
-/// relies on cannot drift between them.  Inputs must have been checked with
-/// validate_slice; does not stamp `faults_injected` (the public entry
-/// points account per call / per slice).
-FtReport decode_slice(const KvSlice& kv, std::span<const Half> q,
-                      std::span<float> out, const EftaOptions& opt,
-                      fault::FaultInjector* inj) {
-  return prefill_slice(
-      PrefillWorkItem{kv, kv.n - 1, q.data(), out.data(), 1, 0, 0}, opt, inj);
-}
-
 }  // namespace
 
-FtReport efta_prefill_chunk(const PrefillWorkItem& item,
-                            const EftaOptions& opt,
-                            fault::FaultInjector* inj) {
-  validate_prefill(item, opt);
+FtReport efta_decode_block(const DecodeWorkItem& item, const EftaOptions& opt,
+                           fault::FaultInjector* inj) {
+  validate_item(item, opt);
   const std::size_t before = inj ? inj->injected() : 0;
-  FtReport rep = prefill_slice(item, opt, inj);
+  FtReport rep = block_slice(item, opt, inj);
   if (inj) rep.faults_injected = inj->injected() - before;
   return rep;
-}
-
-FtReport efta_prefill_batch(std::span<const PrefillWorkItem> items,
-                            const EftaOptions& opt, fault::FaultInjector* inj,
-                            std::span<FtReport> per_item) {
-  if (!per_item.empty() && per_item.size() != items.size()) {
-    throw std::invalid_argument(
-        "efta_prefill_batch: per_item size must match items");
-  }
-  FtReport total;
-  if (items.empty()) return total;  // idle ticks never touch OpenMP
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    try {
-      validate_prefill(items[i], opt);
-    } catch (const std::invalid_argument& e) {
-      throw std::invalid_argument("efta_prefill_batch: item " +
-                                  std::to_string(i) + ": " + e.what());
-    }
-  }
-
-  if (inj) {
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      const std::size_t before = inj->injected();
-      FtReport r = prefill_slice(items[i], opt, inj);
-      r.faults_injected = inj->injected() - before;
-      if (!per_item.empty()) per_item[i] = r;
-      total += r;
-    }
-    return total;
-  }
-
-#pragma omp parallel
-  {
-    FtReport local;
-#pragma omp for schedule(dynamic) nowait
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      FtReport r = prefill_slice(items[i], opt, nullptr);
-      if (!per_item.empty()) per_item[i] = r;
-      local += r;
-    }
-#pragma omp critical
-    total += local;
-  }
-  return total;
 }
 
 FtReport efta_decode_step(const KvSlice& kv, std::span<const Half> q,
                           std::span<float> out, const EftaOptions& opt,
                           fault::FaultInjector* inj) {
-  validate_slice(kv, q, out, opt);
-  const std::size_t before = inj ? inj->injected() : 0;
-  FtReport rep = decode_slice(kv, q, out, opt, inj);
-  if (inj) rep.faults_injected = inj->injected() - before;
-  return rep;
+  if (q.size() != kv.d || out.size() != kv.d) {
+    throw std::invalid_argument(
+        "efta decode: q/out spans must hold d values");
+  }
+  return efta_decode_block(DecodeWorkItem{kv, q.data(), out.data(), 1, 0, 0},
+                           opt, inj);
 }
 
 FtReport efta_decode_step(const MatrixH& k_cache, const MatrixH& v_cache,
@@ -449,7 +382,7 @@ FtReport efta_decode_step(const MatrixH& k_cache, const MatrixH& v_cache,
     throw std::invalid_argument("efta_decode_step: shape mismatch");
   }
   // A contiguous n x d cache is a degenerate tiled view: tile t starts at
-  // row 64t, and decode_slice never reads past the valid rows of the ragged
+  // row 64t, and the kernel never reads past the valid rows of the ragged
   // final tile.
   const std::size_t B = KvSlice::kTileRows;
   const std::size_t nblk = (n + B - 1) / B;
@@ -477,7 +410,7 @@ FtReport efta_decode_batch(std::span<const DecodeWorkItem> items,
   // the OpenMP worksharing region (that would terminate the process).
   for (std::size_t i = 0; i < items.size(); ++i) {
     try {
-      validate_slice(items[i].kv, items[i].q, items[i].out, opt);
+      validate_item(items[i], opt);
     } catch (const std::invalid_argument& e) {
       throw std::invalid_argument("efta_decode_batch: item " +
                                   std::to_string(i) + ": " + e.what());
@@ -487,11 +420,11 @@ FtReport efta_decode_batch(std::span<const DecodeWorkItem> items,
 
   // Any non-null injector — armed or a calls()-counting probe — is
   // deterministic, stateful, and not thread-safe, so it forces the serial
-  // path, exactly like efta_decode_step threading the same injector.
+  // path, exactly like efta_decode_block threading the same injector.
   if (inj) {
     for (std::size_t i = 0; i < items.size(); ++i) {
       const std::size_t before = inj->injected();
-      FtReport r = decode_slice(items[i].kv, items[i].q, items[i].out, opt, inj);
+      FtReport r = block_slice(items[i], opt, inj);
       r.faults_injected = inj->injected() - before;
       if (!per_item.empty()) per_item[i] = r;
       total += r;
@@ -504,8 +437,7 @@ FtReport efta_decode_batch(std::span<const DecodeWorkItem> items,
     FtReport local;
 #pragma omp for schedule(dynamic) nowait
     for (std::size_t i = 0; i < items.size(); ++i) {
-      FtReport r =
-          decode_slice(items[i].kv, items[i].q, items[i].out, opt, nullptr);
+      FtReport r = block_slice(items[i], opt, nullptr);
       if (!per_item.empty()) per_item[i] = r;
       local += r;
     }

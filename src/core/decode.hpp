@@ -1,29 +1,42 @@
 #pragma once
-// Protected single-token decode: the autoregressive inference step the
+// Protected cache-backed decode: the autoregressive inference step the
 // paper's introduction motivates ("generating a single token in GPT-4
 // requires 560 GFLOPs and billions of tokens are produced each day").
 //
-// One new query row attends over the cached K/V of the context.  The same
-// hybrid scheme applies, specialized to a 1 x n score row: strided tensor
-// checksums per 64-row KV tile protect q·K^T, the checksum is reused through
+// The unit of work is a *query block* of 1..64 rows attending over the
+// cached K/V of one (request, head) slice, causally masked inside the
+// block.  The same hybrid scheme applies per row: strided tensor checksums
+// per 64-row KV tile protect q·K^T, the checksum is reused through
 // subtract-max + EXP (log-domain product check), the rowsum is range
-// restricted, and the 1 x d output carries V column checksums through the
-// final normalization.
+// restricted, and the output rows carry V column checksums through the
+// final normalization — with the per-tile loads, widenings and checksum
+// encodes amortized across the whole block.
+//
+// One kernel, three workloads, all the same DecodeWorkItem:
+//
+//   q_len = 1      single-token decode — the classic serving step;
+//   q_len = k+1    speculative decode — one committed row plus k drafted
+//                  candidates scored in one pass (the engine accepts the
+//                  longest bit-matching prefix and rolls the rest back);
+//   q_len = 64     chunked prefill — a prompt chunk absorbed per tick.
+//
+// Each output row is bit-identical to running efta_decode_step token by
+// token over the same prefix (tests/test_serve.cpp pins this down), which
+// is what makes engine-level speculation safe: an accepted draft's hidden
+// state *is* the serial result, verified through the same checksummed
+// arithmetic.
 //
 // Context lengths are arbitrary: a ragged final tile (n % 64 != 0) is
 // zero-padded to the full 64-row checksum footprint.  Padded K rows produce
 // exactly-zero scores (fp16 MACs against zero operands), so the strided
 // checksum relation and the EXP product check hold over the padded lanes,
 // which are then excluded from the softmax reduction and carry zero weight
-// into GEMM II.
+// into GEMM II.  Lanes beyond a block row's causal horizon are handled by
+// the same convention.
 //
-// The batch entry points run many independent (request, head) slices through
-// the same kernel, OpenMP-parallel with per-slice FtReport aggregation —
-// the unit of work a batched serving engine schedules.  Prefill uses the
-// same machinery at chunk granularity: efta_prefill_chunk attends up to 64
-// prompt rows at once over their causal prefixes, bit-identical per row to
-// the token-by-token decode path but amortizing the per-tile loads and
-// checksum encodes across the whole chunk.
+// The batch entry point runs many independent (request, head) blocks
+// through the kernel, OpenMP-parallel with per-item FtReport aggregation —
+// the unit of work a batched serving engine schedules per tick.
 
 #include <span>
 
@@ -72,58 +85,39 @@ struct KvSlice {
   }
 };
 
-/// One (request, head) decode slice of a batched step: attend `q` (d halves)
-/// over `kv`, writing the normalized d-float output to `out`.
+/// One (request, head) query block of a batched step: the last `q_len` rows
+/// of the context attend over `kv`, causally masked inside the block.  The
+/// cache must already hold the block's own K/V rows, so the block occupies
+/// global positions [kv.n - q_len, kv.n): row r of the block sees exactly
+/// rows [0, kv.n - q_len + r] of the cache — its causal prefix, itself
+/// included — making each output row bit-identical to feeding the block
+/// token by token through efta_decode_step.
+///
+/// q/out address q_len x d values laid out with a row stride (in elements)
+/// of q_stride/out_stride; 0 means densely packed (stride == d).  Strided
+/// rows let a serving engine hand head-segments of a stacked hidden matrix
+/// to the kernel without gather/scatter copies.
 struct DecodeWorkItem {
   KvSlice kv;
-  std::span<const numeric::Half> q;
-  std::span<float> out;
-};
-
-/// One (request, head) causal prefill chunk: query rows [base, base+rows) of
-/// a prompt attend over the cache, which must already hold the chunk's own
-/// K/V rows (kv.n == base + rows).  Row r sees exactly rows [0, base+r] of
-/// the cache — its causal prefix, itself included — so the result is
-/// bit-identical to feeding the chunk token by token through
-/// efta_decode_step (the property tests/test_serve.cpp pins down).
-///
-/// q/out address rows x d values laid out with a row stride (in elements) of
-/// q_stride/out_stride; 0 means densely packed (stride == d).  Strided rows
-/// let a serving engine hand head-segments of a stacked hidden matrix to the
-/// kernel without gather/scatter copies.
-struct PrefillWorkItem {
-  KvSlice kv;
-  std::size_t base = 0;
   const numeric::Half* q = nullptr;
   float* out = nullptr;
-  std::size_t rows = 0;
+  std::size_t q_len = 1;  ///< 1..64 query rows (1 = plain decode)
   std::size_t q_stride = 0;
   std::size_t out_stride = 0;
 };
 
-/// One protected causal prefill chunk for a single head.  Scaling by
-/// 1/sqrt(d) is applied internally.  `faults_injected` counts only the flips
-/// placed during this call, matching efta_decode_step.
-attention::FtReport efta_prefill_chunk(const PrefillWorkItem& item,
-                                       const EftaOptions& opt = {},
-                                       fault::FaultInjector* inj = nullptr);
+/// One protected query block for a single head.  Scaling by 1/sqrt(d) is
+/// applied internally.  The report covers the whole block — one FtReport
+/// witnesses every row, exactly like the per-tile block verifies inside —
+/// and `faults_injected` counts only the flips placed during this call
+/// (delta, not the injector's lifetime total), matching the batch entry's
+/// per-item accounting.
+attention::FtReport efta_decode_block(const DecodeWorkItem& item,
+                                      const EftaOptions& opt = {},
+                                      fault::FaultInjector* inj = nullptr);
 
-/// Protected causal prefill for a batch of independent (request, head)
-/// chunks, OpenMP-parallel when `inj` is null (any injector forces the
-/// serial path, like efta_decode_batch).  Per-chunk reports are written to
-/// `per_item` when provided (size must match) and merged into the returned
-/// aggregate.  An empty batch returns a zeroed report without entering an
-/// OpenMP region.
-attention::FtReport efta_prefill_batch(
-    std::span<const PrefillWorkItem> items, const EftaOptions& opt = {},
-    fault::FaultInjector* inj = nullptr,
-    std::span<attention::FtReport> per_item = {});
-
-/// One protected decode step for a single head over a tiled KV view.
-/// Scaling by 1/sqrt(d) is applied internally.  The report's
-/// `faults_injected` counts only the flips placed during this call (delta,
-/// not the injector's lifetime total), matching efta_decode_batch's
-/// per-slice accounting.
+/// One protected decode step (q_len = 1 convenience) for a single head over
+/// a tiled KV view: the new token at position n-1 attends the whole cache.
 attention::FtReport efta_decode_step(const KvSlice& kv,
                                      std::span<const numeric::Half> q,
                                      std::span<float> out,
@@ -138,14 +132,16 @@ attention::FtReport efta_decode_step(const tensor::MatrixH& k_cache,
                                      const EftaOptions& opt = {},
                                      fault::FaultInjector* inj = nullptr);
 
-/// Protected decode for a whole batch of independent (request, head) slices
-/// with heterogeneous context lengths.  Slices are OpenMP-parallel when
-/// `inj` is null; any injector — armed, or an unarmed probe counting
-/// per-site calls() — is stateful and forces the serial path, matching
-/// `efta_decode_step`.  Per-slice reports are
-/// written to `per_item` when provided (size must match) and merged into the
-/// returned aggregate; each slice's `faults_injected` counts only the flips
-/// placed while that slice ran.
+/// Protected decode for a whole batch of independent (request, head) query
+/// blocks with heterogeneous context lengths and block sizes — single-token
+/// decode rows, speculative k-row blocks and 64-row prefill chunks mix
+/// freely in one call.  Items are OpenMP-parallel when `inj` is null; any
+/// injector — armed, or an unarmed probe counting per-site calls() — is
+/// stateful and forces the serial path, matching `efta_decode_block`.
+/// Per-item reports are written to `per_item` when provided (size must
+/// match) and merged into the returned aggregate; each item's
+/// `faults_injected` counts only the flips placed while that item ran.  An
+/// empty batch returns a zeroed report without entering an OpenMP region.
 attention::FtReport efta_decode_batch(
     std::span<const DecodeWorkItem> items, const EftaOptions& opt = {},
     fault::FaultInjector* inj = nullptr,

@@ -638,9 +638,9 @@ sim::CostBreakdown efta_costs(const AttnShape& shape, const EftaOptions& opt) {
          efta_protection_costs(shape, opt);
 }
 
-sim::CostBreakdown efta_prefill_chunk_costs(std::size_t context,
-                                            std::size_t rows, std::size_t dim,
-                                            const EftaOptions& opt) {
+sim::CostBreakdown efta_decode_block_costs(std::size_t context,
+                                           std::size_t rows, std::size_t dim,
+                                           const EftaOptions& opt) {
   sim::CostBreakdown b;
   constexpr double B = 64.0;  // KvSlice::kTileRows
   const double n = static_cast<double>(context);

@@ -100,14 +100,17 @@ sim::CostBreakdown efta_protection_costs(const attention::AttnShape& s,
 sim::CostBreakdown efta_costs(const attention::AttnShape& s,
                               const EftaOptions& opt);
 
-/// Modeled cost of one protected causal prefill chunk (efta_prefill_chunk):
+/// Modeled cost of one protected causal query block (efta_decode_block):
 /// `rows` query rows at positions [context - rows, context) streaming over
-/// ceil(context/64) KV tiles, including the per-chunk checksum encodes, the
-/// per-row EXP product check, and the final unified O verification.  The
-/// serving benches compare this against measured chunk latency; dividing by
-/// the token-by-token sum shows the amortization win of chunking.
-sim::CostBreakdown efta_prefill_chunk_costs(std::size_t context,
-                                            std::size_t rows, std::size_t dim,
-                                            const EftaOptions& opt);
+/// ceil(context/64) KV tiles, including the per-block checksum encodes, the
+/// per-row EXP product check, and the final unified O verification.  One
+/// formula covers all three serving workloads — rows = 1 is a decode step,
+/// rows = k+1 a speculative draft block, rows = 64 a prefill chunk — and
+/// dividing the token-by-token sum by the block cost is the modeled
+/// amortization win (tile loads + encodes paid once per block instead of
+/// once per token), the speculative-decode term of the serving cost model.
+sim::CostBreakdown efta_decode_block_costs(std::size_t context,
+                                           std::size_t rows, std::size_t dim,
+                                           const EftaOptions& opt);
 
 }  // namespace ftt::core

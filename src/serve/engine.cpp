@@ -55,6 +55,23 @@ DecodeEngine::DecodeEngine(const transformer::Model& model, EngineOptions opt)
   if (opt_.max_context == 0) {
     throw std::invalid_argument("DecodeEngine: max_context must be >= 1");
   }
+  // A speculative block is 1 committed row + spec_tokens drafts and must
+  // fit the kernel's 64-row query block.
+  if (opt_.spec_tokens >= core::KvSlice::kTileRows) {
+    throw std::invalid_argument(
+        "DecodeEngine: spec_tokens must be in [0, 63]");
+  }
+  if (opt_.spec_tokens > 0) {
+    proposer_ = opt_.proposer ? opt_.proposer
+                              : std::make_shared<PromptLookupProposer>();
+  } else if (opt_.proposer != nullptr) {
+    // Same policy as the efta knobs above: reject a configuration the
+    // engine would silently ignore — a custom drafter with speculation
+    // off would never be called.
+    throw std::invalid_argument(
+        "DecodeEngine: a proposer was supplied but spec_tokens is 0 — "
+        "speculation would be silently off");
+  }
 }
 
 DecodeEngine::RequestId DecodeEngine::submit(const MatrixF& prompt_hidden,
@@ -101,7 +118,10 @@ DecodeEngine::RequestId DecodeEngine::submit(const MatrixF& prompt_hidden,
   requests_.push_back(std::move(req));
   EnqueueResult result;
   try {
-    result = scheduler_.enqueue(id, requests_.back().max_tokens, priority);
+    // job_rows = prompt rows: the SJF size key (prefill work dominates
+    // queueing delay; ignored under the default FCFS policy).
+    result = scheduler_.enqueue(id, requests_.back().max_tokens, priority,
+                                requests_.back().prompt_rows);
   } catch (...) {
     requests_.pop_back();
     throw;
@@ -119,7 +139,9 @@ std::size_t DecodeEngine::next_rows(const Request& req, RequestId id) const {
   if (scheduler_.state(id) == RequestState::kPrefilling) {
     return std::min(opt_.prefill_chunk_rows, req.prompt_rows - req.prefilled);
   }
-  return 1;
+  // Decode: the committed row plus this tick's drafted block (0 outside a
+  // speculative tick; the memory phase may shed drafts under pressure).
+  return 1 + req.draft_rows;
 }
 
 DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
@@ -155,6 +177,24 @@ DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
   // in request-id order (the order the bit-identity tests pin).
   std::sort(live_.begin(), live_.end());
 
+  // Draft phase: propose candidate rows for every decoding request before
+  // the memory phase sizes its block.  Drafting is clamped to the
+  // remaining budget so a retired stream is exactly the serial stream —
+  // speculation must never overshoot max_tokens.
+  if (proposer_ != nullptr) {
+    for (const RequestId id : live_) {
+      Request& req = requests_[id];
+      req.draft_rows = 0;
+      if (scheduler_.state(id) != RequestState::kDecoding) continue;
+      const std::size_t room = req.max_tokens - req.tokens;  // >= 1 here
+      if (room <= 1) continue;  // last budgeted token: nothing to draft
+      const std::size_t want = std::min(opt_.spec_tokens, room - 1);
+      req.draft.resize(want * cfg.hidden);
+      req.draft_rows = std::min(
+          want, proposer_->propose(id, want, cfg.hidden, req.draft.data()));
+    }
+  }
+
   // (c) memory phase: on-demand paged allocation, best-ranked request
   // first.  The only allocation site — the compute below cannot fail.
   std::vector<RequestId> granted;
@@ -186,9 +226,16 @@ DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
           ++stats.shared_tiles;
         }
       }
-      const std::size_t rows = next_rows(req, id);
+      std::size_t rows = next_rows(req, id);
       bool ok;
       while (!(ok = req.cache->ensure_capacity(req.tokens + rows))) {
+        // Shed this request's own speculation before preempting anyone:
+        // drafts are an optimistic extra, never worth evicting a peer for.
+        if (req.draft_rows > 0) {
+          req.draft_rows = 0;
+          rows = next_rows(req, id);
+          continue;
+        }
         // Pool exhausted: preempt the worst-ranked admitted request that
         // actually holds tiles and ranks worse than the current one —
         // preempting a tile-less (freshly admitted) victim would free
@@ -222,7 +269,8 @@ DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
   }
 
   // (d)+(e) gather this tick's row-stack: one prefill chunk per prefilling
-  // request, one decode row per decoding request, in request-id order.
+  // request, one 1 + drafts query block per decoding request, in
+  // request-id order.
   std::vector<TickEntry> entries;
   std::size_t total_rows = 0;
   for (const RequestId id : granted) {
@@ -232,8 +280,9 @@ DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
       entries.push_back(TickEntry{id, total_rows, rows, true, req.prefilled});
       total_rows += rows;
     } else {
-      entries.push_back(TickEntry{id, total_rows, 1, false, 0});
-      total_rows += 1;
+      const std::size_t rows = 1 + req.draft_rows;
+      entries.push_back(TickEntry{id, total_rows, rows, false, 0});
+      total_rows += rows;
     }
   }
   // An idle tick is free: no allocation, no OpenMP region.
@@ -256,25 +305,63 @@ DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
       for (std::size_t c = 0; c < cfg.hidden; ++c) {
         X(e.row0, c) = req.next_in[c];
       }
+      for (std::size_t r = 0; r + 1 < e.rows; ++r) {
+        for (std::size_t c = 0; c < cfg.hidden; ++c) {
+          X(e.row0 + 1 + r, c) = req.draft[r * cfg.hidden + c];
+        }
+      }
     }
   }
 
   advance(entries, X, inj, stats);
 
-  // State transitions and prefix publication after the compute.
+  // State transitions, speculative commits and prefix publication after
+  // the compute.
   for (const TickEntry& e : entries) {
     Request& req = requests_[e.id];
-    req.tokens += e.rows;
     if (e.prefill) {
+      req.tokens += e.rows;
       req.prefilled += e.rows;
       if (req.prefilled == req.prompt_rows) {
         scheduler_.on_prefill_done(e.id);
+        // Seed the drafter with the freshly committed history: the full
+        // prompt plus the first generated input row (next_in — known but
+        // not yet fed), so proposals can match prompt suffixes from the
+        // very first decode tick.
+        if (proposer_ != nullptr) {
+          for (std::size_t r = 0; r < req.prompt_rows; ++r) {
+            proposer_->observe(e.id, req.prompt.row(r));
+          }
+          proposer_->observe(e.id, req.next_in);
+        }
         // The prompt stays resident while preemption is reachable: a
         // preempted request recomputes from it on readmission.  An
         // unbounded pool never exhausts, so there it is freed at
         // prefill-done exactly like the pre-paging engine.
         if (opt_.scheduler.max_kv_tiles == 0) req.prompt = MatrixF();
       }
+    } else {
+      const std::size_t committed = 1 + e.accepted;
+      if (e.rows > 1) {
+        // Accept/reject commit: keep the fed row + the verified draft
+        // prefix, roll the rejected rows out of every layer's cache
+        // (open-tile truncation; tiles the commit fully covers seal now —
+        // nothing sealed was ever speculative).
+        req.cache->truncate(req.tokens + committed);
+      }
+      req.tokens += committed;
+      if (proposer_ != nullptr) {
+        // The drafter's history ends at the last known committed row: the
+        // accepted drafts, then the model's fresh output (the next tick's
+        // fed row).
+        for (std::size_t r = 0; r < e.accepted; ++r) {
+          proposer_->observe(
+              e.id, std::span<const float>(
+                        req.draft.data() + r * cfg.hidden, cfg.hidden));
+        }
+        proposer_->observe(e.id, req.next_in);
+      }
+      req.draft_rows = 0;
     }
     // Publish freshly sealed fully-prompt tiles so later requests (and this
     // one, after a preemption) can attach them.  Tiles holding any
@@ -312,7 +399,7 @@ DecodeEngine::StepStats DecodeEngine::run_until_idle(fault::FaultInjector* inj,
   return total;
 }
 
-void DecodeEngine::advance(const std::vector<TickEntry>& entries, MatrixF& X,
+void DecodeEngine::advance(std::vector<TickEntry>& entries, MatrixF& X,
                            fault::FaultInjector* inj, StepStats& stats) {
   const auto& cfg = model_->config();
   const std::size_t T = X.rows();
@@ -322,31 +409,32 @@ void DecodeEngine::advance(const std::vector<TickEntry>& entries, MatrixF& X,
   const auto mode =
       opt_.protect_linear ? LinearProtect::kStridedAbft : LinearProtect::kNone;
 
-  stats.active += T;
   for (const TickEntry& e : entries) {
     if (e.prefill) {
       ++stats.prefill_chunks;
       stats.prefill_rows += e.rows;
-    } else {
-      ++stats.decoded;
-    }
-    if (opt_.record_inputs) {
-      Request& req = requests_[e.id];
-      for (std::size_t r = 0; r < e.rows; ++r) {
-        req.inputs.emplace_back(X.row(e.row0 + r).begin(),
-                                X.row(e.row0 + r).end());
+      stats.active += e.rows;
+      if (opt_.record_inputs) {
+        Request& req = requests_[e.id];
+        for (std::size_t r = 0; r < e.rows; ++r) {
+          req.inputs.emplace_back(X.row(e.row0 + r).begin(),
+                                  X.row(e.row0 + r).end());
+        }
       }
     }
+    // Decode entries account (and record) after draft verification below:
+    // only committed rows count, and only committed rows enter the replay
+    // history.
   }
 
   // This mirrors Block::forward's sub-block pipeline (ln1 -> QKV ->
   // attention -> wo residual; ln2 -> FFN residual) with the attention
-  // swapped for the cache-backed kernels: decode rows become one
-  // DecodeWorkItem per head, prefill chunks one PrefillWorkItem per head
-  // reading/writing the stacked matrices with a row stride of `hidden`.
-  std::vector<FtReport> per_decode, per_prefill;
-  std::vector<core::DecodeWorkItem> ditems;
-  std::vector<core::PrefillWorkItem> pitems;
+  // swapped for the cache-backed block kernel: every entry — prefill
+  // chunk, decode row or speculative block — becomes one q_len-row
+  // DecodeWorkItem per head reading/writing the stacked matrices with a
+  // row stride of `hidden`, all through a single efta_decode_batch call.
+  std::vector<FtReport> per_item;
+  std::vector<core::DecodeWorkItem> items;
   const auto& blocks = model_->blocks();
   for (std::size_t layer = 0; layer < blocks.size(); ++layer) {
     const Block& blk = blocks[layer];
@@ -360,53 +448,43 @@ void DecodeEngine::advance(const std::vector<TickEntry>& entries, MatrixF& X,
 
     // Round to the fp16 tensor-core operands once; rows are head-major, so
     // a head's dim-wide segment is contiguous for the cache append and
-    // hidden-strided across rows for the chunk work items.
+    // hidden-strided across rows for the block work items.
     MatrixH qh(T, hidden), kh(T, hidden), vh(T, hidden);
     tensor::narrow(qm, {qh.data(), qh.size()});
     tensor::narrow(km, {kh.data(), kh.size()});
     tensor::narrow(vm, {vh.data(), vh.size()});
 
     MatrixF attn(T, hidden);
-    ditems.clear();
-    pitems.clear();
+    items.clear();
     for (const TickEntry& e : entries) {
       PagedKvCache& cache = *requests_[e.id].cache;
-      if (e.prefill) {
-        cache.append_chunk(layer, {&kh(e.row0, 0), e.rows * hidden},
-                           {&vh(e.row0, 0), e.rows * hidden}, e.rows);
-        for (std::size_t hd = 0; hd < heads; ++hd) {
-          pitems.push_back(core::PrefillWorkItem{
-              cache.slice(layer, hd), e.base, &qh(e.row0, hd * dim),
-              &attn(e.row0, hd * dim), e.rows, hidden, hidden});
-        }
-      } else {
-        cache.append_chunk(layer, kh.row(e.row0), vh.row(e.row0), 1);
-        for (std::size_t hd = 0; hd < heads; ++hd) {
-          ditems.push_back(core::DecodeWorkItem{
-              cache.slice(layer, hd), qh.row(e.row0).subspan(hd * dim, dim),
-              attn.row(e.row0).subspan(hd * dim, dim)});
-        }
+      // Speculative rows may be rejected, so tiles they fill must not seal
+      // until the commit (truncate) decides what stays.
+      cache.append_chunk(layer, {&kh(e.row0, 0), e.rows * hidden},
+                         {&vh(e.row0, 0), e.rows * hidden}, e.rows,
+                         /*defer_seal=*/!e.prefill && e.rows > 1);
+      for (std::size_t hd = 0; hd < heads; ++hd) {
+        items.push_back(core::DecodeWorkItem{
+            cache.slice(layer, hd), &qh(e.row0, hd * dim),
+            &attn(e.row0, hd * dim), e.rows, hidden, hidden});
       }
     }
-    per_decode.assign(ditems.size(), FtReport{});
-    per_prefill.assign(pitems.size(), FtReport{});
+    per_item.assign(items.size(), FtReport{});
     stats.attention +=
-        core::efta_decode_batch(ditems, opt_.efta, inj, per_decode);
-    stats.attention +=
-        core::efta_prefill_batch(pitems, opt_.efta, inj, per_prefill);
+        core::efta_decode_batch(items, opt_.efta, inj, per_item);
     // Roll the per-slice reports up into per-request lifetime reports,
-    // walking the work lists in the same entry order they were built.
-    std::size_t di = 0, pi = 0;
+    // walking the work list in the same entry order it was built.
+    std::size_t i = 0;
     for (const TickEntry& e : entries) {
       Request& req = requests_[e.id];
-      auto& src = e.prefill ? per_prefill : per_decode;
-      auto& idx = e.prefill ? pi : di;
-      for (std::size_t hd = 0; hd < heads; ++hd) req.attention += src[idx++];
+      for (std::size_t hd = 0; hd < heads; ++hd) req.attention += per_item[i++];
     }
 
     MatrixF proj(T, hidden);
     stats.linear += blk.wo().forward(attn, proj, mode, inj);
-    for (std::size_t i = 0; i < X.size(); ++i) X.data()[i] += proj.data()[i];
+    for (std::size_t i2 = 0; i2 < X.size(); ++i2) {
+      X.data()[i2] += proj.data()[i2];
+    }
 
     // --- feed-forward sub-block ---
     MatrixF h2 = X;
@@ -415,17 +493,56 @@ void DecodeEngine::advance(const std::vector<TickEntry>& entries, MatrixF& X,
     const auto fr = blk.ffn().forward(h2, ffn_out, opt_.protect_linear, inj);
     stats.linear += fr.abft;
     stats.activations_clipped += fr.activations_clipped;
-    for (std::size_t i = 0; i < X.size(); ++i) X.data()[i] += ffn_out.data()[i];
+    for (std::size_t i2 = 0; i2 < X.size(); ++i2) {
+      X.data()[i2] += ffn_out.data()[i2];
+    }
   }
 
   MatrixF y = X;
   model_->final_ln().forward(y);
-  for (const TickEntry& e : entries) {
+  for (TickEntry& e : entries) {
     Request& req = requests_[e.id];
-    const std::size_t last = e.row0 + e.rows - 1;
+    std::size_t last = e.row0 + e.rows - 1;
+    if (!e.prefill) {
+      // Greedy draft verification: drafted row i commits iff it equals,
+      // bit for bit, the model's own output at position i-1 — exactly the
+      // row the q_len = 1 serial path would feed next — and every earlier
+      // draft matched.  The block kernel is row-for-row bit-identical to
+      // serial decode, so an accepted row's output *is* the serial output;
+      // the first mismatch's model output becomes the next fed row (the
+      // standard speculative-decoding bonus token), and everything after
+      // it is rolled back by the caller.
+      std::size_t accepted = 0;
+      while (accepted + 1 < e.rows &&
+             std::memcmp(req.draft.data() + accepted * hidden,
+                         &y(e.row0 + accepted, 0),
+                         hidden * sizeof(float)) == 0) {
+        ++accepted;
+      }
+      e.accepted = accepted;
+      const std::size_t committed = 1 + accepted;
+      stats.decoded += committed;
+      stats.active += committed;
+      stats.spec_proposed += e.rows - 1;
+      stats.spec_accepted += accepted;
+      stats.spec_rejected += e.rows - 1 - accepted;
+      last = e.row0 + accepted;  // last *committed* row of the block
+      if (opt_.record_inputs) {
+        // Committed rows only: the fed row (still intact in next_in) plus
+        // the accepted drafts.  Rejected rows never enter the replay
+        // history — they never happened.
+        req.inputs.emplace_back(req.next_in.begin(), req.next_in.end());
+        for (std::size_t r = 0; r < accepted; ++r) {
+          req.inputs.emplace_back(req.draft.begin() + r * hidden,
+                                  req.draft.begin() + (r + 1) * hidden);
+        }
+      }
+    }
     req.last_hidden.assign(y.row(last).begin(), y.row(last).end());
     // For a prefill chunk that completes the prompt this seeds generation;
-    // mid-prompt it is overwritten by the next chunk's last row.
+    // mid-prompt it is overwritten by the next chunk's last row.  For a
+    // decode block it is the output of the last committed row — the serial
+    // next input whether drafts were accepted or not.
     req.next_in = req.last_hidden;
   }
 }
@@ -433,6 +550,9 @@ void DecodeEngine::advance(const std::vector<TickEntry>& entries, MatrixF& X,
 void DecodeEngine::retire(RequestId id) {
   Request& req = requests_[id];
   scheduler_.release(id);
+  if (proposer_ != nullptr) proposer_->reset(id);
+  req.draft = std::vector<float>();
+  req.draft_rows = 0;
   const auto it = std::find(live_.begin(), live_.end(), id);
   if (it != live_.end()) live_.erase(it);
   if (req.cache) {
@@ -452,7 +572,12 @@ void DecodeEngine::preempt_request(RequestId id) {
   req.cache->release_all();
   req.cache.reset();
   // Progress resets; generation is deterministic in the prompt, so the
-  // recompute replays the identical token trajectory on readmission.
+  // recompute replays the identical token trajectory on readmission.  The
+  // drafter's history resets with it (and is re-observed during replay) —
+  // even mid-speculation, a preempted request recomputes bit-identically
+  // because only committed rows were ever observed or cached.
+  if (proposer_ != nullptr) proposer_->reset(id);
+  req.draft_rows = 0;
   req.prefilled = 0;
   req.tokens = 0;
   req.next_in.clear();

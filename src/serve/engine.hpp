@@ -24,11 +24,29 @@
 //       A request that is itself the worst-ranked self-preempts, so the
 //       best-ranked request always makes progress — no livelock;
 //   (d) runs at most one causal prefill chunk (up to 64 prompt rows) per
-//       prefilling request through efta_prefill_batch;
-//   (e) advances every decoding request by one token through
-//       efta_decode_batch;
+//       prefilling request;
+//   (e) advances every decoding request by a query block of 1 + k rows —
+//       its next input row plus up to EngineOptions.spec_tokens drafted
+//       candidates from the request's TokenProposer — through one
+//       efta_decode_batch call shared with the prefill chunks;
+//   (f) verifies each draft block greedily: drafted row i is committed iff
+//       it bit-matches the model's own output at position i-1 (and every
+//       earlier draft matched).  The longest matching prefix commits — one
+//       block pass can retire up to k+1 tokens — and the KV rows of
+//       rejected drafts are rolled back (open-tile truncation; tiles
+//       filled mid-speculation stay unsealed until the commit, so sealed
+//       tiles are never speculative and prefix sharing / preemption-replay
+//       invariants survive untouched).
 //
-// Prefill chunks and decode rows share one row-stack per tick: layer norms,
+// Speculation cannot change results, only speed: a draft is committed only
+// when its row already equals, bit for bit, what the q_len = 1 serial path
+// would have produced (the block kernel is row-for-row bit-identical to
+// serial decode, and acceptance is bitwise equality against the model's
+// output).  A useless proposer just wastes the drafted rows' compute;
+// budgets still land exactly (drafting is clamped to the remaining token
+// budget), so a retired request's stream is the serial stream regardless.
+//
+// Prefill chunks and decode blocks share one row-stack per tick: layer norms,
 // the QKV/output projections and the feed-forward run once per layer over
 // all rows of all requests (strided-ABFT-protected when protect_linear is
 // set), then attention splits into per-(request, head) protected work items,
@@ -59,6 +77,7 @@
 
 #include "attention/ft_report.hpp"
 #include "core/decode.hpp"
+#include "serve/proposer.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/tile_pool.hpp"
 #include "transformer/model.hpp"
@@ -98,8 +117,21 @@ struct EngineOptions {
   /// are bit-identical to what a private prefill would compute); the knob
   /// exists for A/B benchmarking the capacity win.
   bool share_prefix = true;
-  /// Admission policy (batch-size cap, priority classes) and the pool
-  /// capacity (scheduler.max_kv_tiles, in context tiles; 0 = unbounded).
+  /// Speculative decode: maximum drafted tokens scored per decoding
+  /// request per tick (0 = off, the serial q_len = 1 path).  Each tick
+  /// feeds a block of 1 + spec_tokens rows through the verified kernel and
+  /// commits the longest draft prefix that bit-matches the model's own
+  /// outputs, so acceptance can only speed a stream up, never change it.
+  /// Bounded by 63 (block + committed row must fit the 64-row kernel
+  /// block).  Drafting is clamped to the remaining generation budget.
+  std::size_t spec_tokens = 0;
+  /// Draft source for speculative decode.  Null with spec_tokens > 0
+  /// constructs the default serve::PromptLookupProposer (no-second-model
+  /// n-gram lookup over the request's own committed row history).
+  std::shared_ptr<TokenProposer> proposer;
+  /// Admission policy (batch-size cap, priority classes, optional
+  /// shortest-job-first within a class) and the pool capacity
+  /// (scheduler.max_kv_tiles, in context tiles; 0 = unbounded).
   SchedulerOptions scheduler;
 };
 
@@ -108,16 +140,23 @@ class DecodeEngine {
   using RequestId = std::size_t;
 
   struct StepStats {
-    /// Token rows advanced this tick: prefill rows + decode steps.  Summed
-    /// over a request's lifetime this is its *computed* context length
-    /// (prefix-shared rows are attached, not computed; preempted rows are
-    /// recomputed and so counted again).
+    /// Token rows *committed* this tick: prefill rows + decoded tokens.
+    /// Summed over a request's lifetime this is its committed context
+    /// length (prefix-shared rows are attached, not computed; preempted
+    /// rows are recomputed and so counted again; rejected speculative rows
+    /// are computed but never committed and so never counted here).
     std::size_t active = 0;
     std::size_t admitted = 0;        ///< requests admitted from the queue
     std::size_t prefill_chunks = 0;  ///< causal prefill chunks run
     std::size_t prefill_rows = 0;    ///< prompt rows absorbed (computed)
-    std::size_t decoded = 0;         ///< decode token-steps
+    /// Decode tokens *committed* this tick: the fed row of every decoding
+    /// request plus its accepted drafts.  Rejected draft rows are computed
+    /// but never committed, so they appear in spec_rejected, not here.
+    std::size_t decoded = 0;
     std::size_t retired = 0;         ///< requests retired (budget/cap)
+    std::size_t spec_proposed = 0;   ///< draft rows scored this tick
+    std::size_t spec_accepted = 0;   ///< drafts committed (bit-matched)
+    std::size_t spec_rejected = 0;   ///< drafts rolled back
     std::size_t preempted = 0;       ///< requests preempted (pool exhausted)
     std::size_t evicted = 0;         ///< cached prefix tiles evicted
     /// Prefix-tile attach events (tiles mapped from the pool instead of
@@ -136,6 +175,9 @@ class DecodeEngine {
       prefill_rows += o.prefill_rows;
       decoded += o.decoded;
       retired += o.retired;
+      spec_proposed += o.spec_proposed;
+      spec_accepted += o.spec_accepted;
+      spec_rejected += o.spec_rejected;
       preempted += o.preempted;
       evicted += o.evicted;
       shared_tiles += o.shared_tiles;
@@ -162,9 +204,10 @@ class DecodeEngine {
                    std::size_t max_new_tokens = 0,
                    Priority priority = Priority::kNormal);
 
-  /// One scheduler tick: retire, admit (+ prefix attach), allocate/preempt,
-  /// prefill one chunk per prefilling request, advance every decoding
-  /// request by one token.  A tick with nothing to run returns zeroed stats
+  /// One scheduler tick: retire, admit (+ prefix attach), draft,
+  /// allocate/preempt, prefill one chunk per prefilling request, advance
+  /// every decoding request by a verified query block of 1 + accepted
+  /// drafts tokens.  A tick with nothing to run returns zeroed stats
   /// without touching OpenMP — an idle engine is free to poll.
   StepStats step(fault::FaultInjector* inj = nullptr);
 
@@ -248,15 +291,18 @@ class DecodeEngine {
     attention::FtReport attention;         // lifetime attention report
     std::size_t tokens = 0;                // current context length
     std::size_t preemptions = 0;           // times preempted
+    std::vector<float> draft;              // this tick's drafted rows
+    std::size_t draft_rows = 0;            // 0 outside a speculative tick
   };
 
   /// One request's share of a tick's row-stack.
   struct TickEntry {
     RequestId id;
     std::size_t row0;  ///< first row in the stacked X
-    std::size_t rows;  ///< 1 for decode, chunk size for prefill
+    std::size_t rows;  ///< prefill: chunk size; decode: 1 + drafted rows
     bool prefill;
     std::size_t base;  ///< prefill: global position of the chunk's first row
+    std::size_t accepted = 0;  ///< decode: drafts verified (set by advance)
   };
 
   void retire(RequestId id);
@@ -266,9 +312,12 @@ class DecodeEngine {
   [[nodiscard]] std::size_t next_rows(const Request& req,
                                       RequestId id) const;
 
-  /// Run the stacked rows X through the model: shared linears/FFN, per-
-  /// (request, head) attention work items (prefill chunks + decode slices).
-  void advance(const std::vector<TickEntry>& entries, tensor::MatrixF& X,
+  /// Run the stacked rows X through the model: shared linears/FFN, one
+  /// per-(request, head) query-block attention work item per entry —
+  /// prefill chunks, decode rows and speculative blocks all through the
+  /// same batch call.  Verifies speculative drafts against the final-LN
+  /// outputs (filling each entry's `accepted`) and records committed rows.
+  void advance(std::vector<TickEntry>& entries, tensor::MatrixF& X,
                fault::FaultInjector* inj, StepStats& stats);
 
   [[nodiscard]] const Request& checked(RequestId id) const;
@@ -277,6 +326,7 @@ class DecodeEngine {
   EngineOptions opt_;
   TilePool pool_;
   Scheduler scheduler_;
+  std::shared_ptr<TokenProposer> proposer_;  // non-null iff spec_tokens > 0
   std::vector<Request> requests_;
   /// Admitted, not-yet-retired ids, ascending (the tick's row-stack is in
   /// request-id order — the order the bit-identity tests pin).  Ticks sweep

@@ -203,6 +203,42 @@ void KvCache::append_chunk(std::span<const Half> k, std::span<const Half> v,
   }
 }
 
+void KvCache::truncate(std::size_t tokens) {
+  if (tokens > len_) {
+    throw std::invalid_argument(
+        "KvCache::truncate: cannot truncate beyond the current length");
+  }
+  if (tokens == len_) return;
+  const std::size_t had_tiles = tiles();
+  // Zero every rolled-back row: later appends rely on rows past the valid
+  // count being zero (the ragged-tail padding the checksums assume).
+  for (std::size_t r = tokens; r < len_; ++r) {
+    const std::size_t tile = r / kTileRows;
+    const std::size_t row = r % kTileRows;
+    for (HeadStore& hs : store_) {
+      std::fill_n(hs.k_tiles[tile].get() + row * dim_, dim_, Half{});
+      std::fill_n(hs.v_tiles[tile].get() + row * dim_, dim_, Half{});
+    }
+  }
+  // Tiles the truncation re-opens lose their sealed encodings: the memo
+  // described the full tile, and a partially-valid tile must fall back to
+  // fresh per-call encodes until an append re-fills (and re-seals) it.
+  const std::size_t keep_full = tokens / kTileRows;
+  for (std::size_t t = keep_full; t < had_tiles; ++t) {
+    for (HeadStore& hs : store_) {
+      if (hs.enc_blocks[t] != nullptr) {
+        hs.enc_blocks[t].reset();
+        hs.kc1_ptrs[t] = nullptr;
+        hs.kc2_ptrs[t] = nullptr;
+        hs.vc1_ptrs[t] = nullptr;
+        hs.vc2_ptrs[t] = nullptr;
+        --enc_blocks_sealed_;
+      }
+    }
+  }
+  len_ = tokens;
+}
+
 core::KvSlice KvCache::slice(std::size_t head) const {
   if (head >= heads_) {
     throw std::out_of_range("KvCache::slice: head out of range");

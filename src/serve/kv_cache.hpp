@@ -97,6 +97,15 @@ class KvCache {
   void append_chunk(std::span<const numeric::Half> k,
                     std::span<const numeric::Half> v, std::size_t rows);
 
+  /// Roll the context back to `tokens` rows (tokens <= length()): the
+  /// speculative-decode reject path.  Rolled-back rows are zeroed in their
+  /// tiles — restoring the kernel's zero-padding convention for the ragged
+  /// tail — and the memoized encodings of any tile the truncation re-opens
+  /// are dropped (the tile is no longer full, so its sealed checksums no
+  /// longer describe it; a later append that re-fills it re-seals fresh).
+  /// Tile storage itself stays allocated for reuse.
+  void truncate(std::size_t tokens);
+
   /// Tiled read view of one head's K/V over the current context, carrying
   /// the memoized checksum encodings of every sealed tile (tail entries are
   /// null until the tile fills).  Tile storage is never relocated, but the

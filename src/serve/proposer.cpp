@@ -1,0 +1,102 @@
+#include "serve/proposer.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace ftt::serve {
+
+namespace {
+
+/// FNV-1a over the row bytes: a cheap content fingerprint so the backward
+/// scan rejects non-matches without touching row data.  Exactness comes
+/// from the byte compare behind it, not from the hash.
+std::uint64_t row_hash(const float* row, std::size_t hidden) noexcept {
+  const auto* p = reinterpret_cast<const unsigned char*>(row);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < hidden * sizeof(float); ++i) {
+    h = (h ^ p[i]) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+PromptLookupProposer::PromptLookupProposer(PromptLookupOptions opt)
+    : opt_(opt) {
+  if (opt_.min_match == 0) {
+    throw std::invalid_argument(
+        "PromptLookupProposer: min_match must be >= 1");
+  }
+}
+
+void PromptLookupProposer::reset(std::size_t request_id) {
+  histories_.erase(request_id);
+}
+
+void PromptLookupProposer::observe(std::size_t request_id,
+                                   std::span<const float> row) {
+  History& h = histories_[request_id];
+  if (h.hidden == 0) h.hidden = row.size();
+  if (row.size() != h.hidden) {
+    throw std::invalid_argument(
+        "PromptLookupProposer: inconsistent row width");
+  }
+  h.rows.insert(h.rows.end(), row.begin(), row.end());
+  h.hash.push_back(row_hash(row.data(), h.hidden));
+  if (opt_.max_history != 0 && h.hash.size() > opt_.max_history) {
+    const std::size_t drop = h.hash.size() - opt_.max_history;
+    h.rows.erase(h.rows.begin(),
+                 h.rows.begin() + static_cast<std::ptrdiff_t>(drop * h.hidden));
+    h.hash.erase(h.hash.begin(),
+                 h.hash.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+}
+
+std::size_t PromptLookupProposer::propose(std::size_t request_id,
+                                          std::size_t max_rows,
+                                          std::size_t hidden, float* out) {
+  const auto it = histories_.find(request_id);
+  if (it == histories_.end() || max_rows == 0) return 0;
+  const History& h = it->second;
+  if (h.hidden != hidden) return 0;
+  const std::size_t rows = h.hash.size();
+  const std::size_t g = opt_.min_match;
+  // Need a g-row key at the end of history plus at least one earlier
+  // occurrence with a row after it to propose.
+  if (rows < g + 1) return 0;
+
+  const auto row_at = [&](std::size_t r) { return h.rows.data() + r * hidden; };
+  const auto rows_equal = [&](std::size_t a, std::size_t b) {
+    return h.hash[a] == h.hash[b] &&
+           std::memcmp(row_at(a), row_at(b), hidden * sizeof(float)) == 0;
+  };
+
+  // Earlier occurrences of the trailing g-gram: scan end positions
+  // e = rows-2 .. g-1 backwards (e is the candidate match's last row; the
+  // key's own last row is rows-1 and never matches itself).  Walking
+  // backwards, each successive match has strictly more continuation rows
+  // available, so this keeps the *most recent* match that can fill the
+  // whole draft — short periodic cycles (period < max_rows) resolve to an
+  // occurrence far enough back to unroll the cycle max_rows times.
+  std::size_t best_e = rows, best_avail = 0;
+  for (std::size_t e = rows - 1; e-- > g - 1;) {
+    bool match = true;
+    for (std::size_t k = 0; k < g && match; ++k) {
+      match = rows_equal(e - k, rows - 1 - k);
+    }
+    if (!match) continue;
+    const std::size_t avail = rows - 1 - e;  // rows following the match
+    if (avail > best_avail) {
+      best_avail = avail;
+      best_e = e;
+    }
+    if (best_avail >= max_rows) break;
+  }
+  if (best_e == rows) return 0;
+  const std::size_t n = std::min(max_rows, best_avail);
+  std::memcpy(out, row_at(best_e + 1), n * hidden * sizeof(float));
+  return n;
+}
+
+}  // namespace ftt::serve

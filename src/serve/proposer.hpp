@@ -1,0 +1,102 @@
+#pragma once
+// Pluggable draft-token proposers for speculative decode.
+//
+// The serving engine generates over hidden states: each committed token is
+// one fed input row (hidden floats), and generation is a deterministic
+// function of the committed row sequence.  A TokenProposer guesses the next
+// few rows; the engine scores the guesses through the verified block-decode
+// kernel in one pass and commits only the longest prefix whose rows
+// bit-match what the model actually produced.  A proposer therefore can
+// never corrupt a stream — a bad guess only wastes the speculative rows'
+// compute — which is what makes the interface safely pluggable.
+//
+// The default drafter is prompt lookup (a.k.a. n-gram / lookahead-free
+// speculative decoding, as in vLLM's prompt-lookup and transformers'
+// assisted generation without a second model): match the tail of the
+// request's own committed history against an earlier occurrence and propose
+// the rows that followed it.  It needs no second model and no training, and
+// it shines exactly where serving workloads repeat themselves — summaries
+// quoting their source, code completion echoing identifiers, templated
+// output, or any stream that has entered a cycle.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace ftt::serve {
+
+/// Per-request draft source.  The engine drives it with the committed row
+/// stream: observe() every committed input row in order (prompt rows first,
+/// then each generated row as it commits), reset() when a request's history
+/// restarts (admission, preemption) or is discarded (retirement), and
+/// propose() to draft up to `max_rows` continuation rows.
+///
+/// Contract: propose() is called only when the request's observed history
+/// is current, and proposed rows are *predictions of the next committed
+/// input rows* — the engine verifies them bitwise against the model's real
+/// outputs, so a proposer is free to guess aggressively.  Implementations
+/// need no thread safety: the engine calls them from the tick thread only.
+class TokenProposer {
+ public:
+  virtual ~TokenProposer() = default;
+
+  /// Forget everything about `request_id` (new or recomputed history
+  /// follows via observe(), or nothing — the request retired).
+  virtual void reset(std::size_t request_id) = 0;
+
+  /// One committed input row of `request_id`, in stream order.
+  virtual void observe(std::size_t request_id, std::span<const float> row) = 0;
+
+  /// Draft up to `max_rows` rows continuing the observed history, written
+  /// row-major (`hidden` floats each) into `out`.  Returns the number of
+  /// rows drafted; 0 means "no idea", costing the engine nothing.
+  virtual std::size_t propose(std::size_t request_id, std::size_t max_rows,
+                              std::size_t hidden, float* out) = 0;
+};
+
+struct PromptLookupOptions {
+  /// Rows of trailing context that must match an earlier occurrence before
+  /// its continuation is proposed.  1 fires earliest; larger values demand
+  /// stronger evidence.  Exact (bitwise) row equality is the match
+  /// predicate — hidden rows are full fp32 vectors, so a match is
+  /// essentially never coincidental.
+  std::size_t min_match = 1;
+  /// Cap on retained history rows per request (0 = unbounded).  Oldest
+  /// rows are dropped first; proposals then only draw on the retained
+  /// window.  The default bounds the drafter's memory at hidden * 16 KiB
+  /// per request (fp32 rows are the price of proposing actual row values)
+  /// while still covering any realistic repetition distance.
+  std::size_t max_history = 4096;
+};
+
+/// The default no-second-model drafter: exact n-gram lookup over the
+/// request's own committed history.  Memory cost is one fp32 row per
+/// retained history row (bounded by max_history), the price of being able
+/// to propose the actual row values.
+class PromptLookupProposer final : public TokenProposer {
+ public:
+  explicit PromptLookupProposer(PromptLookupOptions opt = {});
+
+  void reset(std::size_t request_id) override;
+  void observe(std::size_t request_id, std::span<const float> row) override;
+  std::size_t propose(std::size_t request_id, std::size_t max_rows,
+                      std::size_t hidden, float* out) override;
+
+  [[nodiscard]] const PromptLookupOptions& options() const noexcept {
+    return opt_;
+  }
+
+ private:
+  struct History {
+    std::vector<float> rows;         ///< retained rows, concatenated
+    std::vector<std::uint64_t> hash; ///< per-row content hash (fast reject)
+    std::size_t hidden = 0;
+  };
+
+  PromptLookupOptions opt_;
+  std::unordered_map<std::size_t, History> histories_;
+};
+
+}  // namespace ftt::serve

@@ -12,7 +12,7 @@ Scheduler::Scheduler(SchedulerOptions opt) : opt_(opt) {
 }
 
 EnqueueResult Scheduler::enqueue(RequestId id, std::size_t max_tokens,
-                                 Priority priority) {
+                                 Priority priority, std::size_t job_rows) {
   if (max_tokens == 0) {
     throw std::invalid_argument("Scheduler: max_tokens must be >= 1");
   }
@@ -25,7 +25,7 @@ EnqueueResult Scheduler::enqueue(RequestId id, std::size_t max_tokens,
     return EnqueueResult::kRejectedTooLarge;  // could never run, even alone
   }
   if (id >= slots_.size()) slots_.resize(id + 1);
-  slots_[id] = Slot{RequestState::kQueued, priority};
+  slots_[id] = Slot{RequestState::kQueued, priority, job_rows, 0};
   queues_[static_cast<std::size_t>(priority)].push_back(id);
   return EnqueueResult::kAccepted;
 }
@@ -38,8 +38,22 @@ std::vector<Scheduler::RequestId> Scheduler::admit(
       if (admitted_ >= opt_.max_batch_size || new_tile_hint == 0) {
         return out;
       }
-      const RequestId id = queue.front();
-      queue.pop_front();
+      // FCFS picks the front.  SJF picks the smallest job (earliest-queued
+      // on ties, so equal sizes stay FCFS) — unless the front has already
+      // been overtaken sjf_max_overtakes times, in which case it goes next
+      // unconditionally: the aging bound that makes SJF starvation-free.
+      std::size_t pick = 0;
+      if (opt_.sjf_within_class &&
+          slots_[queue.front()].overtaken < opt_.sjf_max_overtakes) {
+        for (std::size_t i = 1; i < queue.size(); ++i) {
+          if (slots_[queue[i]].job_rows < slots_[queue[pick]].job_rows) {
+            pick = i;
+          }
+        }
+      }
+      const RequestId id = queue[pick];
+      for (std::size_t i = 0; i < pick; ++i) ++slots_[queue[i]].overtaken;
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
       slots_[id].state = RequestState::kPrefilling;
       ++admitted_;
       // Each admission plausibly needs one fresh tile beyond any shared

@@ -60,6 +60,19 @@ struct SchedulerOptions {
   /// for the never-admittable enqueue rejection; the pool itself enforces
   /// the budget at allocation time.  0 = unbounded.
   std::size_t max_kv_tiles = 0;
+  /// Shortest-job-first admission *within* a priority class, keyed by the
+  /// job size passed to enqueue() (the engine passes prompt rows — prefill
+  /// work dominates queueing delay in prefill-heavy traffic, and a short
+  /// prompt stuck behind a 10-chunk one pays the whole prefill).  Classes
+  /// still sweep high-to-low.  Default off: strict FCFS, the PR 4
+  /// no-overtaking behavior.
+  bool sjf_within_class = false;
+  /// Anti-starvation bound for SJF: once the front of a class queue has
+  /// been overtaken this many times it is admitted next, no matter what is
+  /// behind it.  Every waiting request therefore reaches the front and is
+  /// admitted after a bounded number of admissions — SJF reorders, it
+  /// never starves.
+  std::size_t sjf_max_overtakes = 16;
 };
 
 class Scheduler {
@@ -72,16 +85,21 @@ class Scheduler {
   explicit Scheduler(SchedulerOptions opt = {});
 
   /// Register a request at the tail of its class's queue.  `max_tokens` is
-  /// its context ceiling (prompt + generation budget).  Returns
+  /// its context ceiling (prompt + generation budget).  `job_rows` is the
+  /// size key shortest-job-first admission orders by (the engine passes
+  /// prompt rows; ignored under FCFS, 0 = unknown/smallest).  Returns
   /// kRejectedTooLarge — without queueing — when ceil(max_tokens / 64)
   /// exceeds max_kv_tiles: such a request could never run even with the
   /// pool to itself.  Throws only on max_tokens == 0 (a programming error,
   /// not load).
   EnqueueResult enqueue(RequestId id, std::size_t max_tokens,
-                        Priority priority = Priority::kNormal);
+                        Priority priority = Priority::kNormal,
+                        std::size_t job_rows = 0);
 
-  /// One admission sweep: high class first, strict FCFS within each class,
-  /// while the batch-size cap holds and `new_tile_hint` admissions remain.
+  /// One admission sweep: high class first — strict FCFS within each class
+  /// by default, shortest-job-first (with the bounded-overtake aging
+  /// guarantee) when sjf_within_class is set — while the batch-size cap
+  /// holds and `new_tile_hint` admissions remain.
   /// The hint is the engine's estimate of how many more requests the pool
   /// can take on (TilePool::allocatable()); it throttles thundering
   /// admissions that would immediately preempt each other.  Returns the ids
@@ -117,6 +135,8 @@ class Scheduler {
   struct Slot {
     RequestState state = RequestState::kQueued;
     Priority priority = Priority::kNormal;
+    std::size_t job_rows = 0;   ///< SJF size key (engine: prompt rows)
+    std::size_t overtaken = 0;  ///< times a later, shorter job jumped this one
   };
 
   [[nodiscard]] Slot& checked(RequestId id);

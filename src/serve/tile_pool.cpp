@@ -223,6 +223,7 @@ std::size_t TilePool::bytes_allocated() const noexcept {
 PagedKvCache::PagedKvCache(TilePool& pool)
     : pool_(&pool),
       layer_len_(pool.layers(), 0),
+      sealed_tiles_(pool.layers(), 0),
       ptrs_(pool.layers() * pool.heads()) {}
 
 PagedKvCache::~PagedKvCache() { release_all(); }
@@ -259,6 +260,9 @@ void PagedKvCache::attach_shared(TilePool::TileId id) {
   table_.push_back(id);
   push_tile_ptrs(id, /*with_enc=*/true);
   for (std::size_t& len : layer_len_) len += TilePool::kTileRows;
+  // The attached tile arrives already sealed: advance every layer's sealed
+  // region over it so seal_layer_through never re-encodes a shared tile.
+  for (std::size_t& sealed : sealed_tiles_) ++sealed;
   ++shared_tiles_;
 }
 
@@ -299,9 +303,17 @@ void PagedKvCache::seal_layer_tile(std::size_t layer, std::size_t tile_index) {
   }
 }
 
+void PagedKvCache::seal_layer_through(std::size_t layer, std::size_t upto) {
+  for (std::size_t t = sealed_tiles_[layer]; t < upto; ++t) {
+    seal_layer_tile(layer, t);
+  }
+  if (upto > sealed_tiles_[layer]) sealed_tiles_[layer] = upto;
+}
+
 void PagedKvCache::append_chunk(std::size_t layer,
                                 std::span<const Half> k,
-                                std::span<const Half> v, std::size_t rows) {
+                                std::span<const Half> v, std::size_t rows,
+                                bool defer_seal) {
   const std::size_t heads = pool_->heads(), dim = pool_->dim();
   if (layer >= pool_->layers()) {
     throw std::out_of_range("PagedKvCache: layer out of range");
@@ -331,10 +343,71 @@ void PagedKvCache::append_chunk(std::size_t layer,
   layer_len_[layer] = len + rows;
   // Seal every tile this chunk filled for this layer.  Slab encoding space
   // is preallocated, so — unlike KvCache — sealing cannot fail mid-append.
-  const std::size_t sealed_before = len / TilePool::kTileRows;
-  const std::size_t sealed_after = layer_len_[layer] / TilePool::kTileRows;
-  for (std::size_t t = sealed_before; t < sealed_after; ++t) {
-    seal_layer_tile(layer, t);
+  // Speculative appends defer: a tile filled by rows that may be rejected
+  // must stay open until truncate() commits the accepted prefix.
+  if (!defer_seal) {
+    seal_layer_through(layer, layer_len_[layer] / TilePool::kTileRows);
+  }
+}
+
+void PagedKvCache::truncate(std::size_t tokens) {
+  const std::size_t heads = pool_->heads(), dim = pool_->dim();
+  const std::size_t len = layer_len_.empty() ? 0 : layer_len_[0];
+  for (const std::size_t l : layer_len_) {
+    if (l != len) {
+      throw std::logic_error(
+          "PagedKvCache::truncate: layers out of step — truncation commits "
+          "a whole tick, after every layer appended");
+    }
+  }
+  if (tokens > len) {
+    throw std::logic_error(
+        "PagedKvCache::truncate: cannot truncate beyond the context");
+  }
+  for (const std::size_t sealed : sealed_tiles_) {
+    if (tokens < sealed * TilePool::kTileRows) {
+      throw std::logic_error(
+          "PagedKvCache::truncate: rollback into a sealed tile — sealed "
+          "tiles are never speculative");
+    }
+  }
+  const std::size_t need =
+      (tokens + TilePool::kTileRows - 1) / TilePool::kTileRows;
+  // Zero the rolled-back rows of the tiles we keep: later appends (and the
+  // kernel's ragged-tail checksums) rely on rows past the valid count being
+  // zero.  Dropped tail tiles skip this — the pool zeroes them on reuse.
+  const std::size_t kept_rows = std::min(len, need * TilePool::kTileRows);
+  for (std::size_t layer = 0; layer < pool_->layers(); ++layer) {
+    for (std::size_t r = tokens; r < kept_rows; ++r) {
+      const std::size_t tile = r / TilePool::kTileRows;
+      const std::size_t row = r % TilePool::kTileRows;
+      const TilePool::TileId id = table_[tile];
+      for (std::size_t h = 0; h < heads; ++h) {
+        std::fill_n(pool_->k_tile(id, layer, h) + row * dim, dim, Half{});
+        std::fill_n(pool_->v_tile(id, layer, h) + row * dim, dim, Half{});
+      }
+    }
+  }
+  // Release tail tiles the commit left entirely empty (acquired for the
+  // speculative block this tick; unpublished, so they go on the dead list).
+  while (table_.size() > need) {
+    pool_->release(table_.back());
+    table_.pop_back();
+    for (HeadPtrs& hp : ptrs_) {
+      hp.k.pop_back();
+      hp.v.pop_back();
+      hp.kc1.pop_back();
+      hp.kc2.pop_back();
+      hp.vc1.pop_back();
+      hp.vc2.pop_back();
+    }
+  }
+  for (std::size_t& l : layer_len_) l = tokens;
+  // Seal whatever the commit fully covers (deferred by the speculative
+  // appends).  Layers seal in order, so the pool-wide seal — and the
+  // publication candidacy it gates — still fires on the last layer.
+  for (std::size_t layer = 0; layer < pool_->layers(); ++layer) {
+    seal_layer_through(layer, tokens / TilePool::kTileRows);
   }
 }
 
@@ -366,6 +439,7 @@ void PagedKvCache::release_all() {
   for (const TilePool::TileId id : table_) pool_->release(id);
   table_.clear();
   for (std::size_t& len : layer_len_) len = 0;
+  for (std::size_t& sealed : sealed_tiles_) sealed = 0;
   for (HeadPtrs& hp : ptrs_) {
     hp.k.clear();
     hp.v.clear();

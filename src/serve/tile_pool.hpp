@@ -242,8 +242,27 @@ class PagedKvCache {
   /// halves, the KvCache::append_chunk layout).  Capacity must already be
   /// ensured; throws std::logic_error otherwise — the engine's memory phase
   /// is the only allocation site by design.
+  ///
+  /// `defer_seal` is the speculative-append mode: tiles this chunk fills
+  /// are NOT sealed (no encodings, no pool-wide seal, no publication
+  /// candidacy), because some of the chunk's rows may be rejected and
+  /// rolled back — a sealed tile is immutable and shareable, so sealed
+  /// tiles are never speculative.  truncate() seals whatever the commit
+  /// leaves fully covered.
   void append_chunk(std::size_t layer, std::span<const numeric::Half> k,
-                    std::span<const numeric::Half> v, std::size_t rows);
+                    std::span<const numeric::Half> v, std::size_t rows,
+                    bool defer_seal = false);
+
+  /// Commit a speculative tick: roll the context back to `tokens` rows
+  /// (the accepted prefix), then seal every tile the committed context
+  /// fully covers.  Rolled-back rows are zeroed in the kept open tile
+  /// (restoring the kernel's zero-padding convention); tail tiles left
+  /// entirely empty are released back to the pool (they were acquired
+  /// fresh this tick and recycle zeroed).  Requires every layer to have
+  /// appended the same row count (the post-compute state of a tick) and
+  /// `tokens` to lie at or beyond the sealed region — sealed tiles are
+  /// never speculative, so rolling back into one is a logic error.
+  void truncate(std::size_t tokens);
 
   [[nodiscard]] core::KvSlice slice(std::size_t layer,
                                     std::size_t head) const;
@@ -276,10 +295,16 @@ class PagedKvCache {
 
   void push_tile_ptrs(TilePool::TileId id, bool with_enc);
   void seal_layer_tile(std::size_t layer, std::size_t tile_index);
+  /// Seal layer tiles [sealed_tiles_[layer], upto) in order.  Sealing is
+  /// strictly left to right per layer, so the counter fully describes the
+  /// sealed region — deferred (speculative) appends simply leave it behind
+  /// until truncate() advances it over the committed tiles.
+  void seal_layer_through(std::size_t layer, std::size_t upto);
 
   TilePool* pool_;
   std::vector<TilePool::TileId> table_;
   std::vector<std::size_t> layer_len_;
+  std::vector<std::size_t> sealed_tiles_;  // per layer: tiles sealed so far
   std::vector<HeadPtrs> ptrs_;  // indexed layer * heads + head
   std::size_t shared_tiles_ = 0;
   std::vector<std::size_t> newly_sealed_;

@@ -90,6 +90,12 @@ struct CostBreakdown {
   friend CostBreakdown operator+(CostBreakdown a, const CostBreakdown& b) {
     return a += b;
   }
+  /// Scale every phase uniformly (e.g. one per-slice kernel cost replicated
+  /// across batch x heads independent slices).
+  CostBreakdown& scale(double f) noexcept {
+    for (auto& c : by_phase) c.scale(f);
+    return *this;
+  }
 };
 
 /// A100-PCIE-40GB machine description with achievable-fraction knobs.

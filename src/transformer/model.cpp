@@ -225,6 +225,50 @@ sim::CostBreakdown Model::detection_overhead_costs(std::size_t seq) const {
   return b;
 }
 
+sim::CostBreakdown Model::decode_tick_costs(std::size_t batch,
+                                            std::size_t context,
+                                            std::size_t q_len) const {
+  const double m = static_cast<double>(batch * q_len);  // stacked rows
+  const double H = static_cast<double>(cfg_.hidden);
+  const double F = static_cast<double>(cfg_.ffn_inner);
+
+  // Shared linears/FFN over the tick's row-stack.  Activations stream per
+  // row, but the weight matrices are read once per tick no matter how many
+  // requests share it: at batch 1 the weight read dominates (HBM-bound
+  // GEMV), at batch >= 8 the same bytes feed 8x the MACs (compute-bound
+  // GEMM) — the continuous-batching crossover.
+  sim::CostBreakdown lin;
+  lin[sim::Phase::kGemm].tc_flops = 4.0 * 2.0 * m * H * H +
+                                    2.0 * 2.0 * m * H * F;
+  lin[sim::Phase::kMemory].hbm_bytes =
+      (6.0 * m * H + 2.0 * m * F) * 2.0 +          // activations, fp16
+      (4.0 * H * H + 2.0 * H * F) * 2.0;           // weights, once per tick
+  lin[sim::Phase::kSoftmax].sfu_ops = m * F;       // GELU
+  lin[sim::Phase::kRescale].fp32_flops = 4.0 * m * H;  // LN + bias
+  // Linear ABFT (stride-8 checksums on the six GEMMs, as served).
+  lin += abft::StridedAbft::costs(m, cfg_.hidden, cfg_.hidden, 8);
+  lin += abft::StridedAbft::costs(m, cfg_.hidden, cfg_.hidden, 8);
+  lin += abft::StridedAbft::costs(m, cfg_.hidden, cfg_.hidden, 8);
+  lin += abft::StridedAbft::costs(m, cfg_.hidden, cfg_.hidden, 8);
+  lin += abft::StridedAbft::costs(m, cfg_.ffn_inner, cfg_.hidden, 8);
+  lin += abft::StridedAbft::costs(m, cfg_.hidden, cfg_.ffn_inner, 8);
+
+  // Attention: one protected q_len-row block per (request, head), each
+  // streaming the full context's KV tiles.  This term is per *slice* — it
+  // scales with batch, which is why attention stays memory-bound at any
+  // batch while the linears cross over; and it is per *block*, which is
+  // the speculative amortization: q_len tokens pay the tile loads and
+  // checksum encodes once.
+  sim::CostBreakdown attn = core::efta_decode_block_costs(
+      context, q_len, cfg_.head_dim(), core::EftaOptions{});
+  attn.scale(static_cast<double>(batch) * static_cast<double>(cfg_.heads));
+
+  sim::CostBreakdown per_layer = lin + attn;
+  sim::CostBreakdown b;
+  for (std::size_t i = 0; i < cfg_.layers; ++i) b += per_layer;
+  return b;
+}
+
 sim::CostBreakdown Model::correction_overhead_costs(std::size_t seq) const {
   sim::CostBreakdown b = detection_overhead_costs(seq);
   // One flip per attention call (per layer): locating the residue class,

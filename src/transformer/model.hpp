@@ -118,10 +118,28 @@ class Model {
   [[nodiscard]] sim::CostBreakdown correction_overhead_costs(
       std::size_t seq) const;
 
+  /// Modeled cost of one continuous-batching decode tick: `batch` requests
+  /// each advancing a `q_len`-row query block (1 = plain decode, k+1 = a
+  /// speculative draft block) at `context` tokens.  The shared linears/FFN
+  /// run once over the stacked batch*q_len rows — weights stream from HBM
+  /// once per *tick*, so at batch 1 the tick is HBM-bound on the weight
+  /// read while at batch >= 8 the GEMMs dominate (the batched-decode
+  /// roofline crossover) — and attention adds one protected block per
+  /// (request, head) at the given context (the k-row amortization term of
+  /// speculative decode).  tests/test_cost_model.cpp validates both shapes
+  /// against the serving benches' measured gauges.
+  [[nodiscard]] sim::CostBreakdown decode_tick_costs(
+      std::size_t batch, std::size_t context, std::size_t q_len = 1) const;
+
   [[nodiscard]] const std::vector<Block>& blocks() const noexcept {
     return blocks_;
   }
   [[nodiscard]] const LayerNorm& final_ln() const noexcept { return final_ln_; }
+  /// Mutable final-LN access: benches and tests shape the read-out head
+  /// (e.g. gamma = 0, beta = const turns generation into a constant-row
+  /// stream — the repetitive-suffix workload speculative decode thrives
+  /// on — while every layer underneath still computes in full).
+  [[nodiscard]] LayerNorm& final_ln() noexcept { return final_ln_; }
 
  private:
   ModelConfig cfg_;

@@ -7,9 +7,11 @@
 #include "attention/decoupled_ft.hpp"
 #include "core/efta.hpp"
 #include "sim/cost.hpp"
+#include "transformer/model.hpp"
 
 namespace fs = ftt::sim;
 namespace fa = ftt::attention;
+namespace fx = ftt::transformer;
 
 TEST(Costs, Accumulate) {
   fs::Costs a{1, 2, 3, 4, 5, 6, 1};
@@ -135,6 +137,109 @@ TEST(SpeedupShape, EftaBeatsDecoupledAcrossSweep) {
     const double t_efta = m.seconds(ftt::core::efta_costs(shape, opt));
     EXPECT_GT(t_dec / t_efta, 2.0) << "seq=" << seq;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Serving cost model: the batched-decode roofline and the speculative
+// (k-row block) amortization term, mirroring the shapes bench_serve_
+// throughput and bench_scheduler measure.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-resource seconds of an aggregated cost — the roofline legs the
+/// dominance assertions below compare.
+struct ResourceTimes {
+  double tc, fp32, sfu, mem, shfl;
+};
+
+ResourceTimes resource_times(const fs::MachineModel& m, const fs::Costs& c) {
+  return {c.tc_flops / (m.tc_peak * m.tc_eff),
+          c.fp32_flops / (m.fp32_peak * m.fp32_eff),
+          c.sfu_ops / (m.sfu_peak * m.sfu_eff),
+          c.hbm_bytes / (m.hbm_bw * m.hbm_eff),
+          c.shuffles / (m.shuffle_rate * m.shuffle_eff)};
+}
+
+}  // namespace
+
+TEST(ServingCosts, BatchOneDecodeTickIsHbmBound) {
+  // Single-request decode streams the whole KV cache and the full weight
+  // set for one token of useful work: the modeled tick must be dominated
+  // by HBM on every context in the serving range — the roofline leg that
+  // makes batch-1 decode the worst-case serving configuration.
+  const fx::Model model(fx::ModelConfig::tiny(), 1);
+  fs::MachineModel m;
+  for (const std::size_t ctx : {64u, 512u, 2048u}) {
+    const auto tick = model.decode_tick_costs(1, ctx, 1);
+    const auto t = resource_times(m, tick.total());
+    EXPECT_GT(t.mem, t.tc) << ctx;
+    EXPECT_GT(t.mem, t.fp32) << ctx;
+    EXPECT_GT(t.mem, t.sfu) << ctx;
+  }
+}
+
+TEST(ServingCosts, BatchingAmortizesWeightsUntilPerRowTermsDominate) {
+  // The crossover the throughput bench measures: tokens/s rises steeply
+  // with batch while the once-per-tick weight read amortizes, then
+  // flattens once per-row terms dominate.  In the model: per-token cost
+  // at batch 8 is far below batch 1, and the 8 -> 16 step recovers far
+  // less than the 1 -> 8 step did — the knee sits at or before batch 8,
+  // matching the bench's decode_speedup_batch8 gauge shape.
+  const fx::Model model(fx::ModelConfig::tiny(), 1);
+  fs::MachineModel m;
+  const std::size_t ctx = 64;  // short context: the weight read matters
+  const auto per_token = [&](std::size_t batch) {
+    return m.seconds(model.decode_tick_costs(batch, ctx, 1)) /
+           static_cast<double>(batch);
+  };
+  const double t1 = per_token(1), t8 = per_token(8), t16 = per_token(16);
+  EXPECT_LT(t8, 0.5 * t1) << "batching must amortize the weight read";
+  EXPECT_LT(t16, t8) << "per-token cost stays monotone";
+  EXPECT_GT((t1 - t8), 4.0 * (t8 - t16))
+      << "the knee must sit at or before batch 8";
+
+  // The roofline statement underneath: the shared linears' arithmetic
+  // intensity is exactly the row count (2m flops per 2-byte fp16 weight),
+  // so the skinny decode GEMMs cross the CUDA-core ridge
+  // (fp32_peak*eff)/(hbm_bw*eff) ~ 12.5 flops/byte between batch 8 and 16
+  // — below it the weight stream bounds the tick, above it compute does.
+  const double ridge = (m.fp32_peak * m.fp32_eff) / (m.hbm_bw * m.hbm_eff);
+  EXPECT_LT(8.0, ridge);
+  EXPECT_GT(16.0, ridge - 1.0);  // the crossover lands inside [8, 16]
+}
+
+TEST(ServingCosts, SpeculativeBlockAmortizesPerTokenTileWork) {
+  // The k-row speculative term: one (k+1)-row block pass at context n
+  // versus k+1 serial single-row ticks.  The KV tile loads, widenings and
+  // checksum encodes are paid once per block instead of once per token,
+  // so the modeled speedup at full acceptance clears the 1.3x bar the
+  // bench gates (spec_decode_speedup at spec_tokens = 4) with room, rises
+  // with k, and stays below the k+1 upper bound.
+  const fx::Model model(fx::ModelConfig::tiny(), 1);
+  fs::MachineModel m;
+  const std::size_t ctx = 512;
+  const auto spec_speedup = [&](std::size_t k) {
+    const double serial =
+        static_cast<double>(k + 1) * m.seconds(model.decode_tick_costs(1, ctx, 1));
+    const double block = m.seconds(model.decode_tick_costs(1, ctx, k + 1));
+    return serial / block;
+  };
+  const double s4 = spec_speedup(4);
+  EXPECT_GT(s4, 1.3) << "the bench's spec_decode_speedup bar";
+  EXPECT_LT(s4, 5.0) << "never better than the k+1 ideal";
+  EXPECT_GT(spec_speedup(8), s4) << "amortization grows with k";
+
+  // Same amortization at the kernel level: a 4-row block costs far less
+  // than 4 single-row calls in HBM traffic (tiles loaded once)...
+  ftt::core::EftaOptions eopt;
+  const auto block4 = ftt::core::efta_decode_block_costs(ctx, 4, 64, eopt);
+  const auto one = ftt::core::efta_decode_block_costs(ctx, 1, 64, eopt);
+  EXPECT_LT(block4.total().hbm_bytes, 1.5 * one.total().hbm_bytes);
+  // ...while the useful GEMM work scales with the rows (nothing is lost).
+  EXPECT_NEAR(block4[fs::Phase::kGemm].tc_flops,
+              4.0 * one[fs::Phase::kGemm].tc_flops,
+              0.05 * block4[fs::Phase::kGemm].tc_flops);
 }
 
 TEST(PhaseNames, AllDistinct) {

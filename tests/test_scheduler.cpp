@@ -100,6 +100,125 @@ TEST(Scheduler, PriorityClassesOvertakeButStayFcfsWithinClass) {
   EXPECT_EQ(lows[1], 4u);
 }
 
+TEST(Scheduler, SjfOrdersWithinClassShortestFirst) {
+  fs::SchedulerOptions opt;
+  opt.max_batch_size = 8;
+  opt.sjf_within_class = true;
+  fs::Scheduler sched(opt);
+
+  // One class, ragged job sizes: admission picks shortest-first, with
+  // FCFS as the tie-break (equal sizes never reorder).
+  sched.enqueue(0, 200, fs::Priority::kNormal, /*job_rows=*/100);
+  sched.enqueue(1, 200, fs::Priority::kNormal, /*job_rows=*/5);
+  sched.enqueue(2, 200, fs::Priority::kNormal, /*job_rows=*/50);
+  sched.enqueue(3, 200, fs::Priority::kNormal, /*job_rows=*/5);
+  const auto order = sched.admit();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 3u);  // tie with 1: FCFS among equals
+  EXPECT_EQ(order[2], 2u);
+  EXPECT_EQ(order[3], 0u);
+
+  // Priority classes still sweep high-to-low; SJF only reorders inside.
+  fs::Scheduler classes(opt);
+  classes.enqueue(0, 200, fs::Priority::kNormal, 1);
+  classes.enqueue(1, 200, fs::Priority::kHigh, 90);
+  classes.enqueue(2, 200, fs::Priority::kHigh, 10);
+  const auto swept = classes.admit();
+  ASSERT_EQ(swept.size(), 3u);
+  EXPECT_EQ(swept[0], 2u);  // shortest high job
+  EXPECT_EQ(swept[1], 1u);  // longer high job still beats normal
+  EXPECT_EQ(swept[2], 0u);
+}
+
+TEST(Scheduler, SjfNeverStarvesTheLongJob) {
+  // A long job at the head of the queue with an endless stream of shorter
+  // arrivals: pure SJF would starve it forever.  The overtake bound turns
+  // that into a hard latency guarantee — after sjf_max_overtakes
+  // admissions it goes next, whatever is behind it.
+  fs::SchedulerOptions opt;
+  opt.max_batch_size = 1;
+  opt.sjf_within_class = true;
+  opt.sjf_max_overtakes = 3;
+  fs::Scheduler sched(opt);
+
+  sched.enqueue(0, 500, fs::Priority::kNormal, /*job_rows=*/400);  // long
+  std::size_t next_id = 1;
+  for (std::size_t i = 0; i < 3; ++i) {
+    sched.enqueue(next_id++, 500, fs::Priority::kNormal, /*job_rows=*/1);
+  }
+
+  std::size_t admissions_until_long = 0;
+  for (std::size_t round = 0; round < 20; ++round) {
+    const auto got = sched.admit();
+    ASSERT_EQ(got.size(), 1u);
+    ++admissions_until_long;
+    if (got[0] == 0u) break;  // the long job finally ran
+    sched.release(got[0]);
+    // Keep the pressure on: a fresh short job arrives every round.
+    sched.enqueue(next_id++, 500, fs::Priority::kNormal, /*job_rows=*/1);
+  }
+  // Exactly the bound: 3 overtakes, then the long job is admitted 4th.
+  EXPECT_EQ(admissions_until_long, opt.sjf_max_overtakes + 1);
+
+  // Default FCFS is untouched by the new fields: job_rows is ignored.
+  fs::Scheduler fcfs(fs::SchedulerOptions{1, 0});
+  fcfs.enqueue(0, 500, fs::Priority::kNormal, 400);
+  fcfs.enqueue(1, 500, fs::Priority::kNormal, 1);
+  const auto first = fcfs.admit();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0], 0u);
+}
+
+TEST(Engine, SjfFlagReordersAdmissionWithoutChangingResults) {
+  // Prefill-heavy queue under a batch cap of 1: with SJF the short prompt
+  // overtakes the long one and retires first; results (per request) stay
+  // bit-identical to the FCFS run — scheduling is a latency decision.
+  const fx::Model model(serving_config(), 0x5f1);
+  const std::size_t hidden = model.config().hidden;
+  const ft::MatrixF longp = random_prompt(150, hidden, 31);
+  const ft::MatrixF shortp = random_prompt(5, hidden, 32);
+
+  auto run = [&](bool sjf, std::size_t& long_done, std::size_t& short_done,
+                 std::vector<float>& hl, std::vector<float>& hs) {
+    fs::EngineOptions opt;
+    opt.scheduler.max_batch_size = 1;
+    opt.scheduler.sjf_within_class = sjf;
+    fs::DecodeEngine engine(model, opt);
+    const auto a = engine.submit(longp, 4);
+    const auto b = engine.submit(shortp, 4);
+    long_done = short_done = 0;
+    for (std::size_t tick = 1; tick <= 400; ++tick) {
+      engine.step();
+      if (long_done == 0 && engine.state(a) == fs::RequestState::kRetired) {
+        long_done = tick;
+      }
+      if (short_done == 0 && engine.state(b) == fs::RequestState::kRetired) {
+        short_done = tick;
+      }
+      if (engine.queued() == 0 && engine.active() == 0) break;
+    }
+    const auto sa = engine.hidden(a);
+    const auto sb = engine.hidden(b);
+    hl.assign(sa.begin(), sa.end());
+    hs.assign(sb.begin(), sb.end());
+  };
+
+  std::size_t fcfs_long = 0, fcfs_short = 0, sjf_long = 0, sjf_short = 0;
+  std::vector<float> fcfs_hl, fcfs_hs, sjf_hl, sjf_hs;
+  run(false, fcfs_long, fcfs_short, fcfs_hl, fcfs_hs);
+  run(true, sjf_long, sjf_short, sjf_hl, sjf_hs);
+
+  EXPECT_LT(fcfs_long, fcfs_short) << "FCFS serves in arrival order";
+  EXPECT_LT(sjf_short, sjf_long) << "SJF lets the short job overtake";
+  EXPECT_LT(sjf_short, fcfs_short) << "the short job's latency improves";
+  ASSERT_EQ(fcfs_hl.size(), sjf_hl.size());
+  for (std::size_t c = 0; c < fcfs_hl.size(); ++c) {
+    EXPECT_EQ(fcfs_hl[c], sjf_hl[c]) << c;
+    EXPECT_EQ(fcfs_hs[c], sjf_hs[c]) << c;
+  }
+}
+
 TEST(Scheduler, EnqueueRejectsNeverAdmittableWithTypedResult) {
   // With paging there is no worst-case reservation, but a request whose
   // context ceiling exceeds the whole pool can never run: rejected with a

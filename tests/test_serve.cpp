@@ -269,8 +269,9 @@ TEST(Serve, BatchedDecodeBitIdenticalToSerialLoop) {
   for (std::size_t r = 0; r < caches.size(); ++r) {
     for (std::size_t h = 0; h < kHeads; ++h) {
       const std::size_t i = r * kHeads + h;
-      items.push_back(
-          fc::DecodeWorkItem{caches[r].slice(h), queries[i], batch_out[i]});
+      items.push_back(fc::DecodeWorkItem{caches[r].slice(h),
+                                         queries[i].data(),
+                                         batch_out[i].data()});
     }
   }
 
@@ -312,7 +313,7 @@ TEST(Serve, UnarmedProbeCountsCallsThroughBatch) {
   const auto q = random_query(64, 10);
   std::vector<float> out(64);
   std::vector<fc::DecodeWorkItem> items{
-      fc::DecodeWorkItem{cache.slice(0), q, out}};
+      fc::DecodeWorkItem{cache.slice(0), q.data(), out.data()}};
   ff::FaultInjector probe;
   fc::efta_decode_batch(items, {}, &probe);
   EXPECT_EQ(probe.calls(ff::Site::kGemm1), 100u);  // one hook per valid lane
@@ -335,8 +336,8 @@ TEST(Serve, BatchFaultCampaignStillCorrects) {
                        ff::FaultInjector* inj) {
     std::vector<fc::DecodeWorkItem> items;
     for (std::size_t r = 0; r < caches.size(); ++r) {
-      items.push_back(
-          fc::DecodeWorkItem{caches[r].slice(0), queries[r], out[r]});
+      items.push_back(fc::DecodeWorkItem{caches[r].slice(0),
+                                         queries[r].data(), out[r].data()});
     }
     return fc::efta_decode_batch(items, {}, inj);
   };
@@ -513,8 +514,8 @@ TEST(Prefill, ChunkBitIdenticalToTokenByTokenDecode) {
     for (const std::size_t rows : schedule) {
       cache.append_chunk({ts.k.data() + base * kDim, rows * kDim},
                          {ts.v.data() + base * kDim, rows * kDim}, rows);
-      rep += fc::efta_prefill_chunk(fc::PrefillWorkItem{
-          cache.slice(0), base, ts.q.data() + base * kDim,
+      rep += fc::efta_decode_block(fc::DecodeWorkItem{
+          cache.slice(0), ts.q.data() + base * kDim,
           out.data() + base * kDim, rows, 0, 0});
       base += rows;
     }
@@ -531,11 +532,9 @@ TEST(Prefill, ChunkBitIdenticalToTokenByTokenDecode) {
 
 TEST(Prefill, BatchMatchesSerialChunksAndHandlesEmpty) {
   // Empty batch: zeroed report, no OpenMP region (the idle-tick guarantee).
-  const fa::FtReport empty = fc::efta_prefill_batch({});
-  EXPECT_EQ(empty.gemm1.checks, 0u);
-  EXPECT_EQ(empty.total_detected(), 0u);
   const fa::FtReport empty_decode = fc::efta_decode_batch({});
   EXPECT_EQ(empty_decode.gemm1.checks, 0u);
+  EXPECT_EQ(empty_decode.total_detected(), 0u);
 
   constexpr std::size_t kDim = 64, kTokens = 100;
   const TokenStream a(kTokens, kDim, 7), b(70, kDim, 8);
@@ -543,20 +542,19 @@ TEST(Prefill, BatchMatchesSerialChunksAndHandlesEmpty) {
   ca.append_chunk({a.k.data(), 64 * kDim}, {a.v.data(), 64 * kDim}, 64);
   cb.append_chunk({b.k.data(), 64 * kDim}, {b.v.data(), 64 * kDim}, 64);
   std::vector<float> out_batch(2 * 64 * kDim), out_serial(2 * 64 * kDim);
-  std::vector<fc::PrefillWorkItem> items{
-      fc::PrefillWorkItem{ca.slice(0), 0, a.q.data(), out_batch.data(), 64, 0,
-                          0},
-      fc::PrefillWorkItem{cb.slice(0), 0, b.q.data(),
-                          out_batch.data() + 64 * kDim, 64, 0, 0}};
+  std::vector<fc::DecodeWorkItem> items{
+      fc::DecodeWorkItem{ca.slice(0), a.q.data(), out_batch.data(), 64, 0, 0},
+      fc::DecodeWorkItem{cb.slice(0), b.q.data(),
+                         out_batch.data() + 64 * kDim, 64, 0, 0}};
   std::vector<fa::FtReport> per(2);
-  const fa::FtReport agg = fc::efta_prefill_batch(items, {}, nullptr, per);
+  const fa::FtReport agg = fc::efta_decode_batch(items, {}, nullptr, per);
   EXPECT_EQ(agg.total_detected(), 0u);
 
   fa::FtReport serial;
   items[0].out = out_serial.data();
   items[1].out = out_serial.data() + 64 * kDim;
-  serial += fc::efta_prefill_chunk(items[0]);
-  serial += fc::efta_prefill_chunk(items[1]);
+  serial += fc::efta_decode_block(items[0]);
+  serial += fc::efta_decode_block(items[1]);
   for (std::size_t i = 0; i < out_batch.size(); ++i) {
     ASSERT_EQ(out_batch[i], out_serial[i]) << i;
   }
@@ -564,13 +562,18 @@ TEST(Prefill, BatchMatchesSerialChunksAndHandlesEmpty) {
   EXPECT_EQ(per[0].gemm1.checks + per[1].gemm1.checks, agg.gemm1.checks);
 
   // Malformed items are rejected up front with the offending index.
-  std::vector<fc::PrefillWorkItem> bad{
-      fc::PrefillWorkItem{ca.slice(0), 1, a.q.data(), out_batch.data(), 64, 0,
-                          0}};  // n != base + rows
-  EXPECT_THROW(fc::efta_prefill_batch(bad), std::invalid_argument);
-  bad[0] = fc::PrefillWorkItem{ca.slice(0), 0, a.q.data(), out_batch.data(),
-                               65, 0, 0};  // chunk larger than a tile
-  EXPECT_THROW(fc::efta_prefill_batch(bad), std::invalid_argument);
+  std::vector<fc::DecodeWorkItem> bad{
+      fc::DecodeWorkItem{ca.slice(0), a.q.data(), out_batch.data(), 65, 0,
+                         0}};  // block larger than the 64-row kernel tile
+  EXPECT_THROW(fc::efta_decode_batch(bad), std::invalid_argument);
+  bad[0] = fc::DecodeWorkItem{ca.slice(0), a.q.data(), out_batch.data(), 0,
+                              0, 0};  // empty block
+  EXPECT_THROW(fc::efta_decode_batch(bad), std::invalid_argument);
+  fs::KvCache tiny(1, kDim);
+  tiny.append_chunk({a.k.data(), 2 * kDim}, {a.v.data(), 2 * kDim}, 2);
+  bad[0] = fc::DecodeWorkItem{tiny.slice(0), a.q.data(), out_batch.data(), 3,
+                              0, 0};  // cache doesn't hold the block's rows
+  EXPECT_THROW(fc::efta_decode_batch(bad), std::invalid_argument);
 }
 
 TEST(Prefill, FaultCampaignStillCorrects) {
@@ -583,18 +586,18 @@ TEST(Prefill, FaultCampaignStillCorrects) {
   // Clean reference for the final chunk (rows 64..99 over the full cache).
   std::vector<float> clean(36 * kDim);
   const auto item = [&](std::vector<float>& out) {
-    return fc::PrefillWorkItem{cache.slice(0), 64,
-                               ts.q.data() + 64 * kDim, out.data(), 36, 0, 0};
+    return fc::DecodeWorkItem{cache.slice(0), ts.q.data() + 64 * kDim,
+                              out.data(), 36, 0, 0};
   };
   {
     auto it = item(clean);
-    fc::efta_prefill_chunk(it);
+    fc::efta_decode_block(it);
   }
 
   auto trial = [&](ff::FaultInjector& inj) -> ff::TrialResult {
     std::vector<float> out(36 * kDim);
     auto it = item(out);
-    const fa::FtReport r = fc::efta_prefill_chunk(it, {}, &inj);
+    const fa::FtReport r = fc::efta_decode_block(it, {}, &inj);
     float dev = 0.0f;
     for (std::size_t i = 0; i < out.size(); ++i) {
       const float d = std::fabs(out[i] - clean[i]);
