@@ -27,7 +27,14 @@
 //     serial engine, timing the decode phase only (prefill is identical
 //     in both configurations).  Gauges: spec_decode_speedup (same tokens,
 //     fewer block passes — KV tile loads, widenings and checksum work
-//     amortize over the accepted block) and spec_acceptance_rate.
+//     amortize over the accepted block) and spec_acceptance_rate,
+//   * the shard-parallel and replica-routed configurations on the same
+//     mixed fleet: a 2-shard engine (heads split across worker threads,
+//     deterministic combine — bit-identical to solo, so traffic totals
+//     must match exactly) and a 2-replica router.  Their speedup gauges
+//     (shard_parallel_speedup, router_replica_speedup) are thread- and
+//     core-count bound, so CI gates them informationally (must be
+//     emitted, value not gated).
 //
 // With --json <path> it also emits the machine-readable section the CI perf
 // job merges into BENCH_serve.json and gates on.
@@ -42,6 +49,7 @@
 #include "bench_util.hpp"
 #include "core/efta.hpp"
 #include "serve/engine.hpp"
+#include "serve/router.hpp"
 #include "tensor/random.hpp"
 #include "transformer/model.hpp"
 
@@ -70,11 +78,7 @@ struct MixedRun {
   double occupancy = 0.0;  // mean admitted requests per non-idle tick
 };
 
-MixedRun run_mixed(const fx::Model& model, std::size_t chunk_rows,
-                   std::size_t max_batch) {
-  fs::EngineOptions opt;
-  opt.prefill_chunk_rows = chunk_rows;
-  opt.scheduler.max_batch_size = max_batch;
+MixedRun run_mixed_opt(const fx::Model& model, const fs::EngineOptions& opt) {
   fs::DecodeEngine engine(model, opt);
   const std::size_t hidden = model.config().hidden;
 
@@ -103,6 +107,42 @@ MixedRun run_mixed(const fx::Model& model, std::size_t chunk_rows,
                       ? 0.0
                       : static_cast<double>(occupancy_sum) /
                             static_cast<double>(occupied_ticks);
+  return run;
+}
+
+MixedRun run_mixed(const fx::Model& model, std::size_t chunk_rows,
+                   std::size_t max_batch) {
+  fs::EngineOptions opt;
+  opt.prefill_chunk_rows = chunk_rows;
+  opt.scheduler.max_batch_size = max_batch;
+  return run_mixed_opt(model, opt);
+}
+
+// Same mixed fleet through a replica Router: requests spread across M
+// engines (sticky prefix + least-loaded), one merged StepStats per tick.
+MixedRun run_routed(const fx::Model& model, std::size_t replicas) {
+  fs::RouterOptions opt;
+  opt.replicas = replicas;
+  opt.engine.scheduler.max_batch_size = 8;
+  fs::Router router(model, opt);
+  const std::size_t hidden = model.config().hidden;
+
+  std::vector<MatrixF> prompts;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    prompts.emplace_back(kPrompts[i % std::size(kPrompts)], hidden);
+    ftt::tensor::fill_normal(prompts.back(), 0xbead + i);
+  }
+
+  MixedRun run;
+  run.seconds = bench::time_once([&] {
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      router.submit(prompts[i], kBudgets[i % std::size(kBudgets)]);
+    }
+    while (router.queued() != 0 || router.active() != 0) {
+      run.stats += router.step();
+      ++run.ticks;
+    }
+  });
   return run;
 }
 
@@ -346,6 +386,49 @@ int main(int argc, char** argv) {
     std::printf("  UNEXPECTED: speculative/serial decode totals diverged\n");
   }
 
+  // --- shard-parallel engine + replica router ----------------------------
+  // Same mixed fleet as the chunked run, once through a 2-shard engine
+  // (heads split across worker threads, deterministic combine) and once
+  // through a 2-replica router.  The sharded run is bit-identical to solo
+  // by construction, so its traffic totals must match exactly; the speedups
+  // are honest wall-clock ratios but hardware-bound (≈1x or below on a
+  // single-core runner), hence gated informationally, not by value.
+  fs::EngineOptions shard_opt;
+  shard_opt.prefill_chunk_rows = 64;
+  shard_opt.scheduler.max_batch_size = 8;
+  shard_opt.shards = 2;
+  const MixedRun sharded = run_mixed_opt(model, shard_opt);
+  const MixedRun routed = run_routed(model, 2);
+  const double shard_speedup =
+      sharded.seconds > 0.0 ? chunked.seconds / sharded.seconds : 0.0;
+  const double router_speedup =
+      routed.seconds > 0.0 ? chunked.seconds / routed.seconds : 0.0;
+  std::printf("\n  shard-parallel / routed serving (same %zu-request fleet)\n",
+              kRequests);
+  std::printf("  %-26s %12s %8s %12s\n", "mode", "makespan", "ticks",
+              "decoded");
+  std::printf("  %-26s %9.2f ms %8zu %12zu\n", "solo engine",
+              chunked.seconds * 1e3, chunked.ticks, chunked.stats.decoded);
+  std::printf("  %-26s %9.2f ms %8zu %12zu\n", "2-shard engine",
+              sharded.seconds * 1e3, sharded.ticks, sharded.stats.decoded);
+  std::printf("  %-26s %9.2f ms %8zu %12zu\n", "2-replica router",
+              routed.seconds * 1e3, routed.ticks, routed.stats.decoded);
+  std::printf("  shard speedup: %.2fx   router speedup: %.2fx "
+              "(informational: thread/replica-count bound)\n",
+              shard_speedup, router_speedup);
+  // Sharding is bit-reproducible: every traffic counter must match solo.
+  // Routing changes placement (so ticks/preemptions may differ) but never
+  // the per-request budgets, so decoded totals still match.
+  ok = ok && sharded.stats.decoded == chunked.stats.decoded &&
+       sharded.stats.prefill_rows == chunked.stats.prefill_rows &&
+       sharded.stats.retired == kRequests &&
+       routed.stats.decoded == chunked.stats.decoded &&
+       routed.stats.retired == kRequests;
+  if (sharded.stats.decoded != chunked.stats.decoded ||
+      routed.stats.decoded != chunked.stats.decoded) {
+    std::printf("  UNEXPECTED: sharded/routed decode totals diverged\n");
+  }
+
   if (!json_path.empty()) {
     bench::JsonWriter w;
     w.begin_object();
@@ -376,6 +459,17 @@ int main(int argc, char** argv) {
     w.kv("shared_prefill_rows", shared.stats.prefill_rows);
     w.kv("unshared_prefill_rows", unshared.stats.prefill_rows);
     w.end_object();
+    w.key("parallel_serving");
+    w.begin_object();
+    w.kv("shards", std::size_t{2});
+    w.kv("replicas", std::size_t{2});
+    w.kv("solo_makespan_ms", chunked.seconds * 1e3);
+    w.kv("sharded_makespan_ms", sharded.seconds * 1e3);
+    w.kv("routed_makespan_ms", routed.seconds * 1e3);
+    w.kv("sharded_ticks", sharded.ticks);
+    w.kv("routed_ticks", routed.ticks);
+    w.kv("decoded_tokens", sharded.stats.decoded);
+    w.end_object();
     w.key("scheduler");
     w.begin_object();
     w.kv("threads", omp_get_max_threads());
@@ -399,6 +493,8 @@ int main(int argc, char** argv) {
     w.kv("shared_prefix_capacity_ratio", capacity_ratio);
     w.kv("spec_decode_speedup", spec_speedup);
     w.kv("spec_acceptance_rate", acceptance);
+    w.kv("shard_parallel_speedup", shard_speedup);
+    w.kv("router_replica_speedup", router_speedup);
     w.end_object();
     w.end_object();
     ok = w.write_file(json_path) && ok;

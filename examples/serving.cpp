@@ -24,7 +24,12 @@
 //      default prompt-lookup drafter: up to 4 drafted tokens per tick ride
 //      one verified query block, the longest bit-matching prefix commits,
 //      rejected rows roll back — same stream as the serial engine, a
-//      fraction of the ticks.
+//      fraction of the ticks;
+//   6. the same requests run through a 2-shard engine (attention heads
+//      split across worker threads, deterministically combined) and a
+//      2-replica router — both bit-identical to the solo engine, with the
+//      engine's per-shard fault reports attributing ABFT activity to the
+//      shard that did the work.
 //
 // Along the way the demo prints pool occupancy, the shared-tile ratio,
 // preemption counters and speculation acceptance, and it exits nonzero if
@@ -36,6 +41,7 @@
 #include <cstdio>
 
 #include "serve/engine.hpp"
+#include "serve/router.hpp"
 #include "tensor/random.hpp"
 #include "transformer/model.hpp"
 
@@ -224,5 +230,60 @@ int main() {
                        spec_ticks < serial_ticks;
   if (!spec_ok) std::printf("WARNING: speculation diverged or never fired.\n");
 
-  return worst == 0.0f && exercised && spec_ok ? 0 : 1;
+  // 6. Shard-parallel engine + replica router.  Heads split across worker
+  //    threads, outputs recombined in fixed shard order — the default
+  //    column-parallel combine has no float reduction at all, so the
+  //    sharded run (and the routed run: placement never changes compute)
+  //    must match the solo engine bit for bit.
+  const tensor::MatrixF fleet[3] = {prompt(90, cfg.hidden, 31),
+                                    prompt(40, cfg.hidden, 32),
+                                    prompt(129, cfg.hidden, 33)};
+  const std::size_t budgets[3] = {6, 10, 4};
+  std::vector<std::vector<float>> solo_hidden;
+  for (std::size_t i = 0; i < 3; ++i) {
+    serve::DecodeEngine solo(model);
+    const auto id = solo.submit(fleet[i], budgets[i]);
+    solo.run_until_idle(nullptr, 400);
+    const auto h = solo.hidden(id);
+    solo_hidden.emplace_back(h.begin(), h.end());
+  }
+  serve::EngineOptions shard_opt;
+  shard_opt.shards = 2;
+  serve::DecodeEngine sharded(model, shard_opt);
+  serve::RouterOptions ropt;
+  ropt.replicas = 2;
+  serve::Router router(model, ropt);
+  serve::DecodeEngine::RequestId sharded_ids[3], routed_ids[3];
+  for (std::size_t i = 0; i < 3; ++i) {
+    sharded_ids[i] = sharded.submit(fleet[i], budgets[i]);
+    routed_ids[i] = router.submit(fleet[i], budgets[i]);
+  }
+  sharded.run_until_idle(nullptr, 4000);
+  router.run_until_idle(nullptr, 4000);
+  bool shard_ok = true;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto s = sharded.hidden(sharded_ids[i]);
+    const auto r = router.hidden(routed_ids[i]);
+    shard_ok = shard_ok && s.size() == solo_hidden[i].size() &&
+               r.size() == solo_hidden[i].size();
+    for (std::size_t c = 0; shard_ok && c < solo_hidden[i].size(); ++c) {
+      shard_ok = s[c] == solo_hidden[i][c] && r[c] == solo_hidden[i][c];
+    }
+  }
+  const auto& shard_reports = sharded.shard_reports();
+  std::printf("\nsharded + routed serving (2 shards, 2 replicas, 3 "
+              "requests): streams %s solo\n",
+              shard_ok ? "bit-identical to" : "DIVERGED from");
+  for (std::size_t s = 0; s < shard_reports.size(); ++s) {
+    std::printf("  shard %zu (its own heads only): %zu attention checks, "
+                "%zu detected\n",
+                s,
+                shard_reports[s].gemm1.checks +
+                    shard_reports[s].exp_check.checks +
+                    shard_reports[s].gemm2.checks,
+                shard_reports[s].total_detected());
+  }
+  if (!shard_ok) std::printf("WARNING: sharded/routed run diverged.\n");
+
+  return worst == 0.0f && exercised && spec_ok && shard_ok ? 0 : 1;
 }

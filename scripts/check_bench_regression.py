@@ -16,6 +16,7 @@ The baseline file declares conservative higher-is-better floors:
   {
     "threshold": 0.25,
     "gauges": { "<gauge name>": <baseline value>, ... },
+    "informational": { "<gauge name>": <reference value>, ... },
     "comment": "..."
   }
 
@@ -23,6 +24,16 @@ A gauge regresses when measured < baseline * (1 - threshold).  Absolute
 tokens/s baselines are deliberately set well below a healthy run (CI runners
 vary); the dimensionless speedup gauges are the tighter tripwires.  Exit
 code 1 on any regression or missing gauge, so the CI perf job fails loudly.
+A fragment that contributes no gauges at all fails the same way — a bench
+binary that silently stopped emitting its gauges must not read as "nothing
+regressed".
+
+"informational" gauges are presence-checked but never value-gated: the bench
+must still emit them (missing fails), while the measured value is only
+reported.  This is the tier for gauges whose value is honest but
+meaningless on CI hardware — e.g. the shard/replica parallel speedups,
+which sit near or below 1.0 on the single-core runners and would be pure
+noise behind a floor.
 
 When GITHUB_STEP_SUMMARY is set (always, inside a GitHub Actions step), a
 markdown gauge table is appended to it so the perf job's results are
@@ -52,9 +63,10 @@ def write_step_summary(rows, extra_gauges, threshold):
         "|---|---:|---:|---:|---|",
     ]
     for name, measured, floor, limit, verdict in rows:
-        icon = "✅" if verdict == "OK" else "❌"
+        icon = "✅" if verdict == "OK" else "ℹ️" if verdict == "INFO" else "❌"
         shown = "—" if measured is None else f"{measured:.3f}"
-        lines.append(f"| `{name}` | {shown} | {floor:.3f} | {limit:.3f} | "
+        floor_s = "—" if limit is None else f"{limit:.3f}"
+        lines.append(f"| `{name}` | {shown} | {floor:.3f} | {floor_s} | "
                      f"{icon} {verdict} |")
     for name, value in sorted(extra_gauges.items()):
         lines.append(f"| `{name}` | {value:.3f} | — | — | untracked |")
@@ -67,6 +79,11 @@ def merge(fragments):
     for path in fragments:
         with open(path) as f:
             doc = json.load(f)
+        if not doc.get("gauges"):
+            # Every bench binary gates through at least one gauge; an empty
+            # or absent gauges object means it silently stopped reporting,
+            # which must fail the gate rather than pass it vacuously.
+            sys.exit(f"error: fragment {path} contributes no gauges")
         for key, val in doc.items():
             if key == "gauges":
                 overlap = set(val) & set(gauges)
@@ -103,7 +120,7 @@ def main():
         else float(baseline.get("threshold", 0.25))
 
     failures = []
-    rows = []  # (name, measured|None, floor, limit, verdict)
+    rows = []  # (name, measured|None, floor, limit|None, verdict)
     for name, floor in sorted(baseline.get("gauges", {}).items()):
         measured = merged["gauges"].get(name)
         limit = floor * (1.0 - threshold)
@@ -119,6 +136,17 @@ def main():
             failures.append(
                 f"{name}: {measured:.3f} < {limit:.3f} "
                 f"(baseline {floor:.3f}, threshold {threshold:.0%})")
+    # Informational tier: presence is mandatory, value is only reported.
+    for name, reference in sorted(baseline.get("informational", {}).items()):
+        measured = merged["gauges"].get(name)
+        if measured is None:
+            failures.append(f"{name}: missing from bench output "
+                            f"(informational, but must be emitted)")
+            rows.append((name, None, reference, None, "MISSING"))
+            continue
+        rows.append((name, measured, reference, None, "INFO"))
+        print(f"  {'INFO':10s} {name}: measured {measured:.3f} "
+              f"(reference {reference:.3f}, not gated)")
 
     gated = {name for name, *_ in rows}
     extra = {name: value for name, value in merged["gauges"].items()

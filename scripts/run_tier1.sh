@@ -9,6 +9,10 @@
 #   FTT_SIMD    - ON (default) or OFF: compile the F16C/AVX2 fp16 kernels
 #                 (the CI matrix runs one OFF leg so the scalar fallback
 #                 stays tested)
+#   OMP_MATRIX  - space-separated OpenMP thread counts (default: "2"); the
+#                 thread-sensitive suites (sharding, router, OMP invariance)
+#                 are re-run once per count, pinning bit-reproducibility
+#                 against whatever team size the host would pick
 #   CC/CXX      - compiler (default: toolchain default)
 #   CMAKE_CXX_COMPILER_LAUNCHER - e.g. ccache (forwarded when set)
 set -euo pipefail
@@ -17,6 +21,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-tier1}
 BUILD_TYPE=${BUILD_TYPE:-Release}
 FTT_SIMD=${FTT_SIMD:-ON}
+OMP_MATRIX=${OMP_MATRIX:-2}
 
 CONFIGURE_ARGS=(-B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE"
                 -DFTT_WERROR=ON -DFTT_SIMD="$FTT_SIMD")
@@ -35,6 +40,14 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 echo "== ctest =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Thread-count invariance: the parallel-serving suites must produce
+# bit-identical results whatever OpenMP team size the environment forces.
+for omp in $OMP_MATRIX; do
+  echo "== ctest (OMP_NUM_THREADS=$omp: sharding/router/invariance) =="
+  OMP_NUM_THREADS="$omp" ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R 'test_omp_invariance|test_sharding|test_router'
+done
 
 echo "== smoke: serving demo + decode throughput bench =="
 "$BUILD_DIR"/serving

@@ -447,4 +447,56 @@ FtReport efta_decode_batch(std::span<const DecodeWorkItem> items,
   return total;
 }
 
+std::pair<std::size_t, std::size_t> shard_range(std::size_t shard,
+                                                std::size_t nshards,
+                                                std::size_t total) {
+  if (nshards == 0 || shard >= nshards) {
+    throw std::invalid_argument("shard_range: shard index out of range");
+  }
+  const std::size_t base = total / nshards;
+  const std::size_t rem = total % nshards;
+  const std::size_t begin = shard * base + std::min(shard, rem);
+  return {begin, begin + base + (shard < rem ? 1 : 0)};
+}
+
+ShardSpec ShardSpec::for_shard(std::size_t shard, std::size_t nshards,
+                               std::size_t total_heads) {
+  const auto [begin, end] = shard_range(shard, nshards, total_heads);
+  return ShardSpec{begin, end};
+}
+
+FtReport efta_decode_batch(std::span<const DecodeWorkItem> items,
+                           std::span<const std::size_t> item_heads,
+                           const ShardSpec& shard, const EftaOptions& opt,
+                           fault::FaultInjector* inj,
+                           std::span<FtReport> per_item) {
+  if (item_heads.size() != items.size()) {
+    throw std::invalid_argument(
+        "efta_decode_batch: item_heads size must match items");
+  }
+  if (!per_item.empty() && per_item.size() != items.size()) {
+    throw std::invalid_argument(
+        "efta_decode_batch: per_item size must match items");
+  }
+  // Serial over the shard's own items, in batch order — the same item order
+  // the unsharded serial path runs, so a stateful injector threaded through
+  // one shard observes its items exactly as the full batch would.
+  FtReport total;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!shard.contains(item_heads[i])) continue;
+    try {
+      validate_item(items[i], opt);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("efta_decode_batch: item " +
+                                  std::to_string(i) + ": " + e.what());
+    }
+    const std::size_t before = inj ? inj->injected() : 0;
+    FtReport r = block_slice(items[i], opt, inj);
+    if (inj) r.faults_injected = inj->injected() - before;
+    if (!per_item.empty()) per_item[i] = r;
+    total += r;
+  }
+  return total;
+}
+
 }  // namespace ftt::core

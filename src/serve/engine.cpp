@@ -72,6 +72,25 @@ DecodeEngine::DecodeEngine(const transformer::Model& model, EngineOptions opt)
         "DecodeEngine: a proposer was supplied but spec_tokens is 0 — "
         "speculation would be silently off");
   }
+  if (opt_.shards == 0) {
+    throw std::invalid_argument("DecodeEngine: shards must be >= 1");
+  }
+  if (opt_.shards > 1) {
+    // Throws if head_dim is not 64-tile aligned for head-column slicing.
+    sharded_ = std::make_unique<ShardedEngine>(model, opt_.shards,
+                                               opt_.combine);
+  }
+  // head -> owning shard, the attribution map for per-shard fault reports.
+  // Built for shards == 1 too, so attribution code has one shape.
+  head_owner_.resize(model.config().heads);
+  shard_attention_.resize(opt_.shards);
+  for (std::size_t s = 0; s < opt_.shards; ++s) {
+    const auto spec =
+        core::ShardSpec::for_shard(s, opt_.shards, model.config().heads);
+    for (std::size_t hd = spec.begin_head; hd < spec.end_head; ++hd) {
+      head_owner_[hd] = s;
+    }
+  }
 }
 
 DecodeEngine::RequestId DecodeEngine::submit(const MatrixF& prompt_hidden,
@@ -385,7 +404,7 @@ DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
 DecodeEngine::StepStats DecodeEngine::drain(std::size_t steps,
                                             fault::FaultInjector* inj) {
   StepStats total;
-  for (std::size_t i = 0; i < steps; ++i) total += step(inj);
+  for (std::size_t i = 0; i < steps; ++i) total.merge(step(inj));
   return total;
 }
 
@@ -394,7 +413,7 @@ DecodeEngine::StepStats DecodeEngine::run_until_idle(fault::FaultInjector* inj,
   StepStats total;
   for (std::size_t i = 0; i < max_ticks; ++i) {
     if (scheduler_.queued() == 0 && active() == 0) break;
-    total += step(inj);
+    total.merge(step(inj));
   }
   return total;
 }
@@ -402,12 +421,8 @@ DecodeEngine::StepStats DecodeEngine::run_until_idle(fault::FaultInjector* inj,
 void DecodeEngine::advance(std::vector<TickEntry>& entries, MatrixF& X,
                            fault::FaultInjector* inj, StepStats& stats) {
   const auto& cfg = model_->config();
-  const std::size_t T = X.rows();
   const std::size_t hidden = cfg.hidden;
   const std::size_t heads = cfg.heads;
-  const std::size_t dim = cfg.head_dim();
-  const auto mode =
-      opt_.protect_linear ? LinearProtect::kStridedAbft : LinearProtect::kNone;
 
   for (const TickEntry& e : entries) {
     if (e.prefill) {
@@ -427,79 +442,47 @@ void DecodeEngine::advance(std::vector<TickEntry>& entries, MatrixF& X,
     // history.
   }
 
-  // This mirrors Block::forward's sub-block pipeline (ln1 -> QKV ->
-  // attention -> wo residual; ln2 -> FFN residual) with the attention
-  // swapped for the cache-backed block kernel: every entry — prefill
-  // chunk, decode row or speculative block — becomes one q_len-row
-  // DecodeWorkItem per head reading/writing the stacked matrices with a
-  // row stride of `hidden`, all through a single efta_decode_batch call.
-  std::vector<FtReport> per_item;
-  std::vector<core::DecodeWorkItem> items;
-  const auto& blocks = model_->blocks();
-  for (std::size_t layer = 0; layer < blocks.size(); ++layer) {
-    const Block& blk = blocks[layer];
-    // --- attention sub-block: project, append K/V, batched attention ---
-    MatrixF h = X;
-    blk.ln1().forward(h);
-    MatrixF qm(T, hidden), km(T, hidden), vm(T, hidden);
-    stats.linear += blk.wq().forward(h, qm, mode, inj);
-    stats.linear += blk.wk().forward(h, km, mode, inj);
-    stats.linear += blk.wv().forward(h, vm, mode, inj);
-
-    // Round to the fp16 tensor-core operands once; rows are head-major, so
-    // a head's dim-wide segment is contiguous for the cache append and
-    // hidden-strided across rows for the block work items.
-    MatrixH qh(T, hidden), kh(T, hidden), vh(T, hidden);
-    tensor::narrow(qm, {qh.data(), qh.size()});
-    tensor::narrow(km, {kh.data(), kh.size()});
-    tensor::narrow(vm, {vh.data(), vh.size()});
-
-    MatrixF attn(T, hidden);
-    items.clear();
-    for (const TickEntry& e : entries) {
-      PagedKvCache& cache = *requests_[e.id].cache;
-      // Speculative rows may be rejected, so tiles they fill must not seal
-      // until the commit (truncate) decides what stays.
-      cache.append_chunk(layer, {&kh(e.row0, 0), e.rows * hidden},
-                         {&vh(e.row0, 0), e.rows * hidden}, e.rows,
-                         /*defer_seal=*/!e.prefill && e.rows > 1);
-      for (std::size_t hd = 0; hd < heads; ++hd) {
-        items.push_back(core::DecodeWorkItem{
-            cache.slice(layer, hd), &qh(e.row0, hd * dim),
-            &attn(e.row0, hd * dim), e.rows, hidden, hidden});
-      }
-    }
-    per_item.assign(items.size(), FtReport{});
-    stats.attention +=
-        core::efta_decode_batch(items, opt_.efta, inj, per_item);
-    // Roll the per-slice reports up into per-request lifetime reports,
-    // walking the work list in the same entry order it was built.
+  // The tick's compute lives in serve/shard.hpp: run_tick_solo is the
+  // extracted monolithic body (full linears, one efta_decode_batch per
+  // layer) and ShardedEngine::run_tick the barrier-stepped shard-parallel
+  // equivalent, bit-identical in the default column-parallel mode.  An
+  // injected tick always runs solo — a FaultInjector is call-order-
+  // dependent state, and the parallel slicing would relocate its faults —
+  // so fault experiments stay bit-comparable across shard counts.
+  std::vector<ShardTickEntry> sentries;
+  sentries.reserve(entries.size());
+  for (const TickEntry& e : entries) {
+    // Speculative rows may be rejected, so tiles they fill must not seal
+    // until the commit (truncate) decides what stays.
+    sentries.push_back(ShardTickEntry{requests_[e.id].cache.get(), e.row0,
+                                      e.rows,
+                                      /*defer_seal=*/!e.prefill && e.rows > 1});
+  }
+  std::vector<FtReport> per_item(entries.size() * heads);
+  MatrixF y;
+  const TickResult tick =
+      (sharded_ != nullptr && inj == nullptr)
+          ? sharded_->run_tick(sentries, X, y, per_item, opt_.efta,
+                               opt_.protect_linear)
+          : run_tick_solo(*model_, sentries, X, y, per_item, opt_.efta,
+                          opt_.protect_linear, inj);
+  stats.linear += tick.linear;
+  stats.attention += tick.attention;
+  stats.activations_clipped += tick.activations_clipped;
+  // Roll the per-(entry, head) reports — accumulated across layers by the
+  // tick body — into per-request lifetime reports and into the per-shard
+  // attribution (head_owner_ maps both the sharded and the solo path, so a
+  // poisoned head is pinned to its owning shard either way).
+  {
     std::size_t i = 0;
     for (const TickEntry& e : entries) {
       Request& req = requests_[e.id];
-      for (std::size_t hd = 0; hd < heads; ++hd) req.attention += per_item[i++];
-    }
-
-    MatrixF proj(T, hidden);
-    stats.linear += blk.wo().forward(attn, proj, mode, inj);
-    for (std::size_t i2 = 0; i2 < X.size(); ++i2) {
-      X.data()[i2] += proj.data()[i2];
-    }
-
-    // --- feed-forward sub-block ---
-    MatrixF h2 = X;
-    blk.ln2().forward(h2);
-    MatrixF ffn_out(T, hidden);
-    const auto fr = blk.ffn().forward(h2, ffn_out, opt_.protect_linear, inj);
-    stats.linear += fr.abft;
-    stats.activations_clipped += fr.activations_clipped;
-    for (std::size_t i2 = 0; i2 < X.size(); ++i2) {
-      X.data()[i2] += ffn_out.data()[i2];
+      for (std::size_t hd = 0; hd < heads; ++hd, ++i) {
+        req.attention += per_item[i];
+        shard_attention_[head_owner_[hd]] += per_item[i];
+      }
     }
   }
-
-  MatrixF y = X;
-  model_->final_ln().forward(y);
   for (TickEntry& e : entries) {
     Request& req = requests_[e.id];
     std::size_t last = e.row0 + e.rows - 1;

@@ -79,6 +79,8 @@
 #include "core/decode.hpp"
 #include "serve/proposer.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/shard.hpp"
+#include "serve/step_stats.hpp"
 #include "serve/tile_pool.hpp"
 #include "transformer/model.hpp"
 
@@ -133,60 +135,30 @@ struct EngineOptions {
   /// shortest-job-first within a class) and the pool capacity
   /// (scheduler.max_kv_tiles, in context tiles; 0 = unbounded).
   SchedulerOptions scheduler;
+  /// Shard workers per tick (1 = the solo tick body).  With shards > 1 the
+  /// tick's compute runs on a barrier-stepped ShardedEngine: attention is
+  /// partitioned by head ranges, the linears column-parallel by 64-tile
+  /// column ranges, row phases by row ranges — all bit-identical to solo
+  /// for any shard count (see serve/shard.hpp).  Requires head_dim to be a
+  /// multiple of 64.  A tick given a FaultInjector always runs the solo
+  /// body regardless (injectors are call-order-dependent state; parallel
+  /// slicing would move the faults), so injected runs stay bit-comparable
+  /// with solo engines.
+  std::size_t shards = 1;
+  /// Output-projection combine for shards > 1.  kColumnParallel (default)
+  /// is bit-identical to solo; kRingReduce exercises the row-parallel
+  /// partial-sum path through the DeterministicCombiner — deterministic
+  /// for a fixed shard count, not solo-bitwise.
+  CombineMode combine = CombineMode::kColumnParallel;
 };
 
 class DecodeEngine {
  public:
   using RequestId = std::size_t;
 
-  struct StepStats {
-    /// Token rows *committed* this tick: prefill rows + decoded tokens.
-    /// Summed over a request's lifetime this is its committed context
-    /// length (prefix-shared rows are attached, not computed; preempted
-    /// rows are recomputed and so counted again; rejected speculative rows
-    /// are computed but never committed and so never counted here).
-    std::size_t active = 0;
-    std::size_t admitted = 0;        ///< requests admitted from the queue
-    std::size_t prefill_chunks = 0;  ///< causal prefill chunks run
-    std::size_t prefill_rows = 0;    ///< prompt rows absorbed (computed)
-    /// Decode tokens *committed* this tick: the fed row of every decoding
-    /// request plus its accepted drafts.  Rejected draft rows are computed
-    /// but never committed, so they appear in spec_rejected, not here.
-    std::size_t decoded = 0;
-    std::size_t retired = 0;         ///< requests retired (budget/cap)
-    std::size_t spec_proposed = 0;   ///< draft rows scored this tick
-    std::size_t spec_accepted = 0;   ///< drafts committed (bit-matched)
-    std::size_t spec_rejected = 0;   ///< drafts rolled back
-    std::size_t preempted = 0;       ///< requests preempted (pool exhausted)
-    std::size_t evicted = 0;         ///< cached prefix tiles evicted
-    /// Prefix-tile attach events (tiles mapped from the pool instead of
-    /// computed).  Counts *events*: a preempted request re-attaching its
-    /// prefix on readmission counts again — each attach is prefill compute
-    /// that did not run.
-    std::size_t shared_tiles = 0;
-    attention::FtReport attention;   ///< merged over all attention slices
-    abft::Report linear;             ///< projections + FFN ABFT
-    std::size_t activations_clipped = 0;
-
-    StepStats& operator+=(const StepStats& o) noexcept {
-      active += o.active;
-      admitted += o.admitted;
-      prefill_chunks += o.prefill_chunks;
-      prefill_rows += o.prefill_rows;
-      decoded += o.decoded;
-      retired += o.retired;
-      spec_proposed += o.spec_proposed;
-      spec_accepted += o.spec_accepted;
-      spec_rejected += o.spec_rejected;
-      preempted += o.preempted;
-      evicted += o.evicted;
-      shared_tiles += o.shared_tiles;
-      attention += o.attention;
-      linear += o.linear;
-      activations_clipped += o.activations_clipped;
-      return *this;
-    }
-  };
+  /// Per-tick counters; see serve/step_stats.hpp (extracted so shard
+  /// combiners and the replica Router merge the same type).
+  using StepStats = serve::StepStats;
 
   explicit DecodeEngine(const transformer::Model& model,
                         EngineOptions opt = {});
@@ -229,6 +201,21 @@ class DecodeEngine {
   /// step() return — all compute happens inside ticks.
   [[nodiscard]] const StepStats& lifetime() const noexcept {
     return lifetime_;
+  }
+
+  /// Shard workers the tick compute runs across (EngineOptions.shards).
+  [[nodiscard]] std::size_t shards() const noexcept {
+    return sharded_ ? sharded_->shards() : 1;
+  }
+  /// Lifetime attention fault-tolerance reports attributed per shard by
+  /// head ownership — size shards(), merged over every tick this engine
+  /// ever ran (including injected ticks, which run the solo body but are
+  /// attributed through the same head -> shard map).  A fault striking one
+  /// shard's heads lands in exactly that shard's report, so "a whole shard
+  /// went bad" reads directly off this vector.
+  [[nodiscard]] std::span<const attention::FtReport> shard_reports()
+      const noexcept {
+    return shard_attention_;
   }
 
   [[nodiscard]] RequestState state(RequestId id) const;
@@ -326,6 +313,12 @@ class DecodeEngine {
   EngineOptions opt_;
   TilePool pool_;
   Scheduler scheduler_;
+  /// Non-null iff opt_.shards > 1: the barrier-stepped shard executor the
+  /// clean-path tick dispatches into (injected ticks run run_tick_solo).
+  std::unique_ptr<ShardedEngine> sharded_;
+  std::vector<std::size_t> head_owner_;  ///< head -> owning shard index
+  /// Lifetime per-shard attention reports (see shard_reports()).
+  std::vector<attention::FtReport> shard_attention_;
   std::shared_ptr<TokenProposer> proposer_;  // non-null iff spec_tokens > 0
   std::vector<Request> requests_;
   /// Admitted, not-yet-retired ids, ascending (the tick's row-stack is in

@@ -1,0 +1,136 @@
+#include "serve/router.hpp"
+
+#include <stdexcept>
+
+namespace ftt::serve {
+
+Router::Router(const transformer::Model& model, RouterOptions opt)
+    : opt_(opt) {
+  if (opt_.replicas == 0) {
+    throw std::invalid_argument("Router: replicas must be >= 1");
+  }
+  engines_.reserve(opt_.replicas);
+  for (std::size_t r = 0; r < opt_.replicas; ++r) {
+    engines_.push_back(std::make_unique<DecodeEngine>(model, opt_.engine));
+  }
+}
+
+std::size_t Router::choose_replica(const tensor::MatrixF& prompt_hidden) {
+  // Sticky prefix affinity: key the first shareable tile with the same
+  // chain hash the engines key their prefix registries with.  A prompt has
+  // a shareable tile iff (rows - 1) / 64 >= 1 — the engine never shares the
+  // last prompt row (it seeds generation).
+  if (opt_.sticky_prefix && opt_.engine.share_prefix &&
+      prompt_hidden.rows() > TilePool::kTileRows) {
+    const ChainKey key = chain_extend(
+        ChainKey{}, &prompt_hidden(0, 0),
+        TilePool::kTileRows * prompt_hidden.cols() * sizeof(float));
+    const auto it = affinity_.find(key);
+    if (it != affinity_.end()) return it->second;
+    const std::size_t r = choose_replica_least_loaded();
+    affinity_.emplace(key, r);
+    return r;
+  }
+  return choose_replica_least_loaded();
+}
+
+std::size_t Router::choose_replica_least_loaded() const noexcept {
+  std::size_t best = 0;
+  std::size_t best_load = SIZE_MAX;
+  for (std::size_t r = 0; r < engines_.size(); ++r) {
+    const std::size_t load = engines_[r]->queued() + engines_[r]->active();
+    if (load < best_load) {  // strict: lowest index wins ties
+      best = r;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+Router::RequestId Router::submit(const tensor::MatrixF& prompt_hidden,
+                                 std::size_t max_new_tokens,
+                                 Priority priority) {
+  const std::size_t r = choose_replica(prompt_hidden);
+  const DecodeEngine::RequestId local =
+      engines_[r]->submit(prompt_hidden, max_new_tokens, priority);
+  placements_.push_back(Placement{r, local});
+  return placements_.size() - 1;
+}
+
+StepStats Router::step(fault::FaultInjector* inj) {
+  StepStats total;
+  for (const auto& e : engines_) total.merge(e->step(inj));
+  lifetime_.merge(total);
+  return total;
+}
+
+StepStats Router::step(std::span<fault::FaultInjector* const> per_replica) {
+  if (per_replica.size() != engines_.size()) {
+    throw std::invalid_argument(
+        "Router::step: one injector slot per replica required");
+  }
+  StepStats total;
+  for (std::size_t r = 0; r < engines_.size(); ++r) {
+    total.merge(engines_[r]->step(per_replica[r]));
+  }
+  lifetime_.merge(total);
+  return total;
+}
+
+StepStats Router::run_until_idle(fault::FaultInjector* inj,
+                                 std::size_t max_ticks) {
+  StepStats total;
+  for (std::size_t i = 0; i < max_ticks; ++i) {
+    if (queued() == 0 && active() == 0) break;
+    total.merge(step(inj));
+  }
+  return total;
+}
+
+std::size_t Router::queued() const noexcept {
+  std::size_t n = 0;
+  for (const auto& e : engines_) n += e->queued();
+  return n;
+}
+
+std::size_t Router::active() const noexcept {
+  std::size_t n = 0;
+  for (const auto& e : engines_) n += e->active();
+  return n;
+}
+
+const Router::Placement& Router::checked(RequestId id) const {
+  if (id >= placements_.size()) {
+    throw std::out_of_range("Router: unknown request id");
+  }
+  return placements_[id];
+}
+
+Router::Placement Router::placement(RequestId id) const { return checked(id); }
+
+RequestState Router::state(RequestId id) const {
+  const Placement& p = checked(id);
+  return engines_[p.replica]->state(p.local);
+}
+
+std::size_t Router::context_length(RequestId id) const {
+  const Placement& p = checked(id);
+  return engines_[p.replica]->context_length(p.local);
+}
+
+std::span<const float> Router::hidden(RequestId id) const {
+  const Placement& p = checked(id);
+  return engines_[p.replica]->hidden(p.local);
+}
+
+const attention::FtReport& Router::report(RequestId id) const {
+  const Placement& p = checked(id);
+  return engines_[p.replica]->report(p.local);
+}
+
+void Router::finish(RequestId id) {
+  const Placement& p = checked(id);
+  engines_[p.replica]->finish(p.local);
+}
+
+}  // namespace ftt::serve

@@ -1,0 +1,123 @@
+#pragma once
+// Replica router: spread requests across M independent DecodeEngine
+// replicas and merge their per-tick stats.
+//
+// Placement policy (deterministic — no randomness, no wall clock):
+//
+//   1. sticky prefix affinity: when a prompt has a shareable prefix (at
+//      least one full 64-row tile, the unit the engines' prefix registry
+//      keys), the router hashes the first tile with the same chain hash the
+//      engines use and pins every prompt sharing that prefix to one
+//      replica.  Prefix sharing is per-replica state — the TilePool's
+//      registry lives inside each engine — so spraying a hot prefix across
+//      replicas would compute it M times and cache it M times; stickiness
+//      keeps the sharing (and its capacity win) intact.
+//   2. otherwise least-loaded: the replica with the fewest queued + active
+//      requests, lowest index on ties.
+//
+// Request results are placement-invariant: a batched tick is bit-identical
+// to running each request in its own engine (the engine's core guarantee),
+// so which replica a request lands on — and what else shares it — cannot
+// change its tokens.  tests/test_router.cpp pins routed runs against the
+// solo engine bit for bit, including under identical injected faults via
+// the per-replica injector overload.
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace ftt::serve {
+
+struct RouterOptions {
+  std::size_t replicas = 1;
+  /// Pin prompts sharing a shareable prefix tile to one replica (see file
+  /// header).  Off = pure least-loaded.
+  bool sticky_prefix = true;
+  /// Options every replica engine is constructed with (shards, pool size,
+  /// speculation, ... — replicas are homogeneous).
+  EngineOptions engine;
+};
+
+class Router {
+ public:
+  using RequestId = std::size_t;  ///< router-level id
+
+  struct Placement {
+    std::size_t replica = 0;
+    DecodeEngine::RequestId local = 0;  ///< id inside that replica
+  };
+
+  Router(const transformer::Model& model, RouterOptions opt = {});
+
+  /// Route and submit: picks the replica (sticky prefix, then
+  /// least-loaded) and forwards to its DecodeEngine::submit.
+  RequestId submit(const tensor::MatrixF& prompt_hidden,
+                   std::size_t max_new_tokens = 0,
+                   Priority priority = Priority::kNormal);
+
+  /// Tick every replica once, in replica order, and merge the StepStats.
+  /// The injector (if any) is threaded through every replica's tick — one
+  /// fault process observed by all replicas in sequence.
+  StepStats step(fault::FaultInjector* inj = nullptr);
+  /// Per-replica injectors (size must equal replicas()): replica r ticks
+  /// with per_replica[r].  This is how the fault-parity tests give a routed
+  /// replica the *identical* fault sequence its solo twin saw.
+  StepStats step(std::span<fault::FaultInjector* const> per_replica);
+
+  /// Tick until every replica is idle (same contract as the engine's).
+  StepStats run_until_idle(fault::FaultInjector* inj = nullptr,
+                           std::size_t max_ticks = SIZE_MAX);
+
+  [[nodiscard]] std::size_t replicas() const noexcept {
+    return engines_.size();
+  }
+  [[nodiscard]] const DecodeEngine& engine(std::size_t r) const {
+    return *engines_.at(r);
+  }
+  [[nodiscard]] DecodeEngine& engine(std::size_t r) {
+    return *engines_.at(r);
+  }
+  [[nodiscard]] Placement placement(RequestId id) const;
+
+  /// Queued + active across all replicas.
+  [[nodiscard]] std::size_t queued() const noexcept;
+  [[nodiscard]] std::size_t active() const noexcept;
+
+  // Per-request views, forwarded to the owning replica.
+  [[nodiscard]] RequestState state(RequestId id) const;
+  [[nodiscard]] std::size_t context_length(RequestId id) const;
+  [[nodiscard]] std::span<const float> hidden(RequestId id) const;
+  [[nodiscard]] const attention::FtReport& report(RequestId id) const;
+  void finish(RequestId id);
+
+  /// Merged stats over every tick this router ever ran.
+  [[nodiscard]] const StepStats& lifetime() const noexcept {
+    return lifetime_;
+  }
+
+ private:
+  // TilePool's ChainKeyHash is private to the pool; the router keys its
+  // affinity map with the same mix locally.
+  struct KeyHash {
+    std::size_t operator()(const ChainKey& k) const noexcept {
+      return static_cast<std::size_t>(k.a ^ (k.b * 0x9e3779b97f4a7c15ull));
+    }
+  };
+
+  [[nodiscard]] std::size_t choose_replica(
+      const tensor::MatrixF& prompt_hidden);
+  /// Fewest queued + active requests; lowest index on ties.
+  [[nodiscard]] std::size_t choose_replica_least_loaded() const noexcept;
+  [[nodiscard]] const Placement& checked(RequestId id) const;
+
+  RouterOptions opt_;
+  std::vector<std::unique_ptr<DecodeEngine>> engines_;
+  std::vector<Placement> placements_;  ///< router id -> (replica, local id)
+  std::unordered_map<ChainKey, std::size_t, KeyHash> affinity_;
+  StepStats lifetime_;
+};
+
+}  // namespace ftt::serve

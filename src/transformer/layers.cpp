@@ -1,15 +1,19 @@
 #include "transformer/layers.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 namespace ftt::transformer {
 
 using tensor::MatrixF;
 
-void LayerNorm::forward(MatrixF& x) const {
-  const std::size_t R = x.rows(), C = x.cols();
-  for (std::size_t r = 0; r < R; ++r) {
+void LayerNorm::forward(MatrixF& x) const { forward(x, 0, x.rows()); }
+
+void LayerNorm::forward(MatrixF& x, std::size_t row0, std::size_t rows) const {
+  const std::size_t R = row0 + rows, C = x.cols();
+  assert(R <= x.rows());
+  for (std::size_t r = row0; r < R; ++r) {
     float* row = &x(r, 0);
     float mean = 0.0f;
     for (std::size_t c = 0; c < C; ++c) mean += row[c];

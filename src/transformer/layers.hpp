@@ -16,6 +16,10 @@ class LayerNorm {
       : gamma_(features, 1.0f), beta_(features, 0.0f), eps_(eps) {}
 
   void forward(tensor::MatrixF& x) const;
+  /// Normalize only rows [row0, row0 + rows).  LayerNorm is strictly
+  /// per-row, so a row-range partition across shard workers is bit-identical
+  /// to the whole-matrix call for any split.
+  void forward(tensor::MatrixF& x, std::size_t row0, std::size_t rows) const;
 
   std::vector<float>& gamma() noexcept { return gamma_; }
   std::vector<float>& beta() noexcept { return beta_; }
@@ -57,6 +61,16 @@ class FeedForward {
 
   [[nodiscard]] std::size_t hidden() const noexcept { return w1_.in_features(); }
   [[nodiscard]] std::size_t inner() const noexcept { return w1_.out_features(); }
+
+  // Sub-module access for shard workers: a sharded serving tick runs the
+  // two linears column-parallel (64-tile slices via Linear::slice_out) with
+  // the activation applied per shard on its own slice — GELU is elementwise,
+  // so the decomposition is bit-identical to forward().
+  [[nodiscard]] const Linear& w1() const noexcept { return w1_; }
+  [[nodiscard]] const Linear& w2() const noexcept { return w2_; }
+  [[nodiscard]] const RangeRestrictedGelu& act() const noexcept {
+    return act_;
+  }
 
  private:
   Linear w1_, w2_;

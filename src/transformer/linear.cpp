@@ -1,8 +1,10 @@
 #include "transformer/linear.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <random>
 #include <stdexcept>
+#include <utility>
 
 #include "abft/strided_abft.hpp"
 #include "sim/mma.hpp"
@@ -32,12 +34,48 @@ Linear::Linear(std::size_t in_features, std::size_t out_features,
   }
 }
 
+Linear::Linear(std::size_t in_features, MatrixH w, std::vector<float> bias)
+    : in_(in_features), out_(w.rows()), w_(std::move(w)),
+      bias_(std::move(bias)) {}
+
+Linear Linear::slice_out(std::size_t col0, std::size_t cols) const {
+  constexpr std::size_t kTile = abft::StridedAbft::kTile;
+  if (col0 % kTile != 0 || cols % kTile != 0 || col0 + cols > out_) {
+    throw std::invalid_argument(
+        "Linear::slice_out: column range must be 64-tile aligned and within "
+        "out_features");
+  }
+  // Weight rows [col0, col0 + cols) are contiguous (w_ is out x in).
+  MatrixH w(cols, in_);
+  std::copy_n(w_.data() + col0 * in_, cols * in_, w.data());
+  std::vector<float> b;
+  if (!bias_.empty()) {
+    b.assign(bias_.begin() + static_cast<std::ptrdiff_t>(col0),
+             bias_.begin() + static_cast<std::ptrdiff_t>(col0 + cols));
+  }
+  return Linear(in_, std::move(w), std::move(b));
+}
+
+Linear Linear::slice_in(std::size_t col0, std::size_t cols) const {
+  if (col0 + cols > in_ || cols == 0) {
+    throw std::invalid_argument(
+        "Linear::slice_in: column range must be non-empty and within "
+        "in_features");
+  }
+  MatrixH w(out_, cols);
+  for (std::size_t r = 0; r < out_; ++r) {
+    std::copy_n(w_.data() + r * in_ + col0, cols, w.data() + r * cols);
+  }
+  return Linear(cols, std::move(w), {});
+}
+
 abft::Report Linear::forward(const MatrixF& x, MatrixF& y,
                              LinearProtect protect, fault::FaultInjector* inj,
                              float rel_threshold) const {
   if (x.cols() != in_) throw std::invalid_argument("Linear: in_features");
   const std::size_t M = x.rows();
   if (y.rows() != M || y.cols() != out_) y = MatrixF(M, out_);
+  if (out_ == 0) return {};  // empty slice_out shard: nothing to compute
 
   // Round activations to fp16 once (the tensor-core operand).
   MatrixH xh(M, in_);

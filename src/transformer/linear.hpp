@@ -8,6 +8,7 @@
 // checksum tiles follow the 64-row TiledMMA footprint.
 
 #include <cstdint>
+#include <span>
 
 #include "abft/report.hpp"
 #include "fault/fault.hpp"
@@ -35,6 +36,29 @@ class Linear {
   [[nodiscard]] std::size_t out_features() const noexcept { return out_; }
   [[nodiscard]] const tensor::MatrixH& weight() const noexcept { return w_; }
   tensor::MatrixH& weight() noexcept { return w_; }
+  /// Empty when bias is disabled (and on slice_in shards, which must add
+  /// the bias exactly once — after the partial sums are combined).
+  [[nodiscard]] std::span<const float> bias() const noexcept { return bias_; }
+
+  /// Column-parallel shard: a Linear computing out-features
+  /// [col0, col0 + cols) of this layer (weight rows are copied once, at
+  /// slice time).  Both col0 and cols must be multiples of the 64-column
+  /// ABFT tile, so the shard's checksum tiles are exactly a subset of the
+  /// full layer's — its forward() output values AND its per-tile ABFT
+  /// report counters are bitwise/integer-exactly the full layer's
+  /// restriction to those columns, which is what makes a column-sharded
+  /// projection bit-identical to the solo engine for any shard count.
+  /// cols == 0 yields a valid empty shard whose forward() is a no-op.
+  [[nodiscard]] Linear slice_out(std::size_t col0, std::size_t cols) const;
+
+  /// Row-parallel shard: in-features [col0, col0 + cols), bias dropped.
+  /// Shards produce *partial sums* that a combiner must reduce (and then
+  /// add this layer's bias() once); the reduction re-associates float
+  /// addition, so — unlike slice_out — the combined result is
+  /// deterministic for a fixed shard count and combine order but NOT
+  /// bitwise-equal to the solo GEMM.  No tile-alignment requirement on the
+  /// input split.
+  [[nodiscard]] Linear slice_in(std::size_t col0, std::size_t cols) const;
 
   /// Counts for one forward pass over M rows (unprotected payload).
   [[nodiscard]] sim::CostBreakdown costs(double m) const;
@@ -42,6 +66,9 @@ class Linear {
   [[nodiscard]] sim::CostBreakdown protection_costs(double m) const;
 
  private:
+  /// Slice constructor: adopt pre-built weights/bias (slice_out/slice_in).
+  Linear(std::size_t in_features, tensor::MatrixH w, std::vector<float> bias);
+
   std::size_t in_, out_;
   tensor::MatrixH w_;       ///< out x in
   std::vector<float> bias_;  ///< empty when bias is disabled
