@@ -47,7 +47,11 @@ struct Fleet {
     std::mt19937_64 rng(42);
     std::normal_distribution<float> dist(0.0f, 1.0f);
     for (std::size_t r = 0; r < requests; ++r) {
-      caches.emplace_back(kHeads, kDim);
+      // Production configuration (the engine default): sealed tiles carry
+      // the memoized encodings AND the widened-fp32 images, so a clean
+      // decode tick is pure vector FMAs.
+      caches.emplace_back(kHeads, kDim, ftt::abft::StridedAbft::kDefaultStride,
+                          /*fp32_images=*/true);
       const std::size_t n = contexts[r % contexts.size()];
       std::vector<Half> k(kHeads * kDim), v(kHeads * kDim);
       for (std::size_t t = 0; t < n; ++t) {

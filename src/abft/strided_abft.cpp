@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "numeric/gemm_simd.hpp"
 #include "sim/mma.hpp"
 
 namespace ftt::abft {
@@ -43,14 +44,21 @@ MatrixH StridedAbft::encode_rows_strided_widened(const float* xf,
   }
   const std::size_t loops = rows / static_cast<std::size_t>(s);
   MatrixH out(static_cast<std::size_t>(s), cols);
+  // Accumulate a whole checksum row at a time: each output element is summed
+  // over ascending l exactly as the scalar l-inner loop did (axpy_f32 adds
+  // one l-term to every column per call), so the vector and scalar paths are
+  // bit-identical, and the fault hooks still fire once per output element in
+  // (jc, c) order after the accumulation.
+  std::vector<float> acc(cols);
   for (std::size_t jc = 0; jc < static_cast<std::size_t>(s); ++jc) {
+    for (std::size_t c = 0; c < cols; ++c) acc[c] = 0.0f;
+    for (std::size_t l = 0; l < loops; ++l) {
+      const float w = weighted ? static_cast<float>(l + 1) : 1.0f;
+      numeric::axpy_f32(w, xf + (jc + l * static_cast<std::size_t>(s)) * cols,
+                        acc.data(), cols);
+    }
     for (std::size_t c = 0; c < cols; ++c) {
-      float acc = 0.0f;
-      for (std::size_t l = 0; l < loops; ++l) {
-        const float w = weighted ? static_cast<float>(l + 1) : 1.0f;
-        acc += w * xf[(jc + l * static_cast<std::size_t>(s)) * cols + c];
-      }
-      out(jc, c) = Half(fault::corrupt(inj, fault::Site::kChecksum, acc));
+      out(jc, c) = Half(fault::corrupt(inj, fault::Site::kChecksum, acc[c]));
     }
   }
   return out;
@@ -79,14 +87,21 @@ MatrixH StridedAbft::encode_cols_strided_widened(const float* xf,
   }
   const std::size_t loops = cols / static_cast<std::size_t>(s);
   MatrixH out(rows, static_cast<std::size_t>(s));
+  // Same vector/scalar bit-identity argument as encode_rows: the s outputs
+  // of a row accumulate their l-terms in ascending order (each axpy adds one
+  // contiguous s-wide group), hooks fire per element in (r, jc) order.
+  std::vector<float> acc(static_cast<std::size_t>(s));
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t jc = 0; jc < static_cast<std::size_t>(s); ++jc) {
-      float acc = 0.0f;
-      for (std::size_t l = 0; l < loops; ++l) {
-        const float w = weighted ? static_cast<float>(l + 1) : 1.0f;
-        acc += w * xf[r * cols + jc + l * static_cast<std::size_t>(s)];
-      }
-      out(r, jc) = Half(fault::corrupt(inj, fault::Site::kChecksum, acc));
+      acc[jc] = 0.0f;
+    }
+    for (std::size_t l = 0; l < loops; ++l) {
+      const float w = weighted ? static_cast<float>(l + 1) : 1.0f;
+      numeric::axpy_f32(w, xf + r * cols + l * static_cast<std::size_t>(s),
+                        acc.data(), static_cast<std::size_t>(s));
+    }
+    for (std::size_t jc = 0; jc < static_cast<std::size_t>(s); ++jc) {
+      out(r, jc) = Half(fault::corrupt(inj, fault::Site::kChecksum, acc[jc]));
     }
   }
   return out;

@@ -81,6 +81,18 @@ struct KvSlice {
   const numeric::Half* const* v_c2 = nullptr;
   int enc_stride = 0;  ///< checksum stride the encodings were built with
 
+  /// Optional memoized widened-fp32 image per sealed tile (the 2x-KV-memory
+  /// option on serve::KvCache / serve::TilePool).  Entry j, when non-null,
+  /// packs six fp32 operand blocks back to back, pre-laid-out for the GEMM
+  /// kernels so a clean decode tick does no widening and no packing at all:
+  ///   [ K^T  d x 64 (k-major) | V  64 x d | Kc1^T d x s | Kc2^T d x s |
+  ///     Vc1 64 x s | Vc2 64 x s ]
+  /// with s == enc_stride.  Widening is exact and transposition is pure data
+  /// movement, so consuming the image is bit-identical to widening the fp16
+  /// tile and encodings per call.  Same gating as the encodings: entries for
+  /// unsealed tiles are null and an armed injector bypasses the memo.
+  const float* const* f32 = nullptr;
+
   [[nodiscard]] std::size_t tiles() const noexcept {
     return (n + kTileRows - 1) / kTileRows;
   }

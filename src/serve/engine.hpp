@@ -119,6 +119,14 @@ struct EngineOptions {
   /// are bit-identical to what a private prefill would compute); the knob
   /// exists for A/B benchmarking the capacity win.
   bool share_prefix = true;
+  /// Memoize a widened-fp32 image of every sealed KV tile in the pool
+  /// (TilePoolOptions::fp32_images): clean decode ticks then run pure
+  /// vector FMAs with no per-tile widening or packing, at 2x the KV tile
+  /// memory (3x total per tile with the fp16 slab).  Bit-identical to the
+  /// fp16 path — widening is exact — so it defaults on; turn it off to
+  /// trade decode throughput for context capacity.  Requires the encoding
+  /// memo (auto-disabled with it).
+  bool fp32_images = true;
   /// Speculative decode: maximum drafted tokens scored per decoding
   /// request per tick (0 = off, the serial q_len = 1 path).  Each tick
   /// feeds a block of 1 + spec_tokens rows through the verified kernel and

@@ -5,6 +5,7 @@
 #include <new>
 #include <stdexcept>
 
+#include "numeric/gemm_simd.hpp"
 #include "tensor/tensor.hpp"
 
 namespace ftt::serve {
@@ -40,6 +41,39 @@ void encode_sealed_tile(const Half* k_tile, const Half* v_tile,
   std::memcpy(out + 2 * kcn + vcn, vc2.data(), vcn * sizeof(Half));
 }
 
+std::size_t f32_image_floats(std::size_t dim, int s) noexcept {
+  constexpr std::size_t kRows = KvCache::kTileRows;
+  const auto su = static_cast<std::size_t>(s);
+  return 2 * kRows * dim + 2 * su * dim + 2 * kRows * su;
+}
+
+void widen_sealed_tile(const Half* k_tile, const Half* v_tile,
+                       const Half* enc_block, std::size_t dim, int s,
+                       float* out) {
+  constexpr std::size_t kRows = KvCache::kTileRows;
+  const auto su = static_cast<std::size_t>(s);
+  const std::size_t kcn = su * dim;
+  const std::size_t vcn = kRows * su;
+  // Scratch for the blocks that need a transpose after widening (K-side
+  // operands go k-major so the decode GEMMs read them with zero packing).
+  std::vector<float> tmp(kRows * dim);
+  float* kt = out;                       // K^T, dim x kRows
+  float* v = out + dim * kRows;          // V,   kRows x dim
+  float* kc1t = v + kRows * dim;         // Kc1^T, dim x su
+  float* kc2t = kc1t + dim * su;         // Kc2^T, dim x su
+  float* vc1 = kc2t + dim * su;          // Vc1, kRows x su
+  float* vc2 = vc1 + kRows * su;         // Vc2, kRows x su
+  numeric::halves_to_floats(k_tile, tmp.data(), kRows * dim);
+  numeric::transpose_f32(tmp.data(), kRows, dim, kt);
+  numeric::halves_to_floats(v_tile, v, kRows * dim);
+  numeric::halves_to_floats(enc_block, tmp.data(), kcn);
+  numeric::transpose_f32(tmp.data(), su, dim, kc1t);
+  numeric::halves_to_floats(enc_block + kcn, tmp.data(), kcn);
+  numeric::transpose_f32(tmp.data(), su, dim, kc2t);
+  numeric::halves_to_floats(enc_block + 2 * kcn, vc1, vcn);
+  numeric::halves_to_floats(enc_block + 2 * kcn + vcn, vc2, vcn);
+}
+
 }  // namespace detail
 
 namespace testing {
@@ -51,8 +85,10 @@ std::size_t& seal_alloc_failures() noexcept {
 
 }  // namespace testing
 
-KvCache::KvCache(std::size_t heads, std::size_t dim, int enc_stride)
-    : heads_(heads), dim_(dim), enc_stride_(enc_stride), store_(heads) {
+KvCache::KvCache(std::size_t heads, std::size_t dim, int enc_stride,
+                 bool fp32_images)
+    : heads_(heads), dim_(dim), enc_stride_(enc_stride),
+      fp32_images_(fp32_images), store_(heads) {
   if (heads == 0 || dim == 0) {
     throw std::invalid_argument("KvCache: heads and dim must be positive");
   }
@@ -63,6 +99,9 @@ KvCache::KvCache(std::size_t heads, std::size_t dim, int enc_stride)
       kTileRows % static_cast<std::size_t>(enc_stride) != 0 ||
       dim % static_cast<std::size_t>(enc_stride) != 0) {
     enc_stride_ = 0;
+    // The fp32 image embeds the widened checksum blocks, so it requires the
+    // encoding memo.
+    fp32_images_ = false;
   }
 }
 
@@ -74,8 +113,14 @@ std::size_t KvCache::bytes() const noexcept {
   const auto su = static_cast<std::size_t>(enc_stride_);
   const std::size_t tile_pair = kTileRows * dim_ * 2;
   const std::size_t enc_block = 2 * su * dim_ + 2 * kTileRows * su;
-  return (tiles() * tile_pair * heads_ + enc_blocks_sealed_ * enc_block) *
-         sizeof(Half);
+  std::size_t b = (tiles() * tile_pair * heads_ +
+                   enc_blocks_sealed_ * enc_block) *
+                  sizeof(Half);
+  if (fp32_images_) {
+    b += f32_blocks_sealed_ * detail::f32_image_floats(dim_, enc_stride_) *
+         sizeof(float);
+  }
+  return b;
 }
 
 void KvCache::open_tiles(std::size_t count) {
@@ -111,6 +156,10 @@ void KvCache::open_tiles(std::size_t count) {
     grow(hs.kc2_ptrs);
     grow(hs.vc1_ptrs);
     grow(hs.vc2_ptrs);
+    if (fp32_images_) {
+      grow(hs.img_blocks);
+      grow(hs.img_ptrs);
+    }
   }
   for (std::size_t t = 0; t < count; ++t) {
     for (std::size_t h = 0; h < heads_; ++h) {
@@ -124,6 +173,10 @@ void KvCache::open_tiles(std::size_t count) {
       hs.kc2_ptrs.push_back(nullptr);
       hs.vc1_ptrs.push_back(nullptr);
       hs.vc2_ptrs.push_back(nullptr);
+      if (fp32_images_) {
+        hs.img_blocks.push_back(nullptr);
+        hs.img_ptrs.push_back(nullptr);
+      }
     }
   }
 }
@@ -152,6 +205,17 @@ void KvCache::seal_tiles(std::size_t first, std::size_t count) {
       hs.vc2_ptrs[t] = p + 2 * kcn + vcn;
       hs.enc_blocks[t] = std::move(block);
       ++enc_blocks_sealed_;
+      if (fp32_images_) {
+        // Image allocation failure degrades the same way a failed encode
+        // memo does: the entry stays null and decode widens per call.
+        auto img = std::make_unique<float[]>(
+            detail::f32_image_floats(dim_, enc_stride_));
+        detail::widen_sealed_tile(hs.k_tiles[t].get(), hs.v_tiles[t].get(), p,
+                                  dim_, enc_stride_, img.get());
+        hs.img_ptrs[t] = img.get();
+        hs.img_blocks[t] = std::move(img);
+        ++f32_blocks_sealed_;
+      }
     }
   }
 }
@@ -234,6 +298,11 @@ void KvCache::truncate(std::size_t tokens) {
         hs.vc2_ptrs[t] = nullptr;
         --enc_blocks_sealed_;
       }
+      if (fp32_images_ && hs.img_blocks[t] != nullptr) {
+        hs.img_blocks[t].reset();
+        hs.img_ptrs[t] = nullptr;
+        --f32_blocks_sealed_;
+      }
     }
   }
   len_ = tokens;
@@ -244,10 +313,12 @@ core::KvSlice KvCache::slice(std::size_t head) const {
     throw std::out_of_range("KvCache::slice: head out of range");
   }
   const HeadStore& hs = store_[head];
-  return core::KvSlice{hs.k_ptrs.data(),   hs.v_ptrs.data(), len_,
-                       dim_,               hs.kc1_ptrs.data(),
-                       hs.kc2_ptrs.data(), hs.vc1_ptrs.data(),
-                       hs.vc2_ptrs.data(), enc_stride_};
+  return core::KvSlice{hs.k_ptrs.data(),   hs.v_ptrs.data(),
+                       len_,               dim_,
+                       hs.kc1_ptrs.data(), hs.kc2_ptrs.data(),
+                       hs.vc1_ptrs.data(), hs.vc2_ptrs.data(),
+                       enc_stride_,
+                       fp32_images_ ? hs.img_ptrs.data() : nullptr};
 }
 
 }  // namespace ftt::serve

@@ -47,6 +47,26 @@ namespace detail {
 void encode_sealed_tile(const numeric::Half* k_tile,
                         const numeric::Half* v_tile, std::size_t dim, int s,
                         numeric::Half* out);
+
+/// Number of floats in one sealed tile's widened-fp32 image (the optional
+/// 2x-memory decode fast path): every GEMM operand of the tile pre-widened,
+/// K-side blocks pre-transposed to k-major, laid out
+///   [K^T (dim x 64) | V (64 x dim) | Kc1^T (dim x s) | Kc2^T (dim x s) |
+///    Vc1 (64 x s) | Vc2 (64 x s)]
+/// == exactly twice the tile pair + encoding block in bytes (floats vs
+/// halves).
+[[nodiscard]] std::size_t f32_image_floats(std::size_t dim, int s) noexcept;
+
+/// Build the widened-fp32 image of one sealed tile from its fp16 K/V
+/// storage and its sealed encoding block (encode_sealed_tile layout) into
+/// `out` (f32_image_floats(dim, s) floats).  Widening is exact and the
+/// transposes are pure data movement, so decode over the image is
+/// bit-identical to widening the fp16 tile per call.  Shared by KvCache and
+/// TilePool, like encode_sealed_tile.
+void widen_sealed_tile(const numeric::Half* k_tile,
+                       const numeric::Half* v_tile,
+                       const numeric::Half* enc_block, std::size_t dim, int s,
+                       float* out);
 }  // namespace detail
 
 namespace testing {
@@ -68,8 +88,13 @@ class KvCache {
   /// and `dim` — or an explicit value <= 0 — disables memoization
   /// (enc_stride() reports 0) instead of rejecting the cache; decode then
   /// encodes fresh per call, the pre-memo behavior.
+  /// `fp32_images` additionally memoizes a widened-fp32 image of every
+  /// sealed tile (detail::widen_sealed_tile) — 2x the KV memory, zero
+  /// per-tile widening/packing on clean decode ticks.  Requires the
+  /// encoding memo: forced off when enc_stride is disabled.
   KvCache(std::size_t heads, std::size_t dim,
-          int enc_stride = abft::StridedAbft::kDefaultStride);
+          int enc_stride = abft::StridedAbft::kDefaultStride,
+          bool fp32_images = false);
 
   [[nodiscard]] std::size_t heads() const noexcept { return heads_; }
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
@@ -82,6 +107,8 @@ class KvCache {
   /// Checksum stride of the memoized per-tile encodings (0 = memoization
   /// disabled; see the constructor).
   [[nodiscard]] int enc_stride() const noexcept { return enc_stride_; }
+  /// True when sealed tiles also memoize their widened-fp32 images.
+  [[nodiscard]] bool fp32_images() const noexcept { return fp32_images_; }
 
   /// Append one token's keys and values; `k`/`v` hold heads*dim halves,
   /// head-major (the split-heads layout of a projected 1 x hidden row).
@@ -124,6 +151,10 @@ class KvCache {
     // null until the tile seals.
     std::vector<std::unique_ptr<numeric::Half[]>> enc_blocks;
     std::vector<const numeric::Half*> kc1_ptrs, kc2_ptrs, vc1_ptrs, vc2_ptrs;
+    // Optional widened-fp32 tile images (fp32_images option), null until
+    // the tile seals; maintained only when the option is on.
+    std::vector<std::unique_ptr<float[]>> img_blocks;
+    std::vector<const float*> img_ptrs;
   };
 
   /// Open `count` fresh zero-initialized tiles per head, strongly exception
@@ -140,10 +171,13 @@ class KvCache {
 
   std::size_t heads_, dim_;
   int enc_stride_;
+  bool fp32_images_;
   std::size_t len_ = 0;
   /// Encoding blocks actually allocated across all heads (bytes() must not
   /// charge for entries a failed seal left null).
   std::size_t enc_blocks_sealed_ = 0;
+  /// fp32 image blocks actually allocated (same accounting rule).
+  std::size_t f32_blocks_sealed_ = 0;
   std::vector<HeadStore> store_;
 };
 

@@ -35,6 +35,7 @@ TilePool::TilePool(TilePoolOptions opt)
       heads_(opt.heads),
       dim_(opt.dim),
       enc_stride_(opt.enc_stride),
+      fp32_images_(opt.fp32_images),
       capacity_tiles_(opt.capacity_tiles) {
   if (layers_ == 0 || heads_ == 0 || dim_ == 0) {
     throw std::invalid_argument(
@@ -46,6 +47,7 @@ TilePool::TilePool(TilePoolOptions opt)
       kTileRows % static_cast<std::size_t>(enc_stride_) != 0 ||
       dim_ % static_cast<std::size_t>(enc_stride_) != 0) {
     enc_stride_ = 0;
+    fp32_images_ = false;  // the image embeds the widened checksum blocks
   }
   const auto su = static_cast<std::size_t>(enc_stride_);
   enc_halves_ = enc_stride_ == 0 ? 0 : 2 * su * dim_ + 2 * kTileRows * su;
@@ -83,6 +85,18 @@ const Half* TilePool::enc_block(TileId id, std::size_t layer,
                                 std::size_t head) const noexcept {
   if (enc_stride_ == 0) return nullptr;
   return v_tile(id, layer, head) + kTileRows * dim_;
+}
+float* TilePool::f32_image(TileId id, std::size_t layer,
+                           std::size_t head) noexcept {
+  if (!fp32_images_) return nullptr;
+  // The image of one (layer, head) holds exactly per_lh_halves_ floats
+  // (every half widened once), so the slab offsets coincide.
+  return tiles_[id].fslab.get() + offset(layer, head);
+}
+const float* TilePool::f32_image(TileId id, std::size_t layer,
+                                 std::size_t head) const noexcept {
+  if (!fp32_images_) return nullptr;
+  return tiles_[id].fslab.get() + offset(layer, head);
 }
 
 TilePool::Tile& TilePool::checked(TileId id) {
@@ -128,6 +142,11 @@ TilePool::TileId TilePool::acquire() {
   if (capacity_tiles_ == 0 || tiles_.size() < capacity_tiles_) {
     Tile t;
     t.slab = std::make_unique<Half[]>(slab_halves_);  // value-init: zeroed
+    if (fp32_images_) {
+      // No value-init: the image is written in full at seal time and never
+      // read before (its pointer is published only on seal).
+      t.fslab = std::unique_ptr<float[]>(new float[slab_halves_]);
+    }
     t.refs = 1;
     tiles_.push_back(std::move(t));
     ++in_use_;
@@ -209,11 +228,17 @@ std::size_t TilePool::allocatable() const noexcept {
 std::size_t TilePool::refcount(TileId id) const { return checked(id).refs; }
 
 std::size_t TilePool::bytes_in_use() const noexcept {
-  return in_use_ * slab_halves_ * sizeof(Half);
+  // Each fp32 image slab holds slab_halves_ floats, so the image option
+  // triples the per-tile footprint (2 bytes/half + 4 bytes/float).
+  const std::size_t per_tile =
+      slab_halves_ * (sizeof(Half) + (fp32_images_ ? sizeof(float) : 0));
+  return in_use_ * per_tile;
 }
 
 std::size_t TilePool::bytes_allocated() const noexcept {
-  return tiles_.size() * slab_halves_ * sizeof(Half);
+  const std::size_t per_tile =
+      slab_halves_ * (sizeof(Half) + (fp32_images_ ? sizeof(float) : 0));
+  return tiles_.size() * per_tile;
 }
 
 // ---------------------------------------------------------------------------
@@ -243,6 +268,12 @@ void PagedKvCache::push_tile_ptrs(TilePool::TileId id, bool with_enc) {
       hp.kc2.push_back(enc == nullptr ? nullptr : enc + kcn);
       hp.vc1.push_back(enc == nullptr ? nullptr : enc + 2 * kcn);
       hp.vc2.push_back(enc == nullptr ? nullptr : enc + 2 * kcn + vcn);
+      // Sealed shared tiles arrive with their fp32 image already built (the
+      // sealing request widened it); fresh tiles get theirs at seal time.
+      hp.f32.push_back(with_enc
+                           ? static_cast<const float*>(
+                                 pool_->f32_image(id, l, h))
+                           : nullptr);
     }
   }
 }
@@ -294,6 +325,12 @@ void PagedKvCache::seal_layer_tile(std::size_t layer, std::size_t tile_index) {
       hp.kc2[tile_index] = enc + kcn;
       hp.vc1[tile_index] = enc + 2 * kcn;
       hp.vc2[tile_index] = enc + 2 * kcn + vcn;
+      if (float* img = pool_->f32_image(id, layer, h)) {
+        detail::widen_sealed_tile(pool_->k_tile(id, layer, h),
+                                  pool_->v_tile(id, layer, h), enc, dim, s,
+                                  img);
+        hp.f32[tile_index] = img;
+      }
     }
   }
   // The last layer fills last within a tick: its seal completes the tile.
@@ -400,6 +437,7 @@ void PagedKvCache::truncate(std::size_t tokens) {
       hp.kc2.pop_back();
       hp.vc1.pop_back();
       hp.vc2.pop_back();
+      hp.f32.pop_back();
     }
   }
   for (std::size_t& l : layer_len_) l = tokens;
@@ -418,7 +456,8 @@ core::KvSlice PagedKvCache::slice(std::size_t layer, std::size_t head) const {
   const HeadPtrs& hp = ptrs_[layer * pool_->heads() + head];
   return core::KvSlice{hp.k.data(),   hp.v.data(),   layer_len_[layer],
                        pool_->dim(),  hp.kc1.data(), hp.kc2.data(),
-                       hp.vc1.data(), hp.vc2.data(), pool_->enc_stride()};
+                       hp.vc1.data(), hp.vc2.data(), pool_->enc_stride(),
+                       hp.f32.data()};
 }
 
 std::size_t PagedKvCache::length() const noexcept {
@@ -447,6 +486,7 @@ void PagedKvCache::release_all() {
     hp.kc2.clear();
     hp.vc1.clear();
     hp.vc2.clear();
+    hp.f32.clear();
   }
   shared_tiles_ = 0;
   newly_sealed_.clear();

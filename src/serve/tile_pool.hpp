@@ -75,6 +75,11 @@ struct TilePoolOptions {
   /// Checksum stride for the sealed-tile encodings; invalid strides disable
   /// memoization exactly like serve::KvCache (enc_stride() reports 0).
   int enc_stride = abft::StridedAbft::kDefaultStride;
+  /// Additionally hold a widened-fp32 image of every sealed (layer, head)
+  /// tile (detail::widen_sealed_tile layout): 2x the tile memory, zero
+  /// per-tile widening/packing on clean decode ticks.  Requires the
+  /// encoding memo; forced off when enc_stride is disabled.
+  bool fp32_images = false;
 };
 
 class TilePool {
@@ -126,11 +131,20 @@ class TilePool {
                                             std::size_t head) const noexcept;
   [[nodiscard]] const numeric::Half* enc_block(TileId id, std::size_t layer,
                                                std::size_t head) const noexcept;
+  /// The widened-fp32 image of one (layer, head) tile (f32_image_floats
+  /// floats, written at seal time), or nullptr when the option is off.
+  /// Contents are only meaningful once the tile's layer sealed.
+  [[nodiscard]] float* f32_image(TileId id, std::size_t layer,
+                                 std::size_t head) noexcept;
+  [[nodiscard]] const float* f32_image(TileId id, std::size_t layer,
+                                       std::size_t head) const noexcept;
 
   [[nodiscard]] std::size_t layers() const noexcept { return layers_; }
   [[nodiscard]] std::size_t heads() const noexcept { return heads_; }
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
   [[nodiscard]] int enc_stride() const noexcept { return enc_stride_; }
+  /// True when sealed tiles also carry widened-fp32 images.
+  [[nodiscard]] bool fp32_images() const noexcept { return fp32_images_; }
   /// Capacity in tiles (0 = unbounded).
   [[nodiscard]] std::size_t capacity() const noexcept {
     return capacity_tiles_;
@@ -173,6 +187,10 @@ class TilePool {
 
   struct Tile {
     std::unique_ptr<numeric::Half[]> slab;
+    /// fp32 image slab (fp32_images option): one f32_image_floats block per
+    /// (layer, head), same indexing as `slab`.  Not zeroed on recycle — the
+    /// image is fully overwritten at seal time and never read before.
+    std::unique_ptr<float[]> fslab;
     std::size_t refs = 0;
     bool sealed = false;
     bool is_published = false;
@@ -190,6 +208,7 @@ class TilePool {
 
   std::size_t layers_, heads_, dim_;
   int enc_stride_;
+  bool fp32_images_;
   std::size_t capacity_tiles_;
   std::size_t per_lh_halves_ = 0;  // K+V+enc of one (layer, head)
   std::size_t enc_halves_ = 0;     // the enc portion of the above
@@ -291,6 +310,9 @@ class PagedKvCache {
  private:
   struct HeadPtrs {
     std::vector<const numeric::Half*> k, v, kc1, kc2, vc1, vc2;
+    // Per-tile fp32 image pointers (null until the layer tile seals, and
+    // always null when the pool doesn't hold images).
+    std::vector<const float*> f32;
   };
 
   void push_tile_ptrs(TilePool::TileId id, bool with_enc);

@@ -2,6 +2,10 @@
 
 #include <omp.h>
 
+#include <vector>
+
+#include "numeric/gemm_simd.hpp"
+
 namespace ftt::sim {
 
 // PTX ISA, mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32:
@@ -84,6 +88,29 @@ int TiledMma64x16x16::thread_of_b(std::size_t k, std::size_t col) noexcept {
 
 void gemm_f32_nt(const float* A, std::size_t M, std::size_t K, const float* B,
                  std::size_t N, tensor::MatrixF& C, bool accumulate) {
+  if (M == 0 || N == 0 || K == 0) {
+    if (!accumulate) {
+      for (std::size_t m = 0; m < M; ++m) {
+        float* crow = &C(m, 0);
+        for (std::size_t n = 0; n < N; ++n) crow[n] = 0.0f;
+      }
+    }
+    return;
+  }
+  if (numeric::simd_gemm_active()) {
+    // Pack B (N x K, row-per-output) into the k-major layout the axpy-form
+    // microkernel consumes.  Packing is pure data movement, and the kernel
+    // accumulates each output element in the same ascending-k order as the
+    // scalar dot loop below, so the two paths are bit-identical (the
+    // exact-product FMA argument in numeric/gemm_simd.hpp).  thread_local
+    // scratch: this runs inside OpenMP decode batches and shard workers.
+    thread_local std::vector<float> bt;
+    if (bt.size() < K * N) bt.resize(K * N);
+    numeric::transpose_f32(B, N, K, bt.data());
+    numeric::gemm_f32_nn(A, M, K, bt.data(), N, &C(0, 0), C.cols(),
+                         accumulate);
+    return;
+  }
   for (std::size_t m = 0; m < M; ++m) {
     const float* arow = A + m * K;
     float* crow = &C(m, 0);
@@ -94,6 +121,12 @@ void gemm_f32_nt(const float* A, std::size_t M, std::size_t K, const float* B,
       crow[n] = acc;
     }
   }
+}
+
+void gemm_f32_nn(const float* A, std::size_t M, std::size_t K, const float* B,
+                 std::size_t N, tensor::MatrixF& C, bool accumulate) {
+  if (M == 0 || N == 0) return;
+  numeric::gemm_f32_nn(A, M, K, B, N, &C(0, 0), C.cols(), accumulate);
 }
 
 void gemm_fp16_nt(const tensor::MatrixH& A, tensor::MatrixHView B,
@@ -125,18 +158,10 @@ void gemm_f32h_nn(const tensor::MatrixF& A, const tensor::MatrixH& B,
   numeric::floats_to_halves(A.data(), ah.data(), M * K);
   numeric::halves_to_floats(ah.data(), af.data(), M * K);
 
-  for (std::size_t m = 0; m < M; ++m) {
-    float* crow = &C(m, 0);
-    if (!accumulate) {
-      for (std::size_t n = 0; n < N; ++n) crow[n] = 0.0f;
-    }
-    const float* arow = af.data() + m * K;
-    for (std::size_t k = 0; k < K; ++k) {
-      const float av = arow[k];
-      const float* brow = b.data() + k * N;
-      for (std::size_t n = 0; n < N; ++n) crow[n] += av * brow[n];
-    }
-  }
+  // b is already K x N (k-major): feed the dispatching kernel directly.  Its
+  // scalar reference is exactly the loop nest this replaced.
+  numeric::gemm_f32_nn(af.data(), M, K, b.data(), N, &C(0, 0), C.cols(),
+                       accumulate);
 }
 
 }  // namespace ftt::sim

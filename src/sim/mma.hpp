@@ -102,6 +102,13 @@ void gemm_fp16_nt(const tensor::MatrixH& A, tensor::MatrixHView B,
 void gemm_f32_nt(const float* A, std::size_t M, std::size_t K, const float* B,
                  std::size_t N, tensor::MatrixF& C, bool accumulate = false);
 
+/// Same contract with B already k-major (K x N) — the memoized fp32 tile
+/// images store K^T pre-transposed so a clean decode tick skips the per-call
+/// pack entirely.  Bit-identical to gemm_f32_nt over B^T (pure layout
+/// change; per-output accumulation order is unchanged).
+void gemm_f32_nn(const float* A, std::size_t M, std::size_t K, const float* B,
+                 std::size_t N, tensor::MatrixF& C, bool accumulate = false);
+
 /// C = A (rows x K, fp32, pre-rounded or exact) * B (K x cols, fp16).
 /// Used for P * V where P is the fp32 softmax output rounded to fp16 before
 /// feeding the tensor core.

@@ -1,0 +1,265 @@
+// Memoized widened-fp32 tile images (KvCache / TilePool fp32_images):
+// bit-parity with the fp16 path and exact bytes() accounting.
+//
+// The image is a pure cache — a widened, pre-transposed copy of a sealed
+// tile's K/V halves and its four checksum blocks — so every observable
+// output must be bit-identical with the option on or off: per-slice decode,
+// truncate/rollback, engine runs under prefix sharing, tight-pool eviction
+// and preemption, and speculative decode with its KV rollbacks.  These
+// tests run each of those workloads twice, differing only in the knob, and
+// compare bitwise.  They also pin the memory story: bytes() must grow by
+// exactly one image per sealed (tile, head) and shrink symmetrically when
+// truncation unseals tiles.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "abft/strided_abft.hpp"
+#include "core/decode.hpp"
+#include "serve/engine.hpp"
+#include "serve/kv_cache.hpp"
+#include "serve/tile_pool.hpp"
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+#include "transformer/model.hpp"
+
+namespace fc = ftt::core;
+namespace fs = ftt::serve;
+namespace ft = ftt::tensor;
+namespace fx = ftt::transformer;
+using ftt::numeric::Half;
+
+namespace {
+
+constexpr std::size_t kHeads = 4, kDim = 64;
+constexpr int kStride = ftt::abft::StridedAbft::kDefaultStride;
+
+std::vector<Half> random_halves(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<Half> v(n);
+  for (auto& x : v) x = Half(dist(rng));
+  return v;
+}
+
+void append_tokens(fs::KvCache& cache, std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<Half> k(kHeads * kDim), v(kHeads * kDim);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (auto& x : k) x = Half(dist(rng));
+    for (auto& x : v) x = Half(dist(rng));
+    cache.append(k, v);
+  }
+}
+
+/// Decode one token over every head of `cache` and return the heads*dim
+/// output block.
+std::vector<float> decode_all_heads(const fs::KvCache& cache,
+                                    const std::vector<Half>& query) {
+  std::vector<float> out(kHeads * kDim, 0.0f);
+  for (std::size_t h = 0; h < kHeads; ++h) {
+    fc::efta_decode_block(fc::DecodeWorkItem{
+        cache.slice(h), query.data() + h * kDim, out.data() + h * kDim});
+  }
+  return out;
+}
+
+fx::ModelConfig serving_config() {
+  fx::ModelConfig cfg = fx::ModelConfig::tiny();
+  cfg.causal = true;
+  return cfg;
+}
+
+ft::MatrixF random_prompt(std::size_t seq, std::size_t hidden,
+                          std::uint64_t seed) {
+  ft::MatrixF m(seq, hidden);
+  ft::fill_normal(m, seed);
+  return m;
+}
+
+/// Near-100%-acceptance model for the speculative workload: constant
+/// final-LN output makes the prompt-lookup drafter right almost always
+/// (same construction as test_spec).
+fx::Model constant_stream_model(std::uint64_t seed) {
+  fx::Model model(serving_config(), seed);
+  auto& gamma = model.final_ln().gamma();
+  auto& beta = model.final_ln().beta();
+  for (std::size_t c = 0; c < gamma.size(); ++c) {
+    gamma[c] = 0.0f;
+    beta[c] = 0.25f + 0.001f * static_cast<float>(c);
+  }
+  return model;
+}
+
+void expect_bitwise(const std::vector<float>& a, const std::vector<float>& b,
+                    const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << what << " diverged at " << i;
+  }
+}
+
+}  // namespace
+
+TEST(Fp32Images, KvCacheDecodeBitParityAndSlicePointers) {
+  fs::KvCache with(kHeads, kDim, kStride, /*fp32_images=*/true);
+  fs::KvCache without(kHeads, kDim, kStride, /*fp32_images=*/false);
+  EXPECT_TRUE(with.fp32_images());
+  EXPECT_FALSE(without.fp32_images());
+
+  // 150 tokens: two sealed tiles plus a 22-row ragged tail per head.
+  append_tokens(with, 150, 0x111);
+  append_tokens(without, 150, 0x111);
+
+  for (std::size_t h = 0; h < kHeads; ++h) {
+    const fc::KvSlice sw = with.slice(h), so = without.slice(h);
+    EXPECT_EQ(so.f32, nullptr);
+    ASSERT_NE(sw.f32, nullptr);
+    EXPECT_NE(sw.f32[0], nullptr);  // sealed tiles carry images...
+    EXPECT_NE(sw.f32[1], nullptr);
+    EXPECT_EQ(sw.f32[2], nullptr);  // ...the open ragged tail does not
+  }
+
+  const auto q = random_halves(kHeads * kDim, 0x222);
+  expect_bitwise(decode_all_heads(with, q), decode_all_heads(without, q),
+                 "image-on vs image-off decode");
+}
+
+TEST(Fp32Images, KvCacheBytesAccountingGrowsAndShrinksWithSeals) {
+  fs::KvCache with(kHeads, kDim, kStride, /*fp32_images=*/true);
+  fs::KvCache without(kHeads, kDim, kStride, /*fp32_images=*/false);
+  const std::size_t img_bytes =
+      fs::detail::f32_image_floats(kDim, kStride) * sizeof(float);
+
+  // An image is exactly the fp16 slab widened: 2x the halves in bytes.
+  EXPECT_EQ(img_bytes, (2 * 64 * kDim + 2 * 64 * kStride +
+                        2 * static_cast<std::size_t>(kStride) * kDim) *
+                           sizeof(float));
+
+  append_tokens(with, 150, 0x333);
+  append_tokens(without, 150, 0x333);
+  // Two sealed tiles per head carry images; the open third tile does not.
+  EXPECT_EQ(with.bytes(), without.bytes() + 2 * kHeads * img_bytes);
+
+  // Rolling back into the first tile unseals tile 1 and drops its images
+  // (and tile 2 entirely); accounting shrinks in step.
+  with.truncate(40);
+  without.truncate(40);
+  EXPECT_EQ(with.bytes(), without.bytes());
+  for (std::size_t h = 0; h < kHeads; ++h) {
+    EXPECT_EQ(with.slice(h).f32[0], nullptr);  // tile 0 reopened
+  }
+
+  // Re-extending across the boundary re-seals and re-widens: parity again.
+  append_tokens(with, 60, 0x444);
+  append_tokens(without, 60, 0x444);
+  EXPECT_EQ(with.bytes(), without.bytes() + kHeads * img_bytes);
+  const auto q = random_halves(kHeads * kDim, 0x555);
+  expect_bitwise(decode_all_heads(with, q), decode_all_heads(without, q),
+                 "post-rollback decode");
+}
+
+TEST(Fp32Images, TilePoolBytesAndDisableWithoutEncStride) {
+  fs::TilePoolOptions opt;
+  opt.layers = 2;
+  opt.heads = 2;
+  opt.dim = 64;
+  opt.capacity_tiles = 4;
+  opt.fp32_images = true;
+  fs::TilePool with(opt);
+  opt.fp32_images = false;
+  fs::TilePool without(opt);
+
+  EXPECT_TRUE(with.fp32_images());
+  const auto tw = with.acquire();
+  const auto to = without.acquire();
+  ASSERT_NE(tw, fs::TilePool::kNoTile);
+  // The fp32 slab mirrors the fp16 one float-for-half: 3x bytes per tile.
+  EXPECT_EQ(with.bytes_in_use(), 3 * without.bytes_in_use());
+  EXPECT_NE(with.f32_image(tw, 0, 0), nullptr);
+  EXPECT_EQ(without.f32_image(to, 0, 0), nullptr);
+
+  // The image embeds the widened checksum blocks, so it cannot exist
+  // without the encoding memo: enc_stride <= 0 forces the knob off.
+  opt.fp32_images = true;
+  opt.enc_stride = 0;
+  fs::TilePool no_enc(opt);
+  EXPECT_FALSE(no_enc.fp32_images());
+  const auto tn = no_enc.acquire();
+  EXPECT_EQ(no_enc.f32_image(tn, 0, 0), nullptr);
+}
+
+TEST(Fp32Images, EngineParityUnderSharingEvictionPreemption) {
+  // The tile-pool stress workload — shared prompts over a pool tight
+  // enough to force eviction and preemption — run twice, differing only in
+  // fp32_images.  Every request's committed hidden state must match
+  // bitwise: images die with the tiles they cache and are rebuilt on
+  // recompute, never resurrected stale.
+  const fx::Model model(serving_config(), 0x70013);
+  const std::size_t hidden = model.config().hidden;
+  const ft::MatrixF prompt_shared = random_prompt(130, hidden, 0xa);
+
+  auto run = [&](bool images) {
+    fs::EngineOptions opt;
+    opt.fp32_images = images;
+    opt.scheduler.max_batch_size = 3;
+    opt.scheduler.max_kv_tiles = 7;  // tight: forces eviction + preemption
+    fs::DecodeEngine engine(model, opt);
+    std::vector<fs::DecodeEngine::RequestId> ids;
+    for (std::size_t i = 0; i < 6; ++i) {
+      const ft::MatrixF prompt = (i % 2 == 0)
+                                     ? prompt_shared
+                                     : random_prompt(40 + 23 * i, hidden,
+                                                     0x900 + i);
+      ids.push_back(engine.submit(prompt, /*max_new_tokens=*/3 + i % 3,
+                                  static_cast<fs::Priority>(i % 2)));
+    }
+    engine.run_until_idle(nullptr, 4000);
+    std::vector<std::vector<float>> h;
+    for (const auto id : ids) {
+      EXPECT_EQ(engine.state(id), fs::RequestState::kRetired);
+      const auto s = engine.hidden(id);
+      h.emplace_back(s.begin(), s.end());
+    }
+    return h;
+  };
+
+  const auto on = run(true);
+  const auto off = run(false);
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t r = 0; r < on.size(); ++r) {
+    expect_bitwise(on[r], off[r], "engine hidden state");
+  }
+}
+
+TEST(Fp32Images, SpeculativeRollbackParity) {
+  // Speculative decode truncates open tiles on every rejected draft and
+  // seals across tile boundaries on multi-token commits — both paths must
+  // leave the image set exactly as a serial run would.  Near-100%
+  // acceptance maximizes boundary-crossing commits.
+  const fx::Model model = constant_stream_model(0xabc1);
+  const std::size_t hidden = model.config().hidden;
+  const ft::MatrixF prompt = random_prompt(52, hidden, 0xfeed1);
+
+  auto run = [&](bool images, std::size_t spec_tokens) {
+    fs::EngineOptions opt;
+    opt.fp32_images = images;
+    opt.spec_tokens = spec_tokens;
+    fs::DecodeEngine engine(model, opt);
+    const auto id = engine.submit(prompt, /*max_new_tokens=*/30);
+    engine.run_until_idle(nullptr, 500);
+    EXPECT_EQ(engine.state(id), fs::RequestState::kRetired);
+    const auto s = engine.hidden(id);
+    return std::vector<float>(s.begin(), s.end());
+  };
+
+  const auto spec_on = run(true, 4);
+  const auto spec_off = run(false, 4);
+  const auto serial_on = run(true, 0);
+  expect_bitwise(spec_on, spec_off, "speculative hidden, images on vs off");
+  expect_bitwise(spec_on, serial_on, "speculative vs serial, images on");
+}
