@@ -34,12 +34,21 @@
 //     must match exactly) and a 2-replica router.  Their speedup gauges
 //     (shard_parallel_speedup, router_replica_speedup) are thread- and
 //     core-count bound, so CI gates them informationally (must be
-//     emitted, value not gated).
+//     emitted, value not gated),
+//   * the recovery-ladder chaos config: the mixed fleet with one random
+//     bit-30 transient injected per tick and tick retry armed, vs an
+//     injection-free twin.  Gauges: recovery_overhead (chaos / clean
+//     makespan — the cost of re-running faulty ticks) and
+//     recovered_bitwise_clean_rate (requests ending bitwise-equal to the
+//     clean twin; the chaos suite gates this at 1.0, the bench reports
+//     it informationally).
 //
 // With --json <path> it also emits the machine-readable section the CI perf
 // job merges into BENCH_serve.json and gates on.
 
 #include <cstdio>
+#include <cstring>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -48,6 +57,7 @@
 #include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "core/efta.hpp"
+#include "fault/fault.hpp"
 #include "serve/engine.hpp"
 #include "serve/router.hpp"
 #include "tensor/random.hpp"
@@ -143,6 +153,66 @@ MixedRun run_routed(const fx::Model& model, std::size_t replicas) {
       ++run.ticks;
     }
   });
+  return run;
+}
+
+// Recovery-ladder chaos config: the same mixed fleet with one random
+// (site, call, bit-30) transient injected per tick and tick retry armed,
+// against an injection-free twin.  Two gauges fall out: the makespan
+// overhead of re-running faulty ticks, and the fraction of requests whose
+// final hidden state is bitwise-equal to the clean twin's — the serving
+// guarantee tests/test_recovery.cpp gates (here reported, not gated).
+struct RecoveryRun {
+  double seconds = 0.0;
+  std::size_t ticks = 0;
+  fs::DecodeEngine::StepStats stats;
+  std::vector<std::vector<float>> hidden;  // per request, submit order
+};
+
+RecoveryRun run_recovery(const fx::Model& model, bool inject) {
+  fs::EngineOptions opt;
+  opt.prefill_chunk_rows = 64;
+  opt.scheduler.max_batch_size = 8;
+  // Loosened detection thresholds, exactly as tests/test_recovery.cpp: the
+  // tiny model's clean runs must stay detection-free or the retry trigger
+  // would spin on deterministic threshold noise.
+  opt.efta.abft_rel_threshold = 0.08f;
+  opt.efta.exp_log_threshold = 0.3f;
+  opt.efta.snvr_slack = 1e-2f;
+  if (inject) opt.recovery.max_tick_retries = 2;
+  fs::DecodeEngine engine(model, opt);
+  const std::size_t hidden = model.config().hidden;
+
+  std::vector<MatrixF> prompts;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    prompts.emplace_back(kPrompts[i % std::size(kPrompts)], hidden);
+    ftt::tensor::fill_normal(prompts.back(), 0xbead + i);
+  }
+
+  constexpr ftt::fault::Site kSites[] = {ftt::fault::Site::kGemm1,
+                                         ftt::fault::Site::kGemm2,
+                                         ftt::fault::Site::kExp};
+  std::mt19937_64 rng(0xc0ffee);
+  RecoveryRun run;
+  run.seconds = bench::time_once([&] {
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      engine.submit(prompts[i], kBudgets[i % std::size(kBudgets)]);
+    }
+    while (engine.queued() != 0 || engine.active() != 0) {
+      if (inject) {
+        auto inj = ftt::fault::FaultInjector::single(
+            kSites[rng() % std::size(kSites)], rng() % 400, 30);
+        run.stats += engine.step(&inj);
+      } else {
+        run.stats += engine.step();
+      }
+      ++run.ticks;
+    }
+  });
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const auto h = engine.hidden(i);
+    run.hidden.emplace_back(h.begin(), h.end());
+  }
   return run;
 }
 
@@ -429,6 +499,46 @@ int main(int argc, char** argv) {
     std::printf("  UNEXPECTED: sharded/routed decode totals diverged\n");
   }
 
+  // --- recovery ladder: chaos overhead + bitwise clean rate --------------
+  const RecoveryRun rec_clean = run_recovery(model, false);
+  const RecoveryRun rec_chaos = run_recovery(model, true);
+  const double recovery_overhead =
+      rec_clean.seconds > 0.0 ? rec_chaos.seconds / rec_clean.seconds : 0.0;
+  std::size_t bitwise_clean = 0;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const auto& a = rec_chaos.hidden[i];
+    const auto& b = rec_clean.hidden[i];
+    if (a.size() == b.size() &&
+        std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0) {
+      ++bitwise_clean;
+    }
+  }
+  const double clean_rate =
+      static_cast<double>(bitwise_clean) / static_cast<double>(kRequests);
+  std::printf("\n  recovery ladder (one bit-30 transient per tick, "
+              "tick retry <= 2)\n");
+  std::printf("  %-26s %12s %8s %12s\n", "mode", "makespan", "ticks",
+              "retried");
+  std::printf("  %-26s %9.2f ms %8zu %12zu\n", "injection-free",
+              rec_clean.seconds * 1e3, rec_clean.ticks,
+              rec_clean.stats.retried);
+  std::printf("  %-26s %9.2f ms %8zu %12zu\n", "chaos + retry",
+              rec_chaos.seconds * 1e3, rec_chaos.ticks,
+              rec_chaos.stats.retried);
+  std::printf("  recovery overhead: %.2fx   recovered bitwise-clean: "
+              "%zu/%zu (%.0f%%, %zu recovered ticks)\n",
+              recovery_overhead, bitwise_clean, kRequests, clean_rate * 100.0,
+              rec_chaos.stats.recovered);
+  // The chaos run must fully recover: no escalations, every request ends
+  // on the clean twin's bits.  tests/test_recovery.cpp gates this; here it
+  // still flips the bench's clean bit so a silent divergence is visible.
+  ok = ok && rec_chaos.stats.degraded == 0 && rec_chaos.stats.failed == 0 &&
+       bitwise_clean == kRequests;
+  if (bitwise_clean != kRequests) {
+    std::printf("  UNEXPECTED: %zu request(s) diverged from the clean twin\n",
+                kRequests - bitwise_clean);
+  }
+
   if (!json_path.empty()) {
     bench::JsonWriter w;
     w.begin_object();
@@ -485,6 +595,18 @@ int main(int argc, char** argv) {
     w.kv("decoded_tokens", chunked.stats.decoded);
     w.kv("clean", ok);
     w.end_object();
+    w.key("recovery");
+    w.begin_object();
+    w.kv("requests", kRequests);
+    w.kv("max_tick_retries", std::size_t{2});
+    w.kv("clean_makespan_ms", rec_clean.seconds * 1e3);
+    w.kv("chaos_makespan_ms", rec_chaos.seconds * 1e3);
+    w.kv("ticks_retried", rec_chaos.stats.retried);
+    w.kv("ticks_recovered", rec_chaos.stats.recovered);
+    w.kv("requests_degraded", rec_chaos.stats.degraded);
+    w.kv("requests_failed", rec_chaos.stats.failed);
+    w.kv("bitwise_clean_requests", bitwise_clean);
+    w.end_object();
     w.key("gauges");
     w.begin_object();
     w.kv("scheduler_tokens_per_s", tok(chunked));
@@ -495,6 +617,8 @@ int main(int argc, char** argv) {
     w.kv("spec_acceptance_rate", acceptance);
     w.kv("shard_parallel_speedup", shard_speedup);
     w.kv("router_replica_speedup", router_speedup);
+    w.kv("recovery_overhead", recovery_overhead);
+    w.kv("recovered_bitwise_clean_rate", clean_rate);
     w.end_object();
     w.end_object();
     ok = w.write_file(json_path) && ok;

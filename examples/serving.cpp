@@ -164,13 +164,14 @@ int main() {
   for (std::size_t i = 0; i < 4; ++i) check(bulk[i], common, 24);
   check(vip, vip_prompt, 4);
   std::printf("\nmax |paged - solo| over all 6 requests: %.2e  (checks: %zu "
-              "attention + %zu linear, %zu detected)\n",
+              "attention + %zu linear, %zu detected, %zu uncorrected)\n",
               worst,
               engine.lifetime().attention.gemm1.checks +
                   engine.lifetime().attention.exp_check.checks +
                   engine.lifetime().attention.gemm2.checks,
               engine.lifetime().linear.checks,
-              engine.lifetime().attention.total_detected());
+              engine.lifetime().attention.total_detected(),
+              engine.lifetime().attention.uncorrected());
   const bool exercised = storm.preempted > 0 &&
                          engine.pool().shared_hits() > 0;
   std::printf(worst == 0.0f && exercised
@@ -276,12 +277,13 @@ int main() {
               shard_ok ? "bit-identical to" : "DIVERGED from");
   for (std::size_t s = 0; s < shard_reports.size(); ++s) {
     std::printf("  shard %zu (its own heads only): %zu attention checks, "
-                "%zu detected\n",
+                "%zu detected, %zu uncorrected\n",
                 s,
                 shard_reports[s].gemm1.checks +
                     shard_reports[s].exp_check.checks +
                     shard_reports[s].gemm2.checks,
-                shard_reports[s].total_detected());
+                shard_reports[s].total_detected(),
+                shard_reports[s].uncorrected());
   }
   if (!shard_ok) std::printf("WARNING: sharded/routed run diverged.\n");
 

@@ -49,6 +49,14 @@ for omp in $OMP_MATRIX; do
     -R 'test_omp_invariance|test_sharding|test_router'
 done
 
+# Chaos soak: the recovery ladder's randomized acceptance sweep (seeded,
+# seconds-scale).  FTT_CHAOS_SOAK=1 un-skips the heavier soak test on top
+# of the chaos test the plain ctest pass already ran: more seeds, longer
+# fleets, quarantine armed on the sharded topologies.  Every run the
+# ladder marks fully recovered must end bitwise-equal to its clean twin.
+echo "== chaos soak (FTT_CHAOS_SOAK=1: test_recovery chaos sweep) =="
+FTT_CHAOS_SOAK=1 "$BUILD_DIR"/test_recovery --gtest_filter='Recovery.Chaos*'
+
 echo "== smoke: serving demo + decode throughput bench =="
 "$BUILD_DIR"/serving
 "$BUILD_DIR"/bench_serve_throughput

@@ -16,6 +16,12 @@ struct Report {
 
   [[nodiscard]] bool clean() const noexcept { return flagged == 0; }
   [[nodiscard]] bool detected() const noexcept { return flagged > 0; }
+  /// Flags no repair accounted for (saturating), the linear-path analogue
+  /// of attention::FtReport::uncorrected().
+  [[nodiscard]] std::size_t uncorrected() const noexcept {
+    const std::size_t c = corrected + recomputed + checksum_repairs;
+    return flagged > c ? flagged - c : 0;
+  }
 
   Report& operator+=(const Report& o) noexcept {
     checks += o.checks;

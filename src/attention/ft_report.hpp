@@ -24,6 +24,16 @@ struct FtReport {
            exp_check.recomputed + exp_check.checksum_repairs +
            gemm2.corrected + gemm2.checksum_repairs + range_corrections;
   }
+  /// Detections that no correction accounted for (saturating: a correction
+  /// never counts against a different slice's detection below zero).  The
+  /// health signal the serving layers act on — tick retry, shard
+  /// quarantine and replica drain all read this instead of re-deriving the
+  /// subtraction at each call site.
+  [[nodiscard]] std::size_t uncorrected() const noexcept {
+    const std::size_t d = total_detected();
+    const std::size_t c = total_corrected();
+    return d > c ? d - c : 0;
+  }
 
   /// Merge the outcome of another slice: batched decode aggregates per-
   /// (request, head) reports without dropping any fault statistics.

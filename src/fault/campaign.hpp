@@ -26,6 +26,10 @@ struct CampaignStats {
   std::size_t injected = 0;   ///< runs where the flip actually landed
   std::size_t absorbed = 0;   ///< injected runs within the threshold
   std::size_t detected = 0;   ///< injected runs where something was flagged
+  /// Runs counted in BOTH absorbed and detected (a flagged flip whose
+  /// residual deviation still sat under the threshold).  The two buckets
+  /// overlap, so set arithmetic over them must add this back.
+  std::size_t absorbed_and_detected = 0;
   float worst_deviation = 0.0f;
 
   [[nodiscard]] double absorption_rate() const noexcept {
@@ -33,6 +37,15 @@ struct CampaignStats {
   }
   [[nodiscard]] double detection_rate() const noexcept {
     return injected ? static_cast<double>(detected) / injected : 1.0;
+  }
+  /// Injected runs that were neither detected nor absorbed — the flip
+  /// landed, nothing flagged it, and the output deviated beyond the
+  /// threshold.  The paper's SDC bucket: |injected| - |detected ∪ absorbed|
+  /// by inclusion-exclusion (absorbed and detected overlap; subtracting
+  /// both would double-count the intersection).
+  [[nodiscard]] std::size_t silent_corruptions() const noexcept {
+    const std::size_t covered = detected + absorbed - absorbed_and_detected;
+    return injected > covered ? injected - covered : 0;
   }
 };
 
@@ -56,8 +69,10 @@ inline CampaignStats run_campaign(
         ++stats.runs;
         if (inj.injected() == 0) continue;
         ++stats.injected;
+        const bool absorbed = r.deviation < cfg.absorbed_threshold;
         if (r.flagged) ++stats.detected;
-        if (r.deviation < cfg.absorbed_threshold) ++stats.absorbed;
+        if (absorbed) ++stats.absorbed;
+        if (r.flagged && absorbed) ++stats.absorbed_and_detected;
         stats.worst_deviation = std::max(stats.worst_deviation, r.deviation);
       }
     }

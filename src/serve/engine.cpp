@@ -92,6 +92,14 @@ DecodeEngine::DecodeEngine(const transformer::Model& model, EngineOptions opt)
       head_owner_[hd] = s;
     }
   }
+  if (opt_.recovery.shard_quarantine_threshold > 0 &&
+      opt_.recovery.shard_window_ticks == 0) {
+    throw std::invalid_argument(
+        "DecodeEngine: shard quarantine needs shard_window_ticks >= 1");
+  }
+  shard_health_.resize(opt_.shards);
+  healthy_.resize(opt_.shards);
+  for (std::size_t s = 0; s < opt_.shards; ++s) healthy_[s] = s;
 }
 
 DecodeEngine::RequestId DecodeEngine::submit(const MatrixF& prompt_hidden,
@@ -168,6 +176,11 @@ DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
   const auto& cfg = model_->config();
   StepStats stats;
   const std::size_t evictions_at_start = pool_.evictions();
+
+  // Scrub before anything reads the pool: a tile dropped here preempts its
+  // owners in the same breath, so this tick's compute can never consume a
+  // context the scrubber just declared untrustworthy.
+  if (opt_.recovery.scrub_tiles_per_tick > 0) run_scrubber(stats);
 
   // (a) retire requests that reached their budget or the context cap.  Done
   // at tick start so the final token's hidden state was readable for one
@@ -333,13 +346,41 @@ DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
     }
   }
 
+  // Snapshot per-shard detection totals so the quarantine rung can charge
+  // this tick's evidence (all retry attempts included) to owning shards.
+  const bool quarantine_on =
+      opt_.recovery.shard_quarantine_threshold > 0 && opt_.shards > 1;
+  std::vector<std::size_t> shard_det0;
+  if (quarantine_on) {
+    shard_det0.resize(opt_.shards);
+    for (std::size_t s = 0; s < opt_.shards; ++s) {
+      shard_det0[s] = shard_attention_[s].total_detected();
+    }
+  }
+
   advance(entries, X, inj, stats);
+
+  if (quarantine_on) {
+    std::vector<std::size_t> faults(opt_.shards);
+    for (std::size_t s = 0; s < opt_.shards; ++s) {
+      faults[s] = shard_attention_[s].total_detected() - shard_det0[s];
+    }
+    update_shard_health(faults, stats);
+  }
 
   // State transitions, speculative commits and prefix publication after
   // the compute.
+  const bool retry_enabled = opt_.recovery.max_tick_retries > 0;
   for (const TickEntry& e : entries) {
     Request& req = requests_[e.id];
+    // Escalated failures: advance already rolled their appends back;
+    // they retire below instead of committing.
+    if (e.failed) continue;
     if (e.prefill) {
+      // Under retry every append deferred its seals (the whole tick must
+      // stay rollback-able); commit-seal the tiles this chunk fully
+      // covered now — bit-identical to the direct sealing path.
+      if (retry_enabled) req.cache->truncate(req.tokens + e.rows);
       req.tokens += e.rows;
       req.prefilled += e.rows;
       if (req.prefilled == req.prompt_rows) {
@@ -357,16 +398,22 @@ DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
         // The prompt stays resident while preemption is reachable: a
         // preempted request recomputes from it on readmission.  An
         // unbounded pool never exhausts, so there it is freed at
-        // prefill-done exactly like the pre-paging engine.
-        if (opt_.scheduler.max_kv_tiles == 0) req.prompt = MatrixF();
+        // prefill-done exactly like the pre-paging engine — unless the
+        // scrubber is on, which can preempt (tile drop) even when the
+        // pool never runs out of capacity.
+        if (opt_.scheduler.max_kv_tiles == 0 &&
+            opt_.recovery.scrub_tiles_per_tick == 0) {
+          req.prompt = MatrixF();
+        }
       }
     } else {
       const std::size_t committed = 1 + e.accepted;
-      if (e.rows > 1) {
+      if (e.rows > 1 || retry_enabled) {
         // Accept/reject commit: keep the fed row + the verified draft
         // prefix, roll the rejected rows out of every layer's cache
         // (open-tile truncation; tiles the commit fully covers seal now —
-        // nothing sealed was ever speculative).
+        // nothing sealed was ever speculative).  Under retry even a
+        // 1-row block deferred its seal, so the commit runs regardless.
         req.cache->truncate(req.tokens + committed);
       }
       req.tokens += committed;
@@ -397,6 +444,12 @@ DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
     }
   }
 
+  // kFailRequest escalations retire now: tiles released, scheduler slot
+  // freed; last hidden state, lifetime report and health stay readable.
+  for (const TickEntry& e : entries) {
+    if (e.failed) retire(e.id);
+  }
+
   stats.evicted = pool_.evictions() - evictions_at_start;
   lifetime_ += stats;
   return stats;
@@ -424,24 +477,8 @@ void DecodeEngine::advance(std::vector<TickEntry>& entries, MatrixF& X,
   const auto& cfg = model_->config();
   const std::size_t hidden = cfg.hidden;
   const std::size_t heads = cfg.heads;
-
-  for (const TickEntry& e : entries) {
-    if (e.prefill) {
-      ++stats.prefill_chunks;
-      stats.prefill_rows += e.rows;
-      stats.active += e.rows;
-      if (opt_.record_inputs) {
-        Request& req = requests_[e.id];
-        for (std::size_t r = 0; r < e.rows; ++r) {
-          req.inputs.emplace_back(X.row(e.row0 + r).begin(),
-                                  X.row(e.row0 + r).end());
-        }
-      }
-    }
-    // Decode entries account (and record) after draft verification below:
-    // only committed rows count, and only committed rows enter the replay
-    // history.
-  }
+  const RecoveryPolicy& rp = opt_.recovery;
+  const bool retry_enabled = rp.max_tick_retries > 0;
 
   // The tick's compute lives in serve/shard.hpp: run_tick_solo is the
   // extracted monolithic body (full linears, one efta_decode_batch per
@@ -453,38 +490,137 @@ void DecodeEngine::advance(std::vector<TickEntry>& entries, MatrixF& X,
   std::vector<ShardTickEntry> sentries;
   sentries.reserve(entries.size());
   for (const TickEntry& e : entries) {
-    // Speculative rows may be rejected, so tiles they fill must not seal
-    // until the commit (truncate) decides what stays.
-    sentries.push_back(ShardTickEntry{requests_[e.id].cache.get(), e.row0,
-                                      e.rows,
-                                      /*defer_seal=*/!e.prefill && e.rows > 1});
+    // Speculative rows may be rejected — and under tick retry EVERY row
+    // may be rolled back — so tiles such appends fill must not seal until
+    // the commit (truncate) decides what stays.
+    sentries.push_back(ShardTickEntry{
+        requests_[e.id].cache.get(), e.row0, e.rows,
+        /*defer_seal=*/retry_enabled || (!e.prefill && e.rows > 1)});
   }
+
+  // Retry rung: re-run the tick's compute while the active trigger trips,
+  // bounded by max_tick_retries, before anything commits.  Rollback is
+  // exact — appends truncate to the pre-tick context (every append this
+  // tick deferred its seal, so nothing immutable is touched) and the
+  // residual stream restores from a copy — so a re-run consumes inputs
+  // bit-identical to the first attempt, and under the single-transient-
+  // fault assumption its output is exactly the clean-run bits.
+  MatrixF X0;
+  if (retry_enabled) X0 = X;
   std::vector<FtReport> per_item(entries.size() * heads);
   MatrixF y;
-  const TickResult tick =
-      (sharded_ != nullptr && inj == nullptr)
-          ? sharded_->run_tick(sentries, X, y, per_item, opt_.efta,
-                               opt_.protect_linear)
-          : run_tick_solo(*model_, sentries, X, y, per_item, opt_.efta,
-                          opt_.protect_linear, inj);
-  stats.linear += tick.linear;
-  stats.attention += tick.attention;
-  stats.activations_clipped += tick.activations_clipped;
-  // Roll the per-(entry, head) reports — accumulated across layers by the
-  // tick body — into per-request lifetime reports and into the per-shard
-  // attribution (head_owner_ maps both the sharded and the solo path, so a
-  // poisoned head is pinned to its owning shard either way).
-  {
-    std::size_t i = 0;
-    for (const TickEntry& e : entries) {
+  TickResult tick;
+  bool attempt_bad = false;
+  std::size_t attempt = 0;
+  for (;; ++attempt) {
+    if (attempt > 0) {
+      for (const TickEntry& e : entries) {
+        Request& req = requests_[e.id];
+        req.cache->truncate(req.tokens);
+        if (!req.cache->ensure_capacity(req.tokens + e.rows)) {
+          // truncate released this tick's empty tail tiles to the dead
+          // list, so re-acquiring the same count cannot fail.
+          throw std::logic_error(
+              "DecodeEngine: retry rollback lost KV capacity");
+        }
+      }
+      X = X0;
+      std::fill(per_item.begin(), per_item.end(), FtReport{});
+      ++stats.retried;
+    }
+    ShardedEngine* exec = degraded_ ? degraded_.get() : sharded_.get();
+    tick = (exec != nullptr && inj == nullptr)
+               ? exec->run_tick(sentries, X, y, per_item, opt_.efta,
+                                opt_.protect_linear)
+               : run_tick_solo(*model_, sentries, X, y, per_item, opt_.efta,
+                               opt_.protect_linear, inj);
+    stats.linear += tick.linear;
+    stats.attention += tick.attention;
+    stats.activations_clipped += tick.activations_clipped;
+    // Roll the per-(entry, head) reports — accumulated across layers by the
+    // tick body — into per-request lifetime reports and into the per-shard
+    // attribution (head_owner_ maps both the sharded and the solo path, so
+    // a poisoned head is pinned to its owning shard either way).  Every
+    // attempt rolls up: a faulty attempt's evidence must survive its
+    // successful retry — lifetime reports and the quarantine windows are
+    // how the fault remains visible at all.
+    {
+      std::size_t i = 0;
+      for (const TickEntry& e : entries) {
+        Request& req = requests_[e.id];
+        for (std::size_t hd = 0; hd < heads; ++hd, ++i) {
+          req.attention += per_item[i];
+          shard_attention_[head_owner_[hd]] += per_item[i];
+        }
+      }
+    }
+    // The trigger reads THIS attempt's result, not the merged totals — a
+    // recovered tick must stop retriggering on its own history.
+    attempt_bad =
+        retry_enabled &&
+        (rp.retry_on == RetryTrigger::kAnyDetection
+             ? tick.attention.total_detected() + tick.linear.flagged > 0
+             : tick.attention.uncorrected() + tick.linear.uncorrected() > 0);
+    if (!attempt_bad || attempt >= rp.max_tick_retries) break;
+  }
+  if (retry_enabled && attempt > 0 && !attempt_bad) ++stats.recovered;
+
+  // Escalation: retries exhausted with the trigger still tripping.  Linear
+  // detections run over the whole stacked X and are not attributable to a
+  // single entry, so they mark every entry affected; attention detections
+  // pin the exact (entry, head) slots of the final attempt.
+  if (attempt_bad) {
+    const bool linear_bad = rp.retry_on == RetryTrigger::kAnyDetection
+                                ? tick.linear.flagged > 0
+                                : tick.linear.uncorrected() > 0;
+    for (std::size_t ei = 0; ei < entries.size(); ++ei) {
+      TickEntry& e = entries[ei];
+      bool affected = linear_bad;
+      for (std::size_t hd = 0; hd < heads && !affected; ++hd) {
+        const FtReport& r = per_item[ei * heads + hd];
+        affected = rp.retry_on == RetryTrigger::kAnyDetection
+                       ? r.total_detected() > 0
+                       : r.uncorrected() > 0;
+      }
+      if (!affected) continue;
       Request& req = requests_[e.id];
-      for (std::size_t hd = 0; hd < heads; ++hd, ++i) {
-        req.attention += per_item[i];
-        shard_attention_[head_owner_[hd]] += per_item[i];
+      if (rp.on_exhaustion == EscalationPolicy::kFailRequest) {
+        // Roll this entry's appends back; step() retires it instead of
+        // committing — a possibly-wrong token is never served.
+        e.failed = true;
+        req.health = RequestHealth::kFailed;
+        req.cache->truncate(req.tokens);
+        ++stats.failed;
+      } else {
+        // Serve the (ABFT-corrected, possibly perturbed) result, visibly:
+        // the request's health is flagged for its lifetime.
+        req.health = RequestHealth::kFlagged;
+        ++stats.degraded;
       }
     }
   }
+
+  // Committed-work accounting, now that escalation decided what commits.
+  for (const TickEntry& e : entries) {
+    if (e.failed || !e.prefill) continue;
+    ++stats.prefill_chunks;
+    stats.prefill_rows += e.rows;
+    stats.active += e.rows;
+    if (opt_.record_inputs) {
+      // The tick updated the residual stream in place, so record from the
+      // prompt — the exact bits the stacked rows were loaded from.
+      Request& req = requests_[e.id];
+      for (std::size_t r = 0; r < e.rows; ++r) {
+        req.inputs.emplace_back(req.prompt.row(e.base + r).begin(),
+                                req.prompt.row(e.base + r).end());
+      }
+    }
+    // Decode entries account (and record) after draft verification below:
+    // only committed rows count, and only committed rows enter the replay
+    // history.
+  }
   for (TickEntry& e : entries) {
+    if (e.failed) continue;
     Request& req = requests_[e.id];
     std::size_t last = e.row0 + e.rows - 1;
     if (!e.prefill) {
@@ -572,6 +708,116 @@ void DecodeEngine::preempt_request(RequestId id) {
   if (it != live_.end()) live_.erase(it);
 }
 
+void DecodeEngine::run_scrubber(StepStats& stats) {
+  const ScrubReport rep = pool_.scrub(opt_.recovery.scrub_tiles_per_tick);
+  stats.scrubbed += rep.scanned;
+  stats.repaired += rep.repaired;
+  stats.scrub_dropped += rep.dropped.size();
+  if (rep.dropped.empty()) return;
+  // Preempt every live request whose block table maps a dropped tile: its
+  // context is no longer trustworthy, and generation is a deterministic
+  // function of the prompt, so recompute-on-readmission restores the exact
+  // clean token trajectory — degraded throughput, never a wrong answer.
+  std::vector<RequestId> victims;
+  for (const RequestId id : live_) {
+    const RequestState s = scheduler_.state(id);
+    if (s != RequestState::kPrefilling && s != RequestState::kDecoding) {
+      continue;
+    }
+    const Request& req = requests_[id];
+    if (!req.cache) continue;
+    const auto& table = req.cache->block_table();
+    for (const std::size_t tid : rep.dropped) {
+      if (std::find(table.begin(), table.end(), tid) != table.end()) {
+        victims.push_back(id);
+        break;
+      }
+    }
+  }
+  for (const RequestId id : victims) {
+    preempt_request(id);
+    ++stats.preempted;
+  }
+}
+
+void DecodeEngine::update_shard_health(
+    std::span<const std::size_t> tick_faults, StepStats& stats) {
+  bool changed = false;
+  // Probation countdown first: a shard readmits with a clean window, and a
+  // repeat offender re-quarantines only as fresh evidence rebuilds.
+  for (std::size_t s = 0; s < opt_.shards; ++s) {
+    ShardHealth& h = shard_health_[s];
+    if (!h.quarantined) continue;
+    if (h.probation > 0) --h.probation;
+    if (h.probation == 0) {
+      h.quarantined = false;
+      changed = true;
+    }
+  }
+  for (std::size_t s = 0; s < opt_.shards; ++s) {
+    ShardHealth& h = shard_health_[s];
+    if (h.quarantined) continue;
+    h.window.push_back(tick_faults[s]);
+    h.window_sum += tick_faults[s];
+    while (h.window.size() > opt_.recovery.shard_window_ticks) {
+      h.window_sum -= h.window.front();
+      h.window.pop_front();
+    }
+    if (h.window_sum <= opt_.recovery.shard_quarantine_threshold) continue;
+    // Never quarantine the last healthy shard: degraded service beats none.
+    std::size_t healthy_now = 0;
+    for (const ShardHealth& o : shard_health_) {
+      healthy_now += o.quarantined ? 0 : 1;
+    }
+    if (healthy_now <= 1) continue;
+    h.quarantined = true;
+    h.probation = opt_.recovery.shard_probation_ticks;
+    h.window.clear();
+    h.window_sum = 0;
+    ++stats.quarantined;
+    changed = true;
+  }
+  if (changed) rebuild_shard_executor();
+}
+
+void DecodeEngine::rebuild_shard_executor() {
+  healthy_.clear();
+  for (std::size_t s = 0; s < opt_.shards; ++s) {
+    if (!shard_health_[s].quarantined) healthy_.push_back(s);
+  }
+  // Remap head ownership over the healthy workers: internal worker w of the
+  // degraded executor owns ShardSpec::for_shard(w, healthy, heads), and its
+  // evidence is attributed to physical shard healthy_[w].  With every shard
+  // healthy this restores the constructor's map exactly.
+  const std::size_t heads = model_->config().heads;
+  for (std::size_t w = 0; w < healthy_.size(); ++w) {
+    const auto spec = core::ShardSpec::for_shard(w, healthy_.size(), heads);
+    for (std::size_t hd = spec.begin_head; hd < spec.end_head; ++hd) {
+      head_owner_[hd] = healthy_[w];
+    }
+  }
+  degraded_.reset();  // join the old degraded workers before respawning
+  if (healthy_.size() < opt_.shards) {
+    degraded_ = std::make_unique<ShardedEngine>(*model_, healthy_.size(),
+                                                opt_.combine);
+  }
+}
+
+bool DecodeEngine::shard_quarantined(std::size_t s) const {
+  if (s >= shard_health_.size()) {
+    throw std::out_of_range("DecodeEngine: unknown shard index");
+  }
+  return shard_health_[s].quarantined;
+}
+
+std::size_t DecodeEngine::healthy_shards() const noexcept {
+  return healthy_.size();
+}
+
+namespace testing {
+TilePool& engine_pool(DecodeEngine& e) noexcept { return e.pool_; }
+}  // namespace testing
+
 void DecodeEngine::finish(RequestId id) {
   if (id >= requests_.size()) {
     throw std::out_of_range("DecodeEngine: unknown request id");
@@ -613,6 +859,14 @@ std::span<const float> DecodeEngine::hidden(RequestId id) const {
 
 const FtReport& DecodeEngine::report(RequestId id) const {
   return checked(id).attention;
+}
+
+const FtReport* DecodeEngine::find_report(RequestId id) const noexcept {
+  return id < requests_.size() ? &requests_[id].attention : nullptr;
+}
+
+RequestHealth DecodeEngine::health(RequestId id) const {
+  return checked(id).health;
 }
 
 MatrixF DecodeEngine::fed_inputs(RequestId id) const {

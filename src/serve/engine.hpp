@@ -71,6 +71,7 @@
 // input, which exercises exactly the per-token compute the paper profiles.
 
 #include <cstddef>
+#include <deque>
 #include <memory>
 #include <span>
 #include <vector>
@@ -78,6 +79,7 @@
 #include "attention/ft_report.hpp"
 #include "core/decode.hpp"
 #include "serve/proposer.hpp"
+#include "serve/recovery.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/shard.hpp"
 #include "serve/step_stats.hpp"
@@ -158,7 +160,21 @@ struct EngineOptions {
   /// partial-sum path through the DeterministicCombiner — deterministic
   /// for a fixed shard count, not solo-bitwise.
   CombineMode combine = CombineMode::kColumnParallel;
+  /// Serving-layer fault recovery (serve/recovery.hpp): tick retry, shard
+  /// quarantine and KV scrubbing knobs.  All rungs default off — a
+  /// default-constructed policy reproduces the pre-recovery engine bit for
+  /// bit.  The replica-level rung (drain) lives in RouterOptions.
+  RecoveryPolicy recovery;
 };
+
+class DecodeEngine;
+
+namespace testing {
+/// Mutable pool access for the scrubber memory-corruption tests (the
+/// serve::testing flip_*_bit hooks need a writable TilePool).  Test-only
+/// observability; never a serving API.
+TilePool& engine_pool(DecodeEngine& e) noexcept;
+}  // namespace testing
 
 class DecodeEngine {
  public:
@@ -225,6 +241,11 @@ class DecodeEngine {
       const noexcept {
     return shard_attention_;
   }
+  /// True while physical shard `s` is quarantined (its heads remapped over
+  /// the healthy workers); throws std::out_of_range for s >= shards().
+  [[nodiscard]] bool shard_quarantined(std::size_t s) const;
+  /// Shard workers currently serving (shards() minus quarantined).
+  [[nodiscard]] std::size_t healthy_shards() const noexcept;
 
   [[nodiscard]] RequestState state(RequestId id) const;
   /// Requests admitted and not yet retired (prefilling + decoding).
@@ -241,8 +262,17 @@ class DecodeEngine {
   /// Final-layernormed hidden state of the request's latest token (empty
   /// while the request is still queued).
   [[nodiscard]] std::span<const float> hidden(RequestId id) const;
-  /// Lifetime attention fault-tolerance report of one request.
+  /// Lifetime attention fault-tolerance report of one request.  Throws
+  /// std::out_of_range for an id this engine never issued; find_report is
+  /// the non-throwing probe.
   [[nodiscard]] const attention::FtReport& report(RequestId id) const;
+  /// report() without the throw: nullptr for an unknown id.
+  [[nodiscard]] const attention::FtReport* find_report(
+      RequestId id) const noexcept;
+  /// Fault-recovery status of a request (kClean unless a tick exhausted its
+  /// retries with this request affected; see EscalationPolicy).  Sticky:
+  /// once flagged/failed it stays so for the request's lifetime.
+  [[nodiscard]] RequestHealth health(RequestId id) const;
   /// Every input row fed so far (prompt rows, then the fed-back generated
   /// rows): the matrix a from-scratch forward() would consume.  For tests
   /// and offline verification of cache-backed generation.  Empty when
@@ -288,6 +318,7 @@ class DecodeEngine {
     std::size_t preemptions = 0;           // times preempted
     std::vector<float> draft;              // this tick's drafted rows
     std::size_t draft_rows = 0;            // 0 outside a speculative tick
+    RequestHealth health = RequestHealth::kClean;  // recovery status
   };
 
   /// One request's share of a tick's row-stack.
@@ -298,6 +329,17 @@ class DecodeEngine {
     bool prefill;
     std::size_t base;  ///< prefill: global position of the chunk's first row
     std::size_t accepted = 0;  ///< decode: drafts verified (set by advance)
+    /// Escalated to kFailRequest by an exhausted retry: appends rolled
+    /// back, the request retires instead of committing (set by advance).
+    bool failed = false;
+  };
+
+  /// Sliding-window fault accounting for one physical shard (quarantine).
+  struct ShardHealth {
+    std::deque<std::size_t> window;  ///< per-tick attributed detections
+    std::size_t window_sum = 0;
+    bool quarantined = false;
+    std::size_t probation = 0;  ///< ticks left before readmission
   };
 
   void retire(RequestId id);
@@ -315,7 +357,22 @@ class DecodeEngine {
   void advance(std::vector<TickEntry>& entries, tensor::MatrixF& X,
                fault::FaultInjector* inj, StepStats& stats);
 
+  /// Scrubber rung: verify/repair scrub_tiles_per_tick sealed tiles at tick
+  /// start and preempt the owners of any dropped tile onto the
+  /// recompute-from-prompt path before this tick's compute can read it.
+  void run_scrubber(StepStats& stats);
+  /// Quarantine rung: push this tick's per-shard attributed detections into
+  /// the sliding windows, quarantine over-threshold shards (never the last
+  /// healthy one), count down probations and readmit.
+  void update_shard_health(std::span<const std::size_t> tick_faults,
+                           StepStats& stats);
+  /// Rebuild healthy_ / head_owner_ / the degraded executor after a
+  /// quarantine state change.
+  void rebuild_shard_executor();
+
   [[nodiscard]] const Request& checked(RequestId id) const;
+
+  friend TilePool& testing::engine_pool(DecodeEngine& e) noexcept;
 
   const transformer::Model* model_;
   EngineOptions opt_;
@@ -327,6 +384,16 @@ class DecodeEngine {
   std::vector<std::size_t> head_owner_;  ///< head -> owning shard index
   /// Lifetime per-shard attention reports (see shard_reports()).
   std::vector<attention::FtReport> shard_attention_;
+  /// Quarantine state per physical shard (size shards(); all-healthy and
+  /// inert unless the policy's quarantine rung is on).
+  std::vector<ShardHealth> shard_health_;
+  /// Physical ids of the non-quarantined shards, ascending.
+  std::vector<std::size_t> healthy_;
+  /// Non-null while any shard is quarantined: the executor over the healthy
+  /// workers the tick dispatches into instead of sharded_ (column-parallel
+  /// combine is bitwise for any worker count, so degraded ticks stay
+  /// bit-identical to solo; ring mode stays deterministic, not bitwise).
+  std::unique_ptr<ShardedEngine> degraded_;
   std::shared_ptr<TokenProposer> proposer_;  // non-null iff spec_tokens > 0
   std::vector<Request> requests_;
   /// Admitted, not-yet-retired ids, ascending (the tick's row-stack is in

@@ -9,10 +9,15 @@ Router::Router(const transformer::Model& model, RouterOptions opt)
   if (opt_.replicas == 0) {
     throw std::invalid_argument("Router: replicas must be >= 1");
   }
+  if (opt_.drain_fault_threshold > 0 && opt_.drain_window_ticks == 0) {
+    throw std::invalid_argument(
+        "Router: replica drain needs drain_window_ticks >= 1");
+  }
   engines_.reserve(opt_.replicas);
   for (std::size_t r = 0; r < opt_.replicas; ++r) {
     engines_.push_back(std::make_unique<DecodeEngine>(model, opt_.engine));
   }
+  health_.resize(opt_.replicas);
 }
 
 std::size_t Router::choose_replica(const tensor::MatrixF& prompt_hidden) {
@@ -26,7 +31,13 @@ std::size_t Router::choose_replica(const tensor::MatrixF& prompt_hidden) {
         ChainKey{}, &prompt_hidden(0, 0),
         TilePool::kTileRows * prompt_hidden.cols() * sizeof(float));
     const auto it = affinity_.find(key);
-    if (it != affinity_.end()) return it->second;
+    if (it != affinity_.end()) {
+      // A drained pin remaps to a healthy replica — and stays remapped, so
+      // the prefix keeps pooling on one replica after the readmission.
+      if (!health_[it->second].drained) return it->second;
+      it->second = choose_replica_least_loaded();
+      return it->second;
+    }
     const std::size_t r = choose_replica_least_loaded();
     affinity_.emplace(key, r);
     return r;
@@ -38,6 +49,7 @@ std::size_t Router::choose_replica_least_loaded() const noexcept {
   std::size_t best = 0;
   std::size_t best_load = SIZE_MAX;
   for (std::size_t r = 0; r < engines_.size(); ++r) {
+    if (health_[r].drained) continue;  // never the last one: see drain rung
     const std::size_t load = engines_[r]->queued() + engines_[r]->active();
     if (load < best_load) {  // strict: lowest index wins ties
       best = r;
@@ -54,12 +66,19 @@ Router::RequestId Router::submit(const tensor::MatrixF& prompt_hidden,
   const DecodeEngine::RequestId local =
       engines_[r]->submit(prompt_hidden, max_new_tokens, priority);
   placements_.push_back(Placement{r, local});
+  // Retain what a drain-time resubmission needs to replay the request; a
+  // default (empty-prompt) slot keeps the vectors index-aligned otherwise.
+  retained_.emplace_back();
+  if (drain_enabled()) {
+    retained_.back() = Retained{prompt_hidden, max_new_tokens, priority};
+  }
   return placements_.size() - 1;
 }
 
 StepStats Router::step(fault::FaultInjector* inj) {
   StepStats total;
   for (const auto& e : engines_) total.merge(e->step(inj));
+  update_replica_health(total);
   lifetime_.merge(total);
   return total;
 }
@@ -73,8 +92,73 @@ StepStats Router::step(std::span<fault::FaultInjector* const> per_replica) {
   for (std::size_t r = 0; r < engines_.size(); ++r) {
     total.merge(engines_[r]->step(per_replica[r]));
   }
+  update_replica_health(total);
   lifetime_.merge(total);
   return total;
+}
+
+void Router::update_replica_health(StepStats& total) {
+  if (!drain_enabled()) return;
+  // Probation countdown first: a replica readmits with a clean window and a
+  // resynced delta base (evidence from before the drain is spent).
+  for (std::size_t r = 0; r < engines_.size(); ++r) {
+    ReplicaHealth& h = health_[r];
+    if (!h.drained) continue;
+    if (h.probe > 0) --h.probe;
+    if (h.probe == 0) {
+      h.drained = false;
+      h.last_faults = engines_[r]->lifetime().attention.uncorrected() +
+                      engines_[r]->lifetime().linear.uncorrected();
+    }
+  }
+  for (std::size_t r = 0; r < engines_.size(); ++r) {
+    ReplicaHealth& h = health_[r];
+    if (h.drained) continue;
+    const std::size_t cur =
+        engines_[r]->lifetime().attention.uncorrected() +
+        engines_[r]->lifetime().linear.uncorrected();
+    const std::size_t delta = cur > h.last_faults ? cur - h.last_faults : 0;
+    h.last_faults = cur;
+    h.window.push_back(delta);
+    h.window_sum += delta;
+    while (h.window.size() > opt_.drain_window_ticks) {
+      h.window_sum -= h.window.front();
+      h.window.pop_front();
+    }
+    if (h.window_sum <= opt_.drain_fault_threshold) continue;
+    // Never drain the last healthy replica: degraded service beats none.
+    std::size_t healthy_now = 0;
+    for (const ReplicaHealth& o : health_) healthy_now += o.drained ? 0 : 1;
+    if (healthy_now <= 1) continue;
+    h.drained = true;
+    h.probe = opt_.drain_probe_ticks;
+    h.window.clear();
+    h.window_sum = 0;
+    drain_replica(r);
+    ++total.drained;
+  }
+}
+
+void Router::drain_replica(std::size_t r) {
+  DecodeEngine& old = *engines_[r];
+  for (RequestId id = 0; id < placements_.size(); ++id) {
+    Placement& p = placements_[id];
+    if (p.replica != r) continue;
+    Retained& ret = retained_[id];
+    if (old.state(p.local) == RequestState::kRetired) {
+      ret.prompt = tensor::MatrixF();  // done: nothing left to replay
+      continue;
+    }
+    // Finish on the drained replica, replay from the prompt on a healthy
+    // one.  Generation is deterministic in the prompt, so the resubmitted
+    // request reproduces its exact clean token stream — the replica-level
+    // analogue of preemption-recompute.
+    old.finish(p.local);
+    const std::size_t nr = choose_replica(ret.prompt);
+    p.local = engines_[nr]->submit(ret.prompt, ret.max_new_tokens,
+                                   ret.priority);
+    p.replica = nr;
+  }
 }
 
 StepStats Router::run_until_idle(fault::FaultInjector* inj,
@@ -128,9 +212,29 @@ const attention::FtReport& Router::report(RequestId id) const {
   return engines_[p.replica]->report(p.local);
 }
 
+const attention::FtReport* Router::find_report(RequestId id) const noexcept {
+  if (id >= placements_.size()) return nullptr;
+  const Placement& p = placements_[id];
+  return engines_[p.replica]->find_report(p.local);
+}
+
 void Router::finish(RequestId id) {
   const Placement& p = checked(id);
   engines_[p.replica]->finish(p.local);
+  retained_[id].prompt = tensor::MatrixF();  // retired: nothing to replay
+}
+
+bool Router::replica_drained(std::size_t r) const {
+  if (r >= health_.size()) {
+    throw std::out_of_range("Router: unknown replica index");
+  }
+  return health_[r].drained;
+}
+
+std::size_t Router::healthy_replicas() const noexcept {
+  std::size_t n = 0;
+  for (const ReplicaHealth& h : health_) n += h.drained ? 0 : 1;
+  return n;
 }
 
 }  // namespace ftt::serve

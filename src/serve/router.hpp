@@ -23,6 +23,7 @@
 // the per-replica injector overload.
 
 #include <cstddef>
+#include <deque>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +40,23 @@ struct RouterOptions {
   /// Options every replica engine is constructed with (shards, pool size,
   /// speculation, ... — replicas are homogeneous).
   EngineOptions engine;
+
+  // --- replica drain: the router-level rung of the recovery ladder
+  //     (serve/recovery.hpp) ---
+  /// Sliding window (ticks) of per-replica UNCORRECTED fault counts —
+  /// saturating deltas of each engine's lifetime attention + linear
+  /// uncorrected() totals.  A replica whose window sum exceeds
+  /// `drain_fault_threshold` is drained: its in-flight requests are
+  /// finished there and resubmitted to healthy replicas (generation is a
+  /// deterministic function of the prompt, so the replay reproduces the
+  /// exact clean token stream), new placements skip it, and it is
+  /// readmitted after `drain_probe_ticks` ticks.  The last healthy replica
+  /// is never drained.  threshold 0 = drain off.  While drain is on, the
+  /// router retains each live request's prompt/budget/priority for the
+  /// resubmission (freed at retirement), which is why it defaults off.
+  std::size_t drain_window_ticks = 16;
+  std::size_t drain_fault_threshold = 0;
+  std::size_t drain_probe_ticks = 8;
 };
 
 class Router {
@@ -90,8 +108,19 @@ class Router {
   [[nodiscard]] RequestState state(RequestId id) const;
   [[nodiscard]] std::size_t context_length(RequestId id) const;
   [[nodiscard]] std::span<const float> hidden(RequestId id) const;
+  /// Lifetime attention report; throws std::out_of_range for an id this
+  /// router never issued — find_report is the non-throwing probe.
   [[nodiscard]] const attention::FtReport& report(RequestId id) const;
+  /// report() without the throw: nullptr for an unknown id.
+  [[nodiscard]] const attention::FtReport* find_report(
+      RequestId id) const noexcept;
   void finish(RequestId id);
+
+  /// True while replica `r` is drained (no new placements; in-flight
+  /// requests were replayed elsewhere).  Throws for r >= replicas().
+  [[nodiscard]] bool replica_drained(std::size_t r) const;
+  /// Replicas currently accepting placements.
+  [[nodiscard]] std::size_t healthy_replicas() const noexcept;
 
   /// Merged stats over every tick this router ever ran.
   [[nodiscard]] const StepStats& lifetime() const noexcept {
@@ -107,15 +136,47 @@ class Router {
     }
   };
 
+  /// Sliding-window uncorrected-fault accounting for one replica (drain).
+  struct ReplicaHealth {
+    std::deque<std::size_t> window;  ///< per-tick uncorrected deltas
+    std::size_t window_sum = 0;
+    std::size_t last_faults = 0;  ///< lifetime-total snapshot (delta base)
+    bool drained = false;
+    std::size_t probe = 0;  ///< ticks left before readmission
+  };
+  /// What resubmission needs to replay a request from scratch; retained
+  /// only while drain is enabled.
+  struct Retained {
+    tensor::MatrixF prompt;
+    std::size_t max_new_tokens = 0;
+    Priority priority = Priority::kNormal;
+  };
+
   [[nodiscard]] std::size_t choose_replica(
       const tensor::MatrixF& prompt_hidden);
-  /// Fewest queued + active requests; lowest index on ties.
+  /// Fewest queued + active requests among non-drained replicas; lowest
+  /// index on ties.
   [[nodiscard]] std::size_t choose_replica_least_loaded() const noexcept;
   [[nodiscard]] const Placement& checked(RequestId id) const;
+  [[nodiscard]] bool drain_enabled() const noexcept {
+    return opt_.drain_fault_threshold > 0 && engines_.size() > 1;
+  }
+  /// Push this tick's per-replica fault deltas through the windows, drain
+  /// over-threshold replicas (resubmitting their in-flight requests) and
+  /// count down probations.  Runs after the replicas ticked, inside step().
+  void update_replica_health(StepStats& total);
+  /// Resubmit every in-flight request of replica `r` to a healthy replica.
+  /// `r` must already be marked drained so placement skips it.
+  void drain_replica(std::size_t r);
 
   RouterOptions opt_;
   std::vector<std::unique_ptr<DecodeEngine>> engines_;
   std::vector<Placement> placements_;  ///< router id -> (replica, local id)
+  /// Parallel to placements_; entries live (prompt non-empty) only while
+  /// drain is enabled and the request has not retired through finish() or
+  /// a drain scan.
+  std::vector<Retained> retained_;
+  std::vector<ReplicaHealth> health_;  ///< size replicas()
   std::unordered_map<ChainKey, std::size_t, KeyHash> affinity_;
   StepStats lifetime_;
 };

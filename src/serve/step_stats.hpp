@@ -47,6 +47,18 @@ struct StepStats {
   abft::Report linear;             ///< projections + FFN ABFT
   std::size_t activations_clipped = 0;
 
+  // --- recovery ladder (serve/recovery.hpp; all zero with recovery off) ---
+  std::size_t retried = 0;    ///< tick compute re-runs (retry attempts)
+  std::size_t recovered = 0;  ///< ticks committed clean after >= 1 retry
+  std::size_t degraded = 0;   ///< requests served flagged on retry exhaustion
+  std::size_t failed = 0;     ///< requests failed/retired on retry exhaustion
+  std::size_t quarantined = 0;    ///< shard quarantine events
+  std::size_t scrubbed = 0;       ///< sealed tiles scanned by the scrubber
+  std::size_t repaired = 0;       ///< scrubber in-place repairs
+  std::size_t scrub_dropped = 0;  ///< unrepairable tiles dropped (owners
+                                  ///<   preempted onto recompute)
+  std::size_t drained = 0;        ///< replica drain events (router layer)
+
   /// Accumulate another tick's / shard's / replica's stats into this one.
   StepStats& merge(const StepStats& o) noexcept {
     active += o.active;
@@ -64,6 +76,15 @@ struct StepStats {
     attention += o.attention;
     linear += o.linear;
     activations_clipped += o.activations_clipped;
+    retried += o.retried;
+    recovered += o.recovered;
+    degraded += o.degraded;
+    failed += o.failed;
+    quarantined += o.quarantined;
+    scrubbed += o.scrubbed;
+    repaired += o.repaired;
+    scrub_dropped += o.scrub_dropped;
+    drained += o.drained;
     return *this;
   }
 

@@ -126,6 +126,167 @@ void TilePool::recycle(TileId id) {
   t.stamp = 0;
 }
 
+namespace {
+
+enum class ScrubOutcome { kClean, kRepaired, kUnrepairable };
+
+// Re-verify one (layer, head) block of a sealed tile and repair in place
+// where the single-fault classification allows it (see TilePool::scrub docs).
+// `enc_fresh` / `img_fresh` are caller-provided scratch.
+ScrubOutcome scrub_block(TilePool& pool, TilePool::TileId id,
+                         std::size_t layer, std::size_t head,
+                         std::vector<Half>& enc_fresh,
+                         std::vector<float>& img_fresh) {
+  const std::size_t dim = pool.dim();
+  const int s = pool.enc_stride();
+  Half* k = pool.k_tile(id, layer, head);
+  Half* v = pool.v_tile(id, layer, head);
+  Half* enc = pool.enc_block(id, layer, head);
+  const std::size_t enc_halves = enc_fresh.size();
+
+  detail::encode_sealed_tile(k, v, dim, s, enc_fresh.data());
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < enc_halves; ++i) {
+    if (enc_fresh[i].bits() != enc[i].bits()) ++mismatches;
+  }
+
+  float* img = pool.f32_image(id, layer, head);
+  if (mismatches == 0) {
+    // Payload and encodings agree bit for bit.  Cross-check the optional
+    // fp32 image; the fp16 slab is authoritative, so a disagreeing image
+    // is rebuilt from it (widening is deterministic and exact).
+    if (img != nullptr) {
+      detail::widen_sealed_tile(k, v, enc, dim, s, img_fresh.data());
+      if (std::memcmp(img_fresh.data(), img,
+                      img_fresh.size() * sizeof(float)) != 0) {
+        std::memcpy(img, img_fresh.data(), img_fresh.size() * sizeof(float));
+        return ScrubOutcome::kRepaired;
+      }
+    }
+    return ScrubOutcome::kClean;
+  }
+  if (mismatches == 1) {
+    // A payload flip perturbs several checksum elements (each K/V element
+    // feeds at least a plain and a weighted sum); a single disagreement is
+    // checksum-class corruption, and the fresh encode is the repair.
+    std::memcpy(enc, enc_fresh.data(), enc_halves * sizeof(Half));
+    if (img != nullptr) detail::widen_sealed_tile(k, v, enc, dim, s, img);
+    return ScrubOutcome::kRepaired;
+  }
+  // Payload-class corruption.  Without the fp32 image there is no second
+  // copy to restore from: unrepairable.  With it, narrowing the exactly-
+  // widened image restores the sealed fp16 bits exactly.
+  if (img == nullptr) return ScrubOutcome::kUnrepairable;
+  // Image layout: [K^T (dim x 64) | V (64 x dim) | ...checksums].
+  const float* img_kt = img;
+  const float* img_v = img + TilePool::kTileRows * dim;
+  for (std::size_t r = 0; r < TilePool::kTileRows; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      k[r * dim + c] = Half(img_kt[c * TilePool::kTileRows + r]);
+      v[r * dim + c] = Half(img_v[r * dim + c]);
+    }
+  }
+  // Re-verify: the restored payload must reproduce the stored encodings
+  // (clean under the single-fault assumption).  A residual mismatch means
+  // the image was corrupt too — a double fault the scrubber cannot fix.
+  detail::encode_sealed_tile(k, v, dim, s, enc_fresh.data());
+  for (std::size_t i = 0; i < enc_halves; ++i) {
+    if (enc_fresh[i].bits() != enc[i].bits()) {
+      return ScrubOutcome::kUnrepairable;
+    }
+  }
+  // Refresh the image from the restored payload so all three copies are
+  // coherent again (no-op bits when the image was clean, as assumed).
+  detail::widen_sealed_tile(k, v, enc, dim, s, img);
+  return ScrubOutcome::kRepaired;
+}
+
+}  // namespace
+
+ScrubReport TilePool::scrub(std::size_t max_tiles) {
+  ScrubReport rep;
+  if (enc_stride_ == 0 || max_tiles == 0 || tiles_.empty()) return rep;
+  std::vector<Half> enc_fresh(enc_halves_);
+  std::vector<float> img_fresh;
+  if (fp32_images_) {
+    img_fresh.resize(detail::f32_image_floats(dim_, enc_stride_));
+  }
+  const std::size_t n = tiles_.size();
+  std::size_t visited = 0;
+  while (visited < n && rep.scanned < max_tiles) {
+    const TileId id = scrub_cursor_ % n;
+    scrub_cursor_ = (scrub_cursor_ + 1) % n;
+    ++visited;
+    if (!tiles_[id].sealed) continue;
+    ++rep.scanned;
+    bool unrepairable = false;
+    for (std::size_t l = 0; l < layers_ && !unrepairable; ++l) {
+      for (std::size_t h = 0; h < heads_ && !unrepairable; ++h) {
+        switch (scrub_block(*this, id, l, h, enc_fresh, img_fresh)) {
+          case ScrubOutcome::kClean:
+            break;
+          case ScrubOutcome::kRepaired:
+            ++rep.repaired;
+            break;
+          case ScrubOutcome::kUnrepairable:
+            unrepairable = true;
+            break;
+        }
+      }
+    }
+    if (unrepairable) {
+      // Drop the tile: unseal + unpublish so it can never be attached or
+      // verified again.  Current holders keep their references — the engine
+      // preempts them onto recompute before any further compute — and a
+      // holder's eventual release routes the (now unpublished) tile to the
+      // dead list.  An unreferenced published tile sits on the cached list;
+      // bump its stamp (stale-entry skip) and dead-list it directly.
+      Tile& t = tiles_[id];
+      t.sealed = false;
+      const bool was_published = t.is_published;
+      if (t.is_published) {
+        registry_.erase(t.key);
+        t.is_published = false;
+        t.key = ChainKey{};
+      }
+      if (t.refs == 0 && was_published) {
+        t.stamp = ++clock_;
+        dead_.push_back(id);
+      }
+      // (unpublished + refs == 0 tiles are already dead-listed)
+      rep.dropped.push_back(id);
+    }
+  }
+  return rep;
+}
+
+namespace testing {
+void flip_slab_bit(TilePool& pool, TilePool::TileId id, std::size_t layer,
+                   std::size_t head, std::size_t half_index, unsigned bit) {
+  const std::size_t per_lh =
+      pool.slab_halves() / (pool.layers() * pool.heads());
+  if (half_index >= per_lh) {
+    throw std::out_of_range("flip_slab_bit: half_index out of block");
+  }
+  Half* block = pool.k_tile(id, layer, head);  // [K | V | enc] contiguous
+  Half& h = block[half_index];
+  h = Half::from_bits(
+      static_cast<std::uint16_t>(h.bits() ^ (1u << (bit & 15u))));
+}
+
+void flip_image_bit(TilePool& pool, TilePool::TileId id, std::size_t layer,
+                    std::size_t head, std::size_t float_index, unsigned bit) {
+  float* img = pool.f32_image(id, layer, head);
+  if (img == nullptr) {
+    throw std::logic_error("flip_image_bit: pool holds no fp32 images");
+  }
+  std::uint32_t b;
+  std::memcpy(&b, &img[float_index], sizeof(b));
+  b ^= 1u << (bit & 31u);
+  std::memcpy(&img[float_index], &b, sizeof(b));
+}
+}  // namespace testing
+
 TilePool::TileId TilePool::acquire() {
   // 1. Dead tiles first: reclaiming one loses nothing.
   while (!dead_.empty()) {

@@ -82,6 +82,16 @@ struct TilePoolOptions {
   bool fp32_images = false;
 };
 
+/// Outcome of one incremental scrub pass (TilePool::scrub).
+struct ScrubReport {
+  std::size_t scanned = 0;   ///< sealed tiles verified this pass
+  std::size_t repaired = 0;  ///< (layer, head) blocks repaired in place
+  /// Unrepairable tiles: unpublished and unsealed by the pool; the caller
+  /// (engine) must force their owning requests down the
+  /// recompute-on-readmission path before any further compute.
+  std::vector<std::size_t> dropped;
+};
+
 class TilePool {
  public:
   using TileId = std::size_t;
@@ -89,6 +99,37 @@ class TilePool {
   static constexpr std::size_t kTileRows = core::KvSlice::kTileRows;
 
   explicit TilePool(TilePoolOptions opt);
+
+  /// Incremental KV scrubber: walk up to `max_tiles` sealed tiles (a
+  /// round-robin cursor persists across calls) and re-verify each (layer,
+  /// head) block's in-slab strided-ABFT encodings against its fp16
+  /// payload, bit for bit.
+  ///
+  ///   * payload and encodings consistent, but the optional fp32 image
+  ///     disagrees -> the image is rebuilt from the (authoritative) fp16
+  ///     slab (`repaired`);
+  ///   * exactly one encoding element disagrees with a fresh encode ->
+  ///     checksum-class corruption, the sealed encodings (and image) are
+  ///     rewritten in place (`repaired`);
+  ///   * two or more disagree -> payload-class corruption: with fp32
+  ///     images on, the fp16 payload is reconstructed by exact narrowing
+  ///     of the image (widening was exact, so the round trip restores the
+  ///     sealed bits) and re-verified (`repaired`); without images the
+  ///     tile is unrepairable — it is unpublished, unsealed and reported
+  ///     in `dropped` (refcount-0 tiles go straight to the dead list).
+  ///
+  /// Classification is exact under a single-fault assumption per tile;
+  /// sub-threshold low-order payload flips that cancel in every checksum
+  /// are indistinguishable from a checksum flip and repaired as such —
+  /// the same precision floor the decode-time ABFT thresholds accept.
+  /// Requires the encoding memo; with enc_stride() == 0 there is no
+  /// redundancy to verify against and scrub() is a no-op.
+  ///
+  /// NOTE: memory faults are outside the paper's fault model (KV storage
+  /// is assumed ECC-protected); the scrubber is the belt-and-braces rung
+  /// for deployments without that guarantee, exercised through the
+  /// serve::testing corruption hooks below.
+  ScrubReport scrub(std::size_t max_tiles);
 
   /// A fresh zero-initialized tile with refcount 1, reclaiming dead tiles,
   /// then fresh capacity, then evicting the LRU cached tile.  kNoTile only
@@ -216,12 +257,26 @@ class TilePool {
   std::size_t in_use_ = 0;
   std::size_t evictions_ = 0;
   std::size_t shared_hits_ = 0;
+  std::size_t scrub_cursor_ = 0;  // round-robin scrub position
   std::uint64_t clock_ = 0;
   std::vector<Tile> tiles_;
   std::deque<TileId> dead_;                       // refcount 0, unpublished
   std::deque<std::pair<TileId, std::uint64_t>> cached_;  // LRU, lazy-stale
   std::unordered_map<ChainKey, TileId, ChainKeyHash> registry_;
 };
+
+namespace testing {
+/// Test-only memory-corruption hooks for the scrubber: flip one bit of a
+/// sealed tile's storage.  Memory faults are outside the paper's fault model
+/// (KV storage is assumed ECC-protected), so these exist purely to exercise
+/// TilePool::scrub()'s classification/repair paths — never a serving API.
+/// `half_index` addresses the (layer, head) block's contiguous
+/// [K | V | encodings] halves; `float_index` addresses its fp32 image.
+void flip_slab_bit(TilePool& pool, TilePool::TileId id, std::size_t layer,
+                   std::size_t head, std::size_t half_index, unsigned bit);
+void flip_image_bit(TilePool& pool, TilePool::TileId id, std::size_t layer,
+                    std::size_t head, std::size_t float_index, unsigned bit);
+}  // namespace testing
 
 /// One request's paged view of the pool: a block table of context tiles plus
 /// the per-(layer, head) tile-pointer arrays core::KvSlice consumes.
