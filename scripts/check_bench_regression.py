@@ -23,17 +23,28 @@ The baseline file declares conservative higher-is-better floors:
 A gauge regresses when measured < baseline * (1 - threshold).  Absolute
 tokens/s baselines are deliberately set well below a healthy run (CI runners
 vary); the dimensionless speedup gauges are the tighter tripwires.  Exit
-code 1 on any regression or missing gauge, so the CI perf job fails loudly.
+code 1 on any regression, so the CI perf job fails loudly.
 A fragment that contributes no gauges at all fails the same way — a bench
 binary that silently stopped emitting its gauges must not read as "nothing
 regressed".
 
-"informational" gauges are presence-checked but never value-gated: the bench
-must still emit them (missing fails), while the measured value is only
+Gauge *disappearance* is tiered like the values: a gated gauge missing from
+the merged fragments FAILS (a bench that quietly stopped emitting its
+tripwire must not read as "nothing regressed"), while a missing
+informational gauge only WARNS — informational gauges are trajectory
+telemetry, not gates, so losing one should be visible in the log and the
+step summary without turning hardware-dependent reporting into a red build.
+
+"informational" gauges are never value-gated: the measured value is only
 reported.  This is the tier for gauges whose value is honest but
 meaningless on CI hardware — e.g. the shard/replica parallel speedups,
 which sit near or below 1.0 on the single-core runners and would be pure
 noise behind a floor.
+
+--history FILE additionally appends this run's merged gauges + git SHA to a
+rolling JSON array (bench/BENCH_history.json in CI), so the perf trajectory
+across pushes is inspectable from the uploaded artifact instead of only the
+latest snapshot.
 
 When GITHUB_STEP_SUMMARY is set (always, inside a GitHub Actions step), a
 markdown gauge table is appended to it so the perf job's results are
@@ -43,9 +54,56 @@ Stdlib only — no pip installs.
 """
 
 import argparse
+import datetime
 import json
 import os
+import subprocess
 import sys
+
+# Rolling cap on --history entries: enough for every push of a long PR
+# stack, small enough that the artifact stays a quick download.
+HISTORY_MAX_ENTRIES = 500
+
+
+def git_sha():
+    """Commit being measured: $GITHUB_SHA in Actions, else git, else null."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def append_history(path, gauges):
+    """Append one {sha, utc, gauges} entry to the rolling history array."""
+    history = []
+    if os.path.exists(path):
+        try:
+            with open(path) as f:
+                history = json.load(f)
+            if not isinstance(history, list):
+                print(f"warning: {path} is not a JSON array; starting fresh",
+                      file=sys.stderr)
+                history = []
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"warning: unreadable history {path} ({err}); "
+                  f"starting fresh", file=sys.stderr)
+            history = []
+    history.append({
+        "sha": git_sha(),
+        "utc": datetime.datetime.now(datetime.timezone.utc)
+            .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "gauges": gauges,
+    })
+    history = history[-HISTORY_MAX_ENTRIES:]
+    with open(path, "w") as f:
+        json.dump(history, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"appended run to {path} ({len(history)} entries)")
 
 
 def write_step_summary(rows, extra_gauges, threshold):
@@ -63,7 +121,8 @@ def write_step_summary(rows, extra_gauges, threshold):
         "|---|---:|---:|---:|---|",
     ]
     for name, measured, floor, limit, verdict in rows:
-        icon = "✅" if verdict == "OK" else "ℹ️" if verdict == "INFO" else "❌"
+        icon = ("✅" if verdict == "OK" else "ℹ️" if verdict == "INFO"
+                else "⚠️" if verdict == "MISSING (warn)" else "❌")
         shown = "—" if measured is None else f"{measured:.3f}"
         floor_s = "—" if limit is None else f"{limit:.3f}"
         lines.append(f"| `{name}` | {shown} | {floor:.3f} | {floor_s} | "
@@ -105,6 +164,9 @@ def main():
     ap.add_argument("--out", required=True)
     ap.add_argument("--threshold", type=float, default=None,
                     help="override the baseline file's threshold")
+    ap.add_argument("--history", default=None,
+                    help="rolling JSON array to append this run's gauges "
+                         "+ git SHA to (perf trajectory across pushes)")
     ap.add_argument("fragments", nargs="+")
     args = ap.parse_args()
 
@@ -136,13 +198,16 @@ def main():
             failures.append(
                 f"{name}: {measured:.3f} < {limit:.3f} "
                 f"(baseline {floor:.3f}, threshold {threshold:.0%})")
-    # Informational tier: presence is mandatory, value is only reported.
+    # Informational tier: value is only reported; a disappeared gauge WARNS
+    # (visible in the log and step summary) without failing the gate — the
+    # fail-on-disappearance rule is reserved for the gated tier above.
+    warnings = []
     for name, reference in sorted(baseline.get("informational", {}).items()):
         measured = merged["gauges"].get(name)
         if measured is None:
-            failures.append(f"{name}: missing from bench output "
-                            f"(informational, but must be emitted)")
-            rows.append((name, None, reference, None, "MISSING"))
+            warnings.append(f"{name}: missing from bench output "
+                            f"(informational — warning only)")
+            rows.append((name, None, reference, None, "MISSING (warn)"))
             continue
         rows.append((name, measured, reference, None, "INFO"))
         print(f"  {'INFO':10s} {name}: measured {measured:.3f} "
@@ -153,6 +218,14 @@ def main():
              if name not in gated and isinstance(value, (int, float))
              and not isinstance(value, bool)}
     write_step_summary(rows, extra, threshold)
+
+    if args.history:
+        append_history(args.history, merged["gauges"])
+
+    if warnings:
+        print("\nthroughput gate warnings:", file=sys.stderr)
+        for msg in warnings:
+            print(f"  - {msg}", file=sys.stderr)
 
     if failures:
         print("\nthroughput regression gate FAILED:", file=sys.stderr)

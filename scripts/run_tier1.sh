@@ -49,6 +49,17 @@ for omp in $OMP_MATRIX; do
     -R 'test_omp_invariance|test_sharding|test_router'
 done
 
+# Int8-KV leg: re-run the serving-stack suites with the process-wide
+# sealed-tile default flipped to the quantized format (FTT_KV_QUANT=1 →
+# serve::default_tile_format() == kI8).  Engines, paged caches and the
+# recovery ladder then exercise the int8 tile format end to end — seal-time
+# quantization, exact integer scrubbing, fused dequantizing GEMMs — so both
+# formats stay green in the same matrix.  Suites that pin format-explicit
+# behavior pass their formats explicitly and are unaffected by the default.
+echo "== ctest (FTT_KV_QUANT=1: serve/tile-pool/recovery/int8 suites) =="
+FTT_KV_QUANT=1 ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'test_serve|test_tile_pool|test_recovery|test_int8_quant|test_spec|test_scheduler'
+
 # Chaos soak: the recovery ladder's randomized acceptance sweep (seeded,
 # seconds-scale).  FTT_CHAOS_SOAK=1 un-skips the heavier soak test on top
 # of the chaos test the plain ctest pass already ran: more seeds, longer

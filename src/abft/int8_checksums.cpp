@@ -1,0 +1,118 @@
+#include "abft/int8_checksums.hpp"
+
+namespace ftt::abft {
+
+namespace {
+
+// One class's exact verify/repair.  `stride` is the element distance between
+// consecutive loop members of the class inside X; `base` its first element.
+void check_class(std::int8_t* X, std::size_t base, std::size_t stride,
+                 std::size_t loops, std::int32_t& c1, std::int32_t& c2,
+                 I8VerifyReport& rep) noexcept {
+  std::int32_t sum1 = 0, sum2 = 0;
+  for (std::size_t l = 0; l < loops; ++l) {
+    const std::int32_t v = X[base + l * stride];
+    sum1 += v;
+    sum2 += static_cast<std::int32_t>(l + 1) * v;
+  }
+  ++rep.classes;
+  const std::int32_t d1 = c1 - sum1;
+  const std::int32_t d2 = c2 - sum2;
+  if (d1 == 0 && d2 == 0) return;
+  if (d1 == 0) {  // payload intact (d1 exact), so the weighted sum flipped
+    c2 = sum2;
+    ++rep.checksum_corrected;
+    return;
+  }
+  if (d2 == 0) {  // symmetric: the unweighted checksum flipped
+    c1 = sum1;
+    ++rep.checksum_corrected;
+    return;
+  }
+  // Single payload fault at loop l*: d2 == (l* + 1) * d1, exactly.
+  if (d2 % d1 == 0) {
+    const std::int32_t q = d2 / d1;
+    if (q >= 1 && q <= static_cast<std::int32_t>(loops)) {
+      const std::size_t idx = base + static_cast<std::size_t>(q - 1) * stride;
+      const std::int32_t fixed = static_cast<std::int32_t>(X[idx]) + d1;
+      if (fixed >= -127 && fixed <= 127) {
+        X[idx] = static_cast<std::int8_t>(fixed);
+        ++rep.payload_corrected;
+        return;
+      }
+    }
+  }
+  rep.unrepairable = true;  // >= 2 faults in this class
+}
+
+}  // namespace
+
+void encode_rows_i8(const std::int8_t* X, std::size_t rows, std::size_t cols,
+                    int s, bool weighted, std::int32_t* out) noexcept {
+  const auto su = static_cast<std::size_t>(s);
+  const std::size_t loops = rows / su;
+  for (std::size_t jc = 0; jc < su; ++jc) {
+    std::int32_t* acc = out + jc * cols;
+    for (std::size_t c = 0; c < cols; ++c) acc[c] = 0;
+    for (std::size_t l = 0; l < loops; ++l) {
+      const std::int32_t w =
+          weighted ? static_cast<std::int32_t>(l + 1) : 1;
+      const std::int8_t* row = X + (jc + l * su) * cols;
+      for (std::size_t c = 0; c < cols; ++c) {
+        acc[c] += w * static_cast<std::int32_t>(row[c]);
+      }
+    }
+  }
+}
+
+void encode_cols_i8(const std::int8_t* X, std::size_t rows, std::size_t cols,
+                    int s, bool weighted, std::int32_t* out) noexcept {
+  const auto su = static_cast<std::size_t>(s);
+  const std::size_t loops = cols / su;
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::int32_t* acc = out + r * su;
+    for (std::size_t jc = 0; jc < su; ++jc) acc[jc] = 0;
+    const std::int8_t* row = X + r * cols;
+    for (std::size_t l = 0; l < loops; ++l) {
+      const std::int32_t w =
+          weighted ? static_cast<std::int32_t>(l + 1) : 1;
+      for (std::size_t jc = 0; jc < su; ++jc) {
+        acc[jc] += w * static_cast<std::int32_t>(row[l * su + jc]);
+      }
+    }
+  }
+}
+
+I8VerifyReport verify_correct_rows_i8(std::int8_t* X, std::size_t rows,
+                                      std::size_t cols, int s,
+                                      std::int32_t* c1,
+                                      std::int32_t* c2) noexcept {
+  I8VerifyReport rep;
+  const auto su = static_cast<std::size_t>(s);
+  const std::size_t loops = rows / su;
+  for (std::size_t jc = 0; jc < su; ++jc) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      check_class(X, jc * cols + c, su * cols, loops, c1[jc * cols + c],
+                  c2[jc * cols + c], rep);
+    }
+  }
+  return rep;
+}
+
+I8VerifyReport verify_correct_cols_i8(std::int8_t* X, std::size_t rows,
+                                      std::size_t cols, int s,
+                                      std::int32_t* c1,
+                                      std::int32_t* c2) noexcept {
+  I8VerifyReport rep;
+  const auto su = static_cast<std::size_t>(s);
+  const std::size_t loops = cols / su;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t jc = 0; jc < su; ++jc) {
+      check_class(X, r * cols + jc, su, loops, c1[r * su + jc],
+                  c2[r * su + jc], rep);
+    }
+  }
+  return rep;
+}
+
+}  // namespace ftt::abft

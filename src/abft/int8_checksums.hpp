@@ -1,0 +1,75 @@
+#pragma once
+// Exact integer strided-ABFT encodings for int8 KV tile payloads.
+//
+// These mirror StridedAbft::encode_rows/cols_strided — the same s residue
+// classes, the same unweighted (c1) and index-weighted (c2) sums — but over
+// the int8 quantized payload, accumulated in int32.  The sums are
+// saturating-free by construction: a 64-row tile at stride 8 bounds every
+// weighted class sum by 127 * (1 + 2 + ... + 8) = 4572, and even a
+// 4096-wide column encode stays 5 orders of magnitude below INT32_MAX —
+// unlike the dnnlowp_acc16 idiom this is modeled on, no overflow handling
+// is ever needed.
+//
+// Because the arithmetic is integer, the checksum relation is EXACT:
+// verification is equality, with zero threshold.  That makes every repair
+// decision exact too — for a single corrupted element the residuals
+// (d1, d2) = (stored - recomputed) satisfy d2 == (l* + 1) * d1 with an
+// integer quotient, so the fault is located by exact division and the
+// original value reconstructed without any float rounding ambiguity.  This
+// is strictly stronger than the fp16/fp32 encodings the scrubber verifies
+// for fp16 tiles, where sub-threshold payload flips are indistinguishable
+// from checksum flips.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ftt::abft {
+
+/// Collapse the rows of X (rows x cols int8, rows % s == 0) at stride s:
+/// out[jc * cols + c] = sum_l w_l * X[(jc + l*s) * cols + c], with w_l = 1
+/// (weighted == false) or l + 1.  out holds s * cols int32 values.
+void encode_rows_i8(const std::int8_t* X, std::size_t rows, std::size_t cols,
+                    int s, bool weighted, std::int32_t* out) noexcept;
+
+/// Collapse the columns of X (rows x cols int8, cols % s == 0) at stride s:
+/// out[r * s + jc] = sum_l w_l * X[r * cols + jc + l*s].  out holds
+/// rows * s int32 values.
+void encode_cols_i8(const std::int8_t* X, std::size_t rows, std::size_t cols,
+                    int s, bool weighted, std::int32_t* out) noexcept;
+
+/// Outcome of one exact verify/correct pass over an int8 payload and its
+/// stored (c1, c2) integer encodings.
+struct I8VerifyReport {
+  std::size_t classes = 0;          ///< residue classes checked
+  std::size_t payload_corrected = 0;  ///< payload elements fixed exactly
+  std::size_t checksum_corrected = 0;  ///< stored c1/c2 entries rewritten
+  bool unrepairable = false;  ///< >= 2 faults in one class, or bounds blown
+
+  [[nodiscard]] bool clean() const noexcept {
+    return payload_corrected == 0 && checksum_corrected == 0 && !unrepairable;
+  }
+};
+
+/// Verify X (rows x cols) against its stored row encodings c1/c2 (each
+/// s * cols int32) by EQUALITY, repairing in place where the single-fault
+/// classification is exact:
+///   d1 == 0 && d2 == 0            -> clean class
+///   d1 == 0 && d2 != 0            -> stored c2 flipped; rewrite it
+///   d1 != 0 && d2 == 0            -> stored c1 flipped; rewrite it
+///   d2 == q * d1, q in [1, rows/s],
+///   corrected value in [-127,127] -> payload element at loop q-1 restored
+///   anything else                 -> unrepairable (>= 2 faults)
+/// where (d1, d2) = stored - recomputed per residue class.
+I8VerifyReport verify_correct_rows_i8(std::int8_t* X, std::size_t rows,
+                                      std::size_t cols, int s,
+                                      std::int32_t* c1,
+                                      std::int32_t* c2) noexcept;
+
+/// Column-encoding counterpart (c1/c2 each rows * s int32), same exact
+/// classification with loops = cols / s.
+I8VerifyReport verify_correct_cols_i8(std::int8_t* X, std::size_t rows,
+                                      std::size_t cols, int s,
+                                      std::int32_t* c1,
+                                      std::int32_t* c2) noexcept;
+
+}  // namespace ftt::abft

@@ -10,6 +10,7 @@
 
 #include "abft/strided_abft.hpp"
 #include "numeric/gemm_simd.hpp"
+#include "numeric/int8_simd.hpp"
 #include "sim/mma.hpp"
 #include "softmax/snvr.hpp"
 
@@ -126,6 +127,9 @@ FtReport block_slice(const DecodeWorkItem& it, const EftaOptions& opt,
   std::vector<Half> ktail(B * d), vtail(B * d);
   // Per-tile fp32 operand images (one bulk conversion each per tile).
   std::vector<float> kf(B * d), vf(B * d);
+  // k-major scratch for the int8 fallback path (injector armed): the stored
+  // K^T payload dequantizes here, then transposes to logical rows in kf.
+  std::vector<float> ktf;
   std::vector<float> kc1f(su * d), kc2f(su * d), vc1f(B * su), vc2f(B * su);
   // Per-row fp16-rounded softmax weights (GEMM II's A operand).
   std::vector<Half> ph(B);
@@ -138,8 +142,29 @@ FtReport block_slice(const DecodeWorkItem& it, const EftaOptions& opt,
     // exactly the view decode reconstructs per token.
     const std::size_t tile_valid = std::min(B, n - j * B);
     const bool full = tile_valid == B;
-    const Half* kt = it.kv.k_tiles[j];
-    const Half* vt = it.kv.v_tiles[j];
+    const bool is_i8 = it.kv.fmt != nullptr && it.kv.fmt[j] == TileFmt::kI8;
+    const Half* kt = is_i8 ? nullptr : it.kv.k_tiles[j];
+    const Half* vt = is_i8 ? nullptr : it.kv.v_tiles[j];
+#if defined(__GNUC__) || defined(__clang__)
+    // Software prefetch of the next tile's payload stream: the batched path
+    // is memory-bound (each tile is consumed once per block), so issuing the
+    // first touch a full tile of compute ahead hides the leading miss.  The
+    // hardware prefetcher follows the contiguous stream from there.  Pure
+    // hint — no semantic effect, so every bit-identity contract holds.
+    if (opt.prefetch && j + 1 < nblk) {
+      const std::size_t jn = j + 1;
+      if (cache_ok && it.kv.f32 != nullptr && it.kv.f32[jn] != nullptr) {
+        __builtin_prefetch(it.kv.f32[jn], 0, 3);
+        __builtin_prefetch(it.kv.f32[jn] + d * B, 0, 3);
+      } else if (it.kv.fmt != nullptr && it.kv.fmt[jn] == TileFmt::kI8) {
+        __builtin_prefetch(it.kv.k_i8[jn], 0, 3);
+        __builtin_prefetch(it.kv.v_i8[jn], 0, 3);
+      } else {
+        __builtin_prefetch(it.kv.k_tiles[jn], 0, 3);
+        __builtin_prefetch(it.kv.v_tiles[jn], 0, 3);
+      }
+    }
+#endif
     // Fastest tier: the sealed tile carries a memoized fp32 image with every
     // GEMM operand pre-widened and pre-packed (K-side blocks k-major), so a
     // clean tick does no fp16 conversion and no packing for this tile at
@@ -150,10 +175,33 @@ FtReport block_slice(const DecodeWorkItem& it, const EftaOptions& opt,
     const float* img = (cache_ok && full && it.kv.f32 != nullptr)
                            ? it.kv.f32[j]
                            : nullptr;
-    const float* vsrc;    // GEMM II operand, B x d row-major fp32
-    const float* vc1src;  // V column checksums, B x su fp32
+    const float* vsrc = nullptr;  // GEMM II operand, B x d row-major fp32
+    const float* vc1src;          // V column checksums, B x su fp32
     const float* vc2src;
-    if (img != nullptr) {
+    // Int8 GEMM II operand (fused path): when set, the axpy loop below
+    // streams the quantized V rows directly instead of vsrc.
+    const std::int8_t* vsrc8 = nullptr;
+    float vscale = 1.0f;
+    if (is_i8 && cache_ok && it.kv.k_c1[j] != nullptr) {
+      // Int8 fast path — the quantized analogue of the fp32-image tier.
+      // The stored payload is already k-major on the K side and the Half
+      // encodings' K blocks are stored transposed, so nothing is packed
+      // and nothing dequantizes to scratch: the fused kernels widen the
+      // int8 stream in registers (exact power-of-two scale), which is
+      // bit-identical to dequantizing first (see numeric/int8_simd.hpp).
+      numeric::halves_to_floats(it.kv.k_c1[j], kc1f.data(), d * su);
+      numeric::halves_to_floats(it.kv.k_c2[j], kc2f.data(), d * su);
+      numeric::halves_to_floats(it.kv.v_c1[j], vc1f.data(), B * su);
+      numeric::halves_to_floats(it.kv.v_c2[j], vc2f.data(), B * su);
+      numeric::gemm_f32_nn_i8(qf.data(), R, d, it.kv.k_i8[j], B,
+                              it.kv.k_scale[j], &S(0, 0), S.cols(), false);
+      sim::gemm_f32_nn(qf.data(), R, d, kc1f.data(), su, schk1);
+      sim::gemm_f32_nn(qf.data(), R, d, kc2f.data(), su, schk2);
+      vsrc8 = it.kv.v_i8[j];
+      vscale = it.kv.v_scale[j];
+      vc1src = vc1f.data();
+      vc2src = vc2f.data();
+    } else if (img != nullptr) {
       const float* ktimg = img;               // K^T, d x B
       vsrc = img + d * B;                     // V, B x d
       const float* kc1t = img + 2 * d * B;    // Kc1^T, d x su
@@ -164,20 +212,35 @@ FtReport block_slice(const DecodeWorkItem& it, const EftaOptions& opt,
       sim::gemm_f32_nn(qf.data(), R, d, kc1t, su, schk1);
       sim::gemm_f32_nn(qf.data(), R, d, kc2t, su, schk2);
     } else {
-      if (!full) {
-        // Only the ragged tail tile is materialized: its storage may hold
-        // fewer than 64 readable rows (contiguous-cache views), so pad-and-
-        // copy it into the zero-filled checksum footprint.
-        std::memcpy(ktail.data(), kt, tile_valid * d * sizeof(Half));
-        std::memcpy(vtail.data(), vt, tile_valid * d * sizeof(Half));
-        std::fill(ktail.begin() + tile_valid * d, ktail.end(), Half());
-        std::fill(vtail.begin() + tile_valid * d, vtail.end(), Half());
-        kt = ktail.data();
-        vt = vtail.data();
-        ++testing::tiles_materialized();
+      if (is_i8) {
+        // Int8 fallback (armed injector, or a memo mismatch): materialize
+        // the exactly-dequantized fp32 image — the stored K^T transposes
+        // back to logical rows — and run the generic widen-per-tile path
+        // with fresh encodes over it, bit-identical to the fused fast path
+        // above (dequantization is exact and transposition is pure data
+        // movement).
+        if (ktf.empty()) ktf.resize(B * d);
+        numeric::dequantize_i8_to_f32(it.kv.k_i8[j], ktf.data(), B * d,
+                                      it.kv.k_scale[j]);
+        numeric::transpose_f32(ktf.data(), d, B, kf.data());
+        numeric::dequantize_i8_to_f32(it.kv.v_i8[j], vf.data(), B * d,
+                                      it.kv.v_scale[j]);
+      } else {
+        if (!full) {
+          // Only the ragged tail tile is materialized: its storage may hold
+          // fewer than 64 readable rows (contiguous-cache views), so pad-and-
+          // copy it into the zero-filled checksum footprint.
+          std::memcpy(ktail.data(), kt, tile_valid * d * sizeof(Half));
+          std::memcpy(vtail.data(), vt, tile_valid * d * sizeof(Half));
+          std::fill(ktail.begin() + tile_valid * d, ktail.end(), Half());
+          std::fill(vtail.begin() + tile_valid * d, vtail.end(), Half());
+          kt = ktail.data();
+          vt = vtail.data();
+          ++testing::tiles_materialized();
+        }
+        numeric::halves_to_floats(kt, kf.data(), B * d);
+        numeric::halves_to_floats(vt, vf.data(), B * d);
       }
-      numeric::halves_to_floats(kt, kf.data(), B * d);
-      numeric::halves_to_floats(vt, vf.data(), B * d);
 
       // Checksum encodings: memoized once per sealed tile, or derived fresh
       // (per block — single-token decode re-encodes the tail per token, the
@@ -328,8 +391,17 @@ FtReport block_slice(const DecodeWorkItem& it, const EftaOptions& opt,
       numeric::floats_to_halves(&S(r, 0), ph.data(), B);
       numeric::halves_to_floats(ph.data(), pf.data(), B);
       std::fill(acc2.begin(), acc2.end(), 0.0f);
-      for (std::size_t r2 = 0; r2 < B; ++r2) {
-        numeric::axpy_f32(pf[r2], vsrc + r2 * d, acc2.data(), d);
+      if (vsrc8 != nullptr) {
+        // Fused int8 V stream: axpy_f32_i8 widens each quantized row in
+        // registers — bit-identical to axpy_f32 over the dequantized row.
+        for (std::size_t r2 = 0; r2 < B; ++r2) {
+          numeric::axpy_f32_i8(pf[r2], vsrc8 + r2 * d, vscale, acc2.data(),
+                               d);
+        }
+      } else {
+        for (std::size_t r2 = 0; r2 < B; ++r2) {
+          numeric::axpy_f32(pf[r2], vsrc + r2 * d, acc2.data(), d);
+        }
       }
       for (std::size_t c = 0; c < d; ++c) {
         oacc(r, c) =

@@ -38,6 +38,7 @@
 // through the kernel, OpenMP-parallel with per-item FtReport aggregation —
 // the unit of work a batched serving engine schedules per tick.
 
+#include <cstdint>
 #include <span>
 #include <utility>
 
@@ -45,6 +46,13 @@
 #include "core/efta.hpp"
 
 namespace ftt::core {
+
+/// Storage format of one sealed KV context tile.  kF16 is the native fp16
+/// slab; kI8 is the quantized tile format (serve::TilePool seal-time
+/// quantization): int8 payload with a per-tile power-of-two scale, exact
+/// int32 integer checksums at rest, and sealed fp16 encodings of the
+/// (exactly) dequantized payload for the decode-time ABFT GEMMs.
+enum class TileFmt : std::uint8_t { kF16 = 0, kI8 = 1 };
 
 /// Read-only tiled view of one (request, head) KV slice.  Tile t holds rows
 /// [64t, min(64(t+1), n)) of the logical n x d cache, row-major, in storage
@@ -92,6 +100,26 @@ struct KvSlice {
   /// tile and encodings per call.  Same gating as the encodings: entries for
   /// unsealed tiles are null and an armed injector bypasses the memo.
   const float* const* f32 = nullptr;
+
+  /// Optional per-tile storage formats (null == every tile is kF16, the
+  /// layout every field above describes).  A kI8 tile streams its payload
+  /// from k_i8/v_i8 instead of k_tiles/v_tiles (which are null for it) and
+  /// widens by exact dequantization — k_scale/v_scale hold the per-tile
+  /// power-of-two scales, so q * scale is exact and the decode GEMMs keep
+  /// every bit-identity contract.  Layouts are GEMM-native: k_i8[j] is the
+  /// *k-major* K^T (d x 64) the fused score GEMM consumes directly, v_i8[j]
+  /// is row-major V (64 x d) for GEMM II's axpy, and the tile's k_c1/k_c2
+  /// memo entries point at *transposed* (d x enc_stride) fp16 blocks —
+  /// mirroring the fp32 image's Kc^T blocks — while v_c1/v_c2 keep the
+  /// row-major shape above.  The sealed encodings of an int8 tile are the
+  /// fp16 encodings of its dequantized payload (bit-equal to a fresh encode
+  /// of the dequantized image).  Only sealed full tiles are ever kI8; the
+  /// ragged open tail stays fp16.
+  const TileFmt* fmt = nullptr;
+  const std::int8_t* const* k_i8 = nullptr;
+  const std::int8_t* const* v_i8 = nullptr;
+  const float* k_scale = nullptr;  ///< per-tile K scales (power of two)
+  const float* v_scale = nullptr;  ///< per-tile V scales (power of two)
 
   [[nodiscard]] std::size_t tiles() const noexcept {
     return (n + kTileRows - 1) / kTileRows;

@@ -1,6 +1,7 @@
 #include "serve/engine.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 namespace ftt::serve {
@@ -38,6 +39,11 @@ DecodeEngine::DecodeEngine(const transformer::Model& model, EngineOptions opt)
   if (stride == 0 || model.config().head_dim() % stride != 0) {
     throw std::invalid_argument(
         "DecodeEngine: head_dim must be a multiple of the checksum stride");
+  }
+  if (opt_.kv_quant && pool_.enc_stride() == 0) {
+    throw std::invalid_argument(
+        "DecodeEngine: kv_quant requires the sealed-tile encoding memo "
+        "(a stride dividing both the tile rows and head_dim)");
   }
   // The cache-backed kernels are fixed to 64-row strided-ABFT tiles + SNVR;
   // reject knob values they would silently ignore.
@@ -105,7 +111,21 @@ DecodeEngine::DecodeEngine(const transformer::Model& model, EngineOptions opt)
 DecodeEngine::RequestId DecodeEngine::submit(const MatrixF& prompt_hidden,
                                              std::size_t max_new_tokens,
                                              Priority priority) {
+  return submit_with_format(prompt_hidden,
+                            opt_.kv_quant ? core::TileFmt::kI8
+                                          : core::TileFmt::kF16,
+                            max_new_tokens, priority);
+}
+
+DecodeEngine::RequestId DecodeEngine::submit_with_format(
+    const MatrixF& prompt_hidden, core::TileFmt kv_fmt,
+    std::size_t max_new_tokens, Priority priority) {
   const auto& cfg = model_->config();
+  if (kv_fmt == core::TileFmt::kI8 && pool_.enc_stride() == 0) {
+    throw std::logic_error(
+        "DecodeEngine: the int8 KV tile format requires the pool's encoding "
+        "memo (enc_stride)");
+  }
   if (prompt_hidden.rows() == 0 || prompt_hidden.cols() != cfg.hidden) {
     throw std::invalid_argument(
         "DecodeEngine::submit: prompt must be seq x hidden with seq >= 1");
@@ -120,6 +140,7 @@ DecodeEngine::RequestId DecodeEngine::submit(const MatrixF& prompt_hidden,
   req.prompt = prompt_hidden;
   req.prompt_rows = prompt_hidden.rows();
   req.priority = priority;
+  req.kv_fmt = kv_fmt;
   // Clamp overflow-safely: a huge budget (SIZE_MAX as an "unlimited"
   // sentinel) must saturate at max_context, not wrap below the prompt.
   const std::size_t headroom = opt_.max_context - req.prompt_rows;
@@ -132,6 +153,13 @@ DecodeEngine::RequestId DecodeEngine::submit(const MatrixF& prompt_hidden,
     // generation — so at most (prompt_rows - 1) / 64 tiles are keyed.
     const std::size_t shareable = (req.prompt_rows - 1) / TilePool::kTileRows;
     ChainKey key;  // empty-chain root
+    if (kv_fmt == core::TileFmt::kI8) {
+      // Per-format chain root: fold a tag byte in so an i8 request's
+      // prefix keys can never hit an fp16 request's tiles (or vice versa).
+      // attach_shared() enforces the same rule as a hard backstop.
+      const std::uint8_t tag = 1;
+      key = chain_extend(key, &tag, sizeof(tag));
+    }
     for (std::size_t t = 0; t < shareable; ++t) {
       key = chain_extend(
           key, &req.prompt(t * TilePool::kTileRows, 0),
@@ -200,7 +228,7 @@ DecodeEngine::StepStats DecodeEngine::step(fault::FaultInjector* inj) {
   // throttles admissions the pool could not feed.
   for (const RequestId id : scheduler_.admit(pool_.allocatable())) {
     Request& req = requests_[id];
-    req.cache = std::make_unique<PagedKvCache>(pool_);
+    req.cache = std::make_unique<PagedKvCache>(pool_, req.kv_fmt);
     req.prefilled = 0;
     req.tokens = 0;
     live_.push_back(id);

@@ -129,6 +129,18 @@ struct EngineOptions {
   /// trade decode throughput for context capacity.  Requires the encoding
   /// memo (auto-disabled with it).
   bool fp32_images = true;
+  /// Default sealed-tile storage format for submit(): true stores every
+  /// sealed KV tile int8-quantized (core::TileFmt::kI8 — per-tile
+  /// power-of-two scales, exact integer checksums at rest, fp16-derived
+  /// decode memo; see docs/QUANTIZATION.md), roughly 3x less sealed-tile
+  /// memory than the fp16 + fp32-image configuration.  Per-request
+  /// override: submit_with_format().  Both formats share the one pool —
+  /// fp32 images apply only to fp16 tiles — and fp16 requests stay
+  /// bit-identical to a pure-fp16 run.  Requires the encoding memo
+  /// (constructor throws without it).  Defaults to the process-wide
+  /// default_tile_format() — kF16 unless the FTT_KV_QUANT environment
+  /// toggle flips the whole serve stack to int8 (the CI matrix leg).
+  bool kv_quant = default_tile_format() == core::TileFmt::kI8;
   /// Speculative decode: maximum drafted tokens scored per decoding
   /// request per tick (0 = off, the serial q_len = 1 path).  Each tick
   /// feeds a block of 1 + spec_tokens rows through the verified kernel and
@@ -199,6 +211,17 @@ class DecodeEngine {
   RequestId submit(const tensor::MatrixF& prompt_hidden,
                    std::size_t max_new_tokens = 0,
                    Priority priority = Priority::kNormal);
+
+  /// submit() with an explicit sealed-tile format for this request,
+  /// overriding EngineOptions::kv_quant.  Prefix chains are keyed per
+  /// format (an i8 request can only ever attach i8 tiles), so mixing
+  /// formats in one engine is safe — and an fp16 request's stream is
+  /// bit-identical to what a pure-fp16 engine would produce.  Throws
+  /// std::logic_error for kI8 when the pool's encoding memo is disabled.
+  RequestId submit_with_format(const tensor::MatrixF& prompt_hidden,
+                               core::TileFmt kv_fmt,
+                               std::size_t max_new_tokens = 0,
+                               Priority priority = Priority::kNormal);
 
   /// One scheduler tick: retire, admit (+ prefix attach), draft,
   /// allocate/preempt, prefill one chunk per prefilling request, advance
@@ -309,6 +332,7 @@ class DecodeEngine {
                                            //   + computed)
     std::size_t max_tokens = 0;            // context cap: prompt + budget
     Priority priority = Priority::kNormal;
+    core::TileFmt kv_fmt = core::TileFmt::kF16;  // sealed-tile format
     std::vector<ChainKey> prompt_keys;     // shareable-prefix hash chain
     std::vector<float> next_in;            // next token's input row
     std::vector<float> last_hidden;        // final-LN output of last row

@@ -5,7 +5,9 @@
 #include <new>
 #include <stdexcept>
 
+#include "abft/int8_checksums.hpp"
 #include "numeric/gemm_simd.hpp"
+#include "numeric/int8_simd.hpp"
 #include "tensor/tensor.hpp"
 
 namespace ftt::serve {
@@ -74,6 +76,182 @@ void widen_sealed_tile(const Half* k_tile, const Half* v_tile,
   numeric::halves_to_floats(enc_block + 2 * kcn + vcn, vc2, vcn);
 }
 
+I8TileLayout i8_tile_layout(std::size_t dim, int s) noexcept {
+  constexpr std::size_t kRows = KvCache::kTileRows;
+  const auto su = static_cast<std::size_t>(s);
+  I8TileLayout L;
+  L.dim = dim;
+  L.s = su;
+  L.payload = kRows * dim;
+  L.kcn = su * dim;        // henc K block: s x dim logical, stored dim x s
+  L.kcni = su * kRows;     // ienc K block: row encode of the stored K^T
+  L.vcn = kRows * su;
+  const std::size_t ienc_n = 2 * L.kcni + 2 * L.vcn;
+  const std::size_t henc_n = 2 * L.kcn + 2 * L.vcn;
+  L.scale_off = 0;
+  L.ienc_off = L.scale_off + 6 * sizeof(float);
+  L.k_off = L.ienc_off + ienc_n * sizeof(std::int32_t);
+  L.v_off = L.k_off + L.payload;
+  L.henc_off = L.v_off + L.payload;  // even: payload offsets differ by 2*64*dim
+  L.bytes = (L.henc_off + henc_n * sizeof(numeric::Half) + 3) & ~std::size_t{3};
+  return L;
+}
+
+namespace {
+
+// Half transpose (pure data movement, like numeric::transpose_f32): packs
+// the K-side henc blocks k-major at seal time so decode widens them
+// straight into the checksum GEMM operand, no per-tile pack.
+void transpose_h(const Half* in, std::size_t rows, std::size_t cols,
+                 Half* out) noexcept {
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) out[c * rows + r] = in[r * cols + c];
+  }
+}
+
+}  // namespace
+
+void quantize_sealed_tile(const Half* k_tile, const Half* v_tile,
+                          std::size_t dim, int s, std::uint8_t* block) {
+  constexpr std::size_t kRows = KvCache::kTileRows;
+  const I8TileLayout L = i8_tile_layout(dim, s);
+  const std::size_t n = kRows * dim;
+  std::vector<float> kf(n), vf(n), ktf(n);
+  tensor::widen(MatrixHView{k_tile, kRows, dim, dim}, kf.data());
+  tensor::widen(MatrixHView{v_tile, kRows, dim, dim}, vf.data());
+  const numeric::I8Scale ks = numeric::choose_i8_scale(
+      numeric::amax_f32(kf.data(), n));
+  const numeric::I8Scale vs = numeric::choose_i8_scale(
+      numeric::amax_f32(vf.data(), n));
+  // K quantizes through its k-major (transposed) image: the stored payload
+  // is K^T, the layout the fused score GEMM streams directly.  V stays
+  // row-major for GEMM II's axpy.
+  std::int8_t* kq = i8_k(block, L);
+  std::int8_t* vq = i8_v(block, L);
+  numeric::transpose_f32(kf.data(), kRows, dim, ktf.data());
+  numeric::quantize_f32_to_i8(ktf.data(), kq, n, ks.inv_scale);
+  numeric::quantize_f32_to_i8(vf.data(), vq, n, vs.inv_scale);
+  // The exactly-dequantized image — the fp32 operands every decode call
+  // over this tile will reconstruct (scale is a power of two: exponent
+  // shift only, no rounding).  kf is rebuilt row-major (logical K) for the
+  // encoders below.
+  numeric::dequantize_i8_to_f32(kq, ktf.data(), n, ks.scale);
+  numeric::transpose_f32(ktf.data(), dim, kRows, kf.data());
+  numeric::dequantize_i8_to_f32(vq, vf.data(), n, vs.scale);
+  // Half encodings of that image: bit-equal to the fresh per-call encode,
+  // so the decode kernel's memo path and injector-forced fresh path agree
+  // bit for bit, exactly as they do for fp16 tiles.  The K-side blocks are
+  // stored transposed (dim x s) like the fp32 image's Kc^T blocks.
+  const MatrixH kc1 = abft::StridedAbft::encode_rows_strided_widened(
+      kf.data(), kRows, dim, s, false, nullptr);
+  const MatrixH kc2 = abft::StridedAbft::encode_rows_strided_widened(
+      kf.data(), kRows, dim, s, true, nullptr);
+  const MatrixH vc1 = abft::StridedAbft::encode_cols_strided_widened(
+      vf.data(), kRows, dim, s, false, nullptr);
+  const MatrixH vc2 = abft::StridedAbft::encode_cols_strided_widened(
+      vf.data(), kRows, dim, s, true, nullptr);
+  Half* he = i8_henc(block, L);
+  const auto su = static_cast<std::size_t>(s);
+  transpose_h(kc1.data(), su, dim, he);
+  transpose_h(kc2.data(), su, dim, he + L.kcn);
+  std::memcpy(he + 2 * L.kcn, vc1.data(), L.vcn * sizeof(Half));
+  std::memcpy(he + 2 * L.kcn + L.vcn, vc2.data(), L.vcn * sizeof(Half));
+  // Exact int32 checksums of the payload *as stored* (K's run over the
+  // k-major array) — the at-rest redundancy the scrubber verifies by
+  // equality.
+  std::int32_t* ie = i8_ienc(block, L);
+  abft::encode_rows_i8(kq, dim, kRows, s, false, ie);
+  abft::encode_rows_i8(kq, dim, kRows, s, true, ie + L.kcni);
+  abft::encode_cols_i8(vq, kRows, dim, s, false, ie + 2 * L.kcni);
+  abft::encode_cols_i8(vq, kRows, dim, s, true, ie + 2 * L.kcni + L.vcn);
+  float* sc = i8_scales(block, L);
+  sc[0] = sc[1] = sc[2] = ks.scale;
+  sc[3] = sc[4] = sc[5] = vs.scale;
+}
+
+namespace {
+
+// Bitwise 2-of-3 majority vote over one operand's TMR scale copies.
+// Returns false on a three-way disagreement (>= 2 scale faults).
+bool vote_scale(float* sc, bool& repaired) noexcept {
+  std::uint32_t b[3];
+  std::memcpy(&b[0], &sc[0], sizeof(float));
+  std::memcpy(&b[1], &sc[1], sizeof(float));
+  std::memcpy(&b[2], &sc[2], sizeof(float));
+  std::uint32_t win;
+  if (b[0] == b[1] || b[0] == b[2]) {
+    win = b[0];
+  } else if (b[1] == b[2]) {
+    win = b[1];
+  } else {
+    return false;
+  }
+  for (int i = 0; i < 3; ++i) {
+    if (b[i] != win) {
+      std::memcpy(&sc[i], &win, sizeof(float));
+      repaired = true;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+I8ScrubResult scrub_i8_tile(std::uint8_t* block, std::size_t dim, int s) {
+  constexpr std::size_t kRows = KvCache::kTileRows;
+  const I8TileLayout L = i8_tile_layout(dim, s);
+  bool repaired = false;
+  // 1. Scales first: everything downstream (the Half-encoding recompute)
+  //    reads them, and they sit outside both checksum families.
+  float* sc = i8_scales(block, L);
+  if (!vote_scale(sc, repaired) || !vote_scale(sc + 3, repaired)) {
+    return I8ScrubResult::kUnrepairable;
+  }
+  // 2. Exact integer verify/correct of both payloads against the int32
+  //    encodings — equality, zero threshold, exact single-fault repair.
+  std::int8_t* kq = i8_k(block, L);
+  std::int8_t* vq = i8_v(block, L);
+  std::int32_t* ie = i8_ienc(block, L);
+  const abft::I8VerifyReport kr = abft::verify_correct_rows_i8(
+      kq, dim, kRows, s, ie, ie + L.kcni);
+  const abft::I8VerifyReport vr = abft::verify_correct_cols_i8(
+      vq, kRows, dim, s, ie + 2 * L.kcni, ie + 2 * L.kcni + L.vcn);
+  if (kr.unrepairable || vr.unrepairable) return I8ScrubResult::kUnrepairable;
+  repaired = repaired || !kr.clean() || !vr.clean();
+  // 3. The Half encodings are derived state: recompute them from the (now
+  //    verified) payload and scales, and rewrite on any mismatch — this
+  //    catches flips in the henc region itself and completes payload/scale
+  //    repairs in one pass.  The stored K payload is k-major, so it
+  //    transposes back to logical rows for the encoders, and the fresh
+  //    K-side blocks transpose into the stored (dim x s) orientation.
+  const std::size_t n = kRows * dim;
+  const auto su = static_cast<std::size_t>(s);
+  std::vector<float> kf(n), vf(n), ktf(n);
+  numeric::dequantize_i8_to_f32(kq, ktf.data(), n, sc[0]);
+  numeric::transpose_f32(ktf.data(), dim, kRows, kf.data());
+  numeric::dequantize_i8_to_f32(vq, vf.data(), n, sc[3]);
+  const MatrixH kc1 = abft::StridedAbft::encode_rows_strided_widened(
+      kf.data(), kRows, dim, s, false, nullptr);
+  const MatrixH kc2 = abft::StridedAbft::encode_rows_strided_widened(
+      kf.data(), kRows, dim, s, true, nullptr);
+  const MatrixH vc1 = abft::StridedAbft::encode_cols_strided_widened(
+      vf.data(), kRows, dim, s, false, nullptr);
+  const MatrixH vc2 = abft::StridedAbft::encode_cols_strided_widened(
+      vf.data(), kRows, dim, s, true, nullptr);
+  std::vector<Half> fresh(2 * L.kcn + 2 * L.vcn);
+  transpose_h(kc1.data(), su, dim, fresh.data());
+  transpose_h(kc2.data(), su, dim, fresh.data() + L.kcn);
+  std::memcpy(fresh.data() + 2 * L.kcn, vc1.data(), L.vcn * sizeof(Half));
+  std::memcpy(fresh.data() + 2 * L.kcn + L.vcn, vc2.data(),
+              L.vcn * sizeof(Half));
+  Half* he = i8_henc(block, L);
+  if (std::memcmp(fresh.data(), he, fresh.size() * sizeof(Half)) != 0) {
+    std::memcpy(he, fresh.data(), fresh.size() * sizeof(Half));
+    repaired = true;
+  }
+  return repaired ? I8ScrubResult::kRepaired : I8ScrubResult::kClean;
+}
+
 }  // namespace detail
 
 namespace testing {
@@ -86,11 +264,18 @@ std::size_t& seal_alloc_failures() noexcept {
 }  // namespace testing
 
 KvCache::KvCache(std::size_t heads, std::size_t dim, int enc_stride,
-                 bool fp32_images)
+                 bool fp32_images, bool kv_quant)
     : heads_(heads), dim_(dim), enc_stride_(enc_stride),
-      fp32_images_(fp32_images), store_(heads) {
+      fp32_images_(fp32_images), kv_quant_(kv_quant), store_(heads) {
   if (heads == 0 || dim == 0) {
     throw std::invalid_argument("KvCache: heads and dim must be positive");
+  }
+  if (fp32_images && kv_quant) {
+    // The image is the fp16 fast path (it memoizes the widened fp16 bits);
+    // a quantized tile decodes from its own payload + Half encodings, so
+    // the combination would be silently meaningless — reject it.
+    throw std::invalid_argument(
+        "KvCache: kv_quant and fp32_images are mutually exclusive");
   }
   // A stride that cannot tile the checksum footprint (or an explicit <= 0)
   // disables memoization rather than rejecting the cache: the kernel then
@@ -102,6 +287,8 @@ KvCache::KvCache(std::size_t heads, std::size_t dim, int enc_stride,
     // The fp32 image embeds the widened checksum blocks, so it requires the
     // encoding memo.
     fp32_images_ = false;
+    // So does the int8 tile format (its checksum shapes are the stride's).
+    kv_quant_ = false;
   }
 }
 
@@ -119,6 +306,9 @@ std::size_t KvCache::bytes() const noexcept {
   if (fp32_images_) {
     b += f32_blocks_sealed_ * detail::f32_image_floats(dim_, enc_stride_) *
          sizeof(float);
+  }
+  if (kv_quant_) {
+    b += i8_blocks_sealed_ * detail::i8_tile_layout(dim_, enc_stride_).bytes;
   }
   return b;
 }
@@ -160,6 +350,17 @@ void KvCache::open_tiles(std::size_t count) {
       grow(hs.img_blocks);
       grow(hs.img_ptrs);
     }
+    if (kv_quant_) {
+      grow(hs.q_blocks);
+      grow(hs.kq_ptrs);
+      grow(hs.vq_ptrs);
+      grow(hs.k_scales);
+      grow(hs.v_scales);
+    }
+  }
+  if (kv_quant_ && fmt_.size() + count > fmt_.capacity()) {
+    fmt_.reserve(std::max<std::size_t>({4, fmt_.capacity() * 2,
+                                        fmt_.size() + count}));
   }
   for (std::size_t t = 0; t < count; ++t) {
     for (std::size_t h = 0; h < heads_; ++h) {
@@ -177,7 +378,15 @@ void KvCache::open_tiles(std::size_t count) {
         hs.img_blocks.push_back(nullptr);
         hs.img_ptrs.push_back(nullptr);
       }
+      if (kv_quant_) {
+        hs.q_blocks.push_back(nullptr);
+        hs.kq_ptrs.push_back(nullptr);
+        hs.vq_ptrs.push_back(nullptr);
+        hs.k_scales.push_back(0.0f);
+        hs.v_scales.push_back(0.0f);
+      }
     }
+    if (kv_quant_) fmt_.push_back(core::TileFmt::kF16);
   }
 }
 
@@ -186,6 +395,43 @@ void KvCache::seal_tiles(std::size_t first, std::size_t count) {
   const auto su = static_cast<std::size_t>(enc_stride_);
   const std::size_t kcn = su * dim_;        // one K row-checksum block
   const std::size_t vcn = kTileRows * su;   // one V column-checksum block
+  if (kv_quant_) {
+    const detail::I8TileLayout L = detail::i8_tile_layout(dim_, enc_stride_);
+    for (std::size_t t = first; t < first + count; ++t) {
+      // Quantize every head first, commit after: a mid-tile bad_alloc must
+      // leave the whole tile fp16 (a tile half-flipped to kI8 would pair
+      // dequantized-payload encodings with the fp16 payload and trip the
+      // decode-time ABFT on clean data).
+      std::vector<std::unique_ptr<std::uint8_t[]>> blocks(heads_);
+      for (std::size_t h = 0; h < heads_; ++h) {
+        if (testing::seal_alloc_failures() > 0) {
+          --testing::seal_alloc_failures();
+          throw std::bad_alloc();
+        }
+        blocks[h] = std::make_unique<std::uint8_t[]>(L.bytes);
+        detail::quantize_sealed_tile(store_[h].k_tiles[t].get(),
+                                     store_[h].v_tiles[t].get(), dim_,
+                                     enc_stride_, blocks[h].get());
+      }
+      for (std::size_t h = 0; h < heads_; ++h) {
+        HeadStore& hs = store_[h];
+        const std::uint8_t* b = blocks[h].get();
+        const Half* he = detail::i8_henc(b, L);
+        hs.kc1_ptrs[t] = he;
+        hs.kc2_ptrs[t] = he + kcn;
+        hs.vc1_ptrs[t] = he + 2 * kcn;
+        hs.vc2_ptrs[t] = he + 2 * kcn + vcn;
+        hs.kq_ptrs[t] = detail::i8_k(b, L);
+        hs.vq_ptrs[t] = detail::i8_v(b, L);
+        hs.k_scales[t] = detail::i8_scales(b, L)[0];
+        hs.v_scales[t] = detail::i8_scales(b, L)[3];
+        hs.q_blocks[t] = std::move(blocks[h]);
+        ++i8_blocks_sealed_;
+      }
+      fmt_[t] = core::TileFmt::kI8;
+    }
+    return;
+  }
   for (std::size_t t = first; t < first + count; ++t) {
     for (std::size_t h = 0; h < heads_; ++h) {
       HeadStore& hs = store_[h];
@@ -303,7 +549,23 @@ void KvCache::truncate(std::size_t tokens) {
         hs.img_ptrs[t] = nullptr;
         --f32_blocks_sealed_;
       }
+      if (kv_quant_ && hs.q_blocks[t] != nullptr) {
+        // A re-opened quantized tile reverts to fp16: the fp16 rows were
+        // kept, so the rollback is lossless, and the dropped i8 block is
+        // rebuilt if an append re-fills (re-seals) the tile.
+        hs.q_blocks[t].reset();
+        hs.kq_ptrs[t] = nullptr;
+        hs.vq_ptrs[t] = nullptr;
+        hs.k_scales[t] = 0.0f;
+        hs.v_scales[t] = 0.0f;
+        hs.kc1_ptrs[t] = nullptr;
+        hs.kc2_ptrs[t] = nullptr;
+        hs.vc1_ptrs[t] = nullptr;
+        hs.vc2_ptrs[t] = nullptr;
+        --i8_blocks_sealed_;
+      }
     }
+    if (kv_quant_) fmt_[t] = core::TileFmt::kF16;
   }
   len_ = tokens;
 }
@@ -313,12 +575,20 @@ core::KvSlice KvCache::slice(std::size_t head) const {
     throw std::out_of_range("KvCache::slice: head out of range");
   }
   const HeadStore& hs = store_[head];
-  return core::KvSlice{hs.k_ptrs.data(),   hs.v_ptrs.data(),
-                       len_,               dim_,
-                       hs.kc1_ptrs.data(), hs.kc2_ptrs.data(),
-                       hs.vc1_ptrs.data(), hs.vc2_ptrs.data(),
-                       enc_stride_,
-                       fp32_images_ ? hs.img_ptrs.data() : nullptr};
+  core::KvSlice s{hs.k_ptrs.data(),   hs.v_ptrs.data(),
+                  len_,               dim_,
+                  hs.kc1_ptrs.data(), hs.kc2_ptrs.data(),
+                  hs.vc1_ptrs.data(), hs.vc2_ptrs.data(),
+                  enc_stride_,
+                  fp32_images_ ? hs.img_ptrs.data() : nullptr};
+  if (kv_quant_) {
+    s.fmt = fmt_.data();
+    s.k_i8 = hs.kq_ptrs.data();
+    s.v_i8 = hs.vq_ptrs.data();
+    s.k_scale = hs.k_scales.data();
+    s.v_scale = hs.v_scales.data();
+  }
+  return s;
 }
 
 }  // namespace ftt::serve

@@ -26,6 +26,7 @@
 // dim 64), which bytes() accounts for.
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -67,6 +68,113 @@ void widen_sealed_tile(const numeric::Half* k_tile,
                        const numeric::Half* v_tile,
                        const numeric::Half* enc_block, std::size_t dim, int s,
                        float* out);
+
+/// Byte layout of one (layer, head) block of an int8-format KV tile — the
+/// second, coexisting tile format (core::TileFmt::kI8).  One block packs
+/// everything the decode kernel and the scrubber need:
+///
+///   [ scales: 6 floats (K, then V, 3 TMR copies each)
+///   | ienc:  int32 [kc1 (s x 64, over K^T) | kc2 | vc1 (64 x s) | vc2]
+///   | K^T payload: dim x 64 int8 | V payload: 64 x dim int8
+///   | henc:  Half  [Kc1^T (dim x s) | Kc2^T | Vc1 (64 x s) | Vc2] ]
+///
+/// K-side operands are stored *k-major* (pre-transposed): the score GEMMs
+/// consume them in exactly this layout, so the fused dequantizing kernels
+/// (numeric::gemm_f32_nn_i8) stream the int8 payload directly with zero
+/// per-tile pack or dequantize-to-scratch pass — the int8 analogue of the
+/// fp16 format's widened fp32 image, at 1/4 the image bytes.  V stays
+/// row-major because GEMM II's axpy walks V rows.
+///
+/// The int32 encodings are the at-rest redundancy: integer sums of the int8
+/// payload as stored (abft/int8_checksums.hpp; K's run over the k-major
+/// array), verified by EQUALITY — exact fault location and repair with zero
+/// threshold.  The Half encodings are the decode-time memo: the fp16
+/// strided encodings of the exactly-dequantized payload, bit-equal to the
+/// fresh encode the kernel would compute (K-side stored transposed, like
+/// the fp32 image's Kc^T blocks), so a clean tick streams payload + henc
+/// and never touches the int32 block.  The per-operand scale is a power of
+/// two (numeric::choose_i8_scale), so dequantization is exact and both
+/// encoding families describe the same tile; the scales themselves are
+/// outside both checksum families, hence the 3-copy TMR.  Alignment: the
+/// float/int32 regions lead and `bytes` is rounded to a multiple of 4, so
+/// an array of blocks keeps every region naturally aligned.
+struct I8TileLayout {
+  std::size_t dim = 0;
+  std::size_t s = 0;        ///< checksum stride the encodings use
+  std::size_t payload = 0;  ///< int8 elements per operand (64 * dim)
+  std::size_t kcn = 0;      ///< Halfs in one K henc block (s * dim)
+  std::size_t kcni = 0;     ///< int32s in one K ienc block (s * 64, over K^T)
+  std::size_t vcn = 0;      ///< elements in one V checksum block (64 * s)
+  std::size_t scale_off = 0, ienc_off = 0, k_off = 0, v_off = 0, henc_off = 0;
+  std::size_t bytes = 0;  ///< total block bytes (multiple of 4)
+};
+[[nodiscard]] I8TileLayout i8_tile_layout(std::size_t dim, int s) noexcept;
+
+// Typed region accessors over one block (const and mutable).
+[[nodiscard]] inline float* i8_scales(std::uint8_t* b,
+                                      const I8TileLayout& L) noexcept {
+  return reinterpret_cast<float*>(b + L.scale_off);
+}
+[[nodiscard]] inline const float* i8_scales(const std::uint8_t* b,
+                                            const I8TileLayout& L) noexcept {
+  return reinterpret_cast<const float*>(b + L.scale_off);
+}
+[[nodiscard]] inline std::int32_t* i8_ienc(std::uint8_t* b,
+                                           const I8TileLayout& L) noexcept {
+  return reinterpret_cast<std::int32_t*>(b + L.ienc_off);
+}
+[[nodiscard]] inline const std::int32_t* i8_ienc(
+    const std::uint8_t* b, const I8TileLayout& L) noexcept {
+  return reinterpret_cast<const std::int32_t*>(b + L.ienc_off);
+}
+[[nodiscard]] inline std::int8_t* i8_k(std::uint8_t* b,
+                                       const I8TileLayout& L) noexcept {
+  return reinterpret_cast<std::int8_t*>(b + L.k_off);
+}
+[[nodiscard]] inline const std::int8_t* i8_k(const std::uint8_t* b,
+                                             const I8TileLayout& L) noexcept {
+  return reinterpret_cast<const std::int8_t*>(b + L.k_off);
+}
+[[nodiscard]] inline std::int8_t* i8_v(std::uint8_t* b,
+                                       const I8TileLayout& L) noexcept {
+  return reinterpret_cast<std::int8_t*>(b + L.v_off);
+}
+[[nodiscard]] inline const std::int8_t* i8_v(const std::uint8_t* b,
+                                             const I8TileLayout& L) noexcept {
+  return reinterpret_cast<const std::int8_t*>(b + L.v_off);
+}
+[[nodiscard]] inline numeric::Half* i8_henc(std::uint8_t* b,
+                                            const I8TileLayout& L) noexcept {
+  return reinterpret_cast<numeric::Half*>(b + L.henc_off);
+}
+[[nodiscard]] inline const numeric::Half* i8_henc(
+    const std::uint8_t* b, const I8TileLayout& L) noexcept {
+  return reinterpret_cast<const numeric::Half*>(b + L.henc_off);
+}
+
+/// Quantize one sealed 64 x dim fp16 K/V tile pair into an i8 block:
+/// choose the per-operand power-of-two scales, quantize the payload, then
+/// derive BOTH encoding families from the result — the Half encodings from
+/// the exactly-dequantized image (bit-equal to the fresh encode a decode
+/// call would run over that image) and the int32 encodings from the int8
+/// payload — and write the TMR scale copies.  The block is fully
+/// overwritten; no zeroing is required beforehand.
+void quantize_sealed_tile(const numeric::Half* k_tile,
+                          const numeric::Half* v_tile, std::size_t dim, int s,
+                          std::uint8_t* block);
+
+/// Outcome of verifying one i8 block against its own redundancy.
+enum class I8ScrubResult { kClean, kRepaired, kUnrepairable };
+
+/// The i8 arm of the KV scrubber: majority-vote the TMR scale copies, run
+/// the exact integer verify/correct over both payloads (equality, zero
+/// threshold — abft::verify_correct_*_i8), then recompute the Half
+/// encodings from the repaired, dequantized payload and rewrite them on
+/// mismatch.  Repairs happen in place; kUnrepairable means >= 2 faults in
+/// one residue class (or a three-way scale disagreement) and the caller
+/// must drop the tile.
+[[nodiscard]] I8ScrubResult scrub_i8_tile(std::uint8_t* block,
+                                          std::size_t dim, int s);
 }  // namespace detail
 
 namespace testing {
@@ -92,9 +200,20 @@ class KvCache {
   /// sealed tile (detail::widen_sealed_tile) — 2x the KV memory, zero
   /// per-tile widening/packing on clean decode ticks.  Requires the
   /// encoding memo: forced off when enc_stride is disabled.
+  /// `kv_quant` switches sealed tiles to the int8 format (core::TileFmt::
+  /// kI8): at seal time the tile is quantized into a detail::I8TileLayout
+  /// block — int8 payload, power-of-two scales, exact int32 checksums and
+  /// the sealed Half encodings of the dequantized payload — and slice()
+  /// reports the per-tile format so decode streams the quantized bytes.
+  /// The fp16 tiles stay allocated (truncate() re-opens them losslessly;
+  /// this cache is the reference harness, the capacity win is TilePool's),
+  /// the ragged open tail always stays fp16, and decode over a kI8 tile is
+  /// lossy-but-deterministic.  Requires the encoding memo (forced off with
+  /// it); mutually exclusive with fp32_images (the image is an fp16-only
+  /// fast path — the combination throws).
   KvCache(std::size_t heads, std::size_t dim,
           int enc_stride = abft::StridedAbft::kDefaultStride,
-          bool fp32_images = false);
+          bool fp32_images = false, bool kv_quant = false);
 
   [[nodiscard]] std::size_t heads() const noexcept { return heads_; }
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
@@ -109,6 +228,13 @@ class KvCache {
   [[nodiscard]] int enc_stride() const noexcept { return enc_stride_; }
   /// True when sealed tiles also memoize their widened-fp32 images.
   [[nodiscard]] bool fp32_images() const noexcept { return fp32_images_; }
+  /// True when sealed tiles are quantized to the int8 tile format.
+  [[nodiscard]] bool kv_quant() const noexcept { return kv_quant_; }
+  /// Storage format of tile `t` (kF16 for the open tail, and for every tile
+  /// when kv_quant is off).
+  [[nodiscard]] core::TileFmt tile_format(std::size_t t) const {
+    return fmt_.at(t);
+  }
 
   /// Append one token's keys and values; `k`/`v` hold heads*dim halves,
   /// head-major (the split-heads layout of a projected 1 x hidden row).
@@ -155,6 +281,13 @@ class KvCache {
     // the tile seals; maintained only when the option is on.
     std::vector<std::unique_ptr<float[]>> img_blocks;
     std::vector<const float*> img_ptrs;
+    // int8 tile blocks (kv_quant option; detail::I8TileLayout), null until
+    // the tile seals — when one seals, kc1_ptrs..vc2_ptrs point into its
+    // Half-encoding region instead of an enc_block.  Maintained only when
+    // the option is on.
+    std::vector<std::unique_ptr<std::uint8_t[]>> q_blocks;
+    std::vector<const std::int8_t*> kq_ptrs, vq_ptrs;
+    std::vector<float> k_scales, v_scales;  // per-tile power-of-two scales
   };
 
   /// Open `count` fresh zero-initialized tiles per head, strongly exception
@@ -172,12 +305,17 @@ class KvCache {
   std::size_t heads_, dim_;
   int enc_stride_;
   bool fp32_images_;
+  bool kv_quant_;
   std::size_t len_ = 0;
   /// Encoding blocks actually allocated across all heads (bytes() must not
   /// charge for entries a failed seal left null).
   std::size_t enc_blocks_sealed_ = 0;
   /// fp32 image blocks actually allocated (same accounting rule).
   std::size_t f32_blocks_sealed_ = 0;
+  /// i8 tile blocks actually allocated (same accounting rule).
+  std::size_t i8_blocks_sealed_ = 0;
+  /// Per-tile storage format (kv_quant only; kF16 until the tile seals).
+  std::vector<core::TileFmt> fmt_;
   std::vector<HeadStore> store_;
 };
 

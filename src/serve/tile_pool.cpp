@@ -1,6 +1,7 @@
 #include "serve/tile_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -53,6 +54,10 @@ TilePool::TilePool(TilePoolOptions opt)
   enc_halves_ = enc_stride_ == 0 ? 0 : 2 * su * dim_ + 2 * kTileRows * su;
   per_lh_halves_ = 2 * kTileRows * dim_ + enc_halves_;
   slab_halves_ = layers_ * heads_ * per_lh_halves_;
+  // The int8 tile format's checksum shapes are the stride's, so it shares
+  // the memoization gate: no encoding memo, no i8 tiles.
+  i8_block_bytes_ =
+      enc_stride_ == 0 ? 0 : detail::i8_tile_layout(dim_, enc_stride_).bytes;
 }
 
 std::size_t TilePool::offset(std::size_t layer,
@@ -60,43 +65,68 @@ std::size_t TilePool::offset(std::size_t layer,
   return (layer * heads_ + head) * per_lh_halves_;
 }
 
+// The fp16 accessors null out once a kI8 tile seals (its staging slab is
+// freed); callers branch on format() / nullptr, exactly like the encoding
+// accessors with the memo disabled.
 Half* TilePool::k_tile(TileId id, std::size_t layer,
                        std::size_t head) noexcept {
-  return tiles_[id].slab.get() + offset(layer, head);
+  Half* slab = tiles_[id].slab.get();
+  return slab == nullptr ? nullptr : slab + offset(layer, head);
 }
 Half* TilePool::v_tile(TileId id, std::size_t layer,
                        std::size_t head) noexcept {
-  return k_tile(id, layer, head) + kTileRows * dim_;
+  Half* k = k_tile(id, layer, head);
+  return k == nullptr ? nullptr : k + kTileRows * dim_;
 }
 Half* TilePool::enc_block(TileId id, std::size_t layer,
                           std::size_t head) noexcept {
   if (enc_stride_ == 0) return nullptr;
-  return v_tile(id, layer, head) + kTileRows * dim_;
+  Half* v = v_tile(id, layer, head);
+  return v == nullptr ? nullptr : v + kTileRows * dim_;
 }
 const Half* TilePool::k_tile(TileId id, std::size_t layer,
                              std::size_t head) const noexcept {
-  return tiles_[id].slab.get() + offset(layer, head);
+  const Half* slab = tiles_[id].slab.get();
+  return slab == nullptr ? nullptr : slab + offset(layer, head);
 }
 const Half* TilePool::v_tile(TileId id, std::size_t layer,
                              std::size_t head) const noexcept {
-  return k_tile(id, layer, head) + kTileRows * dim_;
+  const Half* k = k_tile(id, layer, head);
+  return k == nullptr ? nullptr : k + kTileRows * dim_;
 }
 const Half* TilePool::enc_block(TileId id, std::size_t layer,
                                 std::size_t head) const noexcept {
   if (enc_stride_ == 0) return nullptr;
-  return v_tile(id, layer, head) + kTileRows * dim_;
+  const Half* v = v_tile(id, layer, head);
+  return v == nullptr ? nullptr : v + kTileRows * dim_;
 }
 float* TilePool::f32_image(TileId id, std::size_t layer,
                            std::size_t head) noexcept {
-  if (!fp32_images_) return nullptr;
+  // Null for kI8 tiles (no fslab): the image is the fp16 fast path.
+  float* fslab = tiles_[id].fslab.get();
+  if (!fp32_images_ || fslab == nullptr) return nullptr;
   // The image of one (layer, head) holds exactly per_lh_halves_ floats
   // (every half widened once), so the slab offsets coincide.
-  return tiles_[id].fslab.get() + offset(layer, head);
+  return fslab + offset(layer, head);
 }
 const float* TilePool::f32_image(TileId id, std::size_t layer,
                                  std::size_t head) const noexcept {
-  if (!fp32_images_) return nullptr;
-  return tiles_[id].fslab.get() + offset(layer, head);
+  const float* fslab = tiles_[id].fslab.get();
+  if (!fp32_images_ || fslab == nullptr) return nullptr;
+  return fslab + offset(layer, head);
+}
+core::TileFmt TilePool::format(TileId id) const { return checked(id).format; }
+std::uint8_t* TilePool::i8_block(TileId id, std::size_t layer,
+                                 std::size_t head) noexcept {
+  std::uint8_t* q = tiles_[id].qslab.get();
+  return q == nullptr ? nullptr
+                      : q + (layer * heads_ + head) * i8_block_bytes_;
+}
+const std::uint8_t* TilePool::i8_block(TileId id, std::size_t layer,
+                                       std::size_t head) const noexcept {
+  const std::uint8_t* q = tiles_[id].qslab.get();
+  return q == nullptr ? nullptr
+                      : q + (layer * heads_ + head) * i8_block_bytes_;
 }
 
 TilePool::Tile& TilePool::checked(TileId id) {
@@ -112,11 +142,33 @@ const TilePool::Tile& TilePool::checked(TileId id) const {
   return tiles_[id];
 }
 
-void TilePool::recycle(TileId id) {
+void TilePool::recycle(TileId id, core::TileFmt fmt) {
   Tile& t = tiles_[id];
-  // Zero the whole slab: fresh K/V rows are the decode kernel's ragged-tail
-  // padding, and stale sealed encodings must never leak into a new tile.
-  std::fill_n(t.slab.get(), slab_halves_, Half{});
+  // Zero the whole fp16 slab: fresh K/V rows are the decode kernel's
+  // ragged-tail padding, and stale sealed encodings must never leak into a
+  // new tile.  A sealed kI8 tile freed its staging slab; reallocate
+  // (value-init: zeroed).
+  if (t.slab == nullptr) {
+    t.slab = std::make_unique<Half[]>(slab_halves_);
+  } else {
+    std::fill_n(t.slab.get(), slab_halves_, Half{});
+  }
+  // Format conversion: each format carries exactly its own slabs.  The
+  // fp32 image and i8 slabs are never zeroed — both are fully written at
+  // seal time and never read before.
+  if (fmt == core::TileFmt::kI8) {
+    t.fslab.reset();
+    if (t.qslab == nullptr) {
+      t.qslab = std::unique_ptr<std::uint8_t[]>(
+          new std::uint8_t[layers_ * heads_ * i8_block_bytes_]);
+    }
+  } else {
+    t.qslab.reset();
+    if (fp32_images_ && t.fslab == nullptr) {
+      t.fslab = std::unique_ptr<float[]>(new float[slab_halves_]);
+    }
+  }
+  t.format = fmt;
   t.sealed = false;
   if (t.is_published) {
     registry_.erase(t.key);
@@ -139,6 +191,19 @@ ScrubOutcome scrub_block(TilePool& pool, TilePool::TileId id,
                          std::vector<float>& img_fresh) {
   const std::size_t dim = pool.dim();
   const int s = pool.enc_stride();
+  // The int8 arm: TMR scale vote, exact integer verify/correct (equality,
+  // zero threshold), Half-encoding rebuild — see detail::scrub_i8_tile.
+  if (pool.format(id) == core::TileFmt::kI8) {
+    switch (detail::scrub_i8_tile(pool.i8_block(id, layer, head), dim, s)) {
+      case detail::I8ScrubResult::kClean:
+        return ScrubOutcome::kClean;
+      case detail::I8ScrubResult::kRepaired:
+        return ScrubOutcome::kRepaired;
+      case detail::I8ScrubResult::kUnrepairable:
+        return ScrubOutcome::kUnrepairable;
+    }
+    return ScrubOutcome::kUnrepairable;  // unreachable
+  }
   Half* k = pool.k_tile(id, layer, head);
   Half* v = pool.v_tile(id, layer, head);
   Half* enc = pool.enc_block(id, layer, head);
@@ -285,16 +350,33 @@ void flip_image_bit(TilePool& pool, TilePool::TileId id, std::size_t layer,
   b ^= 1u << (bit & 31u);
   std::memcpy(&img[float_index], &b, sizeof(b));
 }
+
+void flip_i8_bit(TilePool& pool, TilePool::TileId id, std::size_t layer,
+                 std::size_t head, std::size_t byte_index, unsigned bit) {
+  if (byte_index >= pool.i8_block_bytes()) {
+    throw std::out_of_range("flip_i8_bit: byte_index out of block");
+  }
+  std::uint8_t* block = pool.i8_block(id, layer, head);
+  if (block == nullptr) {
+    throw std::logic_error("flip_i8_bit: tile holds no i8 slab");
+  }
+  block[byte_index] ^= static_cast<std::uint8_t>(1u << (bit & 7u));
+}
 }  // namespace testing
 
-TilePool::TileId TilePool::acquire() {
+TilePool::TileId TilePool::acquire(core::TileFmt fmt) {
+  if (fmt == core::TileFmt::kI8 && enc_stride_ == 0) {
+    throw std::logic_error(
+        "TilePool: the int8 tile format requires the encoding memo "
+        "(enc_stride)");
+  }
   // 1. Dead tiles first: reclaiming one loses nothing.
   while (!dead_.empty()) {
     const TileId id = dead_.front();
     dead_.pop_front();
     Tile& t = tiles_[id];
     if (t.refs != 0) continue;  // stale entry (re-retained since listed)
-    recycle(id);
+    recycle(id, fmt);
     t.refs = 1;
     ++in_use_;
     return id;
@@ -303,9 +385,13 @@ TilePool::TileId TilePool::acquire() {
   if (capacity_tiles_ == 0 || tiles_.size() < capacity_tiles_) {
     Tile t;
     t.slab = std::make_unique<Half[]>(slab_halves_);  // value-init: zeroed
-    if (fp32_images_) {
-      // No value-init: the image is written in full at seal time and never
-      // read before (its pointer is published only on seal).
+    t.format = fmt;
+    if (fmt == core::TileFmt::kI8) {
+      // No value-init: fully written at seal time, never read before (the
+      // i8 pointers are published only on seal).  Same for fslab below.
+      t.qslab = std::unique_ptr<std::uint8_t[]>(
+          new std::uint8_t[layers_ * heads_ * i8_block_bytes_]);
+    } else if (fp32_images_) {
       t.fslab = std::unique_ptr<float[]>(new float[slab_halves_]);
     }
     t.refs = 1;
@@ -320,7 +406,7 @@ TilePool::TileId TilePool::acquire() {
     Tile& t = tiles_[id];
     if (t.refs != 0 || t.stamp != stamp) continue;  // stale: re-shared since
     ++evictions_;
-    recycle(id);
+    recycle(id, fmt);
     t.refs = 1;
     ++in_use_;
     return id;
@@ -363,7 +449,14 @@ TilePool::TileId TilePool::lookup_shared(const ChainKey& key) {
   return id;
 }
 
-void TilePool::seal(TileId id) { checked(id).sealed = true; }
+void TilePool::seal(TileId id) {
+  Tile& t = checked(id);
+  t.sealed = true;
+  // A sealed kI8 tile lives entirely in its i8 slab (every layer's block
+  // was quantized before the pool-wide seal); dropping the fp16 staging
+  // slab here is the capacity win.
+  if (t.format == core::TileFmt::kI8) t.slab.reset();
+}
 
 bool TilePool::sealed(TileId id) const { return checked(id).sealed; }
 
@@ -388,29 +481,75 @@ std::size_t TilePool::allocatable() const noexcept {
 
 std::size_t TilePool::refcount(TileId id) const { return checked(id).refs; }
 
+namespace {
+
+// One tile's actual current footprint: formats differ per tile, and a kI8
+// tile's staging slab exists only until it seals.
+template <typename TileT>
+std::size_t tile_footprint(const TileT& t, std::size_t slab_halves,
+                           std::size_t qslab_bytes) noexcept {
+  std::size_t b = 0;
+  if (t.slab != nullptr) b += slab_halves * sizeof(Half);
+  if (t.fslab != nullptr) b += slab_halves * sizeof(float);
+  if (t.qslab != nullptr) b += qslab_bytes;
+  return b;
+}
+
+}  // namespace
+
 std::size_t TilePool::bytes_in_use() const noexcept {
-  // Each fp32 image slab holds slab_halves_ floats, so the image option
-  // triples the per-tile footprint (2 bytes/half + 4 bytes/float).
-  const std::size_t per_tile =
-      slab_halves_ * (sizeof(Half) + (fp32_images_ ? sizeof(float) : 0));
-  return in_use_ * per_tile;
+  const std::size_t qslab_bytes = layers_ * heads_ * i8_block_bytes_;
+  std::size_t b = 0;
+  for (const Tile& t : tiles_) {
+    if (t.refs != 0) b += tile_footprint(t, slab_halves_, qslab_bytes);
+  }
+  return b;
 }
 
 std::size_t TilePool::bytes_allocated() const noexcept {
-  const std::size_t per_tile =
-      slab_halves_ * (sizeof(Half) + (fp32_images_ ? sizeof(float) : 0));
-  return tiles_.size() * per_tile;
+  const std::size_t qslab_bytes = layers_ * heads_ * i8_block_bytes_;
+  std::size_t b = 0;
+  for (const Tile& t : tiles_) {
+    b += tile_footprint(t, slab_halves_, qslab_bytes);
+  }
+  return b;
+}
+
+std::size_t TilePool::tile_bytes(core::TileFmt fmt) const noexcept {
+  if (fmt == core::TileFmt::kI8) {
+    return layers_ * heads_ * i8_block_bytes_;
+  }
+  return slab_halves_ * (sizeof(Half) + (fp32_images_ ? sizeof(float) : 0));
+}
+
+core::TileFmt default_tile_format() noexcept {
+  // Read once: a mid-process flip would let requests of "the default"
+  // format disagree with each other, which no caller could reason about.
+  static const core::TileFmt fmt = [] {
+    const char* v = std::getenv("FTT_KV_QUANT");
+    const bool on = v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+    return on ? core::TileFmt::kI8 : core::TileFmt::kF16;
+  }();
+  return fmt;
 }
 
 // ---------------------------------------------------------------------------
 // PagedKvCache
 // ---------------------------------------------------------------------------
 
-PagedKvCache::PagedKvCache(TilePool& pool)
+PagedKvCache::PagedKvCache(TilePool& pool, core::TileFmt fmt)
     : pool_(&pool),
+      fmt_(fmt),
       layer_len_(pool.layers(), 0),
       sealed_tiles_(pool.layers(), 0),
-      ptrs_(pool.layers() * pool.heads()) {}
+      ptrs_(pool.layers() * pool.heads()),
+      layer_fmt_(pool.layers()) {
+  if (fmt_ == core::TileFmt::kI8 && pool.enc_stride() == 0) {
+    throw std::logic_error(
+        "PagedKvCache: the int8 tile format requires the pool's encoding "
+        "memo (enc_stride)");
+  }
+}
 
 PagedKvCache::~PagedKvCache() { release_all(); }
 
@@ -419,18 +558,47 @@ void PagedKvCache::push_tile_ptrs(TilePool::TileId id, bool with_enc) {
   const std::size_t dim = pool_->dim();
   const auto su = static_cast<std::size_t>(pool_->enc_stride());
   const std::size_t kcn = su * dim, vcn = TilePool::kTileRows * su;
+  // Only a sealed shared tile can arrive already in i8 form; fresh tiles —
+  // whatever format they were acquired as — stage in fp16 and flip per
+  // layer in seal_layer_tile.
+  const bool i8 = with_enc && pool_->format(id) == core::TileFmt::kI8;
+  const detail::I8TileLayout L =
+      i8 ? detail::i8_tile_layout(dim, pool_->enc_stride())
+         : detail::I8TileLayout{};
   for (std::size_t l = 0; l < layers; ++l) {
+    layer_fmt_[l].push_back(i8 ? core::TileFmt::kI8 : core::TileFmt::kF16);
     for (std::size_t h = 0; h < heads; ++h) {
       HeadPtrs& hp = ptrs_[l * heads + h];
+      // For a sealed kI8 tile these are null (its staging slab is freed) —
+      // the decode kernel never dereferences them when fmt says kI8.
       hp.k.push_back(pool_->k_tile(id, l, h));
       hp.v.push_back(pool_->v_tile(id, l, h));
-      const Half* enc = with_enc ? pool_->enc_block(id, l, h) : nullptr;
-      hp.kc1.push_back(enc);
-      hp.kc2.push_back(enc == nullptr ? nullptr : enc + kcn);
-      hp.vc1.push_back(enc == nullptr ? nullptr : enc + 2 * kcn);
-      hp.vc2.push_back(enc == nullptr ? nullptr : enc + 2 * kcn + vcn);
+      if (i8) {
+        const std::uint8_t* block = pool_->i8_block(id, l, h);
+        const Half* henc = detail::i8_henc(block, L);
+        const float* scales = detail::i8_scales(block, L);
+        hp.kc1.push_back(henc);
+        hp.kc2.push_back(henc + kcn);
+        hp.vc1.push_back(henc + 2 * kcn);
+        hp.vc2.push_back(henc + 2 * kcn + vcn);
+        hp.kq.push_back(detail::i8_k(block, L));
+        hp.vq.push_back(detail::i8_v(block, L));
+        hp.ks.push_back(scales[0]);
+        hp.vs.push_back(scales[3]);
+      } else {
+        const Half* enc = with_enc ? pool_->enc_block(id, l, h) : nullptr;
+        hp.kc1.push_back(enc);
+        hp.kc2.push_back(enc == nullptr ? nullptr : enc + kcn);
+        hp.vc1.push_back(enc == nullptr ? nullptr : enc + 2 * kcn);
+        hp.vc2.push_back(enc == nullptr ? nullptr : enc + 2 * kcn + vcn);
+        hp.kq.push_back(nullptr);
+        hp.vq.push_back(nullptr);
+        hp.ks.push_back(0.0f);
+        hp.vs.push_back(0.0f);
+      }
       // Sealed shared tiles arrive with their fp32 image already built (the
       // sealing request widened it); fresh tiles get theirs at seal time.
+      // Null for kI8 tiles — the image is the fp16-only fast path.
       hp.f32.push_back(with_enc
                            ? static_cast<const float*>(
                                  pool_->f32_image(id, l, h))
@@ -442,6 +610,13 @@ void PagedKvCache::push_tile_ptrs(TilePool::TileId id, bool with_enc) {
 void PagedKvCache::attach_shared(TilePool::TileId id) {
   if (!pool_->sealed(id)) {
     throw std::logic_error("PagedKvCache: attach of an unsealed tile");
+  }
+  // The engine keys prefix chains per format, so a cross-format hit should
+  // be impossible; this is the hard backstop.
+  if (pool_->format(id) != fmt_) {
+    throw std::logic_error(
+        "PagedKvCache: shared-tile format mismatch — prefix chains never "
+        "cross tile formats");
   }
   for (const std::size_t len : layer_len_) {
     if (len != table_.size() * TilePool::kTileRows) {
@@ -462,7 +637,7 @@ bool PagedKvCache::ensure_capacity(std::size_t tokens) {
   const std::size_t need =
       (tokens + TilePool::kTileRows - 1) / TilePool::kTileRows;
   while (table_.size() < need) {
-    const TilePool::TileId id = pool_->acquire();
+    const TilePool::TileId id = pool_->acquire(fmt_);
     if (id == TilePool::kNoTile) return false;
     table_.push_back(id);
     push_tile_ptrs(id, /*with_enc=*/false);  // enc ptrs null until sealed
@@ -474,6 +649,38 @@ void PagedKvCache::seal_layer_tile(std::size_t layer, std::size_t tile_index) {
   const int s = pool_->enc_stride();
   const std::size_t heads = pool_->heads(), dim = pool_->dim();
   const TilePool::TileId id = table_[tile_index];
+  if (fmt_ == core::TileFmt::kI8) {
+    // Quantize this layer's staged fp16 rows into the tile's i8 slab (the
+    // ctor guarantees s != 0 here).  The layer's slice streams i8 from this
+    // moment on; the fp16 staging rows die at the pool-wide seal below, so
+    // null the payload pointers now.
+    const detail::I8TileLayout L = detail::i8_tile_layout(dim, s);
+    for (std::size_t h = 0; h < heads; ++h) {
+      std::uint8_t* block = pool_->i8_block(id, layer, h);
+      detail::quantize_sealed_tile(pool_->k_tile(id, layer, h),
+                                   pool_->v_tile(id, layer, h), dim, s,
+                                   block);
+      const Half* henc = detail::i8_henc(block, L);
+      const float* scales = detail::i8_scales(block, L);
+      HeadPtrs& hp = ptrs_[layer * heads + h];
+      hp.kc1[tile_index] = henc;
+      hp.kc2[tile_index] = henc + L.kcn;
+      hp.vc1[tile_index] = henc + 2 * L.kcn;
+      hp.vc2[tile_index] = henc + 2 * L.kcn + L.vcn;
+      hp.kq[tile_index] = detail::i8_k(block, L);
+      hp.vq[tile_index] = detail::i8_v(block, L);
+      hp.ks[tile_index] = scales[0];
+      hp.vs[tile_index] = scales[3];
+      hp.k[tile_index] = nullptr;
+      hp.v[tile_index] = nullptr;
+    }
+    layer_fmt_[layer][tile_index] = core::TileFmt::kI8;
+    if (layer == pool_->layers() - 1) {
+      pool_->seal(id);  // frees the staging slab — the capacity win
+      newly_sealed_.push_back(tile_index);
+    }
+    return;
+  }
   if (s != 0) {
     const auto su = static_cast<std::size_t>(s);
     const std::size_t kcn = su * dim, vcn = TilePool::kTileRows * su;
@@ -599,7 +806,12 @@ void PagedKvCache::truncate(std::size_t tokens) {
       hp.vc1.pop_back();
       hp.vc2.pop_back();
       hp.f32.pop_back();
+      hp.kq.pop_back();
+      hp.vq.pop_back();
+      hp.ks.pop_back();
+      hp.vs.pop_back();
     }
+    for (std::vector<core::TileFmt>& lf : layer_fmt_) lf.pop_back();
   }
   for (std::size_t& l : layer_len_) l = tokens;
   // Seal whatever the commit fully covers (deferred by the speculative
@@ -615,10 +827,21 @@ core::KvSlice PagedKvCache::slice(std::size_t layer, std::size_t head) const {
     throw std::out_of_range("PagedKvCache: layer/head out of range");
   }
   const HeadPtrs& hp = ptrs_[layer * pool_->heads() + head];
-  return core::KvSlice{hp.k.data(),   hp.v.data(),   layer_len_[layer],
-                       pool_->dim(),  hp.kc1.data(), hp.kc2.data(),
-                       hp.vc1.data(), hp.vc2.data(), pool_->enc_stride(),
-                       hp.f32.data()};
+  core::KvSlice s{hp.k.data(),   hp.v.data(),   layer_len_[layer],
+                  pool_->dim(),  hp.kc1.data(), hp.kc2.data(),
+                  hp.vc1.data(), hp.vc2.data(), pool_->enc_stride(),
+                  hp.f32.data()};
+  // The i8 views are exposed only for kI8 requests: an fp16 request's
+  // slices are bit-for-bit what a pure-fp16 pool would hand out, even when
+  // the pool also holds i8 tiles.
+  if (fmt_ == core::TileFmt::kI8) {
+    s.fmt = layer_fmt_[layer].data();
+    s.k_i8 = hp.kq.data();
+    s.v_i8 = hp.vq.data();
+    s.k_scale = hp.ks.data();
+    s.v_scale = hp.vs.data();
+  }
+  return s;
 }
 
 std::size_t PagedKvCache::length() const noexcept {
@@ -648,7 +871,12 @@ void PagedKvCache::release_all() {
     hp.vc1.clear();
     hp.vc2.clear();
     hp.f32.clear();
+    hp.kq.clear();
+    hp.vq.clear();
+    hp.ks.clear();
+    hp.vs.clear();
   }
+  for (std::vector<core::TileFmt>& lf : layer_fmt_) lf.clear();
   shared_tiles_ = 0;
   newly_sealed_.clear();
 }

@@ -134,7 +134,16 @@ class TilePool {
   /// A fresh zero-initialized tile with refcount 1, reclaiming dead tiles,
   /// then fresh capacity, then evicting the LRU cached tile.  kNoTile only
   /// when the pool is bounded and every tile is referenced.
-  [[nodiscard]] TileId acquire();
+  ///
+  /// `fmt` picks the tile's sealed storage format; both formats coexist in
+  /// one pool, and a reclaimed tile converts to the requested format on
+  /// reuse.  A kI8 tile stages its appends in the ordinary fp16 slab (the
+  /// ragged tail is always fp16); at seal time each (layer, head) block is
+  /// quantized into the tile's i8 slab (detail::quantize_sealed_tile — the
+  /// owning PagedKvCache drives this per layer) and the pool-wide seal()
+  /// frees the staging slab, which is the capacity win.  Requires the
+  /// encoding memo: kI8 with enc_stride() == 0 throws std::logic_error.
+  [[nodiscard]] TileId acquire(core::TileFmt fmt = core::TileFmt::kF16);
 
   void retain(TileId id);
   /// Drop one reference.  Throws std::logic_error on refcount underflow —
@@ -147,7 +156,10 @@ class TilePool {
   [[nodiscard]] TileId lookup_shared(const ChainKey& key);
 
   /// Mark a tile fully written (all layers appended and encoded).  Only
-  /// sealed tiles may be attached by other requests.
+  /// sealed tiles may be attached by other requests.  Sealing a kI8 tile
+  /// frees its fp16 staging slab — every (layer, head) block must already
+  /// be quantized into the i8 slab; k_tile()/v_tile()/enc_block() return
+  /// nullptr for it from here on.
   void seal(TileId id);
   [[nodiscard]] bool sealed(TileId id) const;
 
@@ -179,6 +191,21 @@ class TilePool {
                                  std::size_t head) noexcept;
   [[nodiscard]] const float* f32_image(TileId id, std::size_t layer,
                                        std::size_t head) const noexcept;
+  /// Storage format the tile was acquired with (kF16 tiles never hold an i8
+  /// slab; kI8 tiles hold one from acquisition and drop their fp16 staging
+  /// slab at seal).
+  [[nodiscard]] core::TileFmt format(TileId id) const;
+  /// One (layer, head) block of a kI8 tile's i8 slab
+  /// (detail::I8TileLayout), or nullptr for kF16 tiles.
+  [[nodiscard]] std::uint8_t* i8_block(TileId id, std::size_t layer,
+                                       std::size_t head) noexcept;
+  [[nodiscard]] const std::uint8_t* i8_block(TileId id, std::size_t layer,
+                                             std::size_t head) const noexcept;
+  /// Bytes of one (layer, head) i8 block (0 when the encoding memo is
+  /// disabled — the i8 format requires it).
+  [[nodiscard]] std::size_t i8_block_bytes() const noexcept {
+    return i8_block_bytes_;
+  }
 
   [[nodiscard]] std::size_t layers() const noexcept { return layers_; }
   [[nodiscard]] std::size_t heads() const noexcept { return heads_; }
@@ -214,10 +241,18 @@ class TilePool {
   [[nodiscard]] std::size_t slab_halves() const noexcept {
     return slab_halves_;
   }
-  /// Bytes held by *referenced* tiles (what live requests pin).
+  /// Bytes held by *referenced* tiles (what live requests pin).  Format-
+  /// aware: sums each tile's actual current slabs — fp16 staging (freed
+  /// when a kI8 tile seals), fp32 image, i8 — so a mixed-format pool
+  /// reports the real mixed footprint.
   [[nodiscard]] std::size_t bytes_in_use() const noexcept;
   /// Bytes of every materialized slab, cached/dead tiles included.
   [[nodiscard]] std::size_t bytes_allocated() const noexcept;
+  /// Steady-state bytes of one sealed tile of `fmt` in this pool's
+  /// configuration (kF16: fp16 slab + optional fp32 image; kI8: the i8
+  /// slab alone — its staging slab is freed at seal).  The byte-capacity
+  /// planning hook for benches and the capacity gauges.
+  [[nodiscard]] std::size_t tile_bytes(core::TileFmt fmt) const noexcept;
 
  private:
   struct ChainKeyHash {
@@ -227,11 +262,19 @@ class TilePool {
   };
 
   struct Tile {
+    /// fp16 slab: the tile's storage for kF16 tiles, the append staging
+    /// area for kI8 tiles (freed when a kI8 tile seals, reallocated on
+    /// recycle).
     std::unique_ptr<numeric::Half[]> slab;
-    /// fp32 image slab (fp32_images option): one f32_image_floats block per
-    /// (layer, head), same indexing as `slab`.  Not zeroed on recycle — the
-    /// image is fully overwritten at seal time and never read before.
+    /// fp32 image slab (fp32_images option, kF16 tiles only): one
+    /// f32_image_floats block per (layer, head), same indexing as `slab`.
+    /// Not zeroed on recycle — the image is fully overwritten at seal time
+    /// and never read before.
     std::unique_ptr<float[]> fslab;
+    /// i8 slab (kI8 tiles only): one detail::I8TileLayout block per
+    /// (layer, head).  Not zeroed on recycle for the same reason.
+    std::unique_ptr<std::uint8_t[]> qslab;
+    core::TileFmt format = core::TileFmt::kF16;
     std::size_t refs = 0;
     bool sealed = false;
     bool is_published = false;
@@ -241,9 +284,10 @@ class TilePool {
 
   [[nodiscard]] Tile& checked(TileId id);
   [[nodiscard]] const Tile& checked(TileId id) const;
-  /// Reset a reclaimed tile for reuse: zero the slab (the decode kernel's
-  /// ragged-tail padding convention), clear seal/publication state.
-  void recycle(TileId id);
+  /// Reset a reclaimed tile for reuse as `fmt`: zero (or reallocate) the
+  /// fp16 slab (the decode kernel's ragged-tail padding convention), swap
+  /// the format-specific slabs, clear seal/publication state.
+  void recycle(TileId id, core::TileFmt fmt);
   [[nodiscard]] std::size_t offset(std::size_t layer,
                                    std::size_t head) const noexcept;
 
@@ -254,6 +298,7 @@ class TilePool {
   std::size_t per_lh_halves_ = 0;  // K+V+enc of one (layer, head)
   std::size_t enc_halves_ = 0;     // the enc portion of the above
   std::size_t slab_halves_ = 0;
+  std::size_t i8_block_bytes_ = 0;  // one (layer, head) i8 block, 0 if no enc
   std::size_t in_use_ = 0;
   std::size_t evictions_ = 0;
   std::size_t shared_hits_ = 0;
@@ -276,7 +321,24 @@ void flip_slab_bit(TilePool& pool, TilePool::TileId id, std::size_t layer,
                    std::size_t head, std::size_t half_index, unsigned bit);
 void flip_image_bit(TilePool& pool, TilePool::TileId id, std::size_t layer,
                     std::size_t head, std::size_t float_index, unsigned bit);
+/// i8-tile counterpart: flip one bit of one byte of a kI8 tile's
+/// (layer, head) block — `byte_index` addresses the whole
+/// detail::I8TileLayout block (scales, int32 encodings, payload and Half
+/// encodings are all reachable), so every scrubber classification arm is
+/// exercisable.  Throws std::logic_error on a kF16 tile.
+void flip_i8_bit(TilePool& pool, TilePool::TileId id, std::size_t layer,
+                 std::size_t head, std::size_t byte_index, unsigned bit);
 }  // namespace testing
+
+/// Process-default sealed-tile format: core::TileFmt::kI8 when the
+/// FTT_KV_QUANT environment variable is set to anything but "" or "0",
+/// else kF16.  This is the int8-default-on switch the CI matrix leg flips
+/// (scripts/run_tier1.sh): every PagedKvCache and DecodeEngine that does
+/// not pick a format explicitly inherits it, so the whole serve stack —
+/// engine ticks, prefix sharing, recovery ladder — runs quantized without
+/// touching a line of test code.  Read once and cached; explicit
+/// constructor/option arguments always win.
+[[nodiscard]] core::TileFmt default_tile_format() noexcept;
 
 /// One request's paged view of the pool: a block table of context tiles plus
 /// the per-(layer, head) tile-pointer arrays core::KvSlice consumes.
@@ -296,7 +358,16 @@ void flip_image_bit(TilePool& pool, TilePool::TileId id, std::size_t layer,
 /// can publish fully-prompt tiles for prefix sharing.
 class PagedKvCache {
  public:
-  explicit PagedKvCache(TilePool& pool);
+  /// `fmt` is the request's sealed-tile format: kI8 quantizes every tile
+  /// the request fills as it seals (per layer — a layer's block converts
+  /// the moment that layer's rows complete the tile) and attaches only kI8
+  /// shared tiles; the open ragged tail always stays fp16.  Both formats
+  /// coexist in one pool; the engine keys prefix chains per format, and
+  /// attach_shared() enforces the no-cross-format rule besides.  kI8
+  /// requires the pool's encoding memo (throws std::logic_error without
+  /// it).
+  explicit PagedKvCache(TilePool& pool,
+                        core::TileFmt fmt = default_tile_format());
   ~PagedKvCache();
   PagedKvCache(const PagedKvCache&) = delete;
   PagedKvCache& operator=(const PagedKvCache&) = delete;
@@ -362,12 +433,19 @@ class PagedKvCache {
   /// Release every tile and reset to empty (preemption / retirement).
   void release_all();
 
+  /// The request's sealed-tile format.
+  [[nodiscard]] core::TileFmt format() const noexcept { return fmt_; }
+
  private:
   struct HeadPtrs {
     std::vector<const numeric::Half*> k, v, kc1, kc2, vc1, vc2;
     // Per-tile fp32 image pointers (null until the layer tile seals, and
     // always null when the pool doesn't hold images).
     std::vector<const float*> f32;
+    // Per-tile i8 payload pointers and power-of-two scales (kI8 caches
+    // only; null/0 until the layer tile quantizes).
+    std::vector<const std::int8_t*> kq, vq;
+    std::vector<float> ks, vs;
   };
 
   void push_tile_ptrs(TilePool::TileId id, bool with_enc);
@@ -379,10 +457,16 @@ class PagedKvCache {
   void seal_layer_through(std::size_t layer, std::size_t upto);
 
   TilePool* pool_;
+  core::TileFmt fmt_;
   std::vector<TilePool::TileId> table_;
   std::vector<std::size_t> layer_len_;
   std::vector<std::size_t> sealed_tiles_;  // per layer: tiles sealed so far
   std::vector<HeadPtrs> ptrs_;  // indexed layer * heads + head
+  /// Per-layer, per-tile storage format (kI8 caches only): a tile's layer-L
+  /// entry flips to kI8 when layer L quantizes, so a mid-tick slice of an
+  /// already-quantized layer streams i8 while later layers still stage
+  /// fp16.  Shared across the layer's heads (KvSlice::fmt).
+  std::vector<std::vector<core::TileFmt>> layer_fmt_;
   std::size_t shared_tiles_ = 0;
   std::vector<std::size_t> newly_sealed_;
 };

@@ -705,6 +705,11 @@ TEST(Engine, ChunkedPrefillBitIdenticalToSerialTokenByToken) {
   auto run = [&](std::size_t chunk_rows) {
     fs::EngineOptions opt;
     opt.prefill_chunk_rows = chunk_rows;
+    // Chunk-size invariance is an fp16 property: chunking changes *when* a
+    // tile seals relative to the reads against it, and a kI8 seal is lossy,
+    // so different chunkings read different (quantized vs open-fp16) bits.
+    // Pin fp16 explicitly so the FTT_KV_QUANT leg keeps the test meaningful.
+    opt.kv_quant = false;
     fs::DecodeEngine engine(model, opt);
     std::vector<fs::DecodeEngine::RequestId> ids;
     for (std::size_t i = 0; i < std::size(lens); ++i) {
@@ -734,7 +739,9 @@ TEST(Engine, ChunkedPrefillBitIdenticalToSerialTokenByToken) {
   }
 
   // And both match a solo engine running only the long request.
-  fs::DecodeEngine solo(model);
+  fs::EngineOptions solo_opt;
+  solo_opt.kv_quant = false;  // same pinned format as the runs above
+  fs::DecodeEngine solo(model, solo_opt);
   const auto sid =
       solo.submit(random_prompt(lens[1], hidden, 9001), budgets[1]);
   solo.run_until_idle(nullptr, 4000);
@@ -751,6 +758,10 @@ TEST(Engine, CacheBackedGenerationMatchesFullRecompute) {
 
   fs::EngineOptions opt;
   opt.record_inputs = true;  // keep the replay history this test compares
+  // The from-scratch recompute below never touches the KV cache, so the
+  // comparison is only bitwise for the lossless fp16 format — pin it
+  // explicitly (the FTT_KV_QUANT leg flips the default to kI8).
+  opt.kv_quant = false;
   fs::DecodeEngine engine(model, opt);
   const auto id = engine.submit(random_prompt(40, hidden, 0xfeed));
   engine.step();     // admit + one-chunk prefill of the 40 prompt rows

@@ -176,7 +176,10 @@ TEST(TilePool, PrefixRegistryLruEvictionAndRescue) {
 TEST(PagedKvCache, BitIdenticalToPerRequestKvCache) {
   constexpr std::size_t kLayers = 2, kHeads = 2, kDim = 32, kTokens = 150;
   fs::TilePool pool(pool_opts(kLayers, kHeads, kDim, 0));
-  fs::PagedKvCache paged(pool);
+  // Explicit fp16: this test pins the pooled fp16 storage bit-identical to
+  // the per-request KvCache, so it must not follow the FTT_KV_QUANT
+  // default (a sealed kI8 tile frees the fp16 slab the comparison reads).
+  fs::PagedKvCache paged(pool, fc::TileFmt::kF16);
 
   // Reference caches, one per layer, fed identical tokens.
   std::vector<fs::KvCache> ref;
@@ -237,7 +240,7 @@ TEST(PagedKvCache, BitIdenticalToPerRequestKvCache) {
 
   // Full tiles sealed through the pool are attachable by another cache and
   // arrive with rows and encodings already populated.
-  fs::PagedKvCache sharer(pool);
+  fs::PagedKvCache sharer(pool, fc::TileFmt::kF16);  // match paged's format
   const auto tid = paged.block_table()[0];
   ASSERT_TRUE(pool.sealed(tid));
   pool.retain(tid);  // lookup_shared would do this on a registry hit
