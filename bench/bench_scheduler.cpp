@@ -499,6 +499,51 @@ int main(int argc, char** argv) {
     std::printf("  UNEXPECTED: sharded/routed decode totals diverged\n");
   }
 
+  // --- OMP team scaling: the same mixed fleet at 1/2/4 threads -----------
+  // Memory-stream headroom probe for the fp16-operand decode path: once the
+  // kernels stream half-width operands, decode should scale further with
+  // cores before hitting the bandwidth wall.  The ratios are hardware-bound
+  // (≈1x on a single-core CI runner), so they are informational gauges —
+  // emitted always, never value-gated.  Traffic totals must still match
+  // exactly across team sizes: threading may only change speed.
+  const int team_sizes[] = {1, 2, 4};
+  const int max_threads = omp_get_max_threads();
+  MixedRun team_runs[std::size(team_sizes)];
+  for (std::size_t i = 0; i < std::size(team_sizes); ++i) {
+    omp_set_num_threads(team_sizes[i]);
+    team_runs[i] = run_mixed(model, 64, 8);
+  }
+  omp_set_num_threads(max_threads);
+  const double core2_scaling =
+      team_runs[0].seconds > 0.0 && team_runs[1].seconds > 0.0
+          ? tok(team_runs[1]) / tok(team_runs[0])
+          : 0.0;
+  const double core4_scaling =
+      team_runs[0].seconds > 0.0 && team_runs[2].seconds > 0.0
+          ? tok(team_runs[2]) / tok(team_runs[0])
+          : 0.0;
+  std::printf("\n  OMP team scaling (same mixed fleet, teams of 1/2/4)\n");
+  std::printf("  %-26s %10s %8s %12s\n", "team", "tokens/s", "ticks",
+              "makespan");
+  for (std::size_t i = 0; i < std::size(team_sizes); ++i) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%d thread(s)", team_sizes[i]);
+    std::printf("  %-26s %10.1f %8zu %9.2f ms\n", label, tok(team_runs[i]),
+                team_runs[i].ticks, team_runs[i].seconds * 1e3);
+  }
+  std::printf("  core scaling: 2T %.2fx  4T %.2fx "
+              "(informational: core-count bound)\n",
+              core2_scaling, core4_scaling);
+  for (std::size_t i = 1; i < std::size(team_sizes); ++i) {
+    ok = ok && team_runs[i].stats.decoded == team_runs[0].stats.decoded &&
+         team_runs[i].stats.prefill_rows == team_runs[0].stats.prefill_rows &&
+         team_runs[i].stats.retired == kRequests;
+    if (team_runs[i].stats.decoded != team_runs[0].stats.decoded) {
+      std::printf("  UNEXPECTED: team-%d decode totals diverged from team-1\n",
+                  team_sizes[i]);
+    }
+  }
+
   // --- recovery ladder: chaos overhead + bitwise clean rate --------------
   const RecoveryRun rec_clean = run_recovery(model, false);
   const RecoveryRun rec_chaos = run_recovery(model, true);
@@ -595,6 +640,17 @@ int main(int argc, char** argv) {
     w.kv("decoded_tokens", chunked.stats.decoded);
     w.kv("clean", ok);
     w.end_object();
+    w.key("omp_scaling");
+    w.begin_object();
+    w.kv("max_threads", max_threads);
+    w.kv("team1_tokens_per_s", tok(team_runs[0]));
+    w.kv("team2_tokens_per_s", tok(team_runs[1]));
+    w.kv("team4_tokens_per_s", tok(team_runs[2]));
+    w.kv("team1_makespan_ms", team_runs[0].seconds * 1e3);
+    w.kv("team2_makespan_ms", team_runs[1].seconds * 1e3);
+    w.kv("team4_makespan_ms", team_runs[2].seconds * 1e3);
+    w.kv("decoded_tokens", team_runs[0].stats.decoded);
+    w.end_object();
     w.key("recovery");
     w.begin_object();
     w.kv("requests", kRequests);
@@ -619,6 +675,9 @@ int main(int argc, char** argv) {
     w.kv("router_replica_speedup", router_speedup);
     w.kv("recovery_overhead", recovery_overhead);
     w.kv("recovered_bitwise_clean_rate", clean_rate);
+    // Informational: core-count bound (≈1x on single-core CI runners).
+    w.kv("decode_core2_scaling", core2_scaling);
+    w.kv("decode_core4_scaling", core4_scaling);
     w.end_object();
     w.end_object();
     ok = w.write_file(json_path) && ok;

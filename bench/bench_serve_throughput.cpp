@@ -45,18 +45,21 @@ struct Fleet {
 
   explicit Fleet(std::size_t requests,
                  std::span<const std::size_t> contexts = kContexts,
-                 bool kv_quant = false) {
+                 bool kv_quant = false,
+                 fc::ImagePolicy images = fc::ImagePolicy::kF16T) {
     std::mt19937_64 rng(42);
     std::normal_distribution<float> dist(0.0f, 1.0f);
     for (std::size_t r = 0; r < requests; ++r) {
       // Production configuration (the engine default): sealed tiles carry
-      // the memoized encodings AND the widened-fp32 images, so a clean
-      // decode tick is pure vector FMAs.  The int8 variant replaces both
-      // the fp16 payload and the fp32 image with a quantized block that is
-      // dequantized (SIMD) once per tile — fp32 images are fp16-only, so
-      // the quantized fleet runs with images off.
+      // the memoized encodings AND a pre-transposed fp16 image, so a clean
+      // decode tick streams Half operands straight through the fused
+      // fp16-operand kernels.  The int8 variant replaces the fp16 payload
+      // and the image with a quantized block that is dequantized (SIMD)
+      // once per tile — images are fp16-only, so the quantized fleet runs
+      // with images off.
       caches.emplace_back(kHeads, kDim, ftt::abft::StridedAbft::kDefaultStride,
-                          /*fp32_images=*/!kv_quant, kv_quant);
+                          kv_quant ? fc::ImagePolicy::kNone : images,
+                          kv_quant);
       const std::size_t n = contexts[r % contexts.size()];
       std::vector<Half> k(kHeads * kDim), v(kHeads * kDim);
       for (std::size_t t = 0; t < n; ++t) {
@@ -174,6 +177,22 @@ int main(int argc, char** argv) {
               kLongBatch, static_cast<double>(kLongBatch) / tlong_nopf,
               prefetch_speedup);
 
+  // Same fleet with the PR 7 widened-fp32 images instead of the fp16-
+  // operand f16t images: the fp32 path streams 2x the K-side bytes per
+  // tile, so at a memory-bound context the f16t tier should hold or beat
+  // it (informational gauge; the gated floor is the absolute tokens/s).
+  Fleet longf32(kLongBatch, kLongContexts, /*kv_quant=*/false,
+                fc::ImagePolicy::kF32);
+  auto longf32_items = longf32.items();
+  (void)fc::efta_decode_batch(longf32_items);  // same warm-up, fresh fleet
+  const double tlong_f32 = bench::time_best(
+      [&] { fc::efta_decode_batch(longf32_items); }, 5);
+  const double f16t_vs_f32_speedup = tlong_f32 / tlong;
+  std::printf("  batch %zu @ ctx ~2048 (fp32 images) %10.1f tok/s  "
+              "f16t speedup %.2fx\n",
+              kLongBatch, static_cast<double>(kLongBatch) / tlong_f32,
+              f16t_vs_f32_speedup);
+
   // Int8-quantized KV at the same long-context config: sealed tiles store
   // the payload as int8 (+ exact int32 checksums) instead of fp16 + fp32
   // image, so the decode loop streams ~1/6 the bytes per tile and widens
@@ -191,16 +210,19 @@ int main(int argc, char** argv) {
               "speedup vs fp16 %.2fx\n",
               kLongBatch, longq_toks, int8_speedup);
 
-  // Capacity: bytes per sealed context tile in each format at the serving
-  // engine's production pool configuration (encoding memo + fp32 images for
-  // fp16 tiles).  The ratio is how many more tiles — hence context tokens —
-  // a fixed pool byte budget holds when requests opt into int8.
+  // Capacity: bytes per sealed context tile in each format and image
+  // policy.  The int8 ratio keeps its original basis — fp16 + fp32 image,
+  // the pre-f16t production configuration — so the gauge's trajectory stays
+  // comparable across PRs.  The image ratio is the new default's sealed-
+  // tile footprint over the bare fp16 slab: the kF16T layout carries only
+  // the K-side operands in Half, so it must stay under 1.7x (vs 3x for
+  // kF32), which is the capacity half of the fp16-operand tier's win.
   fs::TilePoolOptions popt;
   popt.layers = 2;
   popt.heads = kHeads;
   popt.dim = kDim;
   popt.capacity_tiles = 1;
-  popt.fp32_images = true;
+  popt.images = fc::ImagePolicy::kF32;
   fs::TilePool pool(popt);
   const double capacity_ratio =
       static_cast<double>(pool.tile_bytes(fc::TileFmt::kF16)) /
@@ -209,6 +231,17 @@ int main(int argc, char** argv) {
               "int8)\n",
               capacity_ratio, pool.tile_bytes(fc::TileFmt::kF16),
               pool.tile_bytes(fc::TileFmt::kI8));
+  popt.images = fc::ImagePolicy::kF16T;
+  fs::TilePool pool_f16t(popt);
+  popt.images = fc::ImagePolicy::kNone;
+  fs::TilePool pool_bare(popt);
+  const double image_bytes_ratio =
+      static_cast<double>(pool_f16t.tile_bytes(fc::TileFmt::kF16)) /
+      static_cast<double>(pool_bare.tile_bytes(fc::TileFmt::kF16));
+  std::printf("  f16t image bytes ratio    %.3fx  (%zu B fp16+f16t vs %zu B "
+              "bare; ceiling 1.7x)\n",
+              image_bytes_ratio, pool_f16t.tile_bytes(fc::TileFmt::kF16),
+              pool_bare.tile_bytes(fc::TileFmt::kF16));
 
   // Marginal ABFT flags on clean per-token runs are threshold noise at
   // per-token norms, self-healing by construction (checksum reconstruction
@@ -273,8 +306,12 @@ int main(int argc, char** argv) {
     // fixed pool budget) and long-context decode throughput.
     w.kv("kv_int8_capacity_ratio", capacity_ratio);
     w.kv("kv_int8_ctx2048_speedup", int8_speedup);
-    // Informational: hardware-dependent prefetch delta, trajectory-tracked.
+    // Gated (upper limit): the default image policy's sealed-tile bytes
+    // over the bare fp16 slab must stay under the 1.7x acceptance ceiling.
+    w.kv("kv_image_bytes_ratio", image_bytes_ratio);
+    // Informational: hardware-dependent deltas, trajectory-tracked.
     w.kv("decode_prefetch_ctx2048_speedup", prefetch_speedup);
+    w.kv("decode_f16t_vs_f32_image_speedup", f16t_vs_f32_speedup);
     w.end_object();
     w.end_object();
     json_ok = w.write_file(json_path);

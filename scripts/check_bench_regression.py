@@ -16,24 +16,30 @@ The baseline file declares conservative higher-is-better floors:
   {
     "threshold": 0.25,
     "gauges": { "<gauge name>": <baseline value>, ... },
+    "ceilings": { "<gauge name>": <hard maximum>, ... },
     "informational": { "<gauge name>": <reference value>, ... },
     "comment": "..."
   }
 
-A gauge regresses when measured < baseline * (1 - threshold).  Absolute
-tokens/s baselines are deliberately set well below a healthy run (CI runners
-vary); the dimensionless speedup gauges are the tighter tripwires.  Exit
-code 1 on any regression, so the CI perf job fails loudly.
+A "gauges" entry regresses when measured < baseline * (1 - threshold).
+Absolute tokens/s baselines are deliberately set well below a healthy run
+(CI runners vary); the dimensionless speedup gauges are the tighter
+tripwires.  A "ceilings" entry is the lower-is-better dual — it fails when
+measured > ceiling, with NO threshold slack: ceilings gate deterministic
+quantities (bytes ratios fixed by a memory layout), so any excursion is a
+real layout change, not runner noise.  Exit code 1 on any failure, so the
+CI perf job fails loudly.
 A fragment that contributes no gauges at all fails the same way — a bench
 binary that silently stopped emitting its gauges must not read as "nothing
 regressed".
 
-Gauge *disappearance* is tiered like the values: a gated gauge missing from
-the merged fragments FAILS (a bench that quietly stopped emitting its
-tripwire must not read as "nothing regressed"), while a missing
-informational gauge only WARNS — informational gauges are trajectory
-telemetry, not gates, so losing one should be visible in the log and the
-step summary without turning hardware-dependent reporting into a red build.
+Gauge *disappearance* is tiered like the values: a gated gauge (floor or
+ceiling) missing from the merged fragments FAILS (a bench that quietly
+stopped emitting its tripwire must not read as "nothing regressed"), while
+a missing informational gauge only WARNS — informational gauges are
+trajectory telemetry, not gates, so losing one should be visible in the log
+and the step summary without turning hardware-dependent reporting into a
+red build.
 
 "informational" gauges are never value-gated: the measured value is only
 reported.  This is the tier for gauges whose value is honest but
@@ -44,11 +50,19 @@ noise behind a floor.
 --history FILE additionally appends this run's merged gauges + git SHA to a
 rolling JSON array (bench/BENCH_history.json in CI), so the perf trajectory
 across pushes is inspectable from the uploaded artifact instead of only the
-latest snapshot.
+latest snapshot.  Entries are deduplicated by {sha, gauge-name set}: a
+re-run of the same commit with the same bench suite replaces its earlier
+entry instead of stacking duplicates (re-runs were inflating the history
+and crowding real trajectory points out of the rolling window).  A run with
+a *different* gauge set for the same sha — e.g. a matrix leg that runs a
+subset of the benches — is kept as its own entry.
 
 When GITHUB_STEP_SUMMARY is set (always, inside a GitHub Actions step), a
 markdown gauge table is appended to it so the perf job's results are
-readable straight from the run page, without downloading the artifact.
+readable straight from the run page, without downloading the artifact.  The
+table is split into a *gated* section (floors and ceilings — the rows that
+can fail the job) and an *informational* section (trajectory telemetry plus
+untracked gauges), so a red build points at the short list that matters.
 
 Stdlib only — no pip installs.
 """
@@ -79,7 +93,12 @@ def git_sha():
 
 
 def append_history(path, gauges):
-    """Append one {sha, utc, gauges} entry to the rolling history array."""
+    """Append one {sha, utc, gauges} entry to the rolling history array.
+
+    Deduplicated by {sha, gauge-name set}: a re-run of the same commit with
+    the same bench suite replaces its earlier entry (last write wins) rather
+    than appending a duplicate that crowds the rolling window.
+    """
     history = []
     if os.path.exists(path):
         try:
@@ -93,8 +112,20 @@ def append_history(path, gauges):
             print(f"warning: unreadable history {path} ({err}); "
                   f"starting fresh", file=sys.stderr)
             history = []
+    sha = git_sha()
+    gauge_set = frozenset(gauges)
+    dropped = 0
+    if sha is not None:
+        kept = []
+        for entry in history:
+            if (isinstance(entry, dict) and entry.get("sha") == sha
+                    and frozenset(entry.get("gauges", {})) == gauge_set):
+                dropped += 1
+                continue
+            kept.append(entry)
+        history = kept
     history.append({
-        "sha": git_sha(),
+        "sha": sha,
         "utc": datetime.datetime.now(datetime.timezone.utc)
             .strftime("%Y-%m-%dT%H:%M:%SZ"),
         "gauges": gauges,
@@ -103,30 +134,54 @@ def append_history(path, gauges):
     with open(path, "w") as f:
         json.dump(history, f, indent=2, sort_keys=True)
         f.write("\n")
-    print(f"appended run to {path} ({len(history)} entries)")
+    note = f", replaced {dropped} duplicate(s)" if dropped else ""
+    print(f"appended run to {path} ({len(history)} entries{note})")
 
 
-def write_step_summary(rows, extra_gauges, threshold):
-    """Append the gauge table to the Actions step summary, if available."""
+def format_row(name, measured, reference, bound, verdict):
+    icon = ("✅" if verdict == "OK" else "ℹ️" if verdict == "INFO"
+            else "⚠️" if verdict == "MISSING (warn)" else "❌")
+    shown = "—" if measured is None else f"{measured:.3f}"
+    ref_s = "—" if reference is None else f"{reference:.3f}"
+    bound_s = "—" if bound is None else f"{bound:.3f}"
+    return (f"| `{name}` | {shown} | {ref_s} | {bound_s} | "
+            f"{icon} {verdict} |")
+
+
+def write_step_summary(gated_rows, info_rows, extra_gauges, threshold):
+    """Append the gauge tables to the Actions step summary, if available.
+
+    Two sections: the gated rows (the ones that can fail the job) first,
+    then the informational/untracked telemetry.
+    """
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
         return
     lines = [
         "## Serving bench gauges",
         "",
-        f"Gate: measured < baseline × {1.0 - threshold:.2f} fails "
-        f"(threshold {threshold:.0%}).",
+        "### Gated",
         "",
-        "| gauge | measured | baseline | floor | verdict |",
+        f"Floors fail at measured < baseline × {1.0 - threshold:.2f} "
+        f"(threshold {threshold:.0%}); ceilings fail at measured > ceiling "
+        f"(no slack).",
+        "",
+        "| gauge | measured | baseline | floor / ceiling | verdict |",
         "|---|---:|---:|---:|---|",
     ]
-    for name, measured, floor, limit, verdict in rows:
-        icon = ("✅" if verdict == "OK" else "ℹ️" if verdict == "INFO"
-                else "⚠️" if verdict == "MISSING (warn)" else "❌")
-        shown = "—" if measured is None else f"{measured:.3f}"
-        floor_s = "—" if limit is None else f"{limit:.3f}"
-        lines.append(f"| `{name}` | {shown} | {floor:.3f} | {floor_s} | "
-                     f"{icon} {verdict} |")
+    for row in gated_rows:
+        lines.append(format_row(*row))
+    lines += [
+        "",
+        "### Informational",
+        "",
+        "Trajectory telemetry — never value-gated.",
+        "",
+        "| gauge | measured | reference | bound | verdict |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for row in info_rows:
+        lines.append(format_row(*row))
     for name, value in sorted(extra_gauges.items()):
         lines.append(f"| `{name}` | {value:.3f} | — | — | untracked |")
     with open(path, "a") as f:
@@ -182,42 +237,59 @@ def main():
         else float(baseline.get("threshold", 0.25))
 
     failures = []
-    rows = []  # (name, measured|None, floor, limit|None, verdict)
+    gated_rows = []  # (name, measured|None, reference, bound|None, verdict)
     for name, floor in sorted(baseline.get("gauges", {}).items()):
         measured = merged["gauges"].get(name)
         limit = floor * (1.0 - threshold)
         if measured is None:
             failures.append(f"{name}: missing from bench output")
-            rows.append((name, None, floor, limit, "MISSING"))
+            gated_rows.append((name, None, floor, limit, "MISSING"))
             continue
         verdict = "OK" if measured >= limit else "REGRESSION"
-        rows.append((name, measured, floor, limit, verdict))
+        gated_rows.append((name, measured, floor, limit, verdict))
         print(f"  {verdict:10s} {name}: measured {measured:.3f} vs "
               f"baseline {floor:.3f} (floor {limit:.3f})")
         if measured < limit:
             failures.append(
                 f"{name}: {measured:.3f} < {limit:.3f} "
                 f"(baseline {floor:.3f}, threshold {threshold:.0%})")
+    # Ceilings: lower-is-better duals with no threshold slack (they gate
+    # deterministic layout quantities, so noise margins don't apply).
+    for name, ceiling in sorted(baseline.get("ceilings", {}).items()):
+        measured = merged["gauges"].get(name)
+        if measured is None:
+            failures.append(f"{name}: missing from bench output")
+            gated_rows.append((name, None, ceiling, ceiling, "MISSING"))
+            continue
+        verdict = "OK" if measured <= ceiling else "REGRESSION"
+        gated_rows.append((name, measured, ceiling, ceiling, verdict))
+        print(f"  {verdict:10s} {name}: measured {measured:.3f} vs "
+              f"ceiling {ceiling:.3f} (lower is better)")
+        if measured > ceiling:
+            failures.append(
+                f"{name}: {measured:.3f} > ceiling {ceiling:.3f}")
     # Informational tier: value is only reported; a disappeared gauge WARNS
     # (visible in the log and step summary) without failing the gate — the
-    # fail-on-disappearance rule is reserved for the gated tier above.
+    # fail-on-disappearance rule is reserved for the gated tiers above.
     warnings = []
+    info_rows = []
     for name, reference in sorted(baseline.get("informational", {}).items()):
         measured = merged["gauges"].get(name)
         if measured is None:
             warnings.append(f"{name}: missing from bench output "
                             f"(informational — warning only)")
-            rows.append((name, None, reference, None, "MISSING (warn)"))
+            info_rows.append((name, None, reference, None, "MISSING (warn)"))
             continue
-        rows.append((name, measured, reference, None, "INFO"))
+        info_rows.append((name, measured, reference, None, "INFO"))
         print(f"  {'INFO':10s} {name}: measured {measured:.3f} "
               f"(reference {reference:.3f}, not gated)")
 
-    gated = {name for name, *_ in rows}
+    tracked = {name for name, *_ in gated_rows}
+    tracked |= {name for name, *_ in info_rows}
     extra = {name: value for name, value in merged["gauges"].items()
-             if name not in gated and isinstance(value, (int, float))
+             if name not in tracked and isinstance(value, (int, float))
              and not isinstance(value, bool)}
-    write_step_summary(rows, extra, threshold)
+    write_step_summary(gated_rows, info_rows, extra, threshold)
 
     if args.history:
         append_history(args.history, merged["gauges"])

@@ -64,6 +64,34 @@ MatrixH StridedAbft::encode_rows_strided_widened(const float* xf,
   return out;
 }
 
+MatrixH StridedAbft::encode_rows_strided_h(const Half* x, std::size_t rows,
+                                           std::size_t cols, int s,
+                                           bool weighted,
+                                           fault::FaultInjector* inj) {
+  if (s <= 0 || rows % static_cast<std::size_t>(s) != 0) {
+    throw std::invalid_argument("encode_rows_strided: rows % stride != 0");
+  }
+  const std::size_t loops = rows / static_cast<std::size_t>(s);
+  MatrixH out(static_cast<std::size_t>(s), cols);
+  // Same accumulation structure as the _widened overload, with the l-term
+  // rows streamed at half width: axpy_f32_h widens exactly in registers, so
+  // the sums (and hence the rounded checksums and fault-hook order) are
+  // bit-identical — minus the fp32 staging pass.
+  std::vector<float> acc(cols);
+  for (std::size_t jc = 0; jc < static_cast<std::size_t>(s); ++jc) {
+    for (std::size_t c = 0; c < cols; ++c) acc[c] = 0.0f;
+    for (std::size_t l = 0; l < loops; ++l) {
+      const float w = weighted ? static_cast<float>(l + 1) : 1.0f;
+      numeric::axpy_f32_h(w, x + (jc + l * static_cast<std::size_t>(s)) * cols,
+                          acc.data(), cols);
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+      out(jc, c) = Half(fault::corrupt(inj, fault::Site::kChecksum, acc[c]));
+    }
+  }
+  return out;
+}
+
 MatrixH StridedAbft::encode_rows_strided(tensor::MatrixHView X, int s,
                                          bool weighted,
                                          fault::FaultInjector* inj) {
@@ -99,6 +127,32 @@ MatrixH StridedAbft::encode_cols_strided_widened(const float* xf,
       const float w = weighted ? static_cast<float>(l + 1) : 1.0f;
       numeric::axpy_f32(w, xf + r * cols + l * static_cast<std::size_t>(s),
                         acc.data(), static_cast<std::size_t>(s));
+    }
+    for (std::size_t jc = 0; jc < static_cast<std::size_t>(s); ++jc) {
+      out(r, jc) = Half(fault::corrupt(inj, fault::Site::kChecksum, acc[jc]));
+    }
+  }
+  return out;
+}
+
+MatrixH StridedAbft::encode_cols_strided_h(const Half* x, std::size_t rows,
+                                           std::size_t cols, int s,
+                                           bool weighted,
+                                           fault::FaultInjector* inj) {
+  if (s <= 0 || cols % static_cast<std::size_t>(s) != 0) {
+    throw std::invalid_argument("encode_cols_strided: cols % stride != 0");
+  }
+  const std::size_t loops = cols / static_cast<std::size_t>(s);
+  MatrixH out(rows, static_cast<std::size_t>(s));
+  std::vector<float> acc(static_cast<std::size_t>(s));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t jc = 0; jc < static_cast<std::size_t>(s); ++jc) {
+      acc[jc] = 0.0f;
+    }
+    for (std::size_t l = 0; l < loops; ++l) {
+      const float w = weighted ? static_cast<float>(l + 1) : 1.0f;
+      numeric::axpy_f32_h(w, x + r * cols + l * static_cast<std::size_t>(s),
+                          acc.data(), static_cast<std::size_t>(s));
     }
     for (std::size_t jc = 0; jc < static_cast<std::size_t>(s); ++jc) {
       out(r, jc) = Half(fault::corrupt(inj, fault::Site::kChecksum, acc[jc]));

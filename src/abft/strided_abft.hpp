@@ -51,6 +51,16 @@ struct StridedAbft {
                                                      std::size_t cols, int s,
                                                      bool weighted,
                                                      fault::FaultInjector* inj);
+  /// Encode directly from the stored fp16 payload (dense row-major Half):
+  /// the accumulation streams the Half rows through axpy_f32_h, whose
+  /// in-register widen is exact and whose l-order matches the overloads
+  /// above, so the result is bit-identical to encoding a pre-widened image
+  /// — with no fp32 staging pass (the single-pass seal path).
+  static tensor::MatrixH encode_rows_strided_h(const numeric::Half* x,
+                                               std::size_t rows,
+                                               std::size_t cols, int s,
+                                               bool weighted,
+                                               fault::FaultInjector* inj);
 
   /// Collapse the columns of X (R x C, C % s == 0) at stride `s` into an
   /// R x s checksum: out(r, jc) = sum_l w_l * X(r, jc + s*l).  Used for the
@@ -66,6 +76,11 @@ struct StridedAbft {
                                                      std::size_t cols, int s,
                                                      bool weighted,
                                                      fault::FaultInjector* inj);
+  static tensor::MatrixH encode_cols_strided_h(const numeric::Half* x,
+                                               std::size_t rows,
+                                               std::size_t cols, int s,
+                                               bool weighted,
+                                               fault::FaultInjector* inj);
 
   /// Verify an R x C payload S against its two strided checksums chk1/chk2
   /// (each R x s): for every (row, residue class jc) compare chk1 with the

@@ -156,6 +156,10 @@ FtReport block_slice(const DecodeWorkItem& it, const EftaOptions& opt,
       if (cache_ok && it.kv.f32 != nullptr && it.kv.f32[jn] != nullptr) {
         __builtin_prefetch(it.kv.f32[jn], 0, 3);
         __builtin_prefetch(it.kv.f32[jn] + d * B, 0, 3);
+      } else if (cache_ok && it.kv.f16t != nullptr &&
+                 it.kv.f16t[jn] != nullptr) {
+        __builtin_prefetch(it.kv.f16t[jn], 0, 3);
+        __builtin_prefetch(it.kv.v_tiles[jn], 0, 3);
       } else if (it.kv.fmt != nullptr && it.kv.fmt[jn] == TileFmt::kI8) {
         __builtin_prefetch(it.kv.k_i8[jn], 0, 3);
         __builtin_prefetch(it.kv.v_i8[jn], 0, 3);
@@ -175,9 +179,22 @@ FtReport block_slice(const DecodeWorkItem& it, const EftaOptions& opt,
     const float* img = (cache_ok && full && it.kv.f32 != nullptr)
                            ? it.kv.f32[j]
                            : nullptr;
-    const float* vsrc = nullptr;  // GEMM II operand, B x d row-major fp32
-    const float* vc1src;          // V column checksums, B x su fp32
-    const float* vc2src;
+    // The fp16 analogue (kF16T policy): K-side operands pre-transposed at
+    // seal but kept at half width; the fused fp16-operand kernels widen
+    // them in registers.  V-side operands need no image — the slab's V tile
+    // and sealed column checksums are already row-major axpy streams.
+    const Half* himg = (img == nullptr && cache_ok && full &&
+                        it.kv.f16t != nullptr)
+                           ? it.kv.f16t[j]
+                           : nullptr;
+    const float* vsrc = nullptr;   // GEMM II operand, B x d row-major fp32
+    const float* vc1src = nullptr; // V column checksums, B x su fp32
+    const float* vc2src = nullptr;
+    // Half GEMM II operands (kF16T fused path): when set, the axpy loops
+    // below stream the stored fp16 rows directly instead of vsrc/vc*src.
+    const Half* vsrcH = nullptr;
+    const Half* vc1H = nullptr;
+    const Half* vc2H = nullptr;
     // Int8 GEMM II operand (fused path): when set, the axpy loop below
     // streams the quantized V rows directly instead of vsrc.
     const std::int8_t* vsrc8 = nullptr;
@@ -211,6 +228,22 @@ FtReport block_slice(const DecodeWorkItem& it, const EftaOptions& opt,
       sim::gemm_f32_nn(qf.data(), R, d, ktimg, B, S);
       sim::gemm_f32_nn(qf.data(), R, d, kc1t, su, schk1);
       sim::gemm_f32_nn(qf.data(), R, d, kc2t, su, schk2);
+    } else if (himg != nullptr) {
+      // kF16T fast tier: the score GEMMs stream the pre-transposed Half
+      // image (half the bytes of the fp32 image), widening in registers —
+      // exact, ascending-k order unchanged, so bit-identical to the fp32
+      // image tier and to the widen-per-block tier below.  GEMM II and the
+      // output checksums stream the slab's own fp16 V operands the same way
+      // — no fp32 staging for this tile at all.
+      const Half* ktimg = himg;                // K^T, d x B halves
+      const Half* kc1t = himg + d * B;         // Kc1^T, d x su halves
+      const Half* kc2t = kc1t + d * su;        // Kc2^T, d x su halves
+      sim::gemm_f32_nnh(qf.data(), R, d, ktimg, B, S);
+      sim::gemm_f32_nnh(qf.data(), R, d, kc1t, su, schk1);
+      sim::gemm_f32_nnh(qf.data(), R, d, kc2t, su, schk2);
+      vsrcH = it.kv.v_tiles[j];
+      vc1H = it.kv.v_c1[j];
+      vc2H = it.kv.v_c2[j];
     } else {
       if (is_i8) {
         // Int8 fallback (armed injector, or a memo mismatch): materialize
@@ -398,6 +431,12 @@ FtReport block_slice(const DecodeWorkItem& it, const EftaOptions& opt,
           numeric::axpy_f32_i8(pf[r2], vsrc8 + r2 * d, vscale, acc2.data(),
                                d);
         }
+      } else if (vsrcH != nullptr) {
+        // Fused fp16 V stream (kF16T tier): axpy_f32_h widens each stored
+        // row in registers — bit-identical to axpy_f32 over the widened row.
+        for (std::size_t r2 = 0; r2 < B; ++r2) {
+          numeric::axpy_f32_h(pf[r2], vsrcH + r2 * d, acc2.data(), d);
+        }
       } else {
         for (std::size_t r2 = 0; r2 < B; ++r2) {
           numeric::axpy_f32(pf[r2], vsrc + r2 * d, acc2.data(), d);
@@ -412,9 +451,16 @@ FtReport block_slice(const DecodeWorkItem& it, const EftaOptions& opt,
       // the same compute-then-add order as the scalar per-jc loops.
       std::fill(tchk1.begin(), tchk1.end(), 0.0f);
       std::fill(tchk2.begin(), tchk2.end(), 0.0f);
-      for (std::size_t r2 = 0; r2 < B; ++r2) {
-        numeric::axpy_f32(pf[r2], vc1src + r2 * su, tchk1.data(), su);
-        numeric::axpy_f32(pf[r2], vc2src + r2 * su, tchk2.data(), su);
+      if (vc1H != nullptr) {
+        for (std::size_t r2 = 0; r2 < B; ++r2) {
+          numeric::axpy_f32_h(pf[r2], vc1H + r2 * su, tchk1.data(), su);
+          numeric::axpy_f32_h(pf[r2], vc2H + r2 * su, tchk2.data(), su);
+        }
+      } else {
+        for (std::size_t r2 = 0; r2 < B; ++r2) {
+          numeric::axpy_f32(pf[r2], vc1src + r2 * su, tchk1.data(), su);
+          numeric::axpy_f32(pf[r2], vc2src + r2 * su, tchk2.data(), su);
+        }
       }
       for (std::size_t jc = 0; jc < su; ++jc) {
         oc1(r, jc) += tchk1[jc];

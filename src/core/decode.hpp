@@ -54,6 +54,22 @@ namespace ftt::core {
 /// (exactly) dequantized payload for the decode-time ABFT GEMMs.
 enum class TileFmt : std::uint8_t { kF16 = 0, kI8 = 1 };
 
+/// Seal-time image memo policy for fp16 (kF16) tiles.  Images are operand
+/// layouts pre-baked at seal so a clean decode tick does no per-call packing:
+///   kNone — no image; decode widens/packs per tile per call.
+///   kF16T — pre-transposed *fp16* image: [K^T d x 64 | Kc1^T d x s |
+///           Kc2^T d x s] halves.  The K side lands in the fused fp16-operand
+///           kernels' native k-major layout at half width (~1.5x the bare
+///           slab instead of kF32's 3x); the V side needs no image at all —
+///           V and its column checksums are already row-major streams for
+///           axpy_f32_h.  Default: halves the decode memory stream.
+///   kF32  — the widened fp32 image (PR 7 layout, 2x KV bytes on top of the
+///           slab); kept for A/B and for scrub paths that want exact-narrow
+///           payload restore of both operands.
+/// Exactness of fp16->fp32 widening makes all three policies bit-identical
+/// in decode output.
+enum class ImagePolicy : std::uint8_t { kNone = 0, kF16T = 1, kF32 = 2 };
+
 /// Read-only tiled view of one (request, head) KV slice.  Tile t holds rows
 /// [64t, min(64(t+1), n)) of the logical n x d cache, row-major, in storage
 /// of 64 x d halves; rows past the valid count must not be read (the kernel
@@ -100,6 +116,20 @@ struct KvSlice {
   /// tile and encodings per call.  Same gating as the encodings: entries for
   /// unsealed tiles are null and an armed injector bypasses the memo.
   const float* const* f32 = nullptr;
+
+  /// Optional memoized pre-transposed *fp16* image per sealed tile (the
+  /// kF16T policy, ~1.5x slab bytes).  Entry j, when non-null, packs three
+  /// Half blocks back to back:
+  ///   [ K^T  d x 64 (k-major) | Kc1^T d x s | Kc2^T d x s ]
+  /// with s == enc_stride.  The fused fp16-operand kernels widen these in
+  /// registers (exact), so consuming the image is bit-identical to the fp32
+  /// image and to per-call widening; the V operands stream straight from
+  /// v_tiles / v_c1 / v_c2, which are already in axpy-native row-major
+  /// layout.  Assigned by name after aggregate init (it sits past the
+  /// positional members older call sites fill).  Same gating as f32: null
+  /// for unsealed tiles, bypassed under an armed injector; when both images
+  /// are present the f32 image wins (widest preplanned operand).
+  const numeric::Half* const* f16t = nullptr;
 
   /// Optional per-tile storage formats (null == every tile is kF16, the
   /// layout every field above describes).  A kI8 tile streams its payload

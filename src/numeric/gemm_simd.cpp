@@ -50,6 +50,32 @@ void gemm_f32_nn_scalar(const float* A, std::size_t M, std::size_t K,
   }
 }
 
+void axpy_f32_h_scalar(float a, const Half* x, float* y,
+                       std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += a * half_bits_to_float(x[i].bits());
+  }
+}
+
+void gemm_f32_nnh_scalar(const float* A, std::size_t M, std::size_t K,
+                         const Half* B, std::size_t N, float* C,
+                         std::size_t ldc, bool accumulate) noexcept {
+  for (std::size_t m = 0; m < M; ++m) {
+    float* crow = C + m * ldc;
+    if (!accumulate) {
+      for (std::size_t n = 0; n < N; ++n) crow[n] = 0.0f;
+    }
+    const float* arow = A + m * K;
+    for (std::size_t k = 0; k < K; ++k) {
+      const float av = arow[k];
+      const Half* brow = B + k * N;
+      for (std::size_t n = 0; n < N; ++n) {
+        crow[n] += av * half_bits_to_float(brow[n].bits());
+      }
+    }
+  }
+}
+
 void transpose_f32(const float* in, std::size_t rows, std::size_t cols,
                    float* out) noexcept {
   // Cache-blocked scalar transpose: data movement only, no arithmetic, so
@@ -141,12 +167,95 @@ __attribute__((target("avx2,fma"))) void gemm_avx2(
   }
 }
 
+// Widen 8 halves to fp32 in registers — vcvtph2ps is exact (every binary16
+// value is representable in binary32) and quiets sNaNs exactly like
+// half_bits_to_float, so the fused kernels below stay bit-identical to
+// their scalar references on every input pattern.
+__attribute__((target("avx2,fma,f16c"))) inline __m256 wh8(
+    const Half* p) noexcept {
+  return _mm256_cvtph_ps(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+__attribute__((target("avx2,fma,f16c"))) void axpy_h_avx2(
+    float a, const Half* x, float* y, std::size_t n) noexcept {
+  const __m256 av = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 acc =
+        _mm256_fmadd_ps(av, wh8(x + i), _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(y + i, acc);
+  }
+  for (; i < n; ++i) y[i] += a * half_bits_to_float(x[i].bits());
+}
+
+/// One M-row of the fused fp16-operand GEMM: same axpy-form register
+/// blocking as gemm_row_avx2, with the B loads replaced by the in-register
+/// widen.  Lanes span output columns, so each output element's k-terms
+/// still accumulate in ascending order.
+__attribute__((target("avx2,fma,f16c"))) void gemm_row_h_avx2(
+    const float* arow, std::size_t K, const Half* B, std::size_t N,
+    float* crow, bool accumulate) noexcept {
+  std::size_t n0 = 0;
+  for (; n0 + 32 <= N; n0 += 32) {
+    __m256 c0, c1, c2, c3;
+    if (accumulate) {
+      c0 = _mm256_loadu_ps(crow + n0);
+      c1 = _mm256_loadu_ps(crow + n0 + 8);
+      c2 = _mm256_loadu_ps(crow + n0 + 16);
+      c3 = _mm256_loadu_ps(crow + n0 + 24);
+    } else {
+      c0 = c1 = c2 = c3 = _mm256_setzero_ps();
+    }
+    for (std::size_t k = 0; k < K; ++k) {
+      const __m256 av = _mm256_set1_ps(arow[k]);
+      const Half* brow = B + k * N + n0;
+      c0 = _mm256_fmadd_ps(av, wh8(brow), c0);
+      c1 = _mm256_fmadd_ps(av, wh8(brow + 8), c1);
+      c2 = _mm256_fmadd_ps(av, wh8(brow + 16), c2);
+      c3 = _mm256_fmadd_ps(av, wh8(brow + 24), c3);
+    }
+    _mm256_storeu_ps(crow + n0, c0);
+    _mm256_storeu_ps(crow + n0 + 8, c1);
+    _mm256_storeu_ps(crow + n0 + 16, c2);
+    _mm256_storeu_ps(crow + n0 + 24, c3);
+  }
+  for (; n0 + 8 <= N; n0 += 8) {
+    __m256 c0 = accumulate ? _mm256_loadu_ps(crow + n0) : _mm256_setzero_ps();
+    for (std::size_t k = 0; k < K; ++k) {
+      c0 = _mm256_fmadd_ps(_mm256_set1_ps(arow[k]), wh8(B + k * N + n0), c0);
+    }
+    _mm256_storeu_ps(crow + n0, c0);
+  }
+  for (; n0 < N; ++n0) {
+    float acc = accumulate ? crow[n0] : 0.0f;
+    for (std::size_t k = 0; k < K; ++k) {
+      acc += arow[k] * half_bits_to_float(B[k * N + n0].bits());
+    }
+    crow[n0] = acc;
+  }
+}
+
+__attribute__((target("avx2,fma,f16c"))) void gemm_h_avx2(
+    const float* A, std::size_t M, std::size_t K, const Half* B,
+    std::size_t N, float* C, std::size_t ldc, bool accumulate) noexcept {
+  for (std::size_t m = 0; m < M; ++m) {
+    gemm_row_h_avx2(A + m * K, K, B, N, C + m * ldc, accumulate);
+  }
+}
+
 bool cpu_has_avx2_fma() noexcept {
   return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
 }
 
 bool avx2_active() noexcept {
   static const bool active = cpu_has_avx2_fma();
+  return active;
+}
+
+bool avx2_f16c_active() noexcept {
+  static const bool active =
+      cpu_has_avx2_fma() && __builtin_cpu_supports("f16c");
   return active;
 }
 
@@ -215,6 +324,76 @@ __attribute__((target("avx512f"))) void gemm_avx512(
   }
 }
 
+// 16-half widen: vcvtph2ps zmm comes with AVX512F itself, no extra feature
+// bit beyond the fp32 tier's.
+__attribute__((target("avx512f"))) inline __m512 wh16(const Half* p) noexcept {
+  return _mm512_cvtph_ps(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+}
+
+__attribute__((target("avx512f"))) void axpy_h_avx512(
+    float a, const Half* x, float* y, std::size_t n) noexcept {
+  const __m512 av = _mm512_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 acc =
+        _mm512_fmadd_ps(av, wh16(x + i), _mm512_loadu_ps(y + i));
+    _mm512_storeu_ps(y + i, acc);
+  }
+  for (; i < n; ++i) y[i] += a * half_bits_to_float(x[i].bits());
+}
+
+__attribute__((target("avx512f"))) void gemm_row_h_avx512(
+    const float* arow, std::size_t K, const Half* B, std::size_t N,
+    float* crow, bool accumulate) noexcept {
+  std::size_t n0 = 0;
+  for (; n0 + 64 <= N; n0 += 64) {
+    __m512 c0, c1, c2, c3;
+    if (accumulate) {
+      c0 = _mm512_loadu_ps(crow + n0);
+      c1 = _mm512_loadu_ps(crow + n0 + 16);
+      c2 = _mm512_loadu_ps(crow + n0 + 32);
+      c3 = _mm512_loadu_ps(crow + n0 + 48);
+    } else {
+      c0 = c1 = c2 = c3 = _mm512_setzero_ps();
+    }
+    for (std::size_t k = 0; k < K; ++k) {
+      const __m512 av = _mm512_set1_ps(arow[k]);
+      const Half* brow = B + k * N + n0;
+      c0 = _mm512_fmadd_ps(av, wh16(brow), c0);
+      c1 = _mm512_fmadd_ps(av, wh16(brow + 16), c1);
+      c2 = _mm512_fmadd_ps(av, wh16(brow + 32), c2);
+      c3 = _mm512_fmadd_ps(av, wh16(brow + 48), c3);
+    }
+    _mm512_storeu_ps(crow + n0, c0);
+    _mm512_storeu_ps(crow + n0 + 16, c1);
+    _mm512_storeu_ps(crow + n0 + 32, c2);
+    _mm512_storeu_ps(crow + n0 + 48, c3);
+  }
+  for (; n0 + 16 <= N; n0 += 16) {
+    __m512 c0 = accumulate ? _mm512_loadu_ps(crow + n0) : _mm512_setzero_ps();
+    for (std::size_t k = 0; k < K; ++k) {
+      c0 = _mm512_fmadd_ps(_mm512_set1_ps(arow[k]), wh16(B + k * N + n0), c0);
+    }
+    _mm512_storeu_ps(crow + n0, c0);
+  }
+  for (; n0 < N; ++n0) {
+    float acc = accumulate ? crow[n0] : 0.0f;
+    for (std::size_t k = 0; k < K; ++k) {
+      acc += arow[k] * half_bits_to_float(B[k * N + n0].bits());
+    }
+    crow[n0] = acc;
+  }
+}
+
+__attribute__((target("avx512f"))) void gemm_h_avx512(
+    const float* A, std::size_t M, std::size_t K, const Half* B,
+    std::size_t N, float* C, std::size_t ldc, bool accumulate) noexcept {
+  for (std::size_t m = 0; m < M; ++m) {
+    gemm_row_h_avx512(A + m * K, K, B, N, C + m * ldc, accumulate);
+  }
+}
+
 bool cpu_has_avx512f() noexcept { return __builtin_cpu_supports("avx512f"); }
 
 #endif  // FTT_SIMD_GEMM_AVX512
@@ -234,6 +413,14 @@ bool simd_gemm_avx512_active() noexcept {
 bool simd_gemm_active() noexcept {
 #ifdef FTT_SIMD_GEMM
   return avx2_active() || simd_gemm_avx512_active();
+#else
+  return false;
+#endif
+}
+
+bool simd_gemm_f16c_active() noexcept {
+#ifdef FTT_SIMD_GEMM
+  return avx2_f16c_active() || simd_gemm_avx512_active();
 #else
   return false;
 #endif
@@ -271,6 +458,40 @@ void gemm_f32_nn(const float* A, std::size_t M, std::size_t K, const float* B,
   }
 #endif
   gemm_f32_nn_scalar(A, M, K, B, N, C, ldc, accumulate);
+}
+
+void axpy_f32_h(float a, const Half* x, float* y, std::size_t n) noexcept {
+#ifdef FTT_SIMD_GEMM
+#ifdef FTT_SIMD_GEMM_AVX512
+  if (simd_gemm_avx512_active()) {
+    axpy_h_avx512(a, x, y, n);
+    return;
+  }
+#endif
+  if (avx2_f16c_active()) {
+    axpy_h_avx2(a, x, y, n);
+    return;
+  }
+#endif
+  axpy_f32_h_scalar(a, x, y, n);
+}
+
+void gemm_f32_nnh(const float* A, std::size_t M, std::size_t K, const Half* B,
+                  std::size_t N, float* C, std::size_t ldc,
+                  bool accumulate) noexcept {
+#ifdef FTT_SIMD_GEMM
+#ifdef FTT_SIMD_GEMM_AVX512
+  if (simd_gemm_avx512_active()) {
+    gemm_h_avx512(A, M, K, B, N, C, ldc, accumulate);
+    return;
+  }
+#endif
+  if (avx2_f16c_active()) {
+    gemm_h_avx2(A, M, K, B, N, C, ldc, accumulate);
+    return;
+  }
+#endif
+  gemm_f32_nnh_scalar(A, M, K, B, N, C, ldc, accumulate);
 }
 
 }  // namespace ftt::numeric

@@ -29,6 +29,8 @@
 
 #include <cstddef>
 
+#include "numeric/fp16.hpp"
+
 namespace ftt::numeric {
 
 /// True when an AVX2+FMA (or AVX-512F) GEMM kernel is compiled in and this
@@ -38,6 +40,11 @@ bool simd_gemm_active() noexcept;
 /// True when the AVX-512F variant specifically is compiled in
 /// (FTT_SIMD_AVX512) and supported by this CPU.
 bool simd_gemm_avx512_active() noexcept;
+
+/// True when the fp16-operand kernels below can take the SIMD path: the
+/// AVX2 tier additionally needs F16C for the in-register widen (the
+/// AVX-512F tier gets vcvtph2ps from AVX512F itself).
+bool simd_gemm_f16c_active() noexcept;
 
 /// y[i] += a * x[i] for i ascending — the GEMM-II / checksum-encode
 /// primitive.  Dispatching entry point and scalar reference; bit-identical
@@ -58,6 +65,32 @@ void gemm_f32_nn(const float* A, std::size_t M, std::size_t K, const float* B,
 void gemm_f32_nn_scalar(const float* A, std::size_t M, std::size_t K,
                         const float* B, std::size_t N, float* C,
                         std::size_t ldc, bool accumulate) noexcept;
+
+/// fp16-operand tier: same contracts as axpy_f32 / gemm_f32_nn with the
+/// B-side operand kept at half width and widened in registers
+/// (`_mm256_cvtph_ps`, 8 lanes at a time) inside the inner loop.  fp16->fp32
+/// widening is exact and the per-element accumulation order is unchanged
+/// (ascending k, lanes across output columns), so these are bit-identical to
+/// running the fp32 kernels over a pre-widened copy of B — at half the
+/// B-side bytes streamed.  The scalar references widen with
+/// half_bits_to_float, which quiets sNaNs exactly like hardware F16C, so
+/// scalar == SIMD on all 65536 half patterns (tests/test_fp16_gemm.cpp
+/// proves it exhaustively).
+
+/// y[i] += a * widen(x[i]) for i ascending.
+void axpy_f32_h(float a, const Half* x, float* y, std::size_t n) noexcept;
+void axpy_f32_h_scalar(float a, const Half* x, float* y,
+                       std::size_t n) noexcept;
+
+/// C (M x N, row stride ldc >= N) = A (M x K fp32) * widen(B) (K x N Half,
+/// k-major), += when `accumulate`.  Bit-identical to gemm_f32_nn over the
+/// widened image of B.
+void gemm_f32_nnh(const float* A, std::size_t M, std::size_t K, const Half* B,
+                  std::size_t N, float* C, std::size_t ldc,
+                  bool accumulate) noexcept;
+void gemm_f32_nnh_scalar(const float* A, std::size_t M, std::size_t K,
+                         const Half* B, std::size_t N, float* C,
+                         std::size_t ldc, bool accumulate) noexcept;
 
 /// out (cols x rows) = transpose of in (rows x cols).  Pure data movement
 /// (no rounding), cache-blocked.  Used to pack the N x K operand of

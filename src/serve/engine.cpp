@@ -32,7 +32,7 @@ DecodeEngine::DecodeEngine(const transformer::Model& model, EngineOptions opt)
       pool_(TilePoolOptions{model.config().layers, model.config().heads,
                             model.config().head_dim(),
                             opt.scheduler.max_kv_tiles, opt.efta.stride,
-                            opt.fp32_images}),
+                            opt.images}),
       scheduler_(opt.scheduler) {
   // Fail fast on a stride the kernels would reject per slice.
   const auto stride = static_cast<std::size_t>(opt_.efta.stride);

@@ -121,21 +121,27 @@ struct EngineOptions {
   /// are bit-identical to what a private prefill would compute); the knob
   /// exists for A/B benchmarking the capacity win.
   bool share_prefix = true;
-  /// Memoize a widened-fp32 image of every sealed KV tile in the pool
-  /// (TilePoolOptions::fp32_images): clean decode ticks then run pure
-  /// vector FMAs with no per-tile widening or packing, at 2x the KV tile
-  /// memory (3x total per tile with the fp16 slab).  Bit-identical to the
-  /// fp16 path — widening is exact — so it defaults on; turn it off to
-  /// trade decode throughput for context capacity.  Requires the encoding
-  /// memo (auto-disabled with it).
-  bool fp32_images = true;
+  /// Sealed-tile image policy (TilePoolOptions::images; core::ImagePolicy):
+  ///   * kF16T (default) — a pre-transposed fp16 image per sealed tile:
+  ///     clean decode ticks stream Half operands straight through the
+  ///     fp16-operand fused microkernels (widened 8 lanes at a time in
+  ///     register), at ~0.5x extra KV tile memory (~1.5x total with the
+  ///     fp16 slab) and roughly half the memory traffic of kF32.
+  ///   * kF32 — the PR 7 widened-fp32 image: pure fp32 vector FMAs with
+  ///     zero widening, at 2x extra memory (3x total).
+  ///   * kNone — no image; decode widens/packs per tile per call, which
+  ///     maximizes context capacity.
+  /// All three decode bit-identically — widening is exact and the
+  /// accumulation order is pinned.  Requires the encoding memo
+  /// (auto-forced to kNone without it).
+  core::ImagePolicy images = core::ImagePolicy::kF16T;
   /// Default sealed-tile storage format for submit(): true stores every
   /// sealed KV tile int8-quantized (core::TileFmt::kI8 — per-tile
   /// power-of-two scales, exact integer checksums at rest, fp16-derived
   /// decode memo; see docs/QUANTIZATION.md), roughly 3x less sealed-tile
   /// memory than the fp16 + fp32-image configuration.  Per-request
   /// override: submit_with_format().  Both formats share the one pool —
-  /// fp32 images apply only to fp16 tiles — and fp16 requests stay
+  /// sealed-tile images apply only to fp16 tiles — and fp16 requests stay
   /// bit-identical to a pure-fp16 run.  Requires the encoding memo
   /// (constructor throws without it).  Defaults to the process-wide
   /// default_tile_format() — kF16 unless the FTT_KV_QUANT environment

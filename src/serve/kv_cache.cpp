@@ -24,19 +24,18 @@ void encode_sealed_tile(const Half* k_tile, const Half* v_tile,
   const auto su = static_cast<std::size_t>(s);
   const std::size_t kcn = su * dim;     // one K row-checksum block
   const std::size_t vcn = kRows * su;   // one V column-checksum block
-  // Widen each operand once; both encodings of an operand consume the same
-  // fp32 image.
-  std::vector<float> kf(kRows * dim), vf(kRows * dim);
-  tensor::widen(MatrixHView{k_tile, kRows, dim, dim}, kf.data());
-  tensor::widen(MatrixHView{v_tile, kRows, dim, dim}, vf.data());
-  const MatrixH kc1 = abft::StridedAbft::encode_rows_strided_widened(
-      kf.data(), kRows, dim, s, false, nullptr);
-  const MatrixH kc2 = abft::StridedAbft::encode_rows_strided_widened(
-      kf.data(), kRows, dim, s, true, nullptr);
-  const MatrixH vc1 = abft::StridedAbft::encode_cols_strided_widened(
-      vf.data(), kRows, dim, s, false, nullptr);
-  const MatrixH vc2 = abft::StridedAbft::encode_cols_strided_widened(
-      vf.data(), kRows, dim, s, true, nullptr);
+  // Single-pass seal: the fp16-operand encoders widen 8 lanes at a time in
+  // register, so the 2x fp32 staging copies the old path materialised are
+  // gone.  Bit-identical: fp16 -> fp32 widening is exact and the per-class
+  // accumulation order (ascending l) is unchanged.
+  const MatrixH kc1 = abft::StridedAbft::encode_rows_strided_h(
+      k_tile, kRows, dim, s, false, nullptr);
+  const MatrixH kc2 = abft::StridedAbft::encode_rows_strided_h(
+      k_tile, kRows, dim, s, true, nullptr);
+  const MatrixH vc1 = abft::StridedAbft::encode_cols_strided_h(
+      v_tile, kRows, dim, s, false, nullptr);
+  const MatrixH vc2 = abft::StridedAbft::encode_cols_strided_h(
+      v_tile, kRows, dim, s, true, nullptr);
   std::memcpy(out, kc1.data(), kcn * sizeof(Half));
   std::memcpy(out + kcn, kc2.data(), kcn * sizeof(Half));
   std::memcpy(out + 2 * kcn, vc1.data(), vcn * sizeof(Half));
@@ -110,6 +109,28 @@ void transpose_h(const Half* in, std::size_t rows, std::size_t cols,
 }
 
 }  // namespace
+
+std::size_t f16t_image_halves(std::size_t dim, int s) noexcept {
+  constexpr std::size_t kRows = KvCache::kTileRows;
+  const auto su = static_cast<std::size_t>(s);
+  return kRows * dim + 2 * su * dim;
+}
+
+void build_f16t_image(const Half* k_tile, const Half* enc_block,
+                      std::size_t dim, int s, Half* out) {
+  constexpr std::size_t kRows = KvCache::kTileRows;
+  const auto su = static_cast<std::size_t>(s);
+  const std::size_t kcn = su * dim;
+  // Pure Half-bit transposes: the stored K rows land k-major for the fused
+  // score GEMM, the sealed K checksum blocks land k-major for the checksum
+  // GEMMs.  No arithmetic, so the image carries exactly the slab's bits.
+  Half* kt = out;                 // K^T, dim x kRows
+  Half* kc1t = out + dim * kRows; // Kc1^T, dim x su
+  Half* kc2t = kc1t + dim * su;   // Kc2^T, dim x su
+  transpose_h(k_tile, kRows, dim, kt);
+  transpose_h(enc_block, su, dim, kc1t);
+  transpose_h(enc_block + kcn, su, dim, kc2t);
+}
 
 void quantize_sealed_tile(const Half* k_tile, const Half* v_tile,
                           std::size_t dim, int s, std::uint8_t* block) {
@@ -264,18 +285,19 @@ std::size_t& seal_alloc_failures() noexcept {
 }  // namespace testing
 
 KvCache::KvCache(std::size_t heads, std::size_t dim, int enc_stride,
-                 bool fp32_images, bool kv_quant)
+                 core::ImagePolicy images, bool kv_quant)
     : heads_(heads), dim_(dim), enc_stride_(enc_stride),
-      fp32_images_(fp32_images), kv_quant_(kv_quant), store_(heads) {
+      images_(images), kv_quant_(kv_quant), store_(heads) {
   if (heads == 0 || dim == 0) {
     throw std::invalid_argument("KvCache: heads and dim must be positive");
   }
-  if (fp32_images && kv_quant) {
-    // The image is the fp16 fast path (it memoizes the widened fp16 bits);
-    // a quantized tile decodes from its own payload + Half encodings, so
-    // the combination would be silently meaningless — reject it.
+  if (images != core::ImagePolicy::kNone && kv_quant) {
+    // An image is the fp16 fast path (it memoizes the fp16 tile in decode
+    // operand order); a quantized tile decodes from its own payload + Half
+    // encodings, so the combination would be silently meaningless — reject.
     throw std::invalid_argument(
-        "KvCache: kv_quant and fp32_images are mutually exclusive");
+        "KvCache: kv_quant and a sealed-tile image policy are mutually "
+        "exclusive");
   }
   // A stride that cannot tile the checksum footprint (or an explicit <= 0)
   // disables memoization rather than rejecting the cache: the kernel then
@@ -284,9 +306,9 @@ KvCache::KvCache(std::size_t heads, std::size_t dim, int enc_stride,
       kTileRows % static_cast<std::size_t>(enc_stride) != 0 ||
       dim % static_cast<std::size_t>(enc_stride) != 0) {
     enc_stride_ = 0;
-    // The fp32 image embeds the widened checksum blocks, so it requires the
-    // encoding memo.
-    fp32_images_ = false;
+    // Both image layouts embed the sealed checksum blocks, so they require
+    // the encoding memo.
+    images_ = core::ImagePolicy::kNone;
     // So does the int8 tile format (its checksum shapes are the stride's).
     kv_quant_ = false;
   }
@@ -303,9 +325,12 @@ std::size_t KvCache::bytes() const noexcept {
   std::size_t b = (tiles() * tile_pair * heads_ +
                    enc_blocks_sealed_ * enc_block) *
                   sizeof(Half);
-  if (fp32_images_) {
+  if (images_ == core::ImagePolicy::kF32) {
     b += f32_blocks_sealed_ * detail::f32_image_floats(dim_, enc_stride_) *
          sizeof(float);
+  } else if (images_ == core::ImagePolicy::kF16T) {
+    b += f16t_blocks_sealed_ * detail::f16t_image_halves(dim_, enc_stride_) *
+         sizeof(Half);
   }
   if (kv_quant_) {
     b += i8_blocks_sealed_ * detail::i8_tile_layout(dim_, enc_stride_).bytes;
@@ -346,9 +371,12 @@ void KvCache::open_tiles(std::size_t count) {
     grow(hs.kc2_ptrs);
     grow(hs.vc1_ptrs);
     grow(hs.vc2_ptrs);
-    if (fp32_images_) {
+    if (images_ == core::ImagePolicy::kF32) {
       grow(hs.img_blocks);
       grow(hs.img_ptrs);
+    } else if (images_ == core::ImagePolicy::kF16T) {
+      grow(hs.himg_blocks);
+      grow(hs.himg_ptrs);
     }
     if (kv_quant_) {
       grow(hs.q_blocks);
@@ -374,9 +402,12 @@ void KvCache::open_tiles(std::size_t count) {
       hs.kc2_ptrs.push_back(nullptr);
       hs.vc1_ptrs.push_back(nullptr);
       hs.vc2_ptrs.push_back(nullptr);
-      if (fp32_images_) {
+      if (images_ == core::ImagePolicy::kF32) {
         hs.img_blocks.push_back(nullptr);
         hs.img_ptrs.push_back(nullptr);
+      } else if (images_ == core::ImagePolicy::kF16T) {
+        hs.himg_blocks.push_back(nullptr);
+        hs.himg_ptrs.push_back(nullptr);
       }
       if (kv_quant_) {
         hs.q_blocks.push_back(nullptr);
@@ -451,7 +482,7 @@ void KvCache::seal_tiles(std::size_t first, std::size_t count) {
       hs.vc2_ptrs[t] = p + 2 * kcn + vcn;
       hs.enc_blocks[t] = std::move(block);
       ++enc_blocks_sealed_;
-      if (fp32_images_) {
+      if (images_ == core::ImagePolicy::kF32) {
         // Image allocation failure degrades the same way a failed encode
         // memo does: the entry stays null and decode widens per call.
         auto img = std::make_unique<float[]>(
@@ -461,6 +492,14 @@ void KvCache::seal_tiles(std::size_t first, std::size_t count) {
         hs.img_ptrs[t] = img.get();
         hs.img_blocks[t] = std::move(img);
         ++f32_blocks_sealed_;
+      } else if (images_ == core::ImagePolicy::kF16T) {
+        auto himg = std::make_unique<Half[]>(
+            detail::f16t_image_halves(dim_, enc_stride_));
+        detail::build_f16t_image(hs.k_tiles[t].get(), p, dim_, enc_stride_,
+                                 himg.get());
+        hs.himg_ptrs[t] = himg.get();
+        hs.himg_blocks[t] = std::move(himg);
+        ++f16t_blocks_sealed_;
       }
     }
   }
@@ -544,10 +583,16 @@ void KvCache::truncate(std::size_t tokens) {
         hs.vc2_ptrs[t] = nullptr;
         --enc_blocks_sealed_;
       }
-      if (fp32_images_ && hs.img_blocks[t] != nullptr) {
+      if (images_ == core::ImagePolicy::kF32 && hs.img_blocks[t] != nullptr) {
         hs.img_blocks[t].reset();
         hs.img_ptrs[t] = nullptr;
         --f32_blocks_sealed_;
+      }
+      if (images_ == core::ImagePolicy::kF16T &&
+          hs.himg_blocks[t] != nullptr) {
+        hs.himg_blocks[t].reset();
+        hs.himg_ptrs[t] = nullptr;
+        --f16t_blocks_sealed_;
       }
       if (kv_quant_ && hs.q_blocks[t] != nullptr) {
         // A re-opened quantized tile reverts to fp16: the fp16 rows were
@@ -580,7 +625,11 @@ core::KvSlice KvCache::slice(std::size_t head) const {
                   hs.kc1_ptrs.data(), hs.kc2_ptrs.data(),
                   hs.vc1_ptrs.data(), hs.vc2_ptrs.data(),
                   enc_stride_,
-                  fp32_images_ ? hs.img_ptrs.data() : nullptr};
+                  images_ == core::ImagePolicy::kF32 ? hs.img_ptrs.data()
+                                                     : nullptr};
+  if (images_ == core::ImagePolicy::kF16T) {
+    s.f16t = hs.himg_ptrs.data();
+  }
   if (kv_quant_) {
     s.fmt = fmt_.data();
     s.k_i8 = hs.kq_ptrs.data();

@@ -69,6 +69,26 @@ void widen_sealed_tile(const numeric::Half* k_tile,
                        const numeric::Half* enc_block, std::size_t dim, int s,
                        float* out);
 
+/// Number of halves in one sealed tile's pre-transposed fp16 image (the
+/// core::ImagePolicy::kF16T layout): only the K-side operands need
+/// re-laying-out, and they stay at half width —
+///   [K^T (dim x 64) | Kc1^T (dim x s) | Kc2^T (dim x s)]
+/// == 64*dim + 2*s*dim halves (~0.5x the tile pair, vs the fp32 image's
+/// 2x).  The V operands have no image: the slab's V tile (64 x dim) and
+/// sealed column checksums (64 x s) are already row-major streams for the
+/// fused fp16-operand axpy.
+[[nodiscard]] std::size_t f16t_image_halves(std::size_t dim, int s) noexcept;
+
+/// Build the kF16T image of one sealed tile from its fp16 K storage and its
+/// sealed encoding block (encode_sealed_tile layout) into `out`
+/// (f16t_image_halves(dim, s) halves).  Pure data movement — transposition
+/// of stored Half bits — so decode over the image (which widens in
+/// registers, exactly) is bit-identical to the fp32-image and
+/// widen-per-call paths.
+void build_f16t_image(const numeric::Half* k_tile,
+                      const numeric::Half* enc_block, std::size_t dim, int s,
+                      numeric::Half* out);
+
 /// Byte layout of one (layer, head) block of an int8-format KV tile — the
 /// second, coexisting tile format (core::TileFmt::kI8).  One block packs
 /// everything the decode kernel and the scrubber need:
@@ -196,10 +216,14 @@ class KvCache {
   /// and `dim` — or an explicit value <= 0 — disables memoization
   /// (enc_stride() reports 0) instead of rejecting the cache; decode then
   /// encodes fresh per call, the pre-memo behavior.
-  /// `fp32_images` additionally memoizes a widened-fp32 image of every
-  /// sealed tile (detail::widen_sealed_tile) — 2x the KV memory, zero
-  /// per-tile widening/packing on clean decode ticks.  Requires the
-  /// encoding memo: forced off when enc_stride is disabled.
+  /// `images` selects the sealed-tile image memo policy
+  /// (core::ImagePolicy): kF16T memoizes a pre-transposed fp16 K-side image
+  /// (detail::build_f16t_image, ~1.5x slab bytes, the default decode fast
+  /// path); kF32 memoizes the full widened-fp32 image
+  /// (detail::widen_sealed_tile, 3x slab bytes); kNone memoizes neither and
+  /// decode widens/packs per call.  All three are bit-identical in decode
+  /// output.  Images require the encoding memo: forced to kNone when
+  /// enc_stride is disabled.
   /// `kv_quant` switches sealed tiles to the int8 format (core::TileFmt::
   /// kI8): at seal time the tile is quantized into a detail::I8TileLayout
   /// block — int8 payload, power-of-two scales, exact int32 checksums and
@@ -209,11 +233,12 @@ class KvCache {
   /// this cache is the reference harness, the capacity win is TilePool's),
   /// the ragged open tail always stays fp16, and decode over a kI8 tile is
   /// lossy-but-deterministic.  Requires the encoding memo (forced off with
-  /// it); mutually exclusive with fp32_images (the image is an fp16-only
-  /// fast path — the combination throws).
+  /// it); mutually exclusive with an image policy (images are fp16-only
+  /// fast paths — the combination throws).
   KvCache(std::size_t heads, std::size_t dim,
           int enc_stride = abft::StridedAbft::kDefaultStride,
-          bool fp32_images = false, bool kv_quant = false);
+          core::ImagePolicy images = core::ImagePolicy::kNone,
+          bool kv_quant = false);
 
   [[nodiscard]] std::size_t heads() const noexcept { return heads_; }
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
@@ -226,8 +251,8 @@ class KvCache {
   /// Checksum stride of the memoized per-tile encodings (0 = memoization
   /// disabled; see the constructor).
   [[nodiscard]] int enc_stride() const noexcept { return enc_stride_; }
-  /// True when sealed tiles also memoize their widened-fp32 images.
-  [[nodiscard]] bool fp32_images() const noexcept { return fp32_images_; }
+  /// Sealed-tile image memo policy (kNone when disabled by the stride).
+  [[nodiscard]] core::ImagePolicy images() const noexcept { return images_; }
   /// True when sealed tiles are quantized to the int8 tile format.
   [[nodiscard]] bool kv_quant() const noexcept { return kv_quant_; }
   /// Storage format of tile `t` (kF16 for the open tail, and for every tile
@@ -277,10 +302,13 @@ class KvCache {
     // null until the tile seals.
     std::vector<std::unique_ptr<numeric::Half[]>> enc_blocks;
     std::vector<const numeric::Half*> kc1_ptrs, kc2_ptrs, vc1_ptrs, vc2_ptrs;
-    // Optional widened-fp32 tile images (fp32_images option), null until
-    // the tile seals; maintained only when the option is on.
+    // Optional widened-fp32 tile images (kF32 policy), null until the tile
+    // seals; maintained only when the policy selects them.
     std::vector<std::unique_ptr<float[]>> img_blocks;
     std::vector<const float*> img_ptrs;
+    // Optional pre-transposed fp16 tile images (kF16T policy), same rules.
+    std::vector<std::unique_ptr<numeric::Half[]>> himg_blocks;
+    std::vector<const numeric::Half*> himg_ptrs;
     // int8 tile blocks (kv_quant option; detail::I8TileLayout), null until
     // the tile seals — when one seals, kc1_ptrs..vc2_ptrs point into its
     // Half-encoding region instead of an enc_block.  Maintained only when
@@ -304,7 +332,7 @@ class KvCache {
 
   std::size_t heads_, dim_;
   int enc_stride_;
-  bool fp32_images_;
+  core::ImagePolicy images_;
   bool kv_quant_;
   std::size_t len_ = 0;
   /// Encoding blocks actually allocated across all heads (bytes() must not
@@ -312,6 +340,8 @@ class KvCache {
   std::size_t enc_blocks_sealed_ = 0;
   /// fp32 image blocks actually allocated (same accounting rule).
   std::size_t f32_blocks_sealed_ = 0;
+  /// fp16 (kF16T) image blocks actually allocated (same accounting rule).
+  std::size_t f16t_blocks_sealed_ = 0;
   /// i8 tile blocks actually allocated (same accounting rule).
   std::size_t i8_blocks_sealed_ = 0;
   /// Per-tile storage format (kv_quant only; kF16 until the tile seals).

@@ -36,7 +36,7 @@ TilePool::TilePool(TilePoolOptions opt)
       heads_(opt.heads),
       dim_(opt.dim),
       enc_stride_(opt.enc_stride),
-      fp32_images_(opt.fp32_images),
+      images_(opt.images),
       capacity_tiles_(opt.capacity_tiles) {
   if (layers_ == 0 || heads_ == 0 || dim_ == 0) {
     throw std::invalid_argument(
@@ -48,7 +48,8 @@ TilePool::TilePool(TilePoolOptions opt)
       kTileRows % static_cast<std::size_t>(enc_stride_) != 0 ||
       dim_ % static_cast<std::size_t>(enc_stride_) != 0) {
     enc_stride_ = 0;
-    fp32_images_ = false;  // the image embeds the widened checksum blocks
+    // Both image layouts embed the sealed checksum blocks.
+    images_ = core::ImagePolicy::kNone;
   }
   const auto su = static_cast<std::size_t>(enc_stride_);
   enc_halves_ = enc_stride_ == 0 ? 0 : 2 * su * dim_ + 2 * kTileRows * su;
@@ -104,7 +105,7 @@ float* TilePool::f32_image(TileId id, std::size_t layer,
                            std::size_t head) noexcept {
   // Null for kI8 tiles (no fslab): the image is the fp16 fast path.
   float* fslab = tiles_[id].fslab.get();
-  if (!fp32_images_ || fslab == nullptr) return nullptr;
+  if (images_ != core::ImagePolicy::kF32 || fslab == nullptr) return nullptr;
   // The image of one (layer, head) holds exactly per_lh_halves_ floats
   // (every half widened once), so the slab offsets coincide.
   return fslab + offset(layer, head);
@@ -112,8 +113,22 @@ float* TilePool::f32_image(TileId id, std::size_t layer,
 const float* TilePool::f32_image(TileId id, std::size_t layer,
                                  std::size_t head) const noexcept {
   const float* fslab = tiles_[id].fslab.get();
-  if (!fp32_images_ || fslab == nullptr) return nullptr;
+  if (images_ != core::ImagePolicy::kF32 || fslab == nullptr) return nullptr;
   return fslab + offset(layer, head);
+}
+Half* TilePool::f16t_image(TileId id, std::size_t layer,
+                           std::size_t head) noexcept {
+  Half* hslab = tiles_[id].hslab.get();
+  if (images_ != core::ImagePolicy::kF16T || hslab == nullptr) return nullptr;
+  return hslab +
+         (layer * heads_ + head) * detail::f16t_image_halves(dim_, enc_stride_);
+}
+const Half* TilePool::f16t_image(TileId id, std::size_t layer,
+                                 std::size_t head) const noexcept {
+  const Half* hslab = tiles_[id].hslab.get();
+  if (images_ != core::ImagePolicy::kF16T || hslab == nullptr) return nullptr;
+  return hslab +
+         (layer * heads_ + head) * detail::f16t_image_halves(dim_, enc_stride_);
 }
 core::TileFmt TilePool::format(TileId id) const { return checked(id).format; }
 std::uint8_t* TilePool::i8_block(TileId id, std::size_t layer,
@@ -154,18 +169,24 @@ void TilePool::recycle(TileId id, core::TileFmt fmt) {
     std::fill_n(t.slab.get(), slab_halves_, Half{});
   }
   // Format conversion: each format carries exactly its own slabs.  The
-  // fp32 image and i8 slabs are never zeroed — both are fully written at
-  // seal time and never read before.
+  // image and i8 slabs are never zeroed — both are fully written at seal
+  // time and never read before.
   if (fmt == core::TileFmt::kI8) {
     t.fslab.reset();
+    t.hslab.reset();
     if (t.qslab == nullptr) {
       t.qslab = std::unique_ptr<std::uint8_t[]>(
           new std::uint8_t[layers_ * heads_ * i8_block_bytes_]);
     }
   } else {
     t.qslab.reset();
-    if (fp32_images_ && t.fslab == nullptr) {
+    if (images_ == core::ImagePolicy::kF32 && t.fslab == nullptr) {
       t.fslab = std::unique_ptr<float[]>(new float[slab_halves_]);
+    }
+    if (images_ == core::ImagePolicy::kF16T && t.hslab == nullptr) {
+      t.hslab = std::unique_ptr<Half[]>(
+          new Half[layers_ * heads_ *
+                   detail::f16t_image_halves(dim_, enc_stride_)]);
     }
   }
   t.format = fmt;
@@ -184,11 +205,12 @@ enum class ScrubOutcome { kClean, kRepaired, kUnrepairable };
 
 // Re-verify one (layer, head) block of a sealed tile and repair in place
 // where the single-fault classification allows it (see TilePool::scrub docs).
-// `enc_fresh` / `img_fresh` are caller-provided scratch.
+// `enc_fresh` / `img_fresh` / `himg_fresh` are caller-provided scratch.
 ScrubOutcome scrub_block(TilePool& pool, TilePool::TileId id,
                          std::size_t layer, std::size_t head,
                          std::vector<Half>& enc_fresh,
-                         std::vector<float>& img_fresh) {
+                         std::vector<float>& img_fresh,
+                         std::vector<Half>& himg_fresh) {
   const std::size_t dim = pool.dim();
   const int s = pool.enc_stride();
   // The int8 arm: TMR scale vote, exact integer verify/correct (equality,
@@ -216,15 +238,26 @@ ScrubOutcome scrub_block(TilePool& pool, TilePool::TileId id,
   }
 
   float* img = pool.f32_image(id, layer, head);
+  Half* himg = pool.f16t_image(id, layer, head);
   if (mismatches == 0) {
     // Payload and encodings agree bit for bit.  Cross-check the optional
-    // fp32 image; the fp16 slab is authoritative, so a disagreeing image
-    // is rebuilt from it (widening is deterministic and exact).
+    // image; the fp16 slab is authoritative, so a disagreeing image is
+    // rebuilt from it (both builds are deterministic: exact widening for
+    // kF32, pure bit transposes for kF16T).
     if (img != nullptr) {
       detail::widen_sealed_tile(k, v, enc, dim, s, img_fresh.data());
       if (std::memcmp(img_fresh.data(), img,
                       img_fresh.size() * sizeof(float)) != 0) {
         std::memcpy(img, img_fresh.data(), img_fresh.size() * sizeof(float));
+        return ScrubOutcome::kRepaired;
+      }
+    }
+    if (himg != nullptr) {
+      detail::build_f16t_image(k, enc, dim, s, himg_fresh.data());
+      if (std::memcmp(himg_fresh.data(), himg,
+                      himg_fresh.size() * sizeof(Half)) != 0) {
+        std::memcpy(himg, himg_fresh.data(),
+                    himg_fresh.size() * sizeof(Half));
         return ScrubOutcome::kRepaired;
       }
     }
@@ -236,33 +269,50 @@ ScrubOutcome scrub_block(TilePool& pool, TilePool::TileId id,
     // checksum-class corruption, and the fresh encode is the repair.
     std::memcpy(enc, enc_fresh.data(), enc_halves * sizeof(Half));
     if (img != nullptr) detail::widen_sealed_tile(k, v, enc, dim, s, img);
+    if (himg != nullptr) detail::build_f16t_image(k, enc, dim, s, himg);
     return ScrubOutcome::kRepaired;
   }
-  // Payload-class corruption.  Without the fp32 image there is no second
-  // copy to restore from: unrepairable.  With it, narrowing the exactly-
-  // widened image restores the sealed fp16 bits exactly.
-  if (img == nullptr) return ScrubOutcome::kUnrepairable;
-  // Image layout: [K^T (dim x 64) | V (64 x dim) | ...checksums].
-  const float* img_kt = img;
-  const float* img_v = img + TilePool::kTileRows * dim;
-  for (std::size_t r = 0; r < TilePool::kTileRows; ++r) {
-    for (std::size_t c = 0; c < dim; ++c) {
-      k[r * dim + c] = Half(img_kt[c * TilePool::kTileRows + r]);
-      v[r * dim + c] = Half(img_v[r * dim + c]);
+  // Payload-class corruption: restore from the second copy the image
+  // carries.  kF32 images cover K and V (narrowing the exactly-widened
+  // image restores the sealed fp16 bits); kF16T images cover K only — the
+  // de-transpose restores its Half bits verbatim, but a corrupt V payload
+  // re-verifies dirty below and the tile drops (the durability trade for
+  // the 2x image saving).  Without an image there is no second copy at all.
+  if (img != nullptr) {
+    // Image layout: [K^T (dim x 64) | V (64 x dim) | ...checksums].
+    const float* img_kt = img;
+    const float* img_v = img + TilePool::kTileRows * dim;
+    for (std::size_t r = 0; r < TilePool::kTileRows; ++r) {
+      for (std::size_t c = 0; c < dim; ++c) {
+        k[r * dim + c] = Half(img_kt[c * TilePool::kTileRows + r]);
+        v[r * dim + c] = Half(img_v[r * dim + c]);
+      }
     }
+  } else if (himg != nullptr) {
+    // Image layout: [K^T (dim x 64) | Kc1^T | Kc2^T] halves.
+    const Half* img_kt = himg;
+    for (std::size_t r = 0; r < TilePool::kTileRows; ++r) {
+      for (std::size_t c = 0; c < dim; ++c) {
+        k[r * dim + c] = img_kt[c * TilePool::kTileRows + r];
+      }
+    }
+  } else {
+    return ScrubOutcome::kUnrepairable;
   }
   // Re-verify: the restored payload must reproduce the stored encodings
   // (clean under the single-fault assumption).  A residual mismatch means
-  // the image was corrupt too — a double fault the scrubber cannot fix.
+  // the corruption was outside what the image covers (V under kF16T) or
+  // the image was corrupt too — either way beyond repair.
   detail::encode_sealed_tile(k, v, dim, s, enc_fresh.data());
   for (std::size_t i = 0; i < enc_halves; ++i) {
     if (enc_fresh[i].bits() != enc[i].bits()) {
       return ScrubOutcome::kUnrepairable;
     }
   }
-  // Refresh the image from the restored payload so all three copies are
-  // coherent again (no-op bits when the image was clean, as assumed).
-  detail::widen_sealed_tile(k, v, enc, dim, s, img);
+  // Refresh the image from the restored payload so all copies are coherent
+  // again (no-op bits when the image was clean, as assumed).
+  if (img != nullptr) detail::widen_sealed_tile(k, v, enc, dim, s, img);
+  if (himg != nullptr) detail::build_f16t_image(k, enc, dim, s, himg);
   return ScrubOutcome::kRepaired;
 }
 
@@ -273,8 +323,11 @@ ScrubReport TilePool::scrub(std::size_t max_tiles) {
   if (enc_stride_ == 0 || max_tiles == 0 || tiles_.empty()) return rep;
   std::vector<Half> enc_fresh(enc_halves_);
   std::vector<float> img_fresh;
-  if (fp32_images_) {
+  std::vector<Half> himg_fresh;
+  if (images_ == core::ImagePolicy::kF32) {
     img_fresh.resize(detail::f32_image_floats(dim_, enc_stride_));
+  } else if (images_ == core::ImagePolicy::kF16T) {
+    himg_fresh.resize(detail::f16t_image_halves(dim_, enc_stride_));
   }
   const std::size_t n = tiles_.size();
   std::size_t visited = 0;
@@ -287,7 +340,8 @@ ScrubReport TilePool::scrub(std::size_t max_tiles) {
     bool unrepairable = false;
     for (std::size_t l = 0; l < layers_ && !unrepairable; ++l) {
       for (std::size_t h = 0; h < heads_ && !unrepairable; ++h) {
-        switch (scrub_block(*this, id, l, h, enc_fresh, img_fresh)) {
+        switch (scrub_block(*this, id, l, h, enc_fresh, img_fresh,
+                            himg_fresh)) {
           case ScrubOutcome::kClean:
             break;
           case ScrubOutcome::kRepaired:
@@ -351,6 +405,17 @@ void flip_image_bit(TilePool& pool, TilePool::TileId id, std::size_t layer,
   std::memcpy(&img[float_index], &b, sizeof(b));
 }
 
+void flip_f16t_bit(TilePool& pool, TilePool::TileId id, std::size_t layer,
+                   std::size_t head, std::size_t half_index, unsigned bit) {
+  Half* img = pool.f16t_image(id, layer, head);
+  if (img == nullptr) {
+    throw std::logic_error("flip_f16t_bit: pool holds no f16t images");
+  }
+  Half& h = img[half_index];
+  h = Half::from_bits(
+      static_cast<std::uint16_t>(h.bits() ^ (1u << (bit & 15u))));
+}
+
 void flip_i8_bit(TilePool& pool, TilePool::TileId id, std::size_t layer,
                  std::size_t head, std::size_t byte_index, unsigned bit) {
   if (byte_index >= pool.i8_block_bytes()) {
@@ -391,8 +456,12 @@ TilePool::TileId TilePool::acquire(core::TileFmt fmt) {
       // i8 pointers are published only on seal).  Same for fslab below.
       t.qslab = std::unique_ptr<std::uint8_t[]>(
           new std::uint8_t[layers_ * heads_ * i8_block_bytes_]);
-    } else if (fp32_images_) {
+    } else if (images_ == core::ImagePolicy::kF32) {
       t.fslab = std::unique_ptr<float[]>(new float[slab_halves_]);
+    } else if (images_ == core::ImagePolicy::kF16T) {
+      t.hslab = std::unique_ptr<Half[]>(
+          new Half[layers_ * heads_ *
+                   detail::f16t_image_halves(dim_, enc_stride_)]);
     }
     t.refs = 1;
     tiles_.push_back(std::move(t));
@@ -487,10 +556,12 @@ namespace {
 // tile's staging slab exists only until it seals.
 template <typename TileT>
 std::size_t tile_footprint(const TileT& t, std::size_t slab_halves,
-                           std::size_t qslab_bytes) noexcept {
+                           std::size_t qslab_bytes,
+                           std::size_t hslab_halves) noexcept {
   std::size_t b = 0;
   if (t.slab != nullptr) b += slab_halves * sizeof(Half);
   if (t.fslab != nullptr) b += slab_halves * sizeof(float);
+  if (t.hslab != nullptr) b += hslab_halves * sizeof(Half);
   if (t.qslab != nullptr) b += qslab_bytes;
   return b;
 }
@@ -499,18 +570,28 @@ std::size_t tile_footprint(const TileT& t, std::size_t slab_halves,
 
 std::size_t TilePool::bytes_in_use() const noexcept {
   const std::size_t qslab_bytes = layers_ * heads_ * i8_block_bytes_;
+  const std::size_t hslab_halves =
+      enc_stride_ == 0
+          ? 0
+          : layers_ * heads_ * detail::f16t_image_halves(dim_, enc_stride_);
   std::size_t b = 0;
   for (const Tile& t : tiles_) {
-    if (t.refs != 0) b += tile_footprint(t, slab_halves_, qslab_bytes);
+    if (t.refs != 0) {
+      b += tile_footprint(t, slab_halves_, qslab_bytes, hslab_halves);
+    }
   }
   return b;
 }
 
 std::size_t TilePool::bytes_allocated() const noexcept {
   const std::size_t qslab_bytes = layers_ * heads_ * i8_block_bytes_;
+  const std::size_t hslab_halves =
+      enc_stride_ == 0
+          ? 0
+          : layers_ * heads_ * detail::f16t_image_halves(dim_, enc_stride_);
   std::size_t b = 0;
   for (const Tile& t : tiles_) {
-    b += tile_footprint(t, slab_halves_, qslab_bytes);
+    b += tile_footprint(t, slab_halves_, qslab_bytes, hslab_halves);
   }
   return b;
 }
@@ -519,7 +600,14 @@ std::size_t TilePool::tile_bytes(core::TileFmt fmt) const noexcept {
   if (fmt == core::TileFmt::kI8) {
     return layers_ * heads_ * i8_block_bytes_;
   }
-  return slab_halves_ * (sizeof(Half) + (fp32_images_ ? sizeof(float) : 0));
+  std::size_t b = slab_halves_ * sizeof(Half);
+  if (images_ == core::ImagePolicy::kF32) {
+    b += slab_halves_ * sizeof(float);
+  } else if (images_ == core::ImagePolicy::kF16T) {
+    b += layers_ * heads_ * detail::f16t_image_halves(dim_, enc_stride_) *
+         sizeof(Half);
+  }
+  return b;
 }
 
 core::TileFmt default_tile_format() noexcept {
@@ -596,13 +684,17 @@ void PagedKvCache::push_tile_ptrs(TilePool::TileId id, bool with_enc) {
         hp.ks.push_back(0.0f);
         hp.vs.push_back(0.0f);
       }
-      // Sealed shared tiles arrive with their fp32 image already built (the
-      // sealing request widened it); fresh tiles get theirs at seal time.
+      // Sealed shared tiles arrive with their image already built (the
+      // sealing request wrote it); fresh tiles get theirs at seal time.
       // Null for kI8 tiles — the image is the fp16-only fast path.
       hp.f32.push_back(with_enc
                            ? static_cast<const float*>(
                                  pool_->f32_image(id, l, h))
                            : nullptr);
+      hp.f16t.push_back(with_enc
+                            ? static_cast<const Half*>(
+                                  pool_->f16t_image(id, l, h))
+                            : nullptr);
     }
   }
 }
@@ -698,6 +790,11 @@ void PagedKvCache::seal_layer_tile(std::size_t layer, std::size_t tile_index) {
                                   pool_->v_tile(id, layer, h), enc, dim, s,
                                   img);
         hp.f32[tile_index] = img;
+      }
+      if (Half* himg = pool_->f16t_image(id, layer, h)) {
+        detail::build_f16t_image(pool_->k_tile(id, layer, h), enc, dim, s,
+                                 himg);
+        hp.f16t[tile_index] = himg;
       }
     }
   }
@@ -806,6 +903,7 @@ void PagedKvCache::truncate(std::size_t tokens) {
       hp.vc1.pop_back();
       hp.vc2.pop_back();
       hp.f32.pop_back();
+      hp.f16t.pop_back();
       hp.kq.pop_back();
       hp.vq.pop_back();
       hp.ks.pop_back();
@@ -831,6 +929,9 @@ core::KvSlice PagedKvCache::slice(std::size_t layer, std::size_t head) const {
                   pool_->dim(),  hp.kc1.data(), hp.kc2.data(),
                   hp.vc1.data(), hp.vc2.data(), pool_->enc_stride(),
                   hp.f32.data()};
+  // Entries are null unless the pool's policy is kF16T and the tile sealed,
+  // so exposing the array unconditionally is policy-correct.
+  s.f16t = hp.f16t.data();
   // The i8 views are exposed only for kI8 requests: an fp16 request's
   // slices are bit-for-bit what a pure-fp16 pool would hand out, even when
   // the pool also holds i8 tiles.
@@ -871,6 +972,7 @@ void PagedKvCache::release_all() {
     hp.vc1.clear();
     hp.vc2.clear();
     hp.f32.clear();
+    hp.f16t.clear();
     hp.kq.clear();
     hp.vq.clear();
     hp.ks.clear();

@@ -75,11 +75,18 @@ struct TilePoolOptions {
   /// Checksum stride for the sealed-tile encodings; invalid strides disable
   /// memoization exactly like serve::KvCache (enc_stride() reports 0).
   int enc_stride = abft::StridedAbft::kDefaultStride;
-  /// Additionally hold a widened-fp32 image of every sealed (layer, head)
-  /// tile (detail::widen_sealed_tile layout): 2x the tile memory, zero
-  /// per-tile widening/packing on clean decode ticks.  Requires the
-  /// encoding memo; forced off when enc_stride is disabled.
-  bool fp32_images = false;
+  /// Sealed-tile image policy (core::ImagePolicy):
+  ///   * kF32  — widened-fp32 image per sealed (layer, head) tile
+  ///     (detail::widen_sealed_tile layout): 2x the tile memory, zero
+  ///     per-tile widening/packing on clean decode ticks.
+  ///   * kF16T — pre-transposed fp16 image (detail::build_f16t_image
+  ///     layout, [K^T | Kc1^T | Kc2^T] halves): ~0.5x extra memory, zero
+  ///     per-tile packing, operands widened 8 lanes at a time inside the
+  ///     fp16-operand microkernels.  Same decoded bits as kF32/kNone.
+  ///   * kNone — no image; decode widens/packs per call.
+  /// Either image requires the encoding memo; forced to kNone when
+  /// enc_stride is disabled.
+  core::ImagePolicy images = core::ImagePolicy::kNone;
 };
 
 /// Outcome of one incremental scrub pass (TilePool::scrub).
@@ -105,18 +112,23 @@ class TilePool {
   /// head) block's in-slab strided-ABFT encodings against its fp16
   /// payload, bit for bit.
   ///
-  ///   * payload and encodings consistent, but the optional fp32 image
-  ///     disagrees -> the image is rebuilt from the (authoritative) fp16
-  ///     slab (`repaired`);
+  ///   * payload and encodings consistent, but the optional image (fp32 or
+  ///     f16t) disagrees -> the image is rebuilt from the (authoritative)
+  ///     fp16 slab (`repaired`);
   ///   * exactly one encoding element disagrees with a fresh encode ->
   ///     checksum-class corruption, the sealed encodings (and image) are
   ///     rewritten in place (`repaired`);
-  ///   * two or more disagree -> payload-class corruption: with fp32
-  ///     images on, the fp16 payload is reconstructed by exact narrowing
-  ///     of the image (widening was exact, so the round trip restores the
-  ///     sealed bits) and re-verified (`repaired`); without images the
-  ///     tile is unrepairable — it is unpublished, unsealed and reported
-  ///     in `dropped` (refcount-0 tiles go straight to the dead list).
+  ///   * two or more disagree -> payload-class corruption: with kF32
+  ///     images, the fp16 payload is reconstructed by exact narrowing of
+  ///     the image (widening was exact, so the round trip restores the
+  ///     sealed bits) and re-verified (`repaired`); with kF16T images the
+  ///     K payload is restored by de-transposing the image's Half bits
+  ///     verbatim and re-verified — but the f16t image carries no V copy,
+  ///     so V-payload corruption is unrepairable there (the memory-
+  ///     durability trade for the 2x image saving); without images (or on
+  ///     a failed re-verify) the tile is unrepairable — it is unpublished,
+  ///     unsealed and reported in `dropped` (refcount-0 tiles go straight
+  ///     to the dead list).
   ///
   /// Classification is exact under a single-fault assumption per tile;
   /// sub-threshold low-order payload flips that cancel in every checksum
@@ -191,6 +203,15 @@ class TilePool {
                                  std::size_t head) noexcept;
   [[nodiscard]] const float* f32_image(TileId id, std::size_t layer,
                                        std::size_t head) const noexcept;
+  /// The pre-transposed fp16 image of one (layer, head) tile
+  /// (f16t_image_halves halves, written at seal time), or nullptr when the
+  /// policy is not kF16T.  Contents are only meaningful once the tile's
+  /// layer sealed.
+  [[nodiscard]] numeric::Half* f16t_image(TileId id, std::size_t layer,
+                                          std::size_t head) noexcept;
+  [[nodiscard]] const numeric::Half* f16t_image(TileId id, std::size_t layer,
+                                                std::size_t head)
+      const noexcept;
   /// Storage format the tile was acquired with (kF16 tiles never hold an i8
   /// slab; kI8 tiles hold one from acquisition and drop their fp16 staging
   /// slab at seal).
@@ -211,8 +232,8 @@ class TilePool {
   [[nodiscard]] std::size_t heads() const noexcept { return heads_; }
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
   [[nodiscard]] int enc_stride() const noexcept { return enc_stride_; }
-  /// True when sealed tiles also carry widened-fp32 images.
-  [[nodiscard]] bool fp32_images() const noexcept { return fp32_images_; }
+  /// Sealed-tile image policy in effect (kNone when enc_stride disabled).
+  [[nodiscard]] core::ImagePolicy images() const noexcept { return images_; }
   /// Capacity in tiles (0 = unbounded).
   [[nodiscard]] std::size_t capacity() const noexcept {
     return capacity_tiles_;
@@ -266,11 +287,14 @@ class TilePool {
     /// area for kI8 tiles (freed when a kI8 tile seals, reallocated on
     /// recycle).
     std::unique_ptr<numeric::Half[]> slab;
-    /// fp32 image slab (fp32_images option, kF16 tiles only): one
-    /// f32_image_floats block per (layer, head), same indexing as `slab`.
-    /// Not zeroed on recycle — the image is fully overwritten at seal time
-    /// and never read before.
+    /// fp32 image slab (kF32 policy, kF16 tiles only): one f32_image_floats
+    /// block per (layer, head), same indexing as `slab`.  Not zeroed on
+    /// recycle — the image is fully overwritten at seal time and never read
+    /// before.
     std::unique_ptr<float[]> fslab;
+    /// Pre-transposed fp16 image slab (kF16T policy, kF16 tiles only): one
+    /// f16t_image_halves block per (layer, head).  Same recycle rule.
+    std::unique_ptr<numeric::Half[]> hslab;
     /// i8 slab (kI8 tiles only): one detail::I8TileLayout block per
     /// (layer, head).  Not zeroed on recycle for the same reason.
     std::unique_ptr<std::uint8_t[]> qslab;
@@ -293,7 +317,7 @@ class TilePool {
 
   std::size_t layers_, heads_, dim_;
   int enc_stride_;
-  bool fp32_images_;
+  core::ImagePolicy images_;
   std::size_t capacity_tiles_;
   std::size_t per_lh_halves_ = 0;  // K+V+enc of one (layer, head)
   std::size_t enc_halves_ = 0;     // the enc portion of the above
@@ -321,6 +345,10 @@ void flip_slab_bit(TilePool& pool, TilePool::TileId id, std::size_t layer,
                    std::size_t head, std::size_t half_index, unsigned bit);
 void flip_image_bit(TilePool& pool, TilePool::TileId id, std::size_t layer,
                     std::size_t head, std::size_t float_index, unsigned bit);
+/// kF16T counterpart of flip_image_bit: flip one bit of one half of a
+/// sealed tile's pre-transposed fp16 image block.
+void flip_f16t_bit(TilePool& pool, TilePool::TileId id, std::size_t layer,
+                   std::size_t head, std::size_t half_index, unsigned bit);
 /// i8-tile counterpart: flip one bit of one byte of a kI8 tile's
 /// (layer, head) block — `byte_index` addresses the whole
 /// detail::I8TileLayout block (scales, int32 encodings, payload and Half
@@ -440,8 +468,11 @@ class PagedKvCache {
   struct HeadPtrs {
     std::vector<const numeric::Half*> k, v, kc1, kc2, vc1, vc2;
     // Per-tile fp32 image pointers (null until the layer tile seals, and
-    // always null when the pool doesn't hold images).
+    // always null when the pool doesn't hold kF32 images).
     std::vector<const float*> f32;
+    // Per-tile pre-transposed fp16 image pointers (kF16T policy), same
+    // null-until-sealed rule.
+    std::vector<const numeric::Half*> f16t;
     // Per-tile i8 payload pointers and power-of-two scales (kI8 caches
     // only; null/0 until the layer tile quantizes).
     std::vector<const std::int8_t*> kq, vq;

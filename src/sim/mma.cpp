@@ -129,6 +129,13 @@ void gemm_f32_nn(const float* A, std::size_t M, std::size_t K, const float* B,
   numeric::gemm_f32_nn(A, M, K, B, N, &C(0, 0), C.cols(), accumulate);
 }
 
+void gemm_f32_nnh(const float* A, std::size_t M, std::size_t K,
+                  const numeric::Half* B, std::size_t N, tensor::MatrixF& C,
+                  bool accumulate) {
+  if (M == 0 || N == 0) return;
+  numeric::gemm_f32_nnh(A, M, K, B, N, &C(0, 0), C.cols(), accumulate);
+}
+
 void gemm_fp16_nt(const tensor::MatrixH& A, tensor::MatrixHView B,
                   tensor::MatrixF& C, bool accumulate) {
   const std::size_t M = A.rows(), K = A.cols(), N = B.rows;

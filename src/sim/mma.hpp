@@ -109,6 +109,15 @@ void gemm_f32_nt(const float* A, std::size_t M, std::size_t K, const float* B,
 void gemm_f32_nn(const float* A, std::size_t M, std::size_t K, const float* B,
                  std::size_t N, tensor::MatrixF& C, bool accumulate = false);
 
+/// Same contract as gemm_f32_nn with B kept at half width (K x N Half,
+/// k-major) and widened in registers by the fused fp16-operand microkernel —
+/// bit-identical to gemm_f32_nn over a pre-widened image of B (widening is
+/// exact, accumulation order unchanged) at half the B-side bytes streamed.
+/// The kF16T sealed-tile images feed decode through this entry point.
+void gemm_f32_nnh(const float* A, std::size_t M, std::size_t K,
+                  const numeric::Half* B, std::size_t N, tensor::MatrixF& C,
+                  bool accumulate = false);
+
 /// C = A (rows x K, fp32, pre-rounded or exact) * B (K x cols, fp16).
 /// Used for P * V where P is the fp32 softmax output rounded to fp16 before
 /// feeding the tensor core.

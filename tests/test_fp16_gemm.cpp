@@ -1,0 +1,221 @@
+// Bit-identity of the fp16-operand fused microkernels (numeric::gemm_f32_nnh
+// and numeric::axpy_f32_h) against their scalar references and against the
+// widen-then-dispatch path they replace.
+//
+// These kernels carry the decode hot loop after the fp32-image retirement:
+// sealed KV payload stays in binary16 and is widened 8 (or 16) lanes at a
+// time inside the kernel, so the bitwise chunk/batch/spec/shard proofs now
+// rest on two facts proved here exhaustively:
+//
+//   1. the in-kernel vcvtph2ps widen agrees with the scalar
+//      half_bits_to_float table on every one of the 65536 binary16 bit
+//      patterns (including subnormals, infinities, and NaNs — signaling
+//      NaNs are quieted identically on both paths), and
+//   2. with the widen exact and all operands fp16-valued, the fused kernels
+//      fix the same ascending-k accumulation order as gemm_f32_nn over a
+//      pre-widened image, so fusing the conversion changes no result bit
+//      on any shape, ragged tails and strided outputs included.
+//
+// The single-pass sealed-tile encodes (abft::StridedAbft::*_strided_h) sit
+// on the same axpy_f32_h order, so their parity with the widened-image
+// encodes is proved here too.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "abft/strided_abft.hpp"
+#include "numeric/fp16.hpp"
+#include "numeric/gemm_simd.hpp"
+#include "tensor/tensor.hpp"
+
+namespace fn = ftt::numeric;
+using ftt::abft::StridedAbft;
+using ftt::numeric::Half;
+using ftt::tensor::MatrixH;
+
+namespace {
+
+/// Random fp16-valued fp32 buffer (the kernels' exact-product precondition).
+std::vector<float> random_fp16_values(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<float> f(n);
+  for (auto& x : f) x = Half(dist(rng)).to_float();
+  return f;
+}
+
+/// The same buffer as raw halves (for the B operand of the fused kernels).
+std::vector<Half> random_halves(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<Half> h(n);
+  for (auto& x : h) x = Half(dist(rng));
+  return h;
+}
+
+bool bits_equal(const MatrixH& a, const MatrixH& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(),
+                     a.rows() * a.cols() * sizeof(Half)) == 0;
+}
+
+}  // namespace
+
+TEST(Fp16Gemm, WideningBitParityExhaustiveOverAllPatterns) {
+  // Every binary16 bit pattern flows through the in-kernel widen exactly
+  // once: y = 0 + 1.0 * widen(x) over all 65536 patterns in one call, so
+  // the SIMD tail handling and every vcvtph2ps lane position are exercised.
+  // The dispatch and scalar paths must agree bit for bit on the full
+  // output, NaN payloads included (cvtph quiets signaling NaNs exactly as
+  // half_bits_to_float does).
+  constexpr std::size_t kPatterns = 1u << 16;
+  std::vector<Half> x(kPatterns);
+  for (std::size_t i = 0; i < kPatterns; ++i) {
+    x[i] = Half::from_bits(static_cast<std::uint16_t>(i));
+  }
+  std::vector<float> y_simd(kPatterns, 0.0f), y_ref(kPatterns, 0.0f);
+  fn::axpy_f32_h(1.0f, x.data(), y_simd.data(), kPatterns);
+  fn::axpy_f32_h_scalar(1.0f, x.data(), y_ref.data(), kPatterns);
+  ASSERT_EQ(0,
+            std::memcmp(y_simd.data(), y_ref.data(), kPatterns * sizeof(float)))
+      << "in-kernel widen diverged from scalar on some bit pattern";
+  // On the numeric patterns (everything but NaNs; +/-0 fold to +0 under
+  // the *1.0 + 0.0 identity on both paths), the scalar reference must also
+  // equal the exact table widening — anchoring both paths to the binary16
+  // value, not merely to each other.
+  for (std::size_t i = 0; i < kPatterns; ++i) {
+    const auto h = static_cast<std::uint16_t>(i);
+    if (x[i].is_nan()) continue;
+    const float expect = 1.0f * fn::half_bits_to_float(h) + 0.0f;
+    std::uint32_t eb, rb;
+    std::memcpy(&eb, &expect, sizeof(eb));
+    std::memcpy(&rb, &y_ref[i], sizeof(rb));
+    ASSERT_EQ(eb, rb) << "scalar widen wrong for pattern 0x" << std::hex << h;
+  }
+}
+
+TEST(Fp16Gemm, AxpyHalfMatchesScalarBitwiseOnRaggedLengths) {
+  // Lengths straddle the vector tails: below one AVX2 vector, below one
+  // AVX-512 vector, exact multiples, and off-by-one around them.
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{3}, std::size_t{7}, std::size_t{8},
+        std::size_t{9}, std::size_t{15}, std::size_t{16}, std::size_t{17},
+        std::size_t{31}, std::size_t{64}, std::size_t{100}}) {
+    const auto x = random_halves(n, 100 + n);
+    const auto y0 = random_fp16_values(n, 200 + n);
+    const auto a = random_fp16_values(1, 300 + n);
+    std::vector<float> y_simd = y0, y_ref = y0;
+    fn::axpy_f32_h(a[0], x.data(), y_simd.data(), n);
+    fn::axpy_f32_h_scalar(a[0], x.data(), y_ref.data(), n);
+    ASSERT_EQ(0, std::memcmp(y_simd.data(), y_ref.data(), n * sizeof(float)))
+        << "axpy_f32_h diverged from scalar at n=" << n;
+  }
+}
+
+TEST(Fp16Gemm, GemmHalfMatchesScalarBitwiseOnRaggedShapes) {
+  // Shapes cover the panel structure of the fused kernel: N crossing the
+  // vector panels and their scalar tails, K tiny and non-power-of-two,
+  // both fresh and accumulating outputs.
+  struct Shape {
+    std::size_t M, K, N;
+  };
+  const Shape shapes[] = {{1, 64, 64},  {1, 64, 8},   {3, 16, 33},
+                          {2, 1, 1},    {5, 7, 31},   {4, 64, 65},
+                          {1, 48, 127}, {8, 13, 96},  {2, 100, 40},
+                          {1, 8, 200},  {7, 21, 17}};
+  std::uint64_t seed = 1;
+  for (const auto& sh : shapes) {
+    for (const bool accumulate : {false, true}) {
+      const auto A = random_fp16_values(sh.M * sh.K, seed++);
+      const auto B = random_halves(sh.K * sh.N, seed++);
+      const auto C0 = random_fp16_values(sh.M * sh.N, seed++);
+      std::vector<float> c_simd = C0, c_ref = C0;
+      fn::gemm_f32_nnh(A.data(), sh.M, sh.K, B.data(), sh.N, c_simd.data(),
+                       sh.N, accumulate);
+      fn::gemm_f32_nnh_scalar(A.data(), sh.M, sh.K, B.data(), sh.N,
+                              c_ref.data(), sh.N, accumulate);
+      ASSERT_EQ(0, std::memcmp(c_simd.data(), c_ref.data(),
+                               sh.M * sh.N * sizeof(float)))
+          << "gemm_f32_nnh diverged from scalar at M=" << sh.M
+          << " K=" << sh.K << " N=" << sh.N << " acc=" << accumulate;
+    }
+  }
+}
+
+TEST(Fp16Gemm, GemmHalfHonorsOutputStride) {
+  // ldc > N: the fused kernel must leave the gutter columns untouched and
+  // match the scalar reference on the written ones.
+  constexpr std::size_t M = 5, K = 37, N = 29, ldc = 40;
+  const auto A = random_fp16_values(M * K, 7001);
+  const auto B = random_halves(K * N, 7002);
+  const auto C0 = random_fp16_values(M * ldc, 7003);
+  std::vector<float> c_simd = C0, c_ref = C0;
+  fn::gemm_f32_nnh(A.data(), M, K, B.data(), N, c_simd.data(), ldc, true);
+  fn::gemm_f32_nnh_scalar(A.data(), M, K, B.data(), N, c_ref.data(), ldc,
+                          true);
+  ASSERT_EQ(0, std::memcmp(c_simd.data(), c_ref.data(),
+                           M * ldc * sizeof(float)));
+  for (std::size_t r = 0; r < M; ++r) {
+    for (std::size_t c = N; c < ldc; ++c) {
+      ASSERT_EQ(C0[r * ldc + c], c_ref[r * ldc + c])
+          << "gutter column written at (" << r << ", " << c << ")";
+    }
+  }
+}
+
+TEST(Fp16Gemm, FusedMatchesWidenThenDispatchBitwise) {
+  // The retirement contract: streaming the Half operand through the fused
+  // kernel produces the same bits as widening it to an fp32 image first and
+  // running the fp32 dispatch — the fp32 image holds exactly representable
+  // values, the widen is exact, and both kernels fix ascending-k order.
+  struct Shape {
+    std::size_t M, K, N;
+  };
+  const Shape shapes[] = {{1, 64, 64}, {4, 64, 65}, {3, 16, 33}, {1, 8, 200}};
+  std::uint64_t seed = 9000;
+  for (const auto& sh : shapes) {
+    const auto A = random_fp16_values(sh.M * sh.K, seed++);
+    const auto B = random_halves(sh.K * sh.N, seed++);
+    std::vector<float> Bf(sh.K * sh.N);
+    fn::halves_to_floats(B.data(), Bf.data(), Bf.size());
+    std::vector<float> c_fused(sh.M * sh.N, 0.0f), c_image(sh.M * sh.N, 0.0f);
+    fn::gemm_f32_nnh(A.data(), sh.M, sh.K, B.data(), sh.N, c_fused.data(),
+                     sh.N, false);
+    fn::gemm_f32_nn(A.data(), sh.M, sh.K, Bf.data(), sh.N, c_image.data(),
+                    sh.N, false);
+    ASSERT_EQ(0, std::memcmp(c_fused.data(), c_image.data(),
+                             sh.M * sh.N * sizeof(float)))
+        << "fused kernel diverged from widen-then-gemm at M=" << sh.M
+        << " K=" << sh.K << " N=" << sh.N;
+  }
+}
+
+TEST(Fp16Gemm, SinglePassStridedEncodesMatchWidenedImageEncodes) {
+  // The seal path encodes checksums straight off the Half tile now; the
+  // result must be bit-identical to the retired two-pass flow (widen the
+  // tile to fp32, then encode the image) for every stride and weighting.
+  constexpr std::size_t kRows = 64;
+  constexpr std::size_t kCols = 48;
+  const auto tile = random_halves(kRows * kCols, 0xabf7);
+  std::vector<float> image(kRows * kCols);
+  fn::halves_to_floats(tile.data(), image.data(), image.size());
+  for (const int s : {4, 8, 16}) {
+    for (const bool weighted : {false, true}) {
+      const MatrixH rows_h = StridedAbft::encode_rows_strided_h(
+          tile.data(), kRows, kCols, s, weighted, nullptr);
+      const MatrixH rows_w = StridedAbft::encode_rows_strided_widened(
+          image.data(), kRows, kCols, s, weighted, nullptr);
+      EXPECT_TRUE(bits_equal(rows_h, rows_w))
+          << "row encode diverged at s=" << s << " weighted=" << weighted;
+      const MatrixH cols_h = StridedAbft::encode_cols_strided_h(
+          tile.data(), kRows, kCols, s, weighted, nullptr);
+      const MatrixH cols_w = StridedAbft::encode_cols_strided_widened(
+          image.data(), kRows, kCols, s, weighted, nullptr);
+      EXPECT_TRUE(bits_equal(cols_h, cols_w))
+          << "col encode diverged at s=" << s << " weighted=" << weighted;
+    }
+  }
+}

@@ -1,15 +1,18 @@
-// Memoized widened-fp32 tile images (KvCache / TilePool fp32_images):
-// bit-parity with the fp16 path and exact bytes() accounting.
+// Memoized sealed-tile images (KvCache / TilePool / EngineOptions::images):
+// bit-parity across all three core::ImagePolicy settings and exact bytes()
+// accounting for each.
 //
-// The image is a pure cache — a widened, pre-transposed copy of a sealed
-// tile's K/V halves and its four checksum blocks — so every observable
-// output must be bit-identical with the option on or off: per-slice decode,
-// truncate/rollback, engine runs under prefix sharing, tight-pool eviction
-// and preemption, and speculative decode with its KV rollbacks.  These
-// tests run each of those workloads twice, differing only in the knob, and
-// compare bitwise.  They also pin the memory story: bytes() must grow by
-// exactly one image per sealed (tile, head) and shrink symmetrically when
-// truncation unseals tiles.
+// An image is a pure cache — a copy of a sealed tile's operands in decode
+// order (widened fp32 under kF32, pre-transposed Half bits under kF16T) —
+// so every observable output must be bit-identical across kNone / kF16T /
+// kF32: per-slice decode, truncate/rollback, engine runs under prefix
+// sharing, tight-pool eviction and preemption, and speculative decode with
+// its KV rollbacks.  These tests run each of those workloads once per
+// policy, differing only in the knob, and compare bitwise.  They also pin
+// the memory story: bytes() must grow by exactly one image per sealed
+// (tile, head) — 2x the tile under kF32, ~0.5x under kF16T — and shrink
+// symmetrically when truncation unseals tiles, and a kF16T sealed tile
+// must stay within 1.7x of the bare fp16 slab.
 
 #include <gtest/gtest.h>
 
@@ -36,6 +39,9 @@ namespace {
 
 constexpr std::size_t kHeads = 4, kDim = 64;
 constexpr int kStride = ftt::abft::StridedAbft::kDefaultStride;
+
+constexpr fc::ImagePolicy kPolicies[] = {
+    fc::ImagePolicy::kNone, fc::ImagePolicy::kF16T, fc::ImagePolicy::kF32};
 
 std::vector<Half> random_halves(std::size_t n, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
@@ -105,107 +111,157 @@ void expect_bitwise(const std::vector<float>& a, const std::vector<float>& b,
 
 }  // namespace
 
-TEST(Fp32Images, KvCacheDecodeBitParityAndSlicePointers) {
-  fs::KvCache with(kHeads, kDim, kStride, /*fp32_images=*/true);
-  fs::KvCache without(kHeads, kDim, kStride, /*fp32_images=*/false);
-  EXPECT_TRUE(with.fp32_images());
-  EXPECT_FALSE(without.fp32_images());
+TEST(ImagePolicy, KvCacheDecodeBitParityAndSlicePointers) {
+  fs::KvCache f32(kHeads, kDim, kStride, fc::ImagePolicy::kF32);
+  fs::KvCache f16t(kHeads, kDim, kStride, fc::ImagePolicy::kF16T);
+  fs::KvCache none(kHeads, kDim, kStride, fc::ImagePolicy::kNone);
+  EXPECT_EQ(f32.images(), fc::ImagePolicy::kF32);
+  EXPECT_EQ(f16t.images(), fc::ImagePolicy::kF16T);
+  EXPECT_EQ(none.images(), fc::ImagePolicy::kNone);
 
   // 150 tokens: two sealed tiles plus a 22-row ragged tail per head.
-  append_tokens(with, 150, 0x111);
-  append_tokens(without, 150, 0x111);
+  append_tokens(f32, 150, 0x111);
+  append_tokens(f16t, 150, 0x111);
+  append_tokens(none, 150, 0x111);
 
   for (std::size_t h = 0; h < kHeads; ++h) {
-    const fc::KvSlice sw = with.slice(h), so = without.slice(h);
+    const fc::KvSlice sw = f32.slice(h), sh = f16t.slice(h),
+                      so = none.slice(h);
     EXPECT_EQ(so.f32, nullptr);
+    EXPECT_EQ(so.f16t, nullptr);
     ASSERT_NE(sw.f32, nullptr);
+    EXPECT_EQ(sw.f16t, nullptr);  // a cache holds one image kind at most
     EXPECT_NE(sw.f32[0], nullptr);  // sealed tiles carry images...
     EXPECT_NE(sw.f32[1], nullptr);
     EXPECT_EQ(sw.f32[2], nullptr);  // ...the open ragged tail does not
+    ASSERT_NE(sh.f16t, nullptr);
+    EXPECT_EQ(sh.f32, nullptr);
+    EXPECT_NE(sh.f16t[0], nullptr);
+    EXPECT_NE(sh.f16t[1], nullptr);
+    EXPECT_EQ(sh.f16t[2], nullptr);
   }
 
   const auto q = random_halves(kHeads * kDim, 0x222);
-  expect_bitwise(decode_all_heads(with, q), decode_all_heads(without, q),
-                 "image-on vs image-off decode");
+  const auto out_f32 = decode_all_heads(f32, q);
+  const auto out_f16t = decode_all_heads(f16t, q);
+  const auto out_none = decode_all_heads(none, q);
+  expect_bitwise(out_f32, out_none, "kF32 vs kNone decode");
+  expect_bitwise(out_f16t, out_none, "kF16T vs kNone decode");
 }
 
-TEST(Fp32Images, KvCacheBytesAccountingGrowsAndShrinksWithSeals) {
-  fs::KvCache with(kHeads, kDim, kStride, /*fp32_images=*/true);
-  fs::KvCache without(kHeads, kDim, kStride, /*fp32_images=*/false);
+TEST(ImagePolicy, KvCacheBytesAccountingGrowsAndShrinksWithSeals) {
+  fs::KvCache f32(kHeads, kDim, kStride, fc::ImagePolicy::kF32);
+  fs::KvCache f16t(kHeads, kDim, kStride, fc::ImagePolicy::kF16T);
+  fs::KvCache none(kHeads, kDim, kStride, fc::ImagePolicy::kNone);
   const std::size_t img_bytes =
       fs::detail::f32_image_floats(kDim, kStride) * sizeof(float);
+  const std::size_t himg_bytes =
+      fs::detail::f16t_image_halves(kDim, kStride) * sizeof(Half);
 
-  // An image is exactly the fp16 slab widened: 2x the halves in bytes.
+  // A kF32 image is exactly the fp16 slab widened: 2x the halves in bytes.
   EXPECT_EQ(img_bytes, (2 * 64 * kDim + 2 * 64 * kStride +
                         2 * static_cast<std::size_t>(kStride) * kDim) *
                            sizeof(float));
+  // A kF16T image carries only the K-side operands, in Half.
+  EXPECT_EQ(himg_bytes,
+            (64 * kDim + 2 * static_cast<std::size_t>(kStride) * kDim) *
+                sizeof(Half));
 
-  append_tokens(with, 150, 0x333);
-  append_tokens(without, 150, 0x333);
+  append_tokens(f32, 150, 0x333);
+  append_tokens(f16t, 150, 0x333);
+  append_tokens(none, 150, 0x333);
   // Two sealed tiles per head carry images; the open third tile does not.
-  EXPECT_EQ(with.bytes(), without.bytes() + 2 * kHeads * img_bytes);
+  EXPECT_EQ(f32.bytes(), none.bytes() + 2 * kHeads * img_bytes);
+  EXPECT_EQ(f16t.bytes(), none.bytes() + 2 * kHeads * himg_bytes);
 
   // Rolling back into the first tile unseals tile 1 and drops its images
   // (and tile 2 entirely); accounting shrinks in step.
-  with.truncate(40);
-  without.truncate(40);
-  EXPECT_EQ(with.bytes(), without.bytes());
+  f32.truncate(40);
+  f16t.truncate(40);
+  none.truncate(40);
+  EXPECT_EQ(f32.bytes(), none.bytes());
+  EXPECT_EQ(f16t.bytes(), none.bytes());
   for (std::size_t h = 0; h < kHeads; ++h) {
-    EXPECT_EQ(with.slice(h).f32[0], nullptr);  // tile 0 reopened
+    EXPECT_EQ(f32.slice(h).f32[0], nullptr);  // tile 0 reopened
+    EXPECT_EQ(f16t.slice(h).f16t[0], nullptr);
   }
 
-  // Re-extending across the boundary re-seals and re-widens: parity again.
-  append_tokens(with, 60, 0x444);
-  append_tokens(without, 60, 0x444);
-  EXPECT_EQ(with.bytes(), without.bytes() + kHeads * img_bytes);
+  // Re-extending across the boundary re-seals and rebuilds: parity again.
+  append_tokens(f32, 60, 0x444);
+  append_tokens(f16t, 60, 0x444);
+  append_tokens(none, 60, 0x444);
+  EXPECT_EQ(f32.bytes(), none.bytes() + kHeads * img_bytes);
+  EXPECT_EQ(f16t.bytes(), none.bytes() + kHeads * himg_bytes);
   const auto q = random_halves(kHeads * kDim, 0x555);
-  expect_bitwise(decode_all_heads(with, q), decode_all_heads(without, q),
-                 "post-rollback decode");
+  const auto out_none = decode_all_heads(none, q);
+  expect_bitwise(decode_all_heads(f32, q), out_none,
+                 "post-rollback decode, kF32");
+  expect_bitwise(decode_all_heads(f16t, q), out_none,
+                 "post-rollback decode, kF16T");
 }
 
-TEST(Fp32Images, TilePoolBytesAndDisableWithoutEncStride) {
+TEST(ImagePolicy, TilePoolBytesAndDisableWithoutEncStride) {
   fs::TilePoolOptions opt;
   opt.layers = 2;
   opt.heads = 2;
   opt.dim = 64;
   opt.capacity_tiles = 4;
-  opt.fp32_images = true;
-  fs::TilePool with(opt);
-  opt.fp32_images = false;
-  fs::TilePool without(opt);
+  opt.images = fc::ImagePolicy::kF32;
+  fs::TilePool f32(opt);
+  opt.images = fc::ImagePolicy::kF16T;
+  fs::TilePool f16t(opt);
+  opt.images = fc::ImagePolicy::kNone;
+  fs::TilePool none(opt);
 
-  EXPECT_TRUE(with.fp32_images());
-  const auto tw = with.acquire();
-  const auto to = without.acquire();
+  EXPECT_EQ(f32.images(), fc::ImagePolicy::kF32);
+  EXPECT_EQ(f16t.images(), fc::ImagePolicy::kF16T);
+  const auto tw = f32.acquire();
+  const auto th = f16t.acquire();
+  const auto to = none.acquire();
   ASSERT_NE(tw, fs::TilePool::kNoTile);
   // The fp32 slab mirrors the fp16 one float-for-half: 3x bytes per tile.
-  EXPECT_EQ(with.bytes_in_use(), 3 * without.bytes_in_use());
-  EXPECT_NE(with.f32_image(tw, 0, 0), nullptr);
-  EXPECT_EQ(without.f32_image(to, 0, 0), nullptr);
+  EXPECT_EQ(f32.bytes_in_use(), 3 * none.bytes_in_use());
+  EXPECT_NE(f32.f32_image(tw, 0, 0), nullptr);
+  EXPECT_EQ(f32.f16t_image(tw, 0, 0), nullptr);
+  EXPECT_EQ(none.f32_image(to, 0, 0), nullptr);
+  EXPECT_EQ(none.f16t_image(to, 0, 0), nullptr);
+  // The f16t image adds only the K-side halves: the acceptance ceiling is
+  // 1.7x the bare fp16 slab, and the exact ratio is fixed by the layout.
+  EXPECT_NE(f16t.f16t_image(th, 0, 0), nullptr);
+  EXPECT_EQ(f16t.f32_image(th, 0, 0), nullptr);
+  EXPECT_LE(f16t.bytes_in_use() * 10, none.bytes_in_use() * 17);
+  EXPECT_LE(f16t.tile_bytes(fc::TileFmt::kF16) * 10,
+            none.tile_bytes(fc::TileFmt::kF16) * 17);
+  EXPECT_GT(f16t.tile_bytes(fc::TileFmt::kF16),
+            none.tile_bytes(fc::TileFmt::kF16));
 
-  // The image embeds the widened checksum blocks, so it cannot exist
-  // without the encoding memo: enc_stride <= 0 forces the knob off.
-  opt.fp32_images = true;
+  // The images embed the sealed checksum blocks, so neither layout can
+  // exist without the encoding memo: enc_stride <= 0 forces kNone.
+  opt.images = fc::ImagePolicy::kF32;
   opt.enc_stride = 0;
   fs::TilePool no_enc(opt);
-  EXPECT_FALSE(no_enc.fp32_images());
+  EXPECT_EQ(no_enc.images(), fc::ImagePolicy::kNone);
   const auto tn = no_enc.acquire();
   EXPECT_EQ(no_enc.f32_image(tn, 0, 0), nullptr);
+  opt.images = fc::ImagePolicy::kF16T;
+  fs::TilePool no_enc_h(opt);
+  EXPECT_EQ(no_enc_h.images(), fc::ImagePolicy::kNone);
+  EXPECT_EQ(no_enc_h.f16t_image(no_enc_h.acquire(), 0, 0), nullptr);
 }
 
-TEST(Fp32Images, EngineParityUnderSharingEvictionPreemption) {
+TEST(ImagePolicy, EngineParityUnderSharingEvictionPreemption) {
   // The tile-pool stress workload — shared prompts over a pool tight
-  // enough to force eviction and preemption — run twice, differing only in
-  // fp32_images.  Every request's committed hidden state must match
-  // bitwise: images die with the tiles they cache and are rebuilt on
+  // enough to force eviction and preemption — run once per image policy.
+  // Every request's committed hidden state must match bitwise across all
+  // three: images die with the tiles they cache and are rebuilt on
   // recompute, never resurrected stale.
   const fx::Model model(serving_config(), 0x70013);
   const std::size_t hidden = model.config().hidden;
   const ft::MatrixF prompt_shared = random_prompt(130, hidden, 0xa);
 
-  auto run = [&](bool images) {
+  auto run = [&](fc::ImagePolicy images) {
     fs::EngineOptions opt;
-    opt.fp32_images = images;
+    opt.images = images;
     opt.scheduler.max_batch_size = 3;
     opt.scheduler.max_kv_tiles = 7;  // tight: forces eviction + preemption
     fs::DecodeEngine engine(model, opt);
@@ -228,26 +284,29 @@ TEST(Fp32Images, EngineParityUnderSharingEvictionPreemption) {
     return h;
   };
 
-  const auto on = run(true);
-  const auto off = run(false);
-  ASSERT_EQ(on.size(), off.size());
-  for (std::size_t r = 0; r < on.size(); ++r) {
-    expect_bitwise(on[r], off[r], "engine hidden state");
+  const auto base = run(fc::ImagePolicy::kNone);
+  for (const fc::ImagePolicy p :
+       {fc::ImagePolicy::kF16T, fc::ImagePolicy::kF32}) {
+    const auto got = run(p);
+    ASSERT_EQ(base.size(), got.size());
+    for (std::size_t r = 0; r < base.size(); ++r) {
+      expect_bitwise(base[r], got[r], "engine hidden state");
+    }
   }
 }
 
-TEST(Fp32Images, SpeculativeRollbackParity) {
+TEST(ImagePolicy, SpeculativeRollbackParity) {
   // Speculative decode truncates open tiles on every rejected draft and
   // seals across tile boundaries on multi-token commits — both paths must
-  // leave the image set exactly as a serial run would.  Near-100%
-  // acceptance maximizes boundary-crossing commits.
+  // leave the image set exactly as a serial run would, for every policy.
+  // Near-100% acceptance maximizes boundary-crossing commits.
   const fx::Model model = constant_stream_model(0xabc1);
   const std::size_t hidden = model.config().hidden;
   const ft::MatrixF prompt = random_prompt(52, hidden, 0xfeed1);
 
-  auto run = [&](bool images, std::size_t spec_tokens) {
+  auto run = [&](fc::ImagePolicy images, std::size_t spec_tokens) {
     fs::EngineOptions opt;
-    opt.fp32_images = images;
+    opt.images = images;
     opt.spec_tokens = spec_tokens;
     fs::DecodeEngine engine(model, opt);
     const auto id = engine.submit(prompt, /*max_new_tokens=*/30);
@@ -257,9 +316,9 @@ TEST(Fp32Images, SpeculativeRollbackParity) {
     return std::vector<float>(s.begin(), s.end());
   };
 
-  const auto spec_on = run(true, 4);
-  const auto spec_off = run(false, 4);
-  const auto serial_on = run(true, 0);
-  expect_bitwise(spec_on, spec_off, "speculative hidden, images on vs off");
-  expect_bitwise(spec_on, serial_on, "speculative vs serial, images on");
+  const auto serial = run(fc::ImagePolicy::kNone, 0);
+  for (const fc::ImagePolicy p : kPolicies) {
+    const auto spec = run(p, 4);
+    expect_bitwise(spec, serial, "speculative vs serial hidden state");
+  }
 }

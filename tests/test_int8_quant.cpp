@@ -536,13 +536,16 @@ std::vector<float> decode_all_heads(const fs::KvCache& cache,
 }  // namespace
 
 TEST(KvCacheQuant, RejectsImagePlusQuantCombination) {
-  EXPECT_THROW(fs::KvCache(kHeads, kDim, kStride, /*fp32_images=*/true,
+  EXPECT_THROW(fs::KvCache(kHeads, kDim, kStride, fc::ImagePolicy::kF32,
+                           /*kv_quant=*/true),
+               std::invalid_argument);
+  EXPECT_THROW(fs::KvCache(kHeads, kDim, kStride, fc::ImagePolicy::kF16T,
                            /*kv_quant=*/true),
                std::invalid_argument);
 }
 
 TEST(KvCacheQuant, SealedTilesFlipToI8AndTailStaysF16) {
-  fs::KvCache cache(kHeads, kDim, kStride, false, true);
+  fs::KvCache cache(kHeads, kDim, kStride, fc::ImagePolicy::kNone, true);
   EXPECT_TRUE(cache.kv_quant());
   fill_cache(cache, 2 * kRows + 10, 21);
   ASSERT_EQ(cache.tiles(), 3u);
@@ -566,10 +569,10 @@ TEST(KvCacheQuant, DecodeBitIdenticalToDequantizedF16Twin) {
   // The decode kernel widens a kI8 tile by exact dequantization; a fp16
   // cache holding Half(dequantized payload) — exact, <= 7-bit significands —
   // must therefore decode bit-identically.
-  fs::KvCache quant(kHeads, kDim, kStride, false, true);
+  fs::KvCache quant(kHeads, kDim, kStride, fc::ImagePolicy::kNone, true);
   fill_cache(quant, 2 * kRows + 17, 22);
 
-  fs::KvCache ref(kHeads, kDim, kStride, false, false);
+  fs::KvCache ref(kHeads, kDim, kStride, fc::ImagePolicy::kNone, false);
   std::mt19937_64 rng(22);
   std::normal_distribution<float> dist(0.0f, 1.0f);
   // Rebuild the reference stream: sealed-tile rows take the dequantized
@@ -620,8 +623,8 @@ TEST(KvCacheQuant, DecodeBitIdenticalToDequantizedF16Twin) {
 }
 
 TEST(KvCacheQuant, DecodeDeterministicAndWithinQuantTolerance) {
-  fs::KvCache quant(kHeads, kDim, kStride, false, true);
-  fs::KvCache exact(kHeads, kDim, kStride, false, false);
+  fs::KvCache quant(kHeads, kDim, kStride, fc::ImagePolicy::kNone, true);
+  fs::KvCache exact(kHeads, kDim, kStride, fc::ImagePolicy::kNone, false);
   fill_cache(quant, 3 * kRows, 24);
   fill_cache(exact, 3 * kRows, 24);
 
@@ -657,7 +660,7 @@ fs::TilePoolOptions pool_options(std::size_t capacity = 0,
   o.dim = kDim;
   o.capacity_tiles = capacity;
   o.enc_stride = kStride;
-  o.fp32_images = images;
+  o.images = images ? fc::ImagePolicy::kF32 : fc::ImagePolicy::kNone;
   return o;
 }
 

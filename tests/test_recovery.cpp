@@ -270,11 +270,11 @@ struct ScrubRun {
   std::vector<float> clean;
   fs::EngineOptions opt;
 
-  explicit ScrubRun(bool fp32_images) {
+  explicit ScrubRun(ftt::core::ImagePolicy images) {
     prompt = random_prompt(80, model.config().hidden, 0x7777);
     opt = recovery_options();
-    opt.fp32_images = fp32_images;
-    // These tests flip bits in the fp16 tile slab / fp32 image, so they pin
+    opt.images = images;
+    // These tests flip bits in the fp16 tile slab / image slabs, so they pin
     // the fp16 format explicitly (the int8 scrub arm has its own suite in
     // test_int8_quant.cpp) — a sealed kI8 tile frees the staging slab the
     // flips target.  Keeps the suite green under the FTT_KV_QUANT leg.
@@ -287,7 +287,7 @@ struct ScrubRun {
 }  // namespace
 
 TEST(Recovery, ScrubberRepairsChecksumClassFlip) {
-  ScrubRun run(/*fp32_images=*/true);
+  ScrubRun run(ftt::core::ImagePolicy::kF32);
   fs::DecodeEngine engine(run.model, run.opt);
   const auto id = engine.submit(run.prompt, run.budget);
   engine.step();  // prefill chunk 1: rows 0..63 seal tile 0
@@ -313,7 +313,7 @@ TEST(Recovery, ScrubberRepairsChecksumClassFlip) {
 }
 
 TEST(Recovery, ScrubberRepairsPayloadFromImage) {
-  ScrubRun run(/*fp32_images=*/true);
+  ScrubRun run(ftt::core::ImagePolicy::kF32);
   fs::DecodeEngine engine(run.model, run.opt);
   const auto id = engine.submit(run.prompt, run.budget);
   engine.step();
@@ -337,7 +337,7 @@ TEST(Recovery, ScrubberRepairsPayloadFromImage) {
 }
 
 TEST(Recovery, ScrubberRepairsCorruptImageFromPayload) {
-  ScrubRun run(/*fp32_images=*/true);
+  ScrubRun run(ftt::core::ImagePolicy::kF32);
   fs::DecodeEngine engine(run.model, run.opt);
   const auto id = engine.submit(run.prompt, run.budget);
   engine.step();
@@ -363,7 +363,7 @@ TEST(Recovery, ScrubberDropsUnrepairableTileAndRecomputes) {
   // Without fp32 images a payload-class corruption has no redundant copy:
   // the tile must be dropped and its owner preempted onto recompute —
   // degraded throughput, never a wrong answer.
-  ScrubRun run(/*fp32_images=*/false);
+  ScrubRun run(ftt::core::ImagePolicy::kNone);
   fs::DecodeEngine engine(run.model, run.opt);
   const auto id = engine.submit(run.prompt, run.budget);
   engine.step();
@@ -381,6 +381,78 @@ TEST(Recovery, ScrubberDropsUnrepairableTileAndRecomputes) {
   // re-admits within the same tick and its recompute recycles the tile off
   // the dead list with clean bits.)
   EXPECT_GE(engine.preemption_count(id), 1u);
+
+  engine.run_until_idle();
+  EXPECT_EQ(engine.state(id), fs::RequestState::kRetired);
+  EXPECT_GE(engine.preemption_count(id), 1u);
+  expect_bitwise(engine.hidden(id), run.clean, "recomputed request");
+}
+
+TEST(Recovery, ScrubberRepairsCorruptF16tImageFromPayload) {
+  ScrubRun run(ftt::core::ImagePolicy::kF16T);
+  fs::DecodeEngine engine(run.model, run.opt);
+  const auto id = engine.submit(run.prompt, run.budget);
+  engine.step();
+
+  const auto table = engine.kv_block_table(id);
+  ASSERT_GE(table.size(), 1u);
+  fs::TilePool& pool = fs::testing::engine_pool(engine);
+  ASSERT_TRUE(pool.sealed(table[0]));
+  // Corrupt the pre-transposed fp16 image only: payload and encodings
+  // agree, the image cross-check catches the divergence, and the fp16 slab
+  // (the authoritative copy) rebuilds the image by re-transposing.
+  fs::testing::flip_f16t_bit(pool, table[0], 0, 1, 7, 11);
+
+  const auto stats = engine.step();
+  EXPECT_GE(stats.repaired, 1u);
+  EXPECT_EQ(stats.scrub_dropped, 0u);
+
+  engine.run_until_idle();
+  expect_bitwise(engine.hidden(id), run.clean, "f16t-image-repaired request");
+}
+
+TEST(Recovery, ScrubberRepairsKPayloadFromF16tImage) {
+  ScrubRun run(ftt::core::ImagePolicy::kF16T);
+  fs::DecodeEngine engine(run.model, run.opt);
+  const auto id = engine.submit(run.prompt, run.budget);
+  engine.step();
+
+  const auto table = engine.kv_block_table(id);
+  ASSERT_GE(table.size(), 1u);
+  fs::TilePool& pool = fs::testing::engine_pool(engine);
+  // Flip an exponent bit of one K payload half (slab index 5 lies in the K
+  // block): payload-class corruption, and the f16t image — a verbatim bit
+  // transpose of K taken at seal time — restores the original halves.
+  fs::testing::flip_slab_bit(pool, table[0], 1, 0, 5, 13);
+
+  const auto stats = engine.step();
+  EXPECT_GE(stats.repaired, 1u);
+  EXPECT_EQ(stats.scrub_dropped, 0u);
+
+  engine.run_until_idle();
+  EXPECT_EQ(engine.preemption_count(id), 0u);
+  expect_bitwise(engine.hidden(id), run.clean, "K-payload-repaired request");
+}
+
+TEST(Recovery, ScrubberDropsVPayloadCorruptionUnderF16tImages) {
+  // The f16t image carries no V copy (that is the 2x memory saving), so a
+  // V-payload flip has no redundant source: the tile drops and the owner
+  // recomputes — degraded throughput, never a wrong answer.
+  ScrubRun run(ftt::core::ImagePolicy::kF16T);
+  fs::DecodeEngine engine(run.model, run.opt);
+  const auto id = engine.submit(run.prompt, run.budget);
+  engine.step();
+
+  const auto table = engine.kv_block_table(id);
+  ASSERT_GE(table.size(), 1u);
+  fs::TilePool& pool = fs::testing::engine_pool(engine);
+  ASSERT_TRUE(pool.sealed(table[0]));
+  const std::size_t v_base = fs::TilePool::kTileRows * pool.dim();
+  fs::testing::flip_slab_bit(pool, table[0], 1, 0, v_base + 5, 13);
+
+  const auto stats = engine.step();
+  EXPECT_GE(stats.scrub_dropped, 1u);
+  EXPECT_GE(stats.preempted, 1u);
 
   engine.run_until_idle();
   EXPECT_EQ(engine.state(id), fs::RequestState::kRetired);
